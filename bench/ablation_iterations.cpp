@@ -1,0 +1,34 @@
+// Beyond-paper ablation: prediction error versus the number of recursive
+// iterations T. The paper fixes T=10 citing DeepGate's observation that a
+// single pass cannot capture circuit behaviour (§III-B); this bench traces
+// the error curve so the design choice is visible. Expect a large drop from
+// T=1 to T=2 and diminishing returns after.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace deepseq;
+  using namespace deepseq::bench;
+
+  BenchConfig cfg = BenchConfig::from_env();
+  print_banner("ABLATION", "avg prediction error vs recursion depth T", cfg);
+
+  std::vector<TrainSample> train, val;
+  split_dataset(cfg, train, val);
+
+  std::printf("\n%4s | %9s %9s\n", "T", "PE(T_TR)", "PE(T_LG)");
+  std::printf("------------------------------\n");
+  for (const int t : {1, 2, cfg.iterations}) {
+    ModelConfig mc = ModelConfig::deepseq(cfg.hidden, t);
+    BenchConfig tcfg = cfg;  // fingerprint includes T via the model config
+    const DeepSeqModel model = train_or_load(mc, train, tcfg, "split");
+    const EvalMetrics m = evaluate(model, val);
+    std::printf("%4d | %9.4f %9.4f\n", t, m.avg_pe_tr, m.avg_pe_lg);
+    std::fflush(stdout);
+  }
+  std::printf("\n(paper uses T=10 at full scale; the bench default T=%d)\n",
+              cfg.iterations);
+  return 0;
+}

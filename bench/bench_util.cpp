@@ -1,0 +1,182 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/env.hpp"
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "nn/serialize.hpp"
+
+namespace deepseq::bench {
+
+BenchConfig BenchConfig::from_env() {
+  BenchConfig cfg;
+  cfg.full = full_scale();
+  if (cfg.full) {
+    // Paper-scale parameters (§IV-A3, §V). These take days on one core.
+    cfg.circuits = 10534;
+    cfg.sim_cycles = 10000;
+    cfg.epochs = 50;
+    cfg.hidden = 64;
+    cfg.iterations = 10;
+    cfg.lr = 1e-4f;
+    cfg.design_scale = 1.0;
+    cfg.gt_cycles = 10000;
+    cfg.ft_workloads = 1000;
+    cfg.ft_epochs = 50;
+    cfg.ft_lr = 1e-4f;
+    cfg.ft_cycles = 10000;
+    cfg.fault_sequences = 1000;
+    cfg.rel_ft_samples = 10534;
+    cfg.rel_ft_epochs = 50;
+  }
+  cfg.circuits = static_cast<int>(env_int("DEEPSEQ_CIRCUITS", cfg.circuits));
+  cfg.sim_cycles = static_cast<int>(env_int("DEEPSEQ_CYCLES", cfg.sim_cycles));
+  cfg.epochs = static_cast<int>(env_int("DEEPSEQ_EPOCHS", cfg.epochs));
+  cfg.hidden = static_cast<int>(env_int("DEEPSEQ_HIDDEN", cfg.hidden));
+  cfg.iterations = static_cast<int>(env_int("DEEPSEQ_T", cfg.iterations));
+  cfg.gt_cycles = static_cast<int>(env_int("DEEPSEQ_GT_CYCLES", cfg.gt_cycles));
+  cfg.ft_workloads = static_cast<int>(env_int("DEEPSEQ_FT_WORKLOADS", cfg.ft_workloads));
+  cfg.ft_epochs = static_cast<int>(env_int("DEEPSEQ_FT_EPOCHS", cfg.ft_epochs));
+  cfg.fault_sequences = static_cast<int>(env_int("DEEPSEQ_FAULT_SEQS", cfg.fault_sequences));
+  const std::int64_t scale_denom = env_int("DEEPSEQ_SCALE_DENOM", 0);
+  if (scale_denom > 0) cfg.design_scale = 1.0 / static_cast<double>(scale_denom);
+  cfg.cache_dir = env_string("DEEPSEQ_CACHE", cfg.cache_dir);
+  return cfg;
+}
+
+std::string BenchConfig::fingerprint() const {
+  std::ostringstream s;
+  s << "c" << circuits << "_s" << sim_cycles << "_e" << epochs << "_h" << hidden
+    << "_t" << iterations << "_lr" << lr << "_b" << batch << "_d" << data_seed;
+  return s.str();
+}
+
+const TrainingDataset& shared_dataset(const BenchConfig& cfg) {
+  static TrainingDataset dataset;
+  static bool built = false;
+  if (!built) {
+    WallTimer t;
+    TrainingDataOptions opt;
+    opt.num_subcircuits = cfg.circuits;
+    opt.sim_cycles = cfg.sim_cycles;
+    opt.seed = cfg.data_seed;
+    dataset = build_training_dataset(opt);
+    std::printf("[setup] dataset: %d subcircuits, %d-cycle workloads (%.1fs)\n",
+                cfg.circuits, cfg.sim_cycles, t.seconds());
+    built = true;
+  }
+  return dataset;
+}
+
+void split_dataset(const BenchConfig& cfg, std::vector<TrainSample>& train,
+                   std::vector<TrainSample>& val) {
+  split_train_val(shared_dataset(cfg).samples, cfg.val_fraction, 3, train, val);
+}
+
+namespace {
+
+std::string sanitize(std::string s) {
+  for (auto& ch : s)
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  return s;
+}
+
+}  // namespace
+
+DeepSeqModel train_or_load(const ModelConfig& config,
+                           const std::vector<TrainSample>& train,
+                           const BenchConfig& cfg, const std::string& tag) {
+  TrainOptions topt;
+  topt.epochs = cfg.epochs;
+  topt.lr = cfg.lr;
+  topt.batch_size = cfg.batch;
+  return train_or_load(config, train, cfg, tag, topt);
+}
+
+DeepSeqModel train_or_load(const ModelConfig& config,
+                           const std::vector<TrainSample>& train,
+                           const BenchConfig& cfg, const std::string& tag,
+                           const TrainOptions& topt) {
+  DeepSeqModel model(config);
+  std::filesystem::create_directories(cfg.cache_dir);
+  std::ostringstream key;
+  key << cfg.cache_dir << "/" << sanitize(tag) << "_"
+      << sanitize(config.description()) << "_h" << config.hidden_dim << "_T"
+      << config.iterations << "_" << cfg.fingerprint() << ".bin";
+  const std::string path = key.str();
+  if (std::filesystem::exists(path)) {
+    model.load(path);
+    std::printf("[cache] loaded %s\n", path.c_str());
+    return model;
+  }
+  WallTimer t;
+  Trainer trainer(model, topt);
+  trainer.fit(train);
+  model.save(path);
+  std::printf("[train] %s: %d epochs in %.0fs -> %s\n",
+              config.description().c_str(), topt.epochs, t.seconds(), path.c_str());
+  return model;
+}
+
+FtBudget scaled_ft_budget(const BenchConfig& cfg, std::size_t aig_nodes) {
+  FtBudget b{cfg.ft_workloads, cfg.ft_epochs};
+  if (cfg.full || aig_nodes == 0) return b;
+  const double scale = std::sqrt(1000.0 / static_cast<double>(aig_nodes));
+  auto clamp_scale = [&](int base) {
+    const int scaled = static_cast<int>(std::lround(base * scale));
+    return std::max(base * 3 / 5, std::min(base * 2, scaled));
+  };
+  b.workloads = clamp_scale(cfg.ft_workloads);
+  b.epochs = clamp_scale(cfg.ft_epochs);
+  return b;
+}
+
+DeepSeqModel pretrained_deepseq(const BenchConfig& cfg) {
+  ModelConfig mc = ModelConfig::deepseq(cfg.hidden, cfg.iterations);
+  return train_or_load(mc, shared_dataset(cfg).samples, cfg, "pretrain");
+}
+
+GranniteModel pretrained_grannite(const BenchConfig& cfg) {
+  GranniteConfig gc;
+  gc.hidden_dim = cfg.hidden;
+  GranniteModel model(gc);
+  std::filesystem::create_directories(cfg.cache_dir);
+  const std::string path =
+      cfg.cache_dir + "/pretrain_grannite_" + cfg.fingerprint() + ".bin";
+  if (std::filesystem::exists(path)) {
+    nn::load_params(path, model.params());
+    std::printf("[cache] loaded %s\n", path.c_str());
+    return model;
+  }
+  WallTimer t;
+  const auto& ds = shared_dataset(cfg);
+  std::vector<GranniteSample> gs;
+  gs.reserve(ds.samples.size());
+  for (const auto& s : ds.samples) gs.push_back(make_grannite_sample(s));
+  model.fit(gs, cfg.epochs, cfg.lr);
+  nn::save_params(path, model.params());
+  std::printf("[train] Grannite baseline: %d epochs in %.0fs\n", cfg.epochs,
+              t.seconds());
+  return model;
+}
+
+void print_banner(const std::string& table, const std::string& caption,
+                  const BenchConfig& cfg) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", table.c_str(), caption.c_str());
+  std::printf("scale: %s (hidden=%d, T=%d, %d circuits, %d epochs, design x%.4f)\n",
+              cfg.full ? "FULL (paper)" : "default (single-core)", cfg.hidden,
+              cfg.iterations, cfg.circuits, cfg.epochs, cfg.design_scale);
+  std::printf("================================================================\n");
+}
+
+std::string pct(double fraction, int decimals) {
+  return format_percent(fraction, decimals);
+}
+
+}  // namespace deepseq::bench

@@ -1,0 +1,95 @@
+// Microbenchmarks of the neural-network substrate: matmul kernels,
+// autograd tape overhead, GRU cell, and segment-softmax attention ops.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/adam.hpp"
+#include "nn/graph.hpp"
+#include "nn/modules.hpp"
+
+namespace {
+
+using namespace deepseq;
+using namespace deepseq::nn;
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::xavier(n, n, rng);
+  const Tensor b = Tensor::xavier(n, n, rng);
+  for (auto _ : state) {
+    const Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GruForwardBackward(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const GruCell gru(64, 32, rng, "g");
+  const Tensor x = Tensor::xavier(rows, 64, rng);
+  const Tensor h = Tensor::xavier(rows, 32, rng);
+  const Tensor target(rows, 32);
+  for (auto _ : state) {
+    Graph g(true);
+    Var out = gru.apply(g, g.constant(x), g.constant(h));
+    Var loss = g.l1_loss(out, target);
+    g.backward(loss);
+    benchmark::DoNotOptimize(loss->value.at(0, 0));
+  }
+}
+BENCHMARK(BM_GruForwardBackward)->Arg(16)->Arg(256);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  Rng rng(3);
+  Graph g(false);
+  const Var scores = g.constant(Tensor::xavier(edges, 1, rng));
+  std::vector<int> seg(edges);
+  for (int e = 0; e < edges; ++e) seg[e] = e / 2;  // 2 preds per target
+  const int nseg = (edges + 1) / 2;
+  for (auto _ : state) {
+    Graph gg(false);
+    Var alpha = gg.segment_softmax(scores, seg, nseg);
+    benchmark::DoNotOptimize(alpha->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(1024)->Arg(16384);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(4);
+  NamedParams params;
+  for (int k = 0; k < 16; ++k)
+    params.emplace_back("p" + std::to_string(k),
+                        make_param(Tensor::xavier(64, 64, rng)));
+  Adam adam(params);
+  for (auto& [name, p] : params) p->ensure_grad().fill(0.01f);
+  for (auto _ : state) {
+    adam.step();
+    benchmark::DoNotOptimize(params[0].second->value.data());
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_TapeOverhead(benchmark::State& state) {
+  // Cost of recording + clearing N chained small ops.
+  const int n = static_cast<int>(state.range(0));
+  Var a = make_param(Tensor::scalar(0.5f));
+  for (auto _ : state) {
+    Graph g(true);
+    Var x = a;
+    for (int i = 0; i < n; ++i) x = g.add(x, a);
+    g.backward(x);
+    benchmark::DoNotOptimize(x->value.at(0, 0));
+    a->grad.zero();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TapeOverhead)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Microbenchmarks of the GNN propagation: forward (inference) and
+// forward+backward (training) passes across circuit sizes, and the
+// customized-vs-baseline schedule cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/model.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+
+namespace {
+
+using namespace deepseq;
+
+struct Fixture {
+  Circuit aig;
+  CircuitGraph graph;
+  Workload workload;
+
+  explicit Fixture(int gates) {
+    Rng rng(11);
+    GeneratorSpec spec;
+    spec.num_gates = gates;
+    spec.num_ffs = gates / 12;
+    spec.num_pis = 16;
+    const Circuit generic = generate_circuit(spec, rng);
+    aig = optimize_aig(decompose_to_aig(generic).aig).circuit;
+    graph = build_circuit_graph(aig);
+    workload = random_workload(aig, rng);
+  }
+};
+
+Fixture& fixture(int gates) {
+  static Fixture small(120);
+  static Fixture large(2000);
+  return gates <= 120 ? small : large;
+}
+
+void BM_InferenceCustomProp(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<int>(state.range(0)));
+  const DeepSeqModel model(ModelConfig::deepseq(32, 4));
+  for (auto _ : state) {
+    nn::Graph g(false);
+    const auto out = model.forward(g, f.graph, f.workload, 1);
+    benchmark::DoNotOptimize(out.lg->value.data());
+  }
+  state.counters["nodes"] = static_cast<double>(f.graph.num_nodes);
+}
+BENCHMARK(BM_InferenceCustomProp)->Arg(120)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_InferenceBaselineProp(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<int>(state.range(0)));
+  const DeepSeqModel model(
+      ModelConfig::dag_rec_gnn(AggregatorKind::kAttention, 32, 4));
+  for (auto _ : state) {
+    nn::Graph g(false);
+    const auto out = model.forward(g, f.graph, f.workload, 1);
+    benchmark::DoNotOptimize(out.lg->value.data());
+  }
+}
+BENCHMARK(BM_InferenceBaselineProp)->Arg(120)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_TrainStep(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<int>(state.range(0)));
+  const DeepSeqModel model(ModelConfig::deepseq(32, 4));
+  const nn::Tensor target_tr(f.graph.num_nodes, 2);
+  const nn::Tensor target_lg(f.graph.num_nodes, 1);
+  for (auto _ : state) {
+    nn::Graph g(true);
+    const auto out = model.forward(g, f.graph, f.workload, 1);
+    const auto loss =
+        g.add(g.l1_loss(out.tr, target_tr), g.l1_loss(out.lg, target_lg));
+    g.backward(loss);
+    benchmark::DoNotOptimize(loss->value.at(0, 0));
+    for (const auto& [name, p] : model.params())
+      if (p->has_grad()) p->grad.zero();
+  }
+}
+BENCHMARK(BM_TrainStep)->Arg(120)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const CircuitGraph g = build_circuit_graph(f.aig);
+    benchmark::DoNotOptimize(g.num_nodes);
+  }
+}
+BENCHMARK(BM_GraphConstruction)->Arg(120)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_IterationScaling(benchmark::State& state) {
+  // Cost is linear in T — the levelized sequential bottleneck the paper's
+  // §VI discusses.
+  Fixture& f = fixture(120);
+  const DeepSeqModel model(
+      ModelConfig::deepseq(32, static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    nn::Graph g(false);
+    const auto out = model.forward(g, f.graph, f.workload, 1);
+    benchmark::DoNotOptimize(out.lg->value.data());
+  }
+}
+BENCHMARK(BM_IterationScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Reproduces the §VI runtime observation: DeepSeq inference is a few times
+// slower than a parallel logic simulator because its message passing is
+// levelized and sequential. We compare bit-parallel simulation of a
+// workload (64 lanes, enough cycles for stable probabilities) against one
+// no-grad GNN inference on the same circuit. The paper reports 3-4x against
+// a commercial simulator; the shape to check is simulator-faster-than-GNN
+// with a small constant factor.
+
+#include <benchmark/benchmark.h>
+
+#include "core/model.hpp"
+#include "dataset/test_designs.hpp"
+#include "netlist/aig.hpp"
+#include "power/pipeline.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace deepseq;
+
+struct Setup {
+  Circuit aig;
+  CircuitGraph graph;
+  Workload workload;
+  DeepSeqModel model{ModelConfig::deepseq(32, 4)};
+
+  explicit Setup(const char* design_name) {
+    const TestDesign d = build_test_design(design_name, 1.0 / 16.0, 7);
+    const AigConversion conv = decompose_to_aig(d.netlist);
+    aig = conv.aig;
+    graph = build_circuit_graph(aig);
+    Rng rng(3);
+    Workload w_gen = low_activity_workload(d.netlist, rng, 0.3);
+    workload = map_workload_to_aig(d.netlist, conv.node_map, aig, w_gen);
+  }
+};
+
+Setup& setup(const char* name) {
+  static Setup ptc("ptc");
+  static Setup rtc("rtcclock");
+  return (std::string(name) == "ptc") ? ptc : rtc;
+}
+
+void BM_LogicSimulation(benchmark::State& state, const char* name) {
+  Setup& s = setup(name);
+  ActivityOptions opt;
+  opt.num_cycles = 2000;
+  for (auto _ : state) {
+    const NodeActivity act = collect_activity(s.aig, s.workload, opt);
+    benchmark::DoNotOptimize(act.logic1.data());
+  }
+  state.counters["nodes"] = static_cast<double>(s.aig.num_nodes());
+}
+
+void BM_DeepSeqInference(benchmark::State& state, const char* name) {
+  Setup& s = setup(name);
+  for (auto _ : state) {
+    nn::Graph g(false);
+    const auto out = s.model.forward(g, s.graph, s.workload, 1);
+    benchmark::DoNotOptimize(out.tr->value.data());
+  }
+  state.counters["nodes"] = static_cast<double>(s.graph.num_nodes);
+}
+
+BENCHMARK_CAPTURE(BM_LogicSimulation, ptc, "ptc")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DeepSeqInference, ptc, "ptc")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LogicSimulation, rtcclock, "rtcclock")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DeepSeqInference, rtcclock, "rtcclock")->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

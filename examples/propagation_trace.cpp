@@ -1,0 +1,76 @@
+// Traces the customized propagation scheme of Fig. 2 on its 8-node example
+// circuit: cycle removal (FFs become pseudo primary inputs), the levelized
+// forward schedule, the reverse schedule, and the FF state-copy step. Run
+// this to see exactly which nodes exchange messages at each step.
+
+#include <cstdio>
+
+#include "core/circuit_graph.hpp"
+#include "netlist/topology.hpp"
+
+using namespace deepseq;
+
+namespace {
+
+void print_batches(const Circuit& c, const std::vector<LevelBatch>& batches,
+                   const char* direction) {
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    std::printf("  %s step %zu:\n", direction, b + 1);
+    const LevelBatch& batch = batches[b];
+    for (std::size_t t = 0; t < batch.targets.size(); ++t) {
+      std::printf("    %s <-", c.node_name(batch.targets[t]).c_str());
+      for (std::size_t e = 0; e < batch.sources.size(); ++e)
+        if (batch.segment[e] == static_cast<int>(t))
+          std::printf(" %s", c.node_name(batch.sources[e]).c_str());
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The Fig. 2 shape: two PIs feeding a cone, one FF closing a cycle.
+  Circuit c("fig2");
+  const NodeId i1 = c.add_pi("pi1");
+  const NodeId i2 = c.add_pi("pi2");
+  const NodeId ff = c.add_ff(kNullNode, "ff3");
+  const NodeId g4 = c.add_and(i1, i2, "and4");
+  const NodeId g5 = c.add_and(g4, ff, "and5");
+  const NodeId g6 = c.add_not(g5, "not6");
+  const NodeId g7 = c.add_and(g6, i2, "and7");
+  const NodeId g8 = c.add_not(g7, "not8");
+  c.set_fanin(ff, 0, g6);  // feedback: not6 -> ff3 -> and5
+  c.add_po(g8, "po");
+  c.validate();
+
+  std::printf("Input circuit: %zu nodes, cycle not6 -> ff3 -> and5 -> not6\n\n",
+              c.num_nodes());
+
+  std::printf("Step 1 — remove FF incoming edges (FFs become pseudo PIs):\n");
+  const Levelization lv = comb_levelize(c);
+  for (int l = 0; l <= lv.depth; ++l) {
+    std::printf("  level %d:", l);
+    for (NodeId v : lv.by_level[static_cast<std::size_t>(l)])
+      std::printf(" %s", c.node_name(v).c_str());
+    std::printf("\n");
+  }
+
+  const CircuitGraph graph = build_circuit_graph(c);
+  std::printf("\nStep 2 — forward propagation (levelized, PIs fixed):\n");
+  print_batches(c, graph.comb_forward, "forward");
+
+  std::printf("\nStep 3 — reverse propagation (implications from successors):\n");
+  print_batches(c, graph.comb_reverse, "reverse");
+
+  std::printf("\nStep 4 — FF update (clock edge, copy D-predecessor state):\n");
+  for (std::size_t k = 0; k < graph.ff_targets.size(); ++k)
+    std::printf("  %s := state(%s)\n", c.node_name(graph.ff_targets[k]).c_str(),
+                c.node_name(graph.ff_sources[k]).c_str());
+
+  std::printf("\nThe four steps repeat T times (paper: T=10); compare with\n"
+              "the baseline schedule, which keeps FFs as ordinary nodes:\n");
+  std::printf("\nBaseline (acyclified DAG) forward schedule:\n");
+  print_batches(c, graph.baseline_forward, "forward");
+  return 0;
+}

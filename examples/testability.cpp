@@ -1,0 +1,76 @@
+// Testability analysis: the substrate of the test-point-insertion task
+// that motivates circuit representation learning downstream (DeepTPI [10],
+// §II-B of the paper) —
+//   1. compute SCOAP controllability/observability for a sequential
+//      netlist,
+//   2. run serial stuck-at fault simulation under a random workload,
+//   3. show that SCOAP's fault effort separates the detected from the
+//      undetected faults — the signal a TPI flow (learned or classic)
+//      exploits when choosing where to insert test points.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "dataset/embedded.hpp"
+#include "netlist/scoap.hpp"
+#include "sim/stuck_at.hpp"
+
+using namespace deepseq;
+
+int main() {
+  const Circuit c = iscas89_s27();
+  std::printf("circuit: %s (%zu nodes, %zu PIs, %zu FFs, %zu POs)\n\n",
+              c.name().c_str(), c.num_nodes(), c.pis().size(), c.ffs().size(),
+              c.pos().size());
+
+  // 1. SCOAP measures.
+  const ScoapMeasures m = compute_scoap(c);
+  std::printf("%-8s %-5s | %6s %6s %6s\n", "node", "type", "CC0", "CC1", "CO");
+  std::printf("---------------------------------------\n");
+  auto fmt = [](double v) {
+    return v >= kScoapInf ? std::string("inf") : std::to_string((int)v);
+  };
+  for (NodeId v = 0; v < c.num_nodes(); ++v)
+    std::printf("%-8s %-5s | %6s %6s %6s\n", c.node_name(v).c_str(),
+                std::string(gate_type_name(c.type(v))).c_str(),
+                fmt(m.cc0[v]).c_str(), fmt(m.cc1[v]).c_str(),
+                fmt(m.co[v]).c_str());
+  std::printf("(controllability fixpoint: %d rounds, observability: %d)\n\n",
+              m.controllability_iterations, m.observability_iterations);
+
+  // 2. Stuck-at fault simulation under increasing pattern budgets.
+  Workload w;
+  w.pi_prob.assign(c.pis().size(), 0.5);
+  w.pattern_seed = 12;
+  std::printf("%-10s | %9s %9s %9s\n", "cycles", "faults", "detected",
+              "coverage");
+  std::printf("--------------------------------------------\n");
+  StuckAtResult last;
+  for (int cycles : {2, 8, 32, 128, 512}) {
+    last = simulate_stuck_at(c, w, {cycles, 1});
+    std::printf("%-10d | %9zu %9zu %8.1f%%\n", cycles, last.faults.size(),
+                last.num_detected, 100.0 * last.coverage());
+  }
+
+  // 3. SCOAP effort of detected vs undetected faults.
+  std::vector<double> det, undet;
+  for (std::size_t f = 0; f < last.faults.size(); ++f) {
+    const double e = m.fault_effort(last.faults[f].node, last.faults[f].value);
+    if (e >= kScoapInf) continue;
+    (last.detected[f] ? det : undet).push_back(e);
+  }
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  std::printf("\nmean SCOAP fault effort: detected %.1f (%zu faults)",
+              mean(det), det.size());
+  if (!undet.empty())
+    std::printf(", undetected %.1f (%zu faults)", mean(undet), undet.size());
+  std::printf(
+      "\n(high-effort faults are where a TPI flow inserts test points;\n"
+      " DeepTPI [10] learns this decision from DeepGate embeddings)\n");
+  return 0;
+}

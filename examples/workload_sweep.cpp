@@ -1,0 +1,50 @@
+// Uses the simulation and estimation substrates standalone (no training):
+// sweeps the activity level of a design's workload and reports how power
+// and the static-gate fraction respond, comparing the simulator against
+// the non-simulative probabilistic estimate. This is the §V-A1 observation
+// — realistic (gated) workloads leave most of a design idle — as a
+// runnable experiment.
+
+#include <cstdio>
+
+#include "dataset/test_designs.hpp"
+#include "power/power_analyzer.hpp"
+#include "prob/switching.hpp"
+#include "sim/simulator.hpp"
+
+using namespace deepseq;
+
+int main() {
+  const TestDesign design = build_test_design("ac97_ctrl", 1.0 / 16.0, 21);
+  std::printf("design %s: %zu nodes, %zu FFs\n\n", design.name.c_str(),
+              design.netlist.num_nodes(), design.netlist.ffs().size());
+
+  std::printf("%-14s | %9s | %12s | %12s | %9s\n", "active PIs", "static %",
+              "sim P (mW)", "prob P (mW)", "prob err");
+  std::printf("----------------------------------------------------------------\n");
+
+  Rng rng(5);
+  for (const double active : {0.05, 0.15, 0.3, 0.6, 1.0}) {
+    const Workload w = low_activity_workload(design.netlist, rng, active);
+
+    const NodeActivity act = collect_activity(design.netlist, w, {2000, 1});
+    std::vector<double> sim_rate(design.netlist.num_nodes());
+    for (NodeId v = 0; v < design.netlist.num_nodes(); ++v)
+      sim_rate[v] = act.toggle_rate(v);
+    const double sim_mw = analyze_power_rates(design.netlist, sim_rate).total_mw();
+
+    const SwitchingEstimate est = estimate_switching(design.netlist, w);
+    std::vector<double> est_rate(design.netlist.num_nodes());
+    for (NodeId v = 0; v < design.netlist.num_nodes(); ++v)
+      est_rate[v] = est.toggle_rate(v);
+    const double est_mw = analyze_power_rates(design.netlist, est_rate).total_mw();
+
+    std::printf("%13.0f%% | %8.1f%% | %12.4f | %12.4f | %8.1f%%\n",
+                active * 100, act.static_fraction() * 100, sim_mw, est_mw,
+                sim_mw > 0 ? 100.0 * std::abs(est_mw - sim_mw) / sim_mw : 0.0);
+  }
+  std::printf("\nLower activity -> more static gates and larger relative error\n"
+              "of the independence-based estimate: the regime that motivates\n"
+              "workload-aware learned models (paper §V-A1).\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace deepseq {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+bool full_scale() { return env_int("DEEPSEQ_FULL", 0) != 0; }
+
+}  // namespace deepseq

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace deepseq {
+
+/// Read an integer environment variable, returning `fallback` when unset or
+/// unparsable. Used by the bench harness to expose scale knobs
+/// (DEEPSEQ_FULL, DEEPSEQ_EPOCHS, ...) without recompiling.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a string environment variable.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// True when DEEPSEQ_FULL=1: benches run at paper-scale parameters
+/// (T=10, hidden 64, 10k-cycle workloads, paper-size test circuits).
+bool full_scale();
+
+}  // namespace deepseq

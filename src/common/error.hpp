@@ -1,0 +1,39 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace deepseq {
+
+/// Base class for all errors raised by the DeepSeq library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input file or text cannot be parsed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line = -1)
+      : Error(line >= 0 ? what + " (line " + std::to_string(line) + ")" : what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Raised when a circuit violates a structural invariant (dangling fanin,
+/// wrong arity, combinational cycle, ...).
+class CircuitError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised on tensor shape mismatches and other numeric-library misuse.
+class ShapeError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace deepseq

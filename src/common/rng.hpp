@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace deepseq {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** with a
+/// splitmix64-seeded state). Every stochastic component of the library takes
+/// an explicit `Rng&` or seed so experiments regenerate bit-identically.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool bernoulli(double p);
+
+  /// 64 independent Bernoulli(p) draws packed into one word (bit i is lane i).
+  std::uint64_t bernoulli_word(double p);
+
+  /// Standard normal via Box-Muller.
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Derive an independent child generator (stable given the parent state).
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace deepseq

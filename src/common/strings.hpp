@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepseq {
+
+/// Remove leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single delimiter character; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on any run of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Render a double with fixed precision (for table output).
+std::string format_fixed(double value, int decimals);
+
+/// Render a fraction as a percentage string, e.g. 0.0319 -> "3.19%".
+std::string format_percent(double fraction, int decimals = 2);
+
+}  // namespace deepseq

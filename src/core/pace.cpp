@@ -1,0 +1,240 @@
+#include "core/pace.hpp"
+
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "netlist/topology.hpp"
+#include "nn/adam.hpp"
+
+namespace deepseq {
+
+using nn::Graph;
+using nn::RowRef;
+using nn::Tensor;
+using nn::Var;
+
+PaceGraph build_pace_graph(const Circuit& aig, const PaceConfig& config) {
+  if (!aig.is_strict_aig())
+    throw CircuitError("build_pace_graph: circuit is not a strict AIG");
+  const Levelization lv = comb_levelize(aig);
+  const int n = static_cast<int>(aig.num_nodes());
+
+  PaceGraph g;
+  g.num_nodes = n;
+  g.pis = aig.pis();
+
+  // One-hot gate type || sinusoidal encoding of the comb logic level (the
+  // stand-in for PACE's positional encoding: topological position is what
+  // lets a parallel encoder recover the order a sequential pass provides).
+  g.features = Tensor(n, kFeatureDim + config.pos_dim);
+  for (NodeId v = 0; v < aig.num_nodes(); ++v) {
+    g.features.at(static_cast<int>(v), feature_index(aig.type(v))) = 1.0f;
+    const auto level = static_cast<double>(lv.level[v]);
+    for (int k = 0; k < config.pos_dim / 2; ++k) {
+      const double freq = std::pow(10000.0, -2.0 * k / config.pos_dim);
+      g.features.at(static_cast<int>(v), kFeatureDim + 2 * k) =
+          static_cast<float>(std::sin(level * freq));
+      g.features.at(static_cast<int>(v), kFeatureDim + 2 * k + 1) =
+          static_cast<float>(std::cos(level * freq));
+    }
+  }
+
+  // Bounded ancestor sets: breadth-first through comb-view fanins (FF
+  // D-edges severed, so FFs act as pseudo sources — the same cycle
+  // breaking as the levelized scheme). Every non-PI node attends to
+  // itself + its nearest max_ancestors ancestors.
+  std::vector<char> seen(aig.num_nodes(), 0);
+  for (NodeId v = 0; v < aig.num_nodes(); ++v) {
+    const GateType t = aig.type(v);
+    if (t == GateType::kPi) continue;   // PIs stay pinned, never updated
+    if (t == GateType::kConst0) {       // constants likewise (pinned to 0)
+      g.consts.push_back(v);
+      continue;
+    }
+    const int row = static_cast<int>(g.targets.size());
+    g.targets.push_back(v);
+    std::fill(seen.begin(), seen.end(), 0);
+    std::deque<NodeId> frontier{v};
+    seen[v] = 1;
+    int taken = 0;
+    while (!frontier.empty() && taken < config.max_ancestors + 1) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      g.sources.push_back(u);
+      g.segment.push_back(row);
+      ++taken;
+      const GateType ut = aig.type(u);
+      if (ut == GateType::kPi || ut == GateType::kFf ||
+          ut == GateType::kConst0)
+        continue;  // sources
+      for (int i = 0; i < aig.num_fanins(u); ++i) {
+        const NodeId f = aig.fanin(u, i);
+        if (!seen[f]) {
+          seen[f] = 1;
+          frontier.push_back(f);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+PaceEncoder::PaceEncoder(const PaceConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  const int d = config.hidden_dim;
+  const int feat = kFeatureDim + config.pos_dim;
+  for (int l = 0; l < config.layers; ++l) {
+    att_w1_.push_back(nn::make_param(Tensor::xavier(d, 1, rng)));
+    att_w2_.push_back(nn::make_param(Tensor::xavier(d, 1, rng)));
+    gru_.emplace_back(d + feat, d, rng, "pace.gru" + std::to_string(l));
+  }
+  mlp_tr_ = nn::Mlp({d, d, 2}, nn::Activation::kSigmoid, rng, "pace.mlp_tr");
+  mlp_lg_ = nn::Mlp({d, d, 1}, nn::Activation::kSigmoid, rng, "pace.mlp_lg");
+}
+
+Var PaceEncoder::embed(Graph& g, const PaceGraph& graph, const Workload& w,
+                       std::uint64_t init_seed) const {
+  if (w.pi_prob.size() != graph.pis.size())
+    throw Error("PaceEncoder: workload PI count mismatch");
+  const int d = config_.hidden_dim;
+
+  Rng rng(init_seed);
+  Tensor h0(graph.num_nodes, d);
+  for (std::size_t i = 0; i < h0.size(); ++i)
+    h0.data()[i] = static_cast<float>(rng.uniform());
+  for (std::size_t k = 0; k < graph.pis.size(); ++k) {
+    float* row = h0.row(static_cast<int>(graph.pis[k]));
+    for (int c = 0; c < d; ++c) row[c] = static_cast<float>(w.pi_prob[k]);
+  }
+  for (NodeId v : graph.consts) {
+    float* row = h0.row(static_cast<int>(v));
+    for (int c = 0; c < d; ++c) row[c] = 0.0f;
+  }
+
+  const Var features = g.constant(graph.features);
+  Var h = g.constant(std::move(h0));
+  const int num_targets = static_cast<int>(graph.targets.size());
+
+  std::vector<RowRef> target_refs, feat_refs, edge_target_refs, source_refs;
+  for (NodeId v : graph.targets) {
+    target_refs.push_back(RowRef{h, static_cast<int>(v)});
+    feat_refs.push_back(RowRef{features, static_cast<int>(v)});
+  }
+  const Var target_feats = g.gather(feat_refs);
+
+  for (int l = 0; l < config_.layers; ++l) {
+    // One big batch: every target node updates simultaneously — no level
+    // sequencing. This is the parallel shape PACE trades accuracy for.
+    edge_target_refs.clear();
+    source_refs.clear();
+    for (std::size_t e = 0; e < graph.sources.size(); ++e) {
+      edge_target_refs.push_back(target_refs[graph.segment[e]]);
+      source_refs.push_back(RowRef{h, static_cast<int>(graph.sources[e])});
+    }
+    const Var hv_prev = g.gather(target_refs);
+    const Var hu = g.gather(source_refs);
+    const Var scores = g.add(g.matmul(g.gather(edge_target_refs), att_w1_[l]),
+                             g.matmul(hu, att_w2_[l]));
+    const Var alpha = g.segment_softmax(scores, graph.segment, num_targets);
+    const Var m = g.segment_sum(g.mul_col(hu, alpha), graph.segment,
+                                num_targets);
+    const Var x = g.concat_cols({m, target_feats});
+    const Var h_new = gru_[l].apply(g, x, hv_prev);
+
+    // Scatter back: non-target rows (PIs) keep their pinned state by
+    // gathering from the old matrix.
+    std::vector<RowRef> rows(static_cast<std::size_t>(graph.num_nodes));
+    for (int v = 0; v < graph.num_nodes; ++v) rows[v] = RowRef{h, v};
+    for (int i = 0; i < num_targets; ++i)
+      rows[graph.targets[i]] = RowRef{h_new, i};
+    h = g.gather(rows);
+    for (int i = 0; i < num_targets; ++i)
+      target_refs[i] = RowRef{h, static_cast<int>(graph.targets[i])};
+  }
+  return h;
+}
+
+PaceEncoder::Output PaceEncoder::forward(Graph& g, const PaceGraph& graph,
+                                         const Workload& w,
+                                         std::uint64_t init_seed) const {
+  const Var h = embed(g, graph, w, init_seed);
+  return Output{mlp_tr_.apply(g, h), mlp_lg_.apply(g, h)};
+}
+
+nn::NamedParams PaceEncoder::params() const {
+  nn::NamedParams out;
+  for (std::size_t l = 0; l < att_w1_.size(); ++l) {
+    out.emplace_back("pace.att_w1." + std::to_string(l), att_w1_[l]);
+    out.emplace_back("pace.att_w2." + std::to_string(l), att_w2_[l]);
+    gru_[l].collect_params(out);
+  }
+  mlp_tr_.collect_params(out);
+  mlp_lg_.collect_params(out);
+  return out;
+}
+
+PaceTrainStats fit_pace(PaceEncoder& model,
+                        const std::vector<TrainSample>& train,
+                        const std::vector<TrainSample>& val, int epochs,
+                        float lr, int batch_size) {
+  if (train.empty()) throw Error("fit_pace: empty training set");
+  std::vector<PaceGraph> train_graphs, val_graphs;
+  for (const auto& s : train)
+    train_graphs.push_back(build_pace_graph(*s.circuit, model.config()));
+  for (const auto& s : val)
+    val_graphs.push_back(build_pace_graph(*s.circuit, model.config()));
+
+  nn::Adam adam(model.params(), nn::AdamOptions{lr, 0.9f, 0.999f, 1e-8f, 5.0f});
+  Rng shuffle_rng(11);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  PaceTrainStats stats;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double loss_sum = 0.0;
+    int in_batch = 0;
+    adam.zero_grad();
+    for (std::size_t idx = 0; idx < order.size(); ++idx) {
+      const TrainSample& s = train[order[idx]];
+      Graph g(true);
+      const auto out =
+          model.forward(g, train_graphs[order[idx]], s.workload, s.init_seed);
+      const Var loss =
+          g.add(g.l1_loss(out.tr, s.target_tr), g.l1_loss(out.lg, s.target_lg));
+      loss_sum += loss->value.at(0, 0);
+      g.backward(loss);
+      if (++in_batch >= batch_size || idx + 1 == order.size()) {
+        adam.step();
+        adam.zero_grad();
+        in_batch = 0;
+      }
+    }
+    stats.final_loss = loss_sum / static_cast<double>(train.size());
+  }
+
+  for (std::size_t i = 0; i < val.size(); ++i) {
+    Graph g(false);
+    const auto out =
+        model.forward(g, val_graphs[i], val[i].workload, val[i].init_seed);
+    double pe_tr = 0.0, pe_lg = 0.0;
+    for (int v = 0; v < val_graphs[i].num_nodes; ++v) {
+      pe_tr += 0.5 * (std::fabs(out.tr->value.at(v, 0) -
+                                val[i].target_tr.at(v, 0)) +
+                      std::fabs(out.tr->value.at(v, 1) -
+                                val[i].target_tr.at(v, 1)));
+      pe_lg += std::fabs(out.lg->value.at(v, 0) - val[i].target_lg.at(v, 0));
+    }
+    stats.avg_pe_tr += pe_tr / val_graphs[i].num_nodes;
+    stats.avg_pe_lg += pe_lg / val_graphs[i].num_nodes;
+  }
+  if (!val.empty()) {
+    stats.avg_pe_tr /= static_cast<double>(val.size());
+    stats.avg_pe_lg /= static_cast<double>(val.size());
+  }
+  return stats;
+}
+
+}  // namespace deepseq

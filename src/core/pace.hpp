@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/circuit_graph.hpp"
+#include "core/sample.hpp"
+#include "nn/modules.hpp"
+
+namespace deepseq {
+
+/// PACE-style parallelizable structure encoder — the direction the paper's
+/// §VI names for removing DeepSeq's main runtime bottleneck ("apply the
+/// parallelizable computation structure encoder (PACE) [33] ... and then
+/// capture the relations between nodes in a parallel manner").
+///
+/// DeepSeq's customized propagation is *levelized and sequential*: wall
+/// time grows with (logic depth) x T because each level waits for its
+/// predecessors. The PACE encoder instead runs a fixed number of masked
+/// attention layers in which EVERY node simultaneously attends to a
+/// bounded set of its ancestors (its fan-in cone through the combinational
+/// view, truncated to the nearest max_ancestors), plus a sinusoidal
+/// encoding of its logic level standing in for PACE's positional encoding.
+/// Per-inference work is O(layers x N x max_ancestors) regardless of
+/// depth, which is the claimed parallel-friendly shape; accuracy trades
+/// off against the recurrent model (see bench/pace_runtime).
+struct PaceConfig {
+  int hidden_dim = 32;
+  int layers = 3;
+  /// Attention-set cap: each node attends to itself plus at most this many
+  /// nearest ancestors (breadth-first through the comb view).
+  int max_ancestors = 24;
+  /// Width of the sinusoidal level-position encoding appended to the
+  /// one-hot gate-type feature.
+  int pos_dim = 8;
+  std::uint64_t seed = 424242;
+};
+
+/// Precomputed attention structure of one circuit: flattened (target,
+/// source) pairs with a segment map, plus node features that include the
+/// positional encoding.
+struct PaceGraph {
+  int num_nodes = 0;
+  nn::Tensor features;  // N x (4 + pos_dim)
+  std::vector<NodeId> pis;
+  std::vector<NodeId> consts;  // CONST0 nodes, pinned to 0
+  std::vector<NodeId> targets;  // nodes with at least one attention source
+  std::vector<NodeId> sources;  // flattened ancestor lists (incl. self)
+  std::vector<int> segment;     // source index -> target row
+};
+
+PaceGraph build_pace_graph(const Circuit& aig, const PaceConfig& config);
+
+class PaceEncoder {
+ public:
+  explicit PaceEncoder(const PaceConfig& config);
+
+  const PaceConfig& config() const { return config_; }
+
+  /// Node embeddings (N x hidden). PIs stay pinned to their workload rows,
+  /// matching the DeepSeq convention (§III-B).
+  nn::Var embed(nn::Graph& g, const PaceGraph& graph, const Workload& w,
+                std::uint64_t init_seed) const;
+
+  struct Output {
+    nn::Var tr;  // N x 2
+    nn::Var lg;  // N x 1
+  };
+  Output forward(nn::Graph& g, const PaceGraph& graph, const Workload& w,
+                 std::uint64_t init_seed) const;
+
+  nn::NamedParams params() const;
+
+ private:
+  PaceConfig config_;
+  std::vector<nn::Var> att_w1_, att_w2_;  // per layer
+  std::vector<nn::GruCell> gru_;          // per layer
+  nn::Mlp mlp_tr_, mlp_lg_;
+};
+
+/// Multi-task L1 fit / evaluation mirroring the DeepSeq trainer, so PACE
+/// and DeepSeq numbers are directly comparable. PaceGraphs are built once
+/// per sample internally (keyed by sample order).
+struct PaceTrainStats {
+  double final_loss = 0.0;
+  double avg_pe_tr = 0.0;
+  double avg_pe_lg = 0.0;
+};
+
+PaceTrainStats fit_pace(PaceEncoder& model,
+                        const std::vector<TrainSample>& train,
+                        const std::vector<TrainSample>& val, int epochs,
+                        float lr, int batch_size = 4);
+
+}  // namespace deepseq

@@ -1,0 +1,145 @@
+#include "core/readout.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "nn/adam.hpp"
+
+namespace deepseq {
+
+const char* pool_name(PoolKind k) {
+  switch (k) {
+    case PoolKind::kMean: return "mean";
+    case PoolKind::kMax: return "max";
+    case PoolKind::kAttention: return "attention";
+  }
+  return "?";
+}
+
+Readout::Readout(PoolKind kind, int hidden_dim, int out_dim, Rng& rng,
+                 std::string name)
+    : kind_(kind),
+      hidden_dim_(hidden_dim),
+      out_dim_(out_dim),
+      proj_(hidden_dim, out_dim, rng, name + ".proj") {
+  if (kind == PoolKind::kAttention)
+    score_ = nn::Linear(hidden_dim, 1, rng, name + ".score");
+}
+
+nn::Var Readout::apply(nn::Graph& g, const nn::Var& node_embeddings) const {
+  const int n = node_embeddings->value.rows();
+  if (node_embeddings->value.cols() != hidden_dim_)
+    throw Error("Readout::apply: embedding width mismatch");
+  const std::vector<int> all(static_cast<std::size_t>(n), 0);
+  nn::Var pooled;
+  switch (kind_) {
+    case PoolKind::kMean:
+      pooled = g.scale(g.segment_sum(node_embeddings, all, 1),
+                       1.0f / static_cast<float>(n));
+      break;
+    case PoolKind::kMax:
+      pooled = g.segment_max(node_embeddings, all, 1);
+      break;
+    case PoolKind::kAttention: {
+      const nn::Var alpha =
+          g.segment_softmax(score_.apply(g, node_embeddings), all, 1);
+      pooled = g.segment_sum(g.mul_col(node_embeddings, alpha), all, 1);
+      break;
+    }
+  }
+  // tanh keeps graph embeddings bounded and gives a linear head on top of
+  // the readout a nonlinearity over the pooled features.
+  return g.tanh_(proj_.apply(g, pooled));
+}
+
+void Readout::collect_params(nn::NamedParams& out) const {
+  if (kind_ == PoolKind::kAttention) score_.collect_params(out);
+  proj_.collect_params(out);
+}
+
+NetlistClassifier::NetlistClassifier(const DeepSeqModel& backbone,
+                                     PoolKind pool, int num_classes,
+                                     std::uint64_t seed)
+    : backbone_(backbone), num_classes_(num_classes) {
+  Rng rng(seed);
+  const int hidden = backbone.config().hidden_dim;
+  readout_ = Readout(pool, hidden, hidden, rng, "clf.readout");
+  head_ = nn::Linear(hidden, num_classes, rng, "clf.head");
+}
+
+nn::Var NetlistClassifier::logits(nn::Graph& g,
+                                  const LabelledNetlist& sample) const {
+  const nn::Var emb =
+      backbone_.embed(g, sample.graph, sample.workload, sample.init_seed);
+  return head_.apply(g, readout_.apply(g, emb));
+}
+
+int NetlistClassifier::predict(const LabelledNetlist& sample) const {
+  nn::Graph g(/*grad_enabled=*/false);
+  const nn::Var z = logits(g, sample);
+  const float* row = z->value.row(0);
+  return static_cast<int>(std::max_element(row, row + num_classes_) - row);
+}
+
+double NetlistClassifier::accuracy(
+    const std::vector<LabelledNetlist>& samples) const {
+  if (samples.empty()) return 0.0;
+  int correct = 0;
+  for (const LabelledNetlist& s : samples)
+    if (predict(s) == s.label) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(samples.size());
+}
+
+nn::NamedParams NetlistClassifier::head_params() const {
+  nn::NamedParams out;
+  readout_.collect_params(out);
+  head_.collect_params(out);
+  return out;
+}
+
+std::vector<ClassifierEpochStats> train_classifier(
+    NetlistClassifier& clf, const std::vector<LabelledNetlist>& train,
+    const ClassifierTrainOptions& options) {
+  if (train.empty()) throw Error("train_classifier: empty training set");
+  nn::AdamOptions aopt;
+  aopt.lr = options.lr;
+  nn::Adam adam(clf.head_params(), aopt);
+
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng shuffle_rng(options.shuffle_seed);
+
+  std::vector<ClassifierEpochStats> history;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double loss_sum = 0.0;
+    int correct = 0;
+    for (std::size_t i : order) {
+      const LabelledNetlist& s = train[i];
+      nn::Graph g;
+      const nn::Var z = clf.logits(g, s);
+      const float* row = z->value.row(0);
+      if (static_cast<int>(std::max_element(row, row + clf.num_classes()) -
+                           row) == s.label)
+        ++correct;
+      const nn::Var loss = g.softmax_cross_entropy(z, {s.label});
+      loss_sum += loss->value.at(0, 0);
+      adam.zero_grad();
+      g.backward(loss);
+      adam.step();
+    }
+    ClassifierEpochStats st;
+    st.epoch = epoch;
+    st.mean_loss = loss_sum / static_cast<double>(train.size());
+    st.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(train.size());
+    history.push_back(st);
+    if (options.verbose)
+      std::fprintf(stderr, "[clf] epoch %d loss %.4f acc %.3f\n", epoch,
+                   st.mean_loss, st.train_accuracy);
+  }
+  return history;
+}
+
+}  // namespace deepseq

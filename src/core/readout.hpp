@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/sample.hpp"
+#include "nn/modules.hpp"
+
+namespace deepseq {
+
+/// How node embeddings are pooled into one graph-level vector.
+enum class PoolKind {
+  kMean,      // average of node embeddings
+  kMax,       // columnwise max
+  kAttention  // learned per-node scores, softmax-weighted sum
+};
+
+const char* pool_name(PoolKind k);
+
+/// Graph-level readout (Eq. 2 of the paper): pools per-node embeddings
+/// (N x hidden) into a single netlist embedding (1 x out_dim). This
+/// implements the paper's §VI future-work direction of embedding netlists
+/// at (sub)circuit level, in the style of FGNN [9]: the pooled vector is a
+/// functionality/structure summary of the whole netlist.
+class Readout {
+ public:
+  Readout() = default;
+  Readout(PoolKind kind, int hidden_dim, int out_dim, Rng& rng,
+          std::string name = "readout");
+
+  PoolKind kind() const { return kind_; }
+  int out_dim() const { return out_dim_; }
+
+  /// node_embeddings is N x hidden (the h_v^T of DeepSeqModel::embed).
+  nn::Var apply(nn::Graph& g, const nn::Var& node_embeddings) const;
+
+  void collect_params(nn::NamedParams& out) const;
+
+ private:
+  PoolKind kind_ = PoolKind::kMean;
+  int hidden_dim_ = 0, out_dim_ = 0;
+  nn::Linear score_;  // attention pooling: per-node scalar score
+  nn::Linear proj_;   // pooled vector -> out_dim
+};
+
+/// A labelled instance for netlist classification: a pre-built circuit
+/// graph, a workload to condition the embeddings on, and a class id (e.g.
+/// which benchmark family generated the netlist).
+struct LabelledNetlist {
+  std::string name;
+  CircuitGraph graph;
+  Workload workload;
+  std::uint64_t init_seed = 1;
+  int label = 0;
+};
+
+/// Netlist-family classifier on top of a frozen pre-trained DeepSeq
+/// backbone: graph-level readout + linear head trained with softmax
+/// cross-entropy. Demonstrates that the pre-trained node embeddings carry
+/// enough structural signal to separate circuit families — the FGNN-style
+/// netlist-classification downstream task of [9], here driven by DeepSeq
+/// embeddings.
+class NetlistClassifier {
+ public:
+  NetlistClassifier(const DeepSeqModel& backbone, PoolKind pool,
+                    int num_classes, std::uint64_t seed);
+
+  int num_classes() const { return num_classes_; }
+
+  /// Class logits (1 x num_classes) for one netlist.
+  nn::Var logits(nn::Graph& g, const LabelledNetlist& sample) const;
+
+  /// Argmax class for one netlist (inference mode).
+  int predict(const LabelledNetlist& sample) const;
+
+  /// Fraction of correctly classified samples (inference mode).
+  double accuracy(const std::vector<LabelledNetlist>& samples) const;
+
+  /// Trainable parameters (readout + head); the backbone stays frozen.
+  nn::NamedParams head_params() const;
+
+ private:
+  const DeepSeqModel& backbone_;
+  int num_classes_ = 0;
+  Readout readout_;
+  nn::Linear head_;
+};
+
+struct ClassifierTrainOptions {
+  int epochs = 30;
+  float lr = 1e-3f;
+  std::uint64_t shuffle_seed = 17;
+  bool verbose = false;
+};
+
+struct ClassifierEpochStats {
+  int epoch = 0;
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+/// Train the classifier head (backbone frozen) with Adam on softmax
+/// cross-entropy; returns per-epoch loss/accuracy.
+std::vector<ClassifierEpochStats> train_classifier(
+    NetlistClassifier& clf, const std::vector<LabelledNetlist>& train,
+    const ClassifierTrainOptions& options);
+
+}  // namespace deepseq

@@ -1,0 +1,36 @@
+#include "core/sample.hpp"
+
+namespace deepseq {
+
+TrainSample make_sample_from_activity(std::string name,
+                                      std::shared_ptr<const Circuit> aig,
+                                      Workload workload,
+                                      const NodeActivity& activity,
+                                      std::uint64_t init_seed) {
+  TrainSample s;
+  s.name = std::move(name);
+  s.circuit = std::move(aig);
+  s.graph = build_circuit_graph(*s.circuit);
+  s.workload = std::move(workload);
+  s.init_seed = init_seed;
+  const int n = s.graph.num_nodes;
+  s.target_tr = nn::Tensor(n, 2);
+  s.target_lg = nn::Tensor(n, 1);
+  for (int v = 0; v < n; ++v) {
+    s.target_tr.at(v, 0) = static_cast<float>(activity.tr01[v]);
+    s.target_tr.at(v, 1) = static_cast<float>(activity.tr10[v]);
+    s.target_lg.at(v, 0) = static_cast<float>(activity.logic1[v]);
+  }
+  return s;
+}
+
+TrainSample make_sample(std::string name, Circuit aig, Workload workload,
+                        const ActivityOptions& sim_opt,
+                        std::uint64_t init_seed) {
+  auto circuit = std::make_shared<const Circuit>(std::move(aig));
+  const NodeActivity act = collect_activity(*circuit, workload, sim_opt);
+  return make_sample_from_activity(std::move(name), std::move(circuit),
+                                   std::move(workload), act, init_seed);
+}
+
+}  // namespace deepseq

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/circuit_graph.hpp"
+#include "nn/tensor.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace deepseq {
+
+/// One supervised training/evaluation instance: a strict sequential AIG, a
+/// workload, and the simulated per-node ground truth of the two tasks
+/// (paper §III-A): target_tr columns are [P(0->1), P(1->0)], target_lg is
+/// P(node = 1).
+struct TrainSample {
+  std::string name;
+  std::shared_ptr<const Circuit> circuit;
+  CircuitGraph graph;
+  Workload workload;
+  std::uint64_t init_seed = 1;
+  nn::Tensor target_tr;  // N x 2
+  nn::Tensor target_lg;  // N x 1
+};
+
+/// Simulate `workload` on `aig` and package circuit + labels.
+TrainSample make_sample(std::string name, Circuit aig, Workload workload,
+                        const ActivityOptions& sim_opt, std::uint64_t init_seed);
+
+/// Package with precomputed activity (when the caller already simulated).
+TrainSample make_sample_from_activity(std::string name,
+                                      std::shared_ptr<const Circuit> aig,
+                                      Workload workload,
+                                      const NodeActivity& activity,
+                                      std::uint64_t init_seed);
+
+}  // namespace deepseq

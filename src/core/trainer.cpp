@@ -1,0 +1,119 @@
+#include "core/trainer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace deepseq {
+
+using nn::Graph;
+using nn::Tensor;
+using nn::Var;
+
+namespace {
+
+double mean_abs_error(const Tensor& pred, const Tensor& target) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    acc += std::fabs(pred.data()[i] - target.data()[i]);
+  return pred.size() ? acc / static_cast<double>(pred.size()) : 0.0;
+}
+
+}  // namespace
+
+Tensor balanced_tr_weights(const Tensor& target_tr) {
+  constexpr float kEps = 0.005f;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < target_tr.size(); ++i)
+    if (target_tr.data()[i] > kEps) ++active;
+  const std::size_t total = target_tr.size();
+  const std::size_t still = total - active;
+  Tensor w(target_tr.rows(), target_tr.cols());
+  if (active == 0 || still == 0) {
+    w.fill(1.0f);
+    return w;
+  }
+  const float w_active = static_cast<float>(still);
+  const float w_static = static_cast<float>(active);
+  for (std::size_t i = 0; i < total; ++i)
+    w.data()[i] = target_tr.data()[i] > kEps ? w_active : w_static;
+  return w;
+}
+
+Trainer::Trainer(DeepSeqModel& model, const TrainOptions& options)
+    : model_(model),
+      options_(options),
+      adam_(model.params(),
+            nn::AdamOptions{options.lr, 0.9f, 0.999f, 1e-8f, options.grad_clip}) {}
+
+std::vector<EpochStats> Trainer::fit(const std::vector<TrainSample>& train,
+                                     const std::vector<TrainSample>* val) {
+  std::vector<EpochStats> history;
+  Rng shuffle_rng(options_.shuffle_seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double loss_sum = 0.0;
+    int in_batch = 0;
+    adam_.zero_grad();
+    for (std::size_t idx = 0; idx < order.size(); ++idx) {
+      const TrainSample& s = train[order[idx]];
+      Graph g(true);
+      const auto out = model_.forward(g, s.graph, s.workload, s.init_seed);
+      const Var tr_loss =
+          options_.balance_tr
+              ? g.l1_loss_weighted(out.tr, s.target_tr,
+                                   balanced_tr_weights(s.target_tr))
+              : g.l1_loss(out.tr, s.target_tr);
+      const Var loss = g.add(g.scale(tr_loss, options_.weight_tr),
+                             g.scale(g.l1_loss(out.lg, s.target_lg),
+                                     options_.weight_lg));
+      loss_sum += loss->value.at(0, 0);
+      g.backward(loss);
+      if (++in_batch >= options_.batch_size || idx + 1 == order.size()) {
+        adam_.step();
+        adam_.zero_grad();
+        in_batch = 0;
+      }
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = train.empty() ? 0.0 : loss_sum / static_cast<double>(train.size());
+    if (val != nullptr) stats.val = evaluate(model_, *val);
+    if (options_.verbose) {
+      std::printf("  epoch %3d  loss %.4f", epoch, stats.mean_loss);
+      if (val != nullptr)
+        std::printf("  val PE(TR) %.4f  PE(LG) %.4f", stats.val.avg_pe_tr,
+                    stats.val.avg_pe_lg);
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+    history.push_back(stats);
+  }
+  return history;
+}
+
+Predictions predict(const DeepSeqModel& model, const TrainSample& sample) {
+  Graph g(false);
+  const auto out = model.forward(g, sample.graph, sample.workload, sample.init_seed);
+  return Predictions{out.tr->value, out.lg->value};
+}
+
+EvalMetrics evaluate(const DeepSeqModel& model,
+                     const std::vector<TrainSample>& samples) {
+  EvalMetrics m;
+  if (samples.empty()) return m;
+  for (const auto& s : samples) {
+    const Predictions p = predict(model, s);
+    m.avg_pe_tr += mean_abs_error(p.tr, s.target_tr);
+    m.avg_pe_lg += mean_abs_error(p.lg, s.target_lg);
+  }
+  m.avg_pe_tr /= static_cast<double>(samples.size());
+  m.avg_pe_lg /= static_cast<double>(samples.size());
+  return m;
+}
+
+}  // namespace deepseq

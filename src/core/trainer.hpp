@@ -1,0 +1,78 @@
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/sample.hpp"
+#include "nn/adam.hpp"
+
+namespace deepseq {
+
+/// Average prediction error (Eq. 9) per task: mean over circuits of the
+/// mean absolute node-level error.
+struct EvalMetrics {
+  double avg_pe_tr = 0.0;
+  double avg_pe_lg = 0.0;
+};
+
+struct TrainOptions {
+  int epochs = 50;            // paper §IV-A3
+  float lr = 1e-4f;           // paper §IV-A3
+  int batch_size = 16;        // gradient accumulation over circuits
+  float grad_clip = 5.0f;     // global-norm clip (stability on deep unrolls)
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+  /// Per-task loss weights: L = weight_tr * L_TR + weight_lg * L_LG. The
+  /// paper uses the unweighted sum (Eq. 3); setting one weight to zero
+  /// gives the single-task ablation.
+  float weight_tr = 1.0f;
+  float weight_lg = 1.0f;
+  /// Class-balanced transition loss: weight active (toggling) and static
+  /// nodes equally instead of per-node. Plain L1 drives an
+  /// under-discriminating model to the per-node *median* target, which is
+  /// ~0 on low-activity circuits (paper §V-A1: ~70% static gates) and
+  /// collapses power estimates; balancing keeps the objective informative
+  /// at reduced fine-tuning budgets. Off by default (the paper's Eq. 3).
+  bool balance_tr = false;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double mean_loss = 0.0;
+  EvalMetrics val;  // filled when a validation set is supplied
+};
+
+/// Weight tensor for the class-balanced TR loss (TrainOptions::balance_tr):
+/// entries whose target toggles (> 0.005) and entries that are static get
+/// equal total mass; uniform when either class is empty.
+nn::Tensor balanced_tr_weights(const nn::Tensor& target_tr);
+
+/// Multi-task trainer minimizing L = L_TR + L_LG (Eq. 3) with ADAM.
+class Trainer {
+ public:
+  Trainer(DeepSeqModel& model, const TrainOptions& options);
+
+  /// Train on `train`; when `val` is non-null, evaluates after each epoch.
+  std::vector<EpochStats> fit(const std::vector<TrainSample>& train,
+                              const std::vector<TrainSample>* val = nullptr);
+
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  DeepSeqModel& model_;
+  TrainOptions options_;
+  nn::Adam adam_;
+};
+
+/// Average prediction error of `model` over `samples` (inference mode).
+EvalMetrics evaluate(const DeepSeqModel& model,
+                     const std::vector<TrainSample>& samples);
+
+/// Per-node predictions for one sample (inference mode).
+struct Predictions {
+  nn::Tensor tr;  // N x 2
+  nn::Tensor lg;  // N x 1
+};
+Predictions predict(const DeepSeqModel& model, const TrainSample& sample);
+
+}  // namespace deepseq

@@ -1,0 +1,210 @@
+#include "dataset/blocks.hpp"
+
+#include "common/error.hpp"
+
+namespace deepseq::blocks {
+
+std::vector<NodeId> counter(Circuit& c, int bits, NodeId enable,
+                            const std::string& prefix) {
+  if (bits < 1) throw Error("counter: bits must be >= 1");
+  std::vector<NodeId> state;
+  for (int i = 0; i < bits; ++i)
+    state.push_back(c.add_ff(kNullNode, prefix + "_q" + std::to_string(i)));
+  // carry chain: bit i toggles when all lower bits are 1 (and enabled).
+  NodeId carry = enable;
+  for (int i = 0; i < bits; ++i) {
+    const NodeId toggled =
+        c.add_gate(GateType::kXor, {state[i], carry}, prefix + "_t" + std::to_string(i));
+    c.set_fanin(state[i], 0, toggled);
+    if (i + 1 < bits)
+      carry = c.add_and(carry, state[i], prefix + "_c" + std::to_string(i));
+  }
+  return state;
+}
+
+std::vector<NodeId> shift_register(Circuit& c, NodeId in, int depth,
+                                   NodeId enable, const std::string& prefix) {
+  if (depth < 1) throw Error("shift_register: depth must be >= 1");
+  std::vector<NodeId> stages;
+  NodeId prev = in;
+  for (int i = 0; i < depth; ++i) {
+    const NodeId ff = c.add_ff(kNullNode, prefix + "_s" + std::to_string(i));
+    // hold when disabled: D = enable ? prev : ff
+    const NodeId d = c.add_gate(GateType::kMux, {enable, prev, ff},
+                                prefix + "_d" + std::to_string(i));
+    c.set_fanin(ff, 0, d);
+    stages.push_back(ff);
+    prev = ff;
+  }
+  return stages;
+}
+
+std::vector<NodeId> lfsr(Circuit& c, int bits, const std::string& prefix) {
+  if (bits < 2) throw Error("lfsr: bits must be >= 2");
+  std::vector<NodeId> state;
+  for (int i = 0; i < bits; ++i)
+    state.push_back(c.add_ff(kNullNode, prefix + "_q" + std::to_string(i)));
+  // Feedback = parity of the last two taps, inverted so the all-zero reset
+  // state is not absorbing (XNOR-form LFSR).
+  const NodeId fb = c.add_gate(GateType::kXnor, {state[bits - 1], state[bits - 2]},
+                               prefix + "_fb");
+  c.set_fanin(state[0], 0, fb);
+  for (int i = 1; i < bits; ++i) c.set_fanin(state[i], 0, state[i - 1]);
+  return state;
+}
+
+NodeId mux_tree(Circuit& c, const std::vector<NodeId>& data,
+                const std::vector<NodeId>& sel, const std::string& prefix) {
+  if (data.size() != (1ULL << sel.size()))
+    throw Error("mux_tree: data size must be 2^sel size");
+  std::vector<NodeId> layer = data;
+  for (std::size_t s = 0; s < sel.size(); ++s) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < layer.size(); i += 2) {
+      next.push_back(c.add_gate(
+          GateType::kMux, {sel[s], layer[i + 1], layer[i]},
+          prefix + "_m" + std::to_string(s) + "_" + std::to_string(i / 2)));
+    }
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+std::vector<NodeId> ripple_adder(Circuit& c, const std::vector<NodeId>& a,
+                                 const std::vector<NodeId>& b,
+                                 const std::string& prefix) {
+  if (a.size() != b.size() || a.empty())
+    throw Error("ripple_adder: operand width mismatch");
+  std::vector<NodeId> sum;
+  NodeId carry = kNullNode;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::string k = std::to_string(i);
+    const NodeId axb = c.add_gate(GateType::kXor, {a[i], b[i]}, prefix + "_x" + k);
+    if (carry == kNullNode) {
+      sum.push_back(axb);
+      carry = c.add_and(a[i], b[i], prefix + "_c" + k);
+    } else {
+      sum.push_back(c.add_gate(GateType::kXor, {axb, carry}, prefix + "_s" + k));
+      const NodeId t1 = c.add_and(a[i], b[i], prefix + "_g" + k);
+      const NodeId t2 = c.add_and(axb, carry, prefix + "_p" + k);
+      carry = c.add_gate(GateType::kOr, {t1, t2}, prefix + "_co" + k);
+    }
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+NodeId parity(Circuit& c, const std::vector<NodeId>& in,
+              const std::string& prefix) {
+  if (in.empty()) throw Error("parity: empty input");
+  std::vector<NodeId> layer = in;
+  int level = 0;
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(c.add_gate(
+          GateType::kXor, {layer[i], layer[i + 1]},
+          prefix + "_p" + std::to_string(level) + "_" + std::to_string(i / 2)));
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+    ++level;
+  }
+  return layer[0];
+}
+
+NodeId equal(Circuit& c, const std::vector<NodeId>& a,
+             const std::vector<NodeId>& b, const std::string& prefix) {
+  if (a.size() != b.size() || a.empty()) throw Error("equal: width mismatch");
+  std::vector<NodeId> bits;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    bits.push_back(c.add_gate(GateType::kXnor, {a[i], b[i]},
+                              prefix + "_e" + std::to_string(i)));
+  // AND-reduce.
+  std::vector<NodeId> layer = bits;
+  int level = 0;
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(c.add_and(
+          layer[i], layer[i + 1],
+          prefix + "_a" + std::to_string(level) + "_" + std::to_string(i / 2)));
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+    ++level;
+  }
+  return layer[0];
+}
+
+std::vector<NodeId> random_fsm(Circuit& c, int state_bits,
+                               const std::vector<NodeId>& inputs, Rng& rng,
+                               const std::string& prefix) {
+  if (state_bits < 1) throw Error("random_fsm: state_bits must be >= 1");
+  std::vector<NodeId> state;
+  for (int i = 0; i < state_bits; ++i)
+    state.push_back(c.add_ff(kNullNode, prefix + "_q" + std::to_string(i)));
+
+  std::vector<NodeId> signals = state;
+  signals.insert(signals.end(), inputs.begin(), inputs.end());
+  for (int i = 0; i < state_bits; ++i) {
+    // Next-state bit: random 2-level logic over state + inputs.
+    std::vector<NodeId> terms;
+    const int num_terms = static_cast<int>(rng.uniform_int(2, 3));
+    for (int t = 0; t < num_terms; ++t) {
+      NodeId x = signals[rng.uniform_index(signals.size())];
+      NodeId y = signals[rng.uniform_index(signals.size())];
+      if (x == y) y = signals[(rng.uniform_index(signals.size()) + 1) % signals.size()];
+      if (rng.bernoulli(0.4))
+        x = c.add_not(x, prefix + "_n" + std::to_string(i) + "_" + std::to_string(t));
+      terms.push_back(c.add_and(x, y,
+                                prefix + "_t" + std::to_string(i) + "_" + std::to_string(t)));
+    }
+    NodeId next = terms[0];
+    for (std::size_t t = 1; t < terms.size(); ++t)
+      next = c.add_gate(GateType::kOr, {next, terms[t]},
+                        prefix + "_o" + std::to_string(i) + "_" + std::to_string(t));
+    c.set_fanin(state[i], 0, next);
+  }
+  return state;
+}
+
+std::vector<NodeId> arbiter(Circuit& c, const std::vector<NodeId>& req,
+                            const std::string& prefix) {
+  if (req.empty()) throw Error("arbiter: no requesters");
+  // Fixed-priority core with a registered "last grant" mask for fairness.
+  std::vector<NodeId> grants;
+  NodeId blocked = kNullNode;  // OR of higher-priority requests
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    const std::string k = std::to_string(i);
+    NodeId g;
+    if (blocked == kNullNode) {
+      g = c.add_gate(GateType::kBuf, {req[i]}, prefix + "_g" + k);
+      blocked = req[i];
+    } else {
+      const NodeId nb = c.add_not(blocked, prefix + "_nb" + k);
+      g = c.add_and(req[i], nb, prefix + "_g" + k);
+      blocked = c.add_gate(GateType::kOr, {blocked, req[i]}, prefix + "_b" + k);
+    }
+    // Register the grant (pipeline stage).
+    const NodeId ff = c.add_ff(g, prefix + "_r" + k);
+    grants.push_back(ff);
+  }
+  return grants;
+}
+
+std::vector<NodeId> gated_register_bank(Circuit& c,
+                                        const std::vector<NodeId>& data,
+                                        NodeId enable,
+                                        const std::string& prefix) {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::string k = std::to_string(i);
+    const NodeId ff = c.add_ff(kNullNode, prefix + "_q" + k);
+    const NodeId d = c.add_gate(GateType::kMux, {enable, data[i], ff},
+                                prefix + "_d" + k);
+    c.set_fanin(ff, 0, d);
+    out.push_back(ff);
+  }
+  return out;
+}
+
+}  // namespace deepseq::blocks

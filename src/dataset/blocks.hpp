@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netlist/circuit.hpp"
+
+namespace deepseq::blocks {
+
+/// Structural generators for realistic design blocks. All append gates into
+/// an existing Circuit and return the block's output nodes. They are the
+/// building material of the six named test designs of Table IV (counters,
+/// FIFOs/shift registers, FSMs, datapath slices, arbiters — the contents of
+/// a NoC router, a PLL divider chain, a PWM/timer core, an RTC, an audio
+/// controller and a memory controller, at netlist granularity).
+
+/// `bits`-bit synchronous up-counter with enable; returns the state bits.
+std::vector<NodeId> counter(Circuit& c, int bits, NodeId enable,
+                            const std::string& prefix);
+
+/// Shift register of `depth` stages with enable (a FIFO data lane).
+std::vector<NodeId> shift_register(Circuit& c, NodeId in, int depth,
+                                   NodeId enable, const std::string& prefix);
+
+/// Fibonacci LFSR (pseudo-random source / scrambler); returns state bits.
+std::vector<NodeId> lfsr(Circuit& c, int bits, const std::string& prefix);
+
+/// Balanced mux tree selecting one of `data` by `sel` (LSB first).
+/// data.size() must be 2^sel.size().
+NodeId mux_tree(Circuit& c, const std::vector<NodeId>& data,
+                const std::vector<NodeId>& sel, const std::string& prefix);
+
+/// Ripple-carry adder; returns sum bits (carry-out last).
+std::vector<NodeId> ripple_adder(Circuit& c, const std::vector<NodeId>& a,
+                                 const std::vector<NodeId>& b,
+                                 const std::string& prefix);
+
+/// XOR-reduction parity of `in`.
+NodeId parity(Circuit& c, const std::vector<NodeId>& in,
+              const std::string& prefix);
+
+/// Equality comparator a == b.
+NodeId equal(Circuit& c, const std::vector<NodeId>& a,
+             const std::vector<NodeId>& b, const std::string& prefix);
+
+/// Moore FSM with `state_bits` registers and random next-state logic driven
+/// by `inputs`; returns the state bits.
+std::vector<NodeId> random_fsm(Circuit& c, int state_bits,
+                               const std::vector<NodeId>& inputs, Rng& rng,
+                               const std::string& prefix);
+
+/// Round-robin-ish arbiter: grants[i] = req[i] & ~(higher-priority req),
+/// priority rotated by a small counter; returns grant bits.
+std::vector<NodeId> arbiter(Circuit& c, const std::vector<NodeId>& req,
+                            const std::string& prefix);
+
+/// Clock-gate emulation: AND every signal in `data` with `enable` into
+/// registered copies (the low-power structure behind the paper's ~70%
+/// static-gate observation under real workloads).
+std::vector<NodeId> gated_register_bank(Circuit& c,
+                                        const std::vector<NodeId>& data,
+                                        NodeId enable,
+                                        const std::string& prefix);
+
+}  // namespace deepseq::blocks

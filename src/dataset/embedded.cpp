@@ -1,0 +1,42 @@
+#include "dataset/embedded.hpp"
+
+#include "dataset/blocks.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace deepseq {
+
+Circuit iscas89_s27() {
+  static const char* kS27 = R"(# ISCAS'89 s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+  return parse_bench_string(kS27, "s27");
+}
+
+Circuit counter4() {
+  Circuit c("counter4");
+  const NodeId en = c.add_pi("en");
+  const auto q = blocks::counter(c, 4, en, "cnt");
+  for (std::size_t i = 0; i < q.size(); ++i)
+    c.add_po(q[i], "q" + std::to_string(i));
+  c.validate();
+  return c;
+}
+
+}  // namespace deepseq

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "netlist/circuit.hpp"
+
+namespace deepseq {
+
+/// Embedded real reference netlists used by tests and examples.
+
+/// ISCAS'89 s27: the canonical 4-input, 3-FF, 1-output sequential
+/// benchmark. Small enough for exhaustive verification of the simulator and
+/// probability estimators.
+Circuit iscas89_s27();
+
+/// A 4-bit synchronous counter with enable, as a generic-gate netlist
+/// (exercise for AIG decomposition + sequential behaviour with known
+/// closed-form toggle rates: bit k toggles at rate en/2^k).
+Circuit counter4();
+
+}  // namespace deepseq

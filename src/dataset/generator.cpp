@@ -1,0 +1,142 @@
+#include "dataset/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepseq {
+
+namespace {
+
+GateType pick_gate_type(const GeneratorSpec& spec, Rng& rng) {
+  double total = 0.0;
+  for (double w : spec.gate_weights) total += w;
+  if (total <= 0.0) throw Error("generate_circuit: all gate weights zero");
+  double x = rng.uniform(0.0, total);
+  for (int t = 0; t < kNumGateTypes; ++t) {
+    x -= spec.gate_weights[t];
+    if (x < 0.0) return static_cast<GateType>(t);
+  }
+  return GateType::kAnd;
+}
+
+/// Locality-biased pick from `pool`: indexes near the end (recent nodes)
+/// are exponentially more likely, giving the netlist realistic depth.
+NodeId pick_fanin(const std::vector<NodeId>& pool, double locality, Rng& rng) {
+  const auto n = static_cast<double>(pool.size());
+  double u = rng.uniform();
+  if (u <= 1e-12) u = 1e-12;
+  const double back = -std::log(u) * locality;
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(n - 1.0 - back, 0.0, n - 1.0));
+  return pool[idx];
+}
+
+}  // namespace
+
+Circuit generate_circuit(const GeneratorSpec& spec, Rng& rng) {
+  if (spec.num_pis < 1) throw Error("generate_circuit: need at least one PI");
+  Circuit c(spec.name);
+
+  std::vector<NodeId> pool;
+  for (int i = 0; i < spec.num_pis; ++i)
+    pool.push_back(c.add_pi("pi" + std::to_string(i)));
+  std::vector<NodeId> ffs;
+  for (int i = 0; i < spec.num_ffs; ++i) {
+    const NodeId ff = c.add_ff(kNullNode, "ff" + std::to_string(i));
+    ffs.push_back(ff);
+    pool.push_back(ff);
+  }
+
+  std::vector<NodeId> gates;
+  for (int i = 0; i < spec.num_gates; ++i) {
+    GateType t = pick_gate_type(spec, rng);
+    const int arity = gate_arity(t);
+    std::vector<NodeId> fanins;
+    for (int k = 0; k < arity; ++k) {
+      NodeId f = pick_fanin(pool, spec.locality, rng);
+      // Distinct fanins: identical inputs make XOR/XNOR degenerate to
+      // constants, which the AIG optimizer would then fold away.
+      int guard = 0;
+      while (std::find(fanins.begin(), fanins.end(), f) != fanins.end() &&
+             guard++ < 16)
+        f = pick_fanin(pool, spec.locality, rng);
+      if (std::find(fanins.begin(), fanins.end(), f) != fanins.end()) {
+        t = GateType::kNot;  // give up: unary gate cannot repeat fanins
+        fanins.resize(0);
+        fanins.push_back(f);
+        break;
+      }
+      fanins.push_back(f);
+    }
+    if (static_cast<int>(fanins.size()) != gate_arity(t)) fanins.resize(gate_arity(t));
+    const NodeId g = c.add_gate(t, fanins, "g" + std::to_string(i));
+    gates.push_back(g);
+    pool.push_back(g);
+  }
+
+  // Close FF feedback loops: D inputs from late (deep) gates.
+  for (NodeId ff : ffs) {
+    const NodeId d = gates.empty() ? pool[rng.uniform_index(pool.size())]
+                                   : pick_fanin(gates, spec.locality, rng);
+    c.set_fanin(ff, 0, d);
+  }
+
+  // POs: every sink (no fanout), plus a sprinkling of internal probes.
+  const auto fanouts = c.fanouts();
+  int po_idx = 0;
+  for (NodeId g : gates)
+    if (fanouts[g].empty())
+      c.add_po(g, "po" + std::to_string(po_idx++));
+  for (NodeId g : gates) {
+    if (!fanouts[g].empty() && rng.bernoulli(spec.extra_po_fraction))
+      c.add_po(g, "po" + std::to_string(po_idx++));
+  }
+  if (c.pos().empty() && !gates.empty()) c.add_po(gates.back(), "po0");
+
+  c.validate();
+  return c;
+}
+
+GeneratorSpec iscas89_like_spec(Rng& rng) {
+  // ISCAS'89 subcircuits: smallest family (Table I: 148.9 +/- 87.6 nodes),
+  // control-dominated (heavier NAND/NOR mix).
+  GeneratorSpec s;
+  s.name = "iscas89";
+  s.num_pis = static_cast<int>(rng.uniform_int(4, 14));
+  s.num_ffs = static_cast<int>(rng.uniform_int(4, 18));
+  s.num_gates = static_cast<int>(rng.uniform_int(60, 240));
+  s.locality = rng.uniform(10.0, 30.0);
+  s.gate_weights[static_cast<int>(GateType::kNand)] = 4;
+  s.gate_weights[static_cast<int>(GateType::kNor)] = 3;
+  s.gate_weights[static_cast<int>(GateType::kMux)] = 0.5;
+  return s;
+}
+
+GeneratorSpec itc99_like_spec(Rng& rng) {
+  // ITC'99 subcircuits: largest family (272.6 +/- 108.3), datapath-heavy
+  // (more XOR/MUX from RTL synthesis).
+  GeneratorSpec s;
+  s.name = "itc99";
+  s.num_pis = static_cast<int>(rng.uniform_int(6, 20));
+  s.num_ffs = static_cast<int>(rng.uniform_int(8, 32));
+  s.num_gates = static_cast<int>(rng.uniform_int(140, 420));
+  s.locality = rng.uniform(16.0, 48.0);
+  s.gate_weights[static_cast<int>(GateType::kXor)] = 2;
+  s.gate_weights[static_cast<int>(GateType::kMux)] = 2;
+  return s;
+}
+
+GeneratorSpec opencores_like_spec(Rng& rng) {
+  // OpenCores subcircuits: mid-size (211.4 +/- 81.4), balanced mix.
+  GeneratorSpec s;
+  s.name = "opencores";
+  s.num_pis = static_cast<int>(rng.uniform_int(5, 16));
+  s.num_ffs = static_cast<int>(rng.uniform_int(6, 26));
+  s.num_gates = static_cast<int>(rng.uniform_int(110, 320));
+  s.locality = rng.uniform(12.0, 40.0);
+  return s;
+}
+
+}  // namespace deepseq

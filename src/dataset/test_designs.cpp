@@ -1,0 +1,211 @@
+#include "dataset/test_designs.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dataset/blocks.hpp"
+
+namespace deepseq {
+
+namespace {
+
+/// Shared scaffolding for the per-design recipes: a circuit under
+/// construction, the pool of reusable signals, and gating enables that the
+/// low-activity workloads will pin — producing the paper's ~70% static
+/// gates under realistic stimuli.
+struct DesignBuilder {
+  Circuit c;
+  Rng rng;
+  std::vector<NodeId> signals;
+  std::vector<NodeId> enables;
+  int block_id = 0;
+
+  DesignBuilder(const std::string& name, std::uint64_t seed)
+      : c(name), rng(seed) {}
+
+  std::string tag(const char* kind) {
+    return std::string(kind) + std::to_string(block_id++);
+  }
+
+  NodeId sig() { return signals[rng.uniform_index(signals.size())]; }
+  NodeId enable() { return enables[rng.uniform_index(enables.size())]; }
+
+  std::vector<NodeId> sigs(int n) {
+    std::vector<NodeId> out;
+    out.reserve(n);
+    for (int i = 0; i < n; ++i) out.push_back(sig());
+    return out;
+  }
+
+  void absorb(const std::vector<NodeId>& outs) {
+    signals.insert(signals.end(), outs.begin(), outs.end());
+  }
+
+  void make_ios(int data_pis, int enable_pis) {
+    for (int i = 0; i < data_pis; ++i)
+      signals.push_back(c.add_pi("in" + std::to_string(i)));
+    for (int i = 0; i < enable_pis; ++i) {
+      const NodeId e = c.add_pi("en" + std::to_string(i));
+      enables.push_back(e);
+      signals.push_back(e);
+    }
+  }
+
+  void finish() {
+    const auto fanouts = c.fanouts();
+    int po = 0;
+    for (NodeId v = 0; v < c.num_nodes(); ++v) {
+      if (c.type(v) == GateType::kPi) continue;
+      if (fanouts[v].empty()) c.add_po(v, "po" + std::to_string(po++));
+    }
+    if (c.pos().empty()) c.add_po(static_cast<NodeId>(c.num_nodes() - 1), "po0");
+    c.validate();
+  }
+};
+
+using BlockFn = std::function<void(DesignBuilder&)>;
+
+void add_counter(DesignBuilder& b, int min_bits, int max_bits) {
+  const int bits = static_cast<int>(b.rng.uniform_int(min_bits, max_bits));
+  b.absorb(blocks::counter(b.c, bits, b.enable(), b.tag("cnt")));
+}
+void add_shift(DesignBuilder& b, int min_d, int max_d) {
+  const int depth = static_cast<int>(b.rng.uniform_int(min_d, max_d));
+  b.absorb(blocks::shift_register(b.c, b.sig(), depth, b.enable(), b.tag("sr")));
+}
+void add_lfsr(DesignBuilder& b) {
+  b.absorb(blocks::lfsr(b.c, static_cast<int>(b.rng.uniform_int(4, 12)), b.tag("lfsr")));
+}
+void add_mux_tree(DesignBuilder& b) {
+  const int sel_bits = static_cast<int>(b.rng.uniform_int(2, 4));
+  b.signals.push_back(blocks::mux_tree(b.c, b.sigs(1 << sel_bits),
+                                       b.sigs(sel_bits), b.tag("mx")));
+}
+void add_adder(DesignBuilder& b, int min_w, int max_w) {
+  const int w = static_cast<int>(b.rng.uniform_int(min_w, max_w));
+  b.absorb(blocks::ripple_adder(b.c, b.sigs(w), b.sigs(w), b.tag("add")));
+}
+void add_parity(DesignBuilder& b) {
+  b.signals.push_back(
+      blocks::parity(b.c, b.sigs(static_cast<int>(b.rng.uniform_int(4, 12))), b.tag("par")));
+}
+void add_equal(DesignBuilder& b, int min_w, int max_w) {
+  const int w = static_cast<int>(b.rng.uniform_int(min_w, max_w));
+  b.signals.push_back(blocks::equal(b.c, b.sigs(w), b.sigs(w), b.tag("eq")));
+}
+void add_fsm(DesignBuilder& b) {
+  const int bits = static_cast<int>(b.rng.uniform_int(2, 5));
+  b.absorb(blocks::random_fsm(b.c, bits, b.sigs(4), b.rng, b.tag("fsm")));
+}
+void add_arbiter(DesignBuilder& b) {
+  const int n = static_cast<int>(b.rng.uniform_int(3, 6));
+  b.absorb(blocks::arbiter(b.c, b.sigs(n), b.tag("arb")));
+}
+void add_gated_bank(DesignBuilder& b) {
+  const int w = static_cast<int>(b.rng.uniform_int(4, 16));
+  b.absorb(blocks::gated_register_bank(b.c, b.sigs(w), b.enable(), b.tag("bank")));
+}
+
+struct Recipe {
+  std::string description;
+  int paper_nodes;
+  int data_pis, enable_pis;
+  std::vector<std::pair<double, BlockFn>> menu;  // weight, builder
+};
+
+Recipe recipe_for(const std::string& name) {
+  using namespace std::placeholders;
+  if (name == "noc_router")
+    return {"Network-on-Chip router", 5246, 20, 6,
+            {{3, [](DesignBuilder& b) { add_arbiter(b); }},
+             {3, [](DesignBuilder& b) { add_mux_tree(b); }},
+             {3, [](DesignBuilder& b) { add_shift(b, 4, 12); }},
+             {2, [](DesignBuilder& b) { add_equal(b, 4, 8); }},
+             {1, [](DesignBuilder& b) { add_fsm(b); }},
+             {1, [](DesignBuilder& b) { add_gated_bank(b); }}}};
+  if (name == "pll")
+    return {"Phase locked loop", 18208, 12, 8,
+            {{4, [](DesignBuilder& b) { add_counter(b, 6, 16); }},
+             {3, [](DesignBuilder& b) { add_adder(b, 8, 16); }},
+             {2, [](DesignBuilder& b) { add_lfsr(b); }},
+             {2, [](DesignBuilder& b) { add_equal(b, 6, 12); }},
+             {1, [](DesignBuilder& b) { add_gated_bank(b); }}}};
+  if (name == "ptc")
+    return {"PWM/Timer/Counter IP core", 2024, 10, 4,
+            {{4, [](DesignBuilder& b) { add_counter(b, 4, 10); }},
+             {3, [](DesignBuilder& b) { add_equal(b, 4, 10); }},
+             {2, [](DesignBuilder& b) { add_fsm(b); }},
+             {1, [](DesignBuilder& b) { add_mux_tree(b); }}}};
+  if (name == "rtcclock")
+    return {"Real-time clock core", 4720, 8, 4,
+            {{5, [](DesignBuilder& b) { add_counter(b, 6, 14); }},
+             {3, [](DesignBuilder& b) { add_equal(b, 6, 14); }},
+             {2, [](DesignBuilder& b) { add_adder(b, 4, 8); }},
+             {1, [](DesignBuilder& b) { add_gated_bank(b); }}}};
+  if (name == "ac97_ctrl")
+    return {"Audio Codec 97 controller", 14004, 24, 8,
+            {{4, [](DesignBuilder& b) { add_shift(b, 8, 20); }},
+             {3, [](DesignBuilder& b) { add_gated_bank(b); }},
+             {2, [](DesignBuilder& b) { add_fsm(b); }},
+             {2, [](DesignBuilder& b) { add_parity(b); }},
+             {2, [](DesignBuilder& b) { add_counter(b, 4, 10); }},
+             {1, [](DesignBuilder& b) { add_mux_tree(b); }}}};
+  if (name == "mem_ctrl")
+    return {"Memory controller", 10733, 24, 8,
+            {{3, [](DesignBuilder& b) { add_fsm(b); }},
+             {3, [](DesignBuilder& b) { add_adder(b, 8, 16); }},
+             {3, [](DesignBuilder& b) { add_mux_tree(b); }},
+             {2, [](DesignBuilder& b) { add_gated_bank(b); }},
+             {2, [](DesignBuilder& b) { add_shift(b, 4, 10); }},
+             {1, [](DesignBuilder& b) { add_arbiter(b); }}}};
+  throw Error("build_test_design: unknown design '" + name + "'");
+}
+
+}  // namespace
+
+double default_design_scale() { return full_scale() ? 1.0 : 0.125; }
+
+TestDesign build_test_design(const std::string& name, double scale,
+                             std::uint64_t seed) {
+  const Recipe recipe = recipe_for(name);
+  const int target =
+      std::max(64, static_cast<int>(recipe.paper_nodes * scale));
+
+  DesignBuilder b(name, seed ^ std::hash<std::string>{}(name));
+  b.make_ios(recipe.data_pis, recipe.enable_pis);
+
+  double total_weight = 0.0;
+  for (const auto& [w, fn] : recipe.menu) total_weight += w;
+  while (static_cast<int>(b.c.num_nodes()) < target) {
+    double x = b.rng.uniform(0.0, total_weight);
+    for (const auto& [w, fn] : recipe.menu) {
+      x -= w;
+      if (x < 0.0) {
+        fn(b);
+        break;
+      }
+    }
+  }
+  b.finish();
+
+  TestDesign d;
+  d.name = name;
+  d.description = recipe.description;
+  d.paper_nodes = recipe.paper_nodes;
+  d.netlist = std::move(b.c);
+  return d;
+}
+
+std::vector<TestDesign> build_all_test_designs(double scale,
+                                               std::uint64_t seed) {
+  std::vector<TestDesign> out;
+  for (const char* name :
+       {"noc_router", "pll", "ptc", "rtcclock", "ac97_ctrl", "mem_ctrl"})
+    out.push_back(build_test_design(name, scale, seed));
+  return out;
+}
+
+}  // namespace deepseq

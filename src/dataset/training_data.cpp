@@ -1,0 +1,145 @@
+#include "dataset/training_data.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+#include "netlist/subcircuit.hpp"
+
+namespace deepseq {
+
+namespace {
+
+enum class Family { kIscas89, kItc99, kOpencores };
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kIscas89: return "ISCAS'89";
+    case Family::kItc99: return "ITC'99";
+    case Family::kOpencores: return "Opencores";
+  }
+  return "?";
+}
+
+GeneratorSpec spec_for(Family f, Rng& rng) {
+  switch (f) {
+    case Family::kIscas89: return iscas89_like_spec(rng);
+    case Family::kItc99: return itc99_like_spec(rng);
+    case Family::kOpencores: return opencores_like_spec(rng);
+  }
+  throw Error("spec_for: bad family");
+}
+
+/// Target subcircuit size ranges per family, chosen so the extracted-AIG
+/// node statistics land near Table I (149 / 273 / 211 mean nodes).
+std::pair<int, int> sub_range(Family f, double scale) {
+  int lo = 0, hi = 0;
+  switch (f) {
+    case Family::kIscas89: lo = 60; hi = 240; break;
+    case Family::kItc99: lo = 160; hi = 385; break;
+    case Family::kOpencores: lo = 130; hi = 292; break;
+  }
+  lo = std::max(16, static_cast<int>(lo * scale));
+  hi = std::max(lo + 8, static_cast<int>(hi * scale));
+  return {lo, hi};
+}
+
+/// A usable training circuit is a strict AIG with at least one FF and no
+/// constants (the paper's vocabulary has exactly four node types).
+bool usable(const Circuit& c) {
+  if (!c.is_strict_aig()) return false;
+  if (c.ffs().empty()) return false;
+  if (c.pis().empty()) return false;
+  return true;
+}
+
+}  // namespace
+
+TrainingDataset build_training_dataset(const TrainingDataOptions& opt) {
+  TrainingDataset out;
+  Rng rng(opt.seed);
+
+  std::vector<std::vector<double>> family_nodes(3);
+  int produced = 0;
+  int attempts = 0;
+  const int max_attempts = opt.num_subcircuits * 8 + 64;
+
+  while (produced < opt.num_subcircuits && attempts < max_attempts) {
+    ++attempts;
+    // Pick the family by the Table I mix.
+    const double u = rng.uniform();
+    const Family fam = u < opt.iscas89_fraction ? Family::kIscas89
+                       : (u < opt.iscas89_fraction + opt.itc99_fraction
+                              ? Family::kItc99
+                              : Family::kOpencores);
+
+    // Source benchmark -> optimized AIG -> subcircuit.
+    Rng gen_rng = rng.split();
+    const GeneratorSpec spec = spec_for(fam, gen_rng);
+    const Circuit bench = generate_circuit(spec, gen_rng);
+    const Circuit aig = optimize_aig(decompose_to_aig(bench).aig).circuit;
+    const auto [lo, hi] = sub_range(fam, opt.size_scale);
+    if (static_cast<int>(aig.num_nodes()) < lo) continue;
+    const int target = static_cast<int>(rng.uniform_int(lo, hi));
+    Circuit sub = extract_subcircuit(
+        aig, static_cast<std::size_t>(
+                 std::min<int>(target, static_cast<int>(aig.num_nodes()))),
+        gen_rng);
+    if (!usable(sub)) continue;
+
+    sub.set_name(std::string(family_name(fam)) + "_" + std::to_string(produced));
+    Workload w = random_workload(sub, rng);
+    ActivityOptions sim_opt;
+    sim_opt.num_cycles = opt.sim_cycles;
+    const std::size_t n = sub.num_nodes();
+    out.samples.push_back(make_sample(sub.name(), std::move(sub), std::move(w),
+                                      sim_opt, rng.next_u64()));
+    family_nodes[static_cast<int>(fam)].push_back(static_cast<double>(n));
+    ++produced;
+  }
+  if (produced < opt.num_subcircuits)
+    throw Error("build_training_dataset: generator kept producing unusable "
+                "circuits (wanted " + std::to_string(opt.num_subcircuits) +
+                ", got " + std::to_string(produced) + ")");
+
+  for (int f = 0; f < 3; ++f) {
+    FamilyStats fs;
+    fs.name = family_name(static_cast<Family>(f));
+    fs.count = static_cast<int>(family_nodes[f].size());
+    if (fs.count > 0) {
+      const double mean =
+          std::accumulate(family_nodes[f].begin(), family_nodes[f].end(), 0.0) /
+          fs.count;
+      double var = 0.0;
+      for (double x : family_nodes[f]) var += (x - mean) * (x - mean);
+      fs.node_mean = mean;
+      fs.node_std = std::sqrt(var / std::max(1, fs.count - 1));
+    }
+    out.stats.push_back(fs);
+  }
+  return out;
+}
+
+void split_train_val(const std::vector<TrainSample>& all, double val_fraction,
+                     std::uint64_t seed, std::vector<TrainSample>& train,
+                     std::vector<TrainSample>& val) {
+  std::vector<std::size_t> idx(all.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng rng(seed);
+  rng.shuffle(idx);
+  const auto n_val = static_cast<std::size_t>(
+      std::round(val_fraction * static_cast<double>(all.size())));
+  train.clear();
+  val.clear();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (i < n_val) {
+      val.push_back(all[idx[i]]);
+    } else {
+      train.push_back(all[idx[i]]);
+    }
+  }
+}
+
+}  // namespace deepseq

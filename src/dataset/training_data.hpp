@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sample.hpp"
+
+namespace deepseq {
+
+/// Options for assembling the pre-training corpus (paper §III / Table I):
+/// benchmark-family circuits are synthesized, converted to optimized AIG,
+/// and connected subcircuits are extracted; each subcircuit gets one random
+/// workload whose 10,000-cycle simulation provides the supervision.
+/// Defaults here are paper-faithful; benches scale them down via env knobs.
+struct TrainingDataOptions {
+  int num_subcircuits = 10534;
+  int sim_cycles = 10000;
+  std::uint64_t seed = 2024;
+  /// Family mix, proportional to Table I (1159 : 1691 : 7684).
+  double iscas89_fraction = 0.11;
+  double itc99_fraction = 0.16;
+  /// Scales every family's subcircuit-size range (1.0 = paper's 150-300).
+  double size_scale = 1.0;
+};
+
+struct FamilyStats {
+  std::string name;
+  int count = 0;
+  double node_mean = 0.0;
+  double node_std = 0.0;
+};
+
+struct TrainingDataset {
+  std::vector<TrainSample> samples;
+  std::vector<FamilyStats> stats;  // per family, Table I layout
+};
+
+TrainingDataset build_training_dataset(const TrainingDataOptions& opt);
+
+/// Deterministic train/validation split (shuffles a copy of the indexes).
+void split_train_val(const std::vector<TrainSample>& all, double val_fraction,
+                     std::uint64_t seed, std::vector<TrainSample>& train,
+                     std::vector<TrainSample>& val);
+
+}  // namespace deepseq

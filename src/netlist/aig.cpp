@@ -1,0 +1,281 @@
+#include "netlist/aig.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "netlist/topology.hpp"
+
+namespace deepseq {
+
+namespace {
+
+/// Helper caching one inverter per source node so decomposition does not
+/// multiply structurally identical NOTs (the combination itself is still
+/// unoptimized — representatives keep the original gate's function).
+class AigBuilder {
+ public:
+  explicit AigBuilder(Circuit& c) : c_(c) {}
+
+  NodeId land(NodeId a, NodeId b) { return c_.add_and(a, b); }
+  NodeId lnot(NodeId a) {
+    auto [it, inserted] = not_cache_.emplace(a, kNullNode);
+    if (inserted) it->second = c_.add_not(a);
+    return it->second;
+  }
+  NodeId lor(NodeId a, NodeId b) { return lnot(land(lnot(a), lnot(b))); }
+
+ private:
+  Circuit& c_;
+  std::unordered_map<NodeId, NodeId> not_cache_;
+};
+
+}  // namespace
+
+AigConversion decompose_to_aig(const Circuit& g) {
+  AigConversion out;
+  out.aig.set_name(g.name());
+  out.node_map.assign(g.num_nodes(), kNullNode);
+  Circuit& a = out.aig;
+  AigBuilder b(a);
+
+  // FFs first (they are topological sources; D inputs patched at the end).
+  for (NodeId v : g.ffs()) out.node_map[v] = a.add_ff(kNullNode, g.node_name(v));
+
+  for (NodeId v : comb_topo_order(g)) {
+    if (out.node_map[v] != kNullNode) continue;  // FF, already created
+    auto fi = [&](int slot) {
+      const NodeId m = out.node_map[g.fanin(v, slot)];
+      if (m == kNullNode) throw CircuitError("decompose: fanin not yet mapped");
+      return m;
+    };
+    switch (g.type(v)) {
+      case GateType::kPi:
+        out.node_map[v] = a.add_pi(g.node_name(v));
+        break;
+      case GateType::kConst0:
+        out.node_map[v] = a.add_const0(g.node_name(v));
+        break;
+      case GateType::kAnd:
+        out.node_map[v] = a.add_and(fi(0), fi(1), g.node_name(v));
+        break;
+      case GateType::kNot:
+        out.node_map[v] = a.add_not(fi(0), g.node_name(v));
+        break;
+      case GateType::kBuf:
+        // BUF(a) = NOT(NOT(a)); the outer NOT is the representative.
+        out.node_map[v] = a.add_not(b.lnot(fi(0)), g.node_name(v));
+        break;
+      case GateType::kNand:
+        out.node_map[v] = a.add_not(b.land(fi(0), fi(1)), g.node_name(v));
+        break;
+      case GateType::kOr:
+        out.node_map[v] =
+            a.add_not(b.land(b.lnot(fi(0)), b.lnot(fi(1))), g.node_name(v));
+        break;
+      case GateType::kNor:
+        out.node_map[v] = a.add_and(b.lnot(fi(0)), b.lnot(fi(1)), g.node_name(v));
+        break;
+      case GateType::kXor: {
+        // XOR(a,b) = OR(AND(a,~b), AND(~a,b)).
+        const NodeId t1 = b.land(fi(0), b.lnot(fi(1)));
+        const NodeId t2 = b.land(b.lnot(fi(0)), fi(1));
+        out.node_map[v] = a.add_not(b.land(b.lnot(t1), b.lnot(t2)), g.node_name(v));
+        break;
+      }
+      case GateType::kXnor: {
+        const NodeId t1 = b.land(fi(0), b.lnot(fi(1)));
+        const NodeId t2 = b.land(b.lnot(fi(0)), fi(1));
+        out.node_map[v] = a.add_and(b.lnot(t1), b.lnot(t2), g.node_name(v));
+        break;
+      }
+      case GateType::kMux: {
+        // MUX(s,a,b) = OR(AND(s,a), AND(~s,b)).
+        const NodeId t1 = b.land(fi(0), fi(1));
+        const NodeId t2 = b.land(b.lnot(fi(0)), fi(2));
+        out.node_map[v] = a.add_not(b.land(b.lnot(t1), b.lnot(t2)), g.node_name(v));
+        break;
+      }
+      case GateType::kFf:
+        break;  // unreachable: handled above
+    }
+  }
+
+  // Patch FF D inputs and primary outputs.
+  for (NodeId v : g.ffs()) a.set_fanin(out.node_map[v], 0, out.node_map[g.fanin(v, 0)]);
+  for (std::size_t k = 0; k < g.pos().size(); ++k)
+    a.add_po(out.node_map[g.pos()[k]], g.po_name(k));
+
+  a.validate();
+  return out;
+}
+
+namespace {
+
+struct AndKey {
+  NodeId a, b;
+  bool operator==(const AndKey& o) const { return a == o.a && b == o.b; }
+};
+struct AndKeyHash {
+  std::size_t operator()(const AndKey& k) const {
+    return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.a) << 32) | k.b);
+  }
+};
+
+}  // namespace
+
+OptimizeResult optimize_aig(const Circuit& g) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!is_aig_type(g.type(v)) && g.type(v) != GateType::kConst0)
+      throw CircuitError("optimize_aig: input is not an AIG");
+  }
+
+  // Pass 1: simplify in topological order into a fresh circuit.
+  Circuit s;
+  s.set_name(g.name());
+  std::vector<NodeId> map(g.num_nodes(), kNullNode);
+  // Constant lattice: -1 unknown, 0/1 known value (of the *new* node).
+  std::unordered_map<NodeId, int> const_val;
+  std::unordered_map<AndKey, NodeId, AndKeyHash> and_hash;
+  std::unordered_map<NodeId, NodeId> not_hash;
+  NodeId new_const0 = kNullNode;
+
+  auto make_const0 = [&]() {
+    if (new_const0 == kNullNode) {
+      new_const0 = s.add_const0("const0");
+      const_val[new_const0] = 0;
+    }
+    return new_const0;
+  };
+  auto val_of = [&](NodeId n) {
+    auto it = const_val.find(n);
+    return it == const_val.end() ? -1 : it->second;
+  };
+
+  for (NodeId v : g.ffs()) map[v] = s.add_ff(kNullNode, g.node_name(v));
+
+  for (NodeId v : comb_topo_order(g)) {
+    if (map[v] != kNullNode) continue;  // FF
+    switch (g.type(v)) {
+      case GateType::kPi:
+        map[v] = s.add_pi(g.node_name(v));
+        break;
+      case GateType::kConst0:
+        map[v] = make_const0();
+        break;
+      case GateType::kNot: {
+        const NodeId x = map[g.fanin(v, 0)];
+        if (s.type(x) == GateType::kNot) {
+          map[v] = s.fanin(x, 0);  // NOT(NOT(y)) = y
+        } else {
+          auto [it, inserted] = not_hash.emplace(x, kNullNode);
+          if (inserted) {
+            it->second = s.add_not(x, g.node_name(v));
+            const int xv = val_of(x);
+            if (xv >= 0) const_val[it->second] = 1 - xv;
+          }
+          map[v] = it->second;
+        }
+        break;
+      }
+      case GateType::kAnd: {
+        NodeId x = map[g.fanin(v, 0)];
+        NodeId y = map[g.fanin(v, 1)];
+        const int xv = val_of(x), yv = val_of(y);
+        if (xv == 0 || yv == 0) {
+          map[v] = make_const0();
+          break;
+        }
+        if (xv == 1) {
+          map[v] = y;
+          break;
+        }
+        if (yv == 1) {
+          map[v] = x;
+          break;
+        }
+        if (x == y) {
+          map[v] = x;  // AND(x, x) = x
+          break;
+        }
+        // AND(x, NOT x) = 0
+        if ((s.type(x) == GateType::kNot && s.fanin(x, 0) == y) ||
+            (s.type(y) == GateType::kNot && s.fanin(y, 0) == x)) {
+          map[v] = make_const0();
+          break;
+        }
+        if (x > y) std::swap(x, y);
+        auto [it, inserted] = and_hash.emplace(AndKey{x, y}, kNullNode);
+        if (inserted) it->second = s.add_and(x, y, g.node_name(v));
+        map[v] = it->second;
+        break;
+      }
+      default:
+        throw CircuitError("optimize_aig: unexpected node type");
+    }
+  }
+  for (NodeId v : g.ffs()) s.set_fanin(map[v], 0, map[g.fanin(v, 0)]);
+  for (std::size_t k = 0; k < g.pos().size(); ++k)
+    s.add_po(map[g.pos()[k]], g.po_name(k));
+
+  // Pass 2: dead sweep — keep PIs and the transitive fanin cone of POs
+  // (traversing FF D edges).
+  std::vector<bool> live(s.num_nodes(), false);
+  std::vector<NodeId> work;
+  for (NodeId po : s.pos())
+    if (!live[po]) {
+      live[po] = true;
+      work.push_back(po);
+    }
+  for (NodeId pi : s.pis()) live[pi] = true;
+  while (!work.empty()) {
+    const NodeId v = work.back();
+    work.pop_back();
+    for (int i = 0; i < s.num_fanins(v); ++i) {
+      const NodeId u = s.fanin(v, i);
+      if (!live[u]) {
+        live[u] = true;
+        work.push_back(u);
+      }
+    }
+  }
+
+  OptimizeResult out;
+  out.circuit.set_name(g.name());
+  std::vector<NodeId> remap(s.num_nodes(), kNullNode);
+  Circuit& r = out.circuit;
+  for (NodeId v : s.ffs())
+    if (live[v]) remap[v] = r.add_ff(kNullNode, s.node_name(v));
+  for (NodeId v : comb_topo_order(s)) {
+    if (!live[v] || remap[v] != kNullNode) continue;
+    switch (s.type(v)) {
+      case GateType::kPi:
+        remap[v] = r.add_pi(s.node_name(v));
+        break;
+      case GateType::kConst0:
+        remap[v] = r.add_const0(s.node_name(v));
+        break;
+      case GateType::kNot:
+        remap[v] = r.add_not(remap[s.fanin(v, 0)], s.node_name(v));
+        break;
+      case GateType::kAnd:
+        remap[v] = r.add_and(remap[s.fanin(v, 0)], remap[s.fanin(v, 1)],
+                             s.node_name(v));
+        break;
+      default:
+        throw CircuitError("optimize_aig: unexpected node type in sweep");
+    }
+  }
+  for (NodeId v : s.ffs())
+    if (live[v]) r.set_fanin(remap[v], 0, remap[s.fanin(v, 0)]);
+  for (std::size_t k = 0; k < s.pos().size(); ++k)
+    r.add_po(remap[s.pos()[k]], s.po_name(k));
+
+  out.node_map.assign(g.num_nodes(), kNullNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (map[v] != kNullNode) out.node_map[v] = remap[map[v]];
+  out.removed_nodes = g.num_nodes() - r.num_nodes();
+  r.validate();
+  return out;
+}
+
+}  // namespace deepseq

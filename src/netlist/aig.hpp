@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace deepseq {
+
+/// Result of converting a generic multi-gate-type netlist into a strict
+/// sequential AIG (paper §V-A2): every OR/NAND/NOR/XOR/XNOR/MUX/BUF gate is
+/// decomposed into an AND/NOT combination *without optimization*. node_map
+/// records, per original node, the representative "fanout gate" of its
+/// combination — the node whose logic value (hence switching activity)
+/// equals the original gate's output, so probabilities are read off
+/// representatives only.
+struct AigConversion {
+  Circuit aig;
+  std::vector<NodeId> node_map;
+};
+
+AigConversion decompose_to_aig(const Circuit& generic);
+
+/// Light AIG cleanup used on training circuits ("optimized AIG format",
+/// paper §III): constant propagation, double-inverter elimination,
+/// structural hashing of AND/NOT, and a dead-logic sweep keeping the cone of
+/// primary outputs (PIs are always kept — workloads are defined on them).
+/// node_map maps old ids to new ids (kNullNode when removed as dead).
+struct OptimizeResult {
+  Circuit circuit;
+  std::vector<NodeId> node_map;
+  std::size_t removed_nodes = 0;
+};
+
+OptimizeResult optimize_aig(const Circuit& aig);
+
+}  // namespace deepseq

@@ -1,0 +1,415 @@
+#include "netlist/aiger_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "netlist/topology.hpp"
+
+namespace deepseq {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& tok, int line) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0')
+    throw ParseError("expected unsigned integer, got '" + tok + "'", line);
+  return v;
+}
+
+struct AigerData {
+  std::uint64_t M = 0;
+  std::vector<std::uint64_t> input_lits, output_lits;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> latch_lits;  // cur,next
+  std::vector<std::array<std::uint64_t, 3>> and_lits;               // lhs,r0,r1
+};
+
+/// Shared construction phase of both AIGER parsers: create PI/FF/AND nodes
+/// for every defined variable, then resolve literals (one explicit NOT node
+/// per complemented variable, matching the paper's four-node-type AIG).
+Circuit build_from_aiger_data(const AigerData& d, std::string circuit_name) {
+  Circuit c(std::move(circuit_name));
+  const std::uint64_t M = d.M;
+  std::vector<NodeId> var_node(M + 1, kNullNode);
+  NodeId const0 = kNullNode;
+  const auto& input_lits = d.input_lits;
+  const auto& latch_lits = d.latch_lits;
+  const auto& output_lits = d.output_lits;
+  const auto& and_lits = d.and_lits;
+
+  // Create structural nodes first (so forward references resolve).
+  for (const auto lit : input_lits) {
+    const auto var = lit >> 1;
+    if (var > M || var_node[var] != kNullNode)
+      throw ParseError("duplicate or out-of-range input variable");
+    var_node[var] = c.add_pi("i" + std::to_string(var));
+  }
+  for (const auto& [cur, next] : latch_lits) {
+    (void)next;
+    const auto var = cur >> 1;
+    if (var > M || var_node[var] != kNullNode)
+      throw ParseError("duplicate or out-of-range latch variable");
+    var_node[var] = c.add_ff(kNullNode, "l" + std::to_string(var));
+  }
+  for (const auto& al : and_lits) {
+    const auto var = al[0] >> 1;
+    if (var > M || var_node[var] != kNullNode)
+      throw ParseError("duplicate or out-of-range and variable");
+    var_node[var] = c.add_gate(GateType::kAnd, {kNullNode, kNullNode},
+                               "a" + std::to_string(var));
+  }
+
+  // Literal resolution, creating one NOT node per complemented variable.
+  std::unordered_map<std::uint64_t, NodeId> not_cache;
+  auto lit_node = [&](std::uint64_t lit) -> NodeId {
+    const auto var = lit >> 1;
+    if (var > M) throw ParseError("literal out of range");
+    if (var == 0) {
+      if (const0 == kNullNode) const0 = c.add_const0("const0");
+      if ((lit & 1) == 0) return const0;
+      auto [it, inserted] = not_cache.emplace(1, kNullNode);
+      if (inserted) it->second = c.add_not(const0, "const1");
+      return it->second;
+    }
+    const NodeId base = var_node[var];
+    if (base == kNullNode) throw ParseError("undefined variable " + std::to_string(var));
+    if ((lit & 1) == 0) return base;
+    auto [it, inserted] = not_cache.emplace(lit, kNullNode);
+    if (inserted) it->second = c.add_not(base, "n" + std::to_string(lit));
+    return it->second;
+  };
+
+  for (std::size_t k = 0; k < and_lits.size(); ++k) {
+    const NodeId id = var_node[and_lits[k][0] >> 1];
+    c.set_fanin(id, 0, lit_node(and_lits[k][1]));
+    c.set_fanin(id, 1, lit_node(and_lits[k][2]));
+  }
+  for (const auto& [cur, next] : latch_lits)
+    c.set_fanin(var_node[cur >> 1], 0, lit_node(next));
+  for (const auto lit : output_lits)
+    c.add_po(lit_node(lit), "o" + std::to_string(lit));
+
+  c.validate();
+  return c;
+}
+
+
+/// Variable/literal assignment shared by the ASCII and binary writers.
+/// Variables are numbered canonically (PIs first, then FFs, then AND gates
+/// in topological order) — the ordering the binary format requires. NOT
+/// chains fold into complemented literals of their ultimate non-NOT source.
+class LiteralMap {
+ public:
+  explicit LiteralMap(const Circuit& c) : c_(c), var_(c.num_nodes(), 0),
+                                          lit_(c.num_nodes(), -1) {
+    for (NodeId pi : c.pis()) var_[pi] = ++next_var_;
+    for (NodeId ff : c.ffs()) var_[ff] = ++next_var_;
+    for (NodeId v : comb_topo_order(c)) {
+      switch (c.type(v)) {
+        case GateType::kAnd:
+          var_[v] = ++next_var_;
+          and_order_.push_back(v);
+          break;
+        case GateType::kPi:
+        case GateType::kFf:
+        case GateType::kNot:
+        case GateType::kConst0:
+          break;
+        default:
+          throw CircuitError("write_aiger: circuit is not a strict AIG (has " +
+                             std::string(gate_type_name(c.type(v))) + ")");
+      }
+    }
+  }
+
+  std::uint64_t max_var() const { return next_var_; }
+  const std::vector<NodeId>& and_order() const { return and_order_; }
+  std::uint64_t var(NodeId v) const { return var_[v]; }
+
+  std::uint64_t lit(NodeId v) {
+    if (lit_[v] >= 0) return static_cast<std::uint64_t>(lit_[v]);
+    std::vector<NodeId> chain;
+    NodeId cur = v;
+    while (c_.type(cur) == GateType::kNot && lit_[cur] < 0) {
+      chain.push_back(cur);
+      cur = c_.fanin(cur, 0);
+    }
+    std::uint64_t base;
+    if (lit_[cur] >= 0) {
+      base = static_cast<std::uint64_t>(lit_[cur]);
+    } else {
+      base = (c_.type(cur) == GateType::kConst0) ? 0 : 2 * var_[cur];
+      lit_[cur] = static_cast<std::int64_t>(base);
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      base ^= 1;
+      lit_[*it] = static_cast<std::int64_t>(base);
+    }
+    return static_cast<std::uint64_t>(lit_[v]);
+  }
+
+ private:
+  const Circuit& c_;
+  std::vector<std::uint64_t> var_;
+  std::vector<std::int64_t> lit_;
+  std::vector<NodeId> and_order_;
+  std::uint64_t next_var_ = 0;
+};
+
+void write_symbol_table(const Circuit& c, std::ostream& out) {
+  for (std::size_t k = 0; k < c.pis().size(); ++k) {
+    const auto& n = c.node_name(c.pis()[k]);
+    if (!n.empty()) out << 'i' << k << ' ' << n << "\n";
+  }
+  for (std::size_t k = 0; k < c.ffs().size(); ++k) {
+    const auto& n = c.node_name(c.ffs()[k]);
+    if (!n.empty()) out << 'l' << k << ' ' << n << "\n";
+  }
+  for (std::size_t k = 0; k < c.pos().size(); ++k) {
+    const auto& n = c.po_name(k);
+    if (!n.empty()) out << 'o' << k << ' ' << n << "\n";
+  }
+}
+
+/// Read the optional trailing symbol table ("iK name" / "lK name" /
+/// "oK name"), stopping at the comment section ("c") or end of stream.
+void apply_symbol_table(std::istream& in, Circuit& c) {
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (line[0] == 'c' && (line.size() == 1 || line[1] == ' ')) break;
+    const char kind = line[0];
+    if (kind != 'i' && kind != 'l' && kind != 'o') break;
+    const auto sp = line.find(' ');
+    if (sp == std::string_view::npos || sp < 2) continue;
+    char* end = nullptr;
+    const std::string idx_text(line.substr(1, sp - 1));
+    const unsigned long k = std::strtoul(idx_text.c_str(), &end, 10);
+    if (end == idx_text.c_str() || *end != '\0') continue;
+    const std::string name(trim(line.substr(sp + 1)));
+    if (name.empty()) continue;
+    if (kind == 'i' && k < c.pis().size()) c.set_node_name(c.pis()[k], name);
+    if (kind == 'l' && k < c.ffs().size()) c.set_node_name(c.ffs()[k], name);
+    if (kind == 'o' && k < c.pos().size()) c.set_po_name(k, name);
+  }
+}
+
+}  // namespace
+
+Circuit parse_aiger(std::istream& in, std::string circuit_name) {
+  std::string raw;
+  int line_no = 0;
+  auto next_line = [&]() -> std::string {
+    if (!std::getline(in, raw)) throw ParseError("unexpected end of file", line_no);
+    ++line_no;
+    return raw;
+  };
+
+  const auto header = split_ws(next_line());
+  if (header.size() != 6 || header[0] != "aag")
+    throw ParseError("expected 'aag M I L O A' header", line_no);
+  AigerData d;
+  d.M = parse_u64(header[1], line_no);
+  const auto I = parse_u64(header[2], line_no);
+  const auto L = parse_u64(header[3], line_no);
+  const auto O = parse_u64(header[4], line_no);
+  const auto A = parse_u64(header[5], line_no);
+  if (d.M < I + L + A) throw ParseError("inconsistent AIGER header counts", 1);
+
+  for (std::uint64_t k = 0; k < I; ++k) {
+    const auto toks = split_ws(next_line());
+    if (toks.size() != 1) throw ParseError("malformed input line", line_no);
+    const auto lit = parse_u64(toks[0], line_no);
+    if (lit < 2 || (lit & 1) != 0)
+      throw ParseError("input literal must be positive and >= 2", line_no);
+    d.input_lits.push_back(lit);
+  }
+  for (std::uint64_t k = 0; k < L; ++k) {
+    const auto toks = split_ws(next_line());
+    if (toks.size() != 2) throw ParseError("malformed latch line", line_no);
+    const auto cur = parse_u64(toks[0], line_no);
+    if (cur < 2 || (cur & 1) != 0)
+      throw ParseError("latch literal must be positive and >= 2", line_no);
+    d.latch_lits.emplace_back(cur, parse_u64(toks[1], line_no));
+  }
+  for (std::uint64_t k = 0; k < O; ++k) {
+    const auto toks = split_ws(next_line());
+    if (toks.size() != 1) throw ParseError("malformed output line", line_no);
+    d.output_lits.push_back(parse_u64(toks[0], line_no));
+  }
+  for (std::uint64_t k = 0; k < A; ++k) {
+    const auto toks = split_ws(next_line());
+    if (toks.size() != 3) throw ParseError("malformed and line", line_no);
+    const auto lhs = parse_u64(toks[0], line_no);
+    if (lhs < 2 || (lhs & 1) != 0)
+      throw ParseError("and lhs must be positive and >= 2", line_no);
+    d.and_lits.push_back({lhs, parse_u64(toks[1], line_no), parse_u64(toks[2], line_no)});
+  }
+
+  Circuit c = build_from_aiger_data(d, std::move(circuit_name));
+  apply_symbol_table(in, c);
+  return c;
+}
+
+Circuit parse_aiger_string(const std::string& text, std::string circuit_name) {
+  std::istringstream in(text);
+  return parse_aiger(in, std::move(circuit_name));
+}
+
+Circuit parse_aiger_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open file: " + path);
+  const auto slash = path.find_last_of('/');
+  std::string base = (slash == std::string::npos) ? path : path.substr(slash + 1);
+  return parse_aiger(in, std::move(base));
+}
+
+void write_aiger(const Circuit& c, std::ostream& out) {
+  LiteralMap m(c);
+  out << "aag " << m.max_var() << ' ' << c.pis().size() << ' '
+      << c.ffs().size() << ' ' << c.pos().size() << ' '
+      << m.and_order().size() << "\n";
+  for (NodeId pi : c.pis()) out << 2 * m.var(pi) << "\n";
+  for (NodeId ff : c.ffs())
+    out << 2 * m.var(ff) << ' ' << m.lit(c.fanin(ff, 0)) << "\n";
+  for (NodeId po : c.pos()) out << m.lit(po) << "\n";
+  for (NodeId v : m.and_order())
+    out << 2 * m.var(v) << ' ' << m.lit(c.fanin(v, 0)) << ' '
+        << m.lit(c.fanin(v, 1)) << "\n";
+  write_symbol_table(c, out);
+}
+
+std::string write_aiger_string(const Circuit& c) {
+  std::ostringstream out;
+  write_aiger(c, out);
+  return out.str();
+}
+
+void write_aiger_file(const Circuit& c, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open file for writing: " + path);
+  write_aiger(c, out);
+}
+
+
+// ---- binary AIGER (.aig) ---------------------------------------------------
+
+namespace {
+
+/// LEB128-style varint of the AIGER binary format: 7 bits per byte, LSB
+/// first, high bit set on all but the last byte.
+void put_delta(std::ostream& out, std::uint64_t x) {
+  while (x >= 0x80) {
+    out.put(static_cast<char>(0x80 | (x & 0x7F)));
+    x >>= 7;
+  }
+  out.put(static_cast<char>(x));
+}
+
+std::uint64_t get_delta(std::istream& in) {
+  std::uint64_t x = 0;
+  int shift = 0;
+  for (;;) {
+    const int ch = in.get();
+    if (ch == EOF) throw ParseError("unexpected end of binary AND section");
+    x |= static_cast<std::uint64_t>(ch & 0x7F) << shift;
+    if ((ch & 0x80) == 0) return x;
+    shift += 7;
+    if (shift > 63) throw ParseError("binary delta overflows 64 bits");
+  }
+}
+
+}  // namespace
+
+void write_aiger_binary(const Circuit& c, std::ostream& out) {
+  LiteralMap m(c);
+  const std::uint64_t I = c.pis().size(), L = c.ffs().size();
+  out << "aig " << m.max_var() << ' ' << I << ' ' << L << ' '
+      << c.pos().size() << ' ' << m.and_order().size() << "\n";
+  // Binary format requires canonical variable numbering: PIs must be
+  // variables 1..I and latches I+1..I+L. LiteralMap assigns exactly that.
+  for (NodeId ff : c.ffs()) out << m.lit(c.fanin(ff, 0)) << "\n";
+  for (NodeId po : c.pos()) out << m.lit(po) << "\n";
+  for (NodeId v : m.and_order()) {
+    const std::uint64_t lhs = 2 * m.var(v);
+    std::uint64_t r0 = m.lit(c.fanin(v, 0));
+    std::uint64_t r1 = m.lit(c.fanin(v, 1));
+    if (r0 < r1) std::swap(r0, r1);  // format requires lhs > rhs0 >= rhs1
+    put_delta(out, lhs - r0);
+    put_delta(out, r0 - r1);
+  }
+  write_symbol_table(c, out);
+}
+
+Circuit parse_aiger_binary(std::istream& in, std::string circuit_name) {
+  std::string raw;
+  if (!std::getline(in, raw)) throw ParseError("empty binary AIGER stream");
+  const auto header = split_ws(raw);
+  if (header.size() != 6 || header[0] != "aig")
+    throw ParseError("expected 'aig M I L O A' header", 1);
+  AigerData d;
+  d.M = parse_u64(header[1], 1);
+  const auto I = parse_u64(header[2], 1);
+  const auto L = parse_u64(header[3], 1);
+  const auto O = parse_u64(header[4], 1);
+  const auto A = parse_u64(header[5], 1);
+  if (d.M != I + L + A)
+    throw ParseError("binary AIGER requires M = I + L + A", 1);
+
+  // Inputs and latch outputs are implicit consecutive variables.
+  int line_no = 1;
+  for (std::uint64_t k = 0; k < I; ++k) d.input_lits.push_back(2 * (k + 1));
+  for (std::uint64_t k = 0; k < L; ++k) {
+    if (!std::getline(in, raw)) throw ParseError("missing latch line", line_no);
+    ++line_no;
+    const auto toks = split_ws(raw);
+    if (toks.empty()) throw ParseError("malformed latch line", line_no);
+    // AIGER 1.9 allows an optional reset value token; only 0 (our FF
+    // semantics) is representable.
+    if (toks.size() > 1 && toks[1] != "0")
+      throw ParseError("unsupported latch reset value", line_no);
+    d.latch_lits.emplace_back(2 * (I + k + 1), parse_u64(toks[0], line_no));
+  }
+  for (std::uint64_t k = 0; k < O; ++k) {
+    if (!std::getline(in, raw)) throw ParseError("missing output line", line_no);
+    ++line_no;
+    const auto toks = split_ws(raw);
+    if (toks.size() != 1) throw ParseError("malformed output line", line_no);
+    d.output_lits.push_back(parse_u64(toks[0], line_no));
+  }
+  for (std::uint64_t k = 0; k < A; ++k) {
+    const std::uint64_t lhs = 2 * (I + L + k + 1);
+    const std::uint64_t delta0 = get_delta(in);
+    if (delta0 > lhs) throw ParseError("binary AND delta0 out of range");
+    const std::uint64_t r0 = lhs - delta0;
+    const std::uint64_t delta1 = get_delta(in);
+    if (delta1 > r0) throw ParseError("binary AND delta1 out of range");
+    d.and_lits.push_back({lhs, r0, r0 - delta1});
+  }
+  Circuit c = build_from_aiger_data(d, std::move(circuit_name));
+  apply_symbol_table(in, c);
+  return c;
+}
+
+Circuit parse_aiger_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open file: " + path);
+  const auto slash = path.find_last_of('/');
+  std::string base = (slash == std::string::npos) ? path : path.substr(slash + 1);
+  return parse_aiger_binary(in, std::move(base));
+}
+
+void write_aiger_binary_file(const Circuit& c, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open file for writing: " + path);
+  write_aiger_binary(c, out);
+}
+
+}  // namespace deepseq

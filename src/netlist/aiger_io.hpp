@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace deepseq {
+
+/// Parse an ASCII AIGER (.aag) sequential AIG:
+///
+///   aag M I L O A
+///   <I input literals>
+///   <L latch lines: current next>
+///   <O output literals>
+///   <A and lines: lhs rhs0 rhs1>
+///   [symbol table: iK/lK/oK name]  [c comment]
+///
+/// Complemented literals become explicit NOT nodes (one per complemented
+/// variable), matching the paper's four-node-type AIG representation.
+Circuit parse_aiger(std::istream& in, std::string circuit_name = "aig");
+Circuit parse_aiger_string(const std::string& text,
+                           std::string circuit_name = "aig");
+Circuit parse_aiger_file(const std::string& path);
+
+/// Serialize a strict sequential AIG (PI/AND/NOT/FF/CONST0 only) to ASCII
+/// AIGER. NOT nodes are folded into complemented edges. Throws CircuitError
+/// if the circuit contains generic gate types.
+void write_aiger(const Circuit& c, std::ostream& out);
+std::string write_aiger_string(const Circuit& c);
+void write_aiger_file(const Circuit& c, const std::string& path);
+
+/// Binary AIGER (.aig): inputs and latch current-state literals are implicit
+/// consecutive variables, AND gates are delta-compressed varint pairs
+/// ("aig M I L O A" with M = I + L + A). Same node-construction semantics as
+/// the ASCII parser; the stream must be opened in binary mode.
+Circuit parse_aiger_binary(std::istream& in, std::string circuit_name = "aig");
+Circuit parse_aiger_binary_file(const std::string& path);
+void write_aiger_binary(const Circuit& c, std::ostream& out);
+void write_aiger_binary_file(const Circuit& c, const std::string& path);
+
+}  // namespace deepseq

@@ -1,0 +1,151 @@
+#include "netlist/circuit.hpp"
+
+#include "common/error.hpp"
+
+namespace deepseq {
+
+NodeId Circuit::add_node(GateType type, std::string name) {
+  if (nodes_.size() >= kNullNode) throw CircuitError("circuit too large");
+  Node n;
+  n.type = type;
+  nodes_.push_back(n);
+  names_.push_back(std::move(name));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Circuit::add_pi(std::string name) {
+  const NodeId id = add_node(GateType::kPi, std::move(name));
+  pis_.push_back(id);
+  return id;
+}
+
+NodeId Circuit::add_const0(std::string name) {
+  return add_node(GateType::kConst0, std::move(name));
+}
+
+NodeId Circuit::add_gate(GateType type, const std::vector<NodeId>& fanins,
+                         std::string name) {
+  if (type == GateType::kPi || type == GateType::kFf)
+    throw CircuitError("add_gate: use add_pi/add_ff for PI/FF nodes");
+  if (static_cast<int>(fanins.size()) != gate_arity(type))
+    throw CircuitError("add_gate: wrong fanin count for " +
+                       std::string(gate_type_name(type)));
+  const NodeId id = add_node(type, std::move(name));
+  Node& n = nodes_[id];
+  n.num_fanins = static_cast<std::uint8_t>(fanins.size());
+  for (std::size_t i = 0; i < fanins.size(); ++i) n.fanin[i] = fanins[i];
+  return id;
+}
+
+NodeId Circuit::add_not(NodeId a, std::string name) {
+  return add_gate(GateType::kNot, {a}, std::move(name));
+}
+
+NodeId Circuit::add_and(NodeId a, NodeId b, std::string name) {
+  return add_gate(GateType::kAnd, {a, b}, std::move(name));
+}
+
+NodeId Circuit::add_ff(NodeId d, std::string name) {
+  const NodeId id = add_node(GateType::kFf, std::move(name));
+  Node& n = nodes_[id];
+  n.num_fanins = 1;
+  n.fanin[0] = d;
+  ffs_.push_back(id);
+  return id;
+}
+
+void Circuit::set_fanin(NodeId node, int slot, NodeId source) {
+  if (node >= nodes_.size()) throw CircuitError("set_fanin: bad node id");
+  Node& n = nodes_[node];
+  if (slot < 0 || slot >= n.num_fanins)
+    throw CircuitError("set_fanin: bad slot");
+  n.fanin[slot] = source;
+}
+
+void Circuit::add_po(NodeId node, std::string name) {
+  if (node >= nodes_.size()) throw CircuitError("add_po: bad node id");
+  pos_.push_back(node);
+  po_names_.push_back(std::move(name));
+}
+
+NodeId Circuit::find_by_name(std::string_view name) const {
+  for (NodeId v = 0; v < names_.size(); ++v)
+    if (names_[v] == name) return v;
+  return kNullNode;
+}
+
+std::vector<std::vector<NodeId>> Circuit::fanouts() const {
+  std::vector<std::vector<NodeId>> out(nodes_.size());
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    const Node& n = nodes_[v];
+    for (int i = 0; i < n.num_fanins; ++i) {
+      if (n.fanin[i] != kNullNode) out[n.fanin[i]].push_back(v);
+    }
+  }
+  return out;
+}
+
+void Circuit::validate() const {
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    const Node& n = nodes_[v];
+    if (n.num_fanins != gate_arity(n.type))
+      throw CircuitError("node " + std::to_string(v) + " (" +
+                         std::string(gate_type_name(n.type)) +
+                         ") has wrong fanin count");
+    for (int i = 0; i < n.num_fanins; ++i) {
+      if (n.fanin[i] == kNullNode)
+        throw CircuitError("node " + std::to_string(v) +
+                           " has unconnected fanin " + std::to_string(i));
+      if (n.fanin[i] >= nodes_.size())
+        throw CircuitError("node " + std::to_string(v) +
+                           " has dangling fanin id");
+    }
+  }
+  for (NodeId po : pos_) {
+    if (po >= nodes_.size()) throw CircuitError("dangling primary output");
+  }
+
+  // Combinational-cycle check: DFS over combinational edges only (edges into
+  // FF D inputs break the cycle, matching real clocked hardware).
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(nodes_.size(), Mark::kWhite);
+  std::vector<std::pair<NodeId, int>> stack;
+  for (NodeId root = 0; root < nodes_.size(); ++root) {
+    if (mark[root] != Mark::kWhite) continue;
+    stack.emplace_back(root, 0);
+    mark[root] = Mark::kGray;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      const Node& n = nodes_[v];
+      // FFs break combinational paths: do not traverse their fanin.
+      const int limit = (n.type == GateType::kFf) ? 0 : n.num_fanins;
+      if (next < limit) {
+        const NodeId u = n.fanin[next++];
+        if (mark[u] == Mark::kGray)
+          throw CircuitError("combinational cycle through node " +
+                             std::to_string(u));
+        if (mark[u] == Mark::kWhite) {
+          mark[u] = Mark::kGray;
+          stack.emplace_back(u, 0);
+        }
+      } else {
+        mark[v] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+bool Circuit::is_strict_aig() const {
+  for (const Node& n : nodes_)
+    if (!is_aig_type(n.type)) return false;
+  return true;
+}
+
+std::array<std::size_t, kNumGateTypes> Circuit::type_counts() const {
+  std::array<std::size_t, kNumGateTypes> counts{};
+  for (const Node& n : nodes_) ++counts[static_cast<std::size_t>(n.type)];
+  return counts;
+}
+
+}  // namespace deepseq

@@ -1,0 +1,30 @@
+#include "netlist/expand.hpp"
+
+#include "common/error.hpp"
+
+namespace deepseq {
+
+NodeId build_gate_tree(Circuit& c, GateType type, std::vector<NodeId> leaves,
+                       const std::string& name) {
+  if (leaves.empty()) throw CircuitError("build_gate_tree: no fanins");
+  GateType inner = type;
+  bool invert = false;
+  if (type == GateType::kNand) {
+    inner = GateType::kAnd;
+    invert = true;
+  } else if (type == GateType::kNor) {
+    inner = GateType::kOr;
+    invert = true;
+  }
+  while (leaves.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2)
+      next.push_back(c.add_gate(inner, {leaves[i], leaves[i + 1]}));
+    if (leaves.size() % 2 == 1) next.push_back(leaves.back());
+    leaves = std::move(next);
+  }
+  if (invert) return c.add_not(leaves[0], name);
+  return leaves[0];
+}
+
+}  // namespace deepseq

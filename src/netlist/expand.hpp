@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace deepseq {
+
+/// Expand an n-ary AND/OR/NAND/NOR over `leaves` into a balanced tree of
+/// 2-input gates (NAND/NOR become NOT(tree) to preserve n-ary semantics).
+/// The final node receives `name`. Shared by the BENCH and Verilog parsers,
+/// both of whose source formats allow gates with more than two inputs.
+NodeId build_gate_tree(Circuit& c, GateType type, std::vector<NodeId> leaves,
+                       const std::string& name);
+
+}  // namespace deepseq

@@ -1,0 +1,101 @@
+#include "netlist/gate_type.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace deepseq {
+
+int gate_arity(GateType t) {
+  switch (t) {
+    case GateType::kConst0:
+    case GateType::kPi:
+      return 0;
+    case GateType::kNot:
+    case GateType::kBuf:
+    case GateType::kFf:
+      return 1;
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return 2;
+    case GateType::kMux:
+      return 3;
+  }
+  throw Error("gate_arity: unknown gate type");
+}
+
+std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kConst0: return "CONST0";
+    case GateType::kPi: return "INPUT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNot: return "NOT";
+    case GateType::kFf: return "DFF";
+    case GateType::kBuf: return "BUFF";
+    case GateType::kOr: return "OR";
+    case GateType::kNand: return "NAND";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kMux: return "MUX";
+  }
+  throw Error("gate_type_name: unknown gate type");
+}
+
+GateType parse_gate_type(std::string_view s) {
+  const std::string u = to_lower(s);
+  if (u == "and") return GateType::kAnd;
+  if (u == "not" || u == "inv") return GateType::kNot;
+  if (u == "dff" || u == "ff") return GateType::kFf;
+  if (u == "buf" || u == "buff") return GateType::kBuf;
+  if (u == "or") return GateType::kOr;
+  if (u == "nand") return GateType::kNand;
+  if (u == "nor") return GateType::kNor;
+  if (u == "xor") return GateType::kXor;
+  if (u == "xnor") return GateType::kXnor;
+  if (u == "mux") return GateType::kMux;
+  if (u == "const0") return GateType::kConst0;
+  if (u == "input") return GateType::kPi;
+  throw ParseError("unknown gate type: " + std::string(s));
+}
+
+bool is_aig_type(GateType t) {
+  switch (t) {
+    case GateType::kPi:
+    case GateType::kAnd:
+    case GateType::kNot:
+    case GateType::kFf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool eval_gate(GateType t, bool a, bool b, bool s) {
+  return eval_gate_word(t, a ? ~0ULL : 0, b ? ~0ULL : 0, s ? ~0ULL : 0) & 1ULL;
+}
+
+std::uint64_t eval_gate_word(GateType t, std::uint64_t a, std::uint64_t b,
+                             std::uint64_t s) {
+  switch (t) {
+    case GateType::kConst0: return 0;
+    case GateType::kAnd: return a & b;
+    case GateType::kNot: return ~a;
+    case GateType::kBuf: return a;
+    case GateType::kOr: return a | b;
+    case GateType::kNand: return ~(a & b);
+    case GateType::kNor: return ~(a | b);
+    case GateType::kXor: return a ^ b;
+    case GateType::kXnor: return ~(a ^ b);
+    case GateType::kMux: return (s & a) | (~s & b);
+    case GateType::kPi:
+    case GateType::kFf:
+      throw Error("eval_gate_word: PI/FF have no combinational function");
+  }
+  throw Error("eval_gate_word: unknown gate type");
+}
+
+}  // namespace deepseq

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace deepseq {
+
+/// Gate vocabulary. The first five types form the sequential-AIG subset the
+/// paper's model consumes (PI, AND, NOT, FF, plus CONST0 which optimization
+/// removes); the rest are generic gates accepted by the parsers and the test
+/// designs of Table IV, decomposed to AND/NOT before inference (paper §V-A2).
+enum class GateType : std::uint8_t {
+  kConst0 = 0,
+  kPi,
+  kAnd,
+  kNot,
+  kFf,  // D flip-flop; fanin 0 is the D input, initial state 0.
+  kBuf,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,  // fanins: (select, then-input, else-input); out = s ? a : b.
+};
+
+constexpr int kNumGateTypes = 12;
+
+/// Number of fanins the type requires (2-input gates only, per the paper).
+int gate_arity(GateType t);
+
+/// Human-readable name, matching BENCH spelling where one exists.
+std::string_view gate_type_name(GateType t);
+
+/// Parse a BENCH-style gate keyword (case-insensitive). Throws ParseError.
+GateType parse_gate_type(std::string_view s);
+
+/// True for the node types a strict sequential AIG may contain.
+bool is_aig_type(GateType t);
+
+/// True for types with sequential behaviour (currently only kFf).
+inline bool is_sequential(GateType t) { return t == GateType::kFf; }
+
+/// Combinational evaluation on single-bit values (0/1). `s` is only used by
+/// kMux. FF/PI/CONST are not evaluable here.
+bool eval_gate(GateType t, bool a, bool b = false, bool s = false);
+
+/// Word-parallel combinational evaluation (64 lanes at once).
+std::uint64_t eval_gate_word(GateType t, std::uint64_t a, std::uint64_t b = 0,
+                             std::uint64_t s = 0);
+
+}  // namespace deepseq

@@ -1,0 +1,183 @@
+#include "netlist/scoap.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "netlist/topology.hpp"
+
+namespace deepseq {
+
+namespace {
+
+double add1(double a) { return a >= kScoapInf ? kScoapInf : a + 1.0; }
+double sum1(double a, double b) {
+  return a >= kScoapInf || b >= kScoapInf ? kScoapInf : a + b + 1.0;
+}
+double sum2(double a, double b, double c) {
+  return a >= kScoapInf || b >= kScoapInf || c >= kScoapInf ? kScoapInf
+                                                            : a + b + c + 1.0;
+}
+
+/// One controllability relaxation of a combinational gate from its fanins'
+/// current (cc0, cc1) values. Returns {cc0, cc1}.
+std::pair<double, double> gate_cc(const Circuit& c, NodeId v,
+                                  const std::vector<double>& cc0,
+                                  const std::vector<double>& cc1) {
+  const Node& n = c.node(v);
+  const NodeId a = n.fanin[0];
+  const NodeId b = n.num_fanins > 1 ? n.fanin[1] : kNullNode;
+  switch (n.type) {
+    case GateType::kAnd:
+      return {add1(std::min(cc0[a], cc0[b])), sum1(cc1[a], cc1[b])};
+    case GateType::kOr:
+      return {sum1(cc0[a], cc0[b]), add1(std::min(cc1[a], cc1[b]))};
+    case GateType::kNand:
+      return {sum1(cc1[a], cc1[b]), add1(std::min(cc0[a], cc0[b]))};
+    case GateType::kNor:
+      return {add1(std::min(cc1[a], cc1[b])), sum1(cc0[a], cc0[b])};
+    case GateType::kNot:
+      return {add1(cc1[a]), add1(cc0[a])};
+    case GateType::kBuf:
+      return {add1(cc0[a]), add1(cc1[a])};
+    case GateType::kXor:
+      // 0: equal inputs; 1: differing inputs (cheapest combination).
+      return {add1(std::min(cc0[a] + cc0[b], cc1[a] + cc1[b])),
+              add1(std::min(cc0[a] + cc1[b], cc1[a] + cc0[b]))};
+    case GateType::kXnor:
+      return {add1(std::min(cc0[a] + cc1[b], cc1[a] + cc0[b])),
+              add1(std::min(cc0[a] + cc0[b], cc1[a] + cc1[b]))};
+    case GateType::kMux: {
+      // fanins: (select s, then t, else e).
+      const NodeId s = n.fanin[0], t = n.fanin[1], e = n.fanin[2];
+      return {add1(std::min(cc1[s] + cc0[t], cc0[s] + cc0[e])),
+              add1(std::min(cc1[s] + cc1[t], cc0[s] + cc1[e]))};
+    }
+    default:
+      throw CircuitError("compute_scoap: unexpected gate type " +
+                         std::string(gate_type_name(n.type)));
+  }
+}
+
+}  // namespace
+
+ScoapMeasures compute_scoap(const Circuit& c, const ScoapOptions& opt) {
+  c.validate();
+  const std::size_t n = c.num_nodes();
+  ScoapMeasures m;
+  m.cc0.assign(n, kScoapInf);
+  m.cc1.assign(n, kScoapInf);
+  m.co.assign(n, kScoapInf);
+
+  const auto order = comb_topo_order(c);
+
+  // ---- controllability: forward fixpoint ----------------------------------
+  for (NodeId pi : c.pis()) m.cc0[pi] = m.cc1[pi] = 1.0;
+  // FFs reset to 0 in this library's simulation semantics, so driving an FF
+  // to 0 costs one action even with no controllable D cone (classic SCOAP
+  // assumes an unknown initial state; autonomous oscillators would then be
+  // scored uncontrollable, contradicting our simulators).
+  for (NodeId ff : c.ffs()) m.cc0[ff] = 1.0;
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    bool changed = false;
+    auto relax = [&](NodeId v, double v0, double v1) {
+      if (v0 < m.cc0[v]) {
+        m.cc0[v] = v0;
+        changed = true;
+      }
+      if (v1 < m.cc1[v]) {
+        m.cc1[v] = v1;
+        changed = true;
+      }
+    };
+    for (NodeId v : order) {
+      switch (c.type(v)) {
+        case GateType::kPi:
+          break;
+        case GateType::kConst0:
+          relax(v, 0.0, kScoapInf);  // constant: 0 free, 1 impossible
+          break;
+        case GateType::kFf: {
+          // One clock cycle on top of controlling the D input.
+          const NodeId d = c.fanin(v, 0);
+          relax(v, add1(m.cc0[d]), add1(m.cc1[d]));
+          break;
+        }
+        default: {
+          const auto [v0, v1] = gate_cc(c, v, m.cc0, m.cc1);
+          relax(v, v0, v1);
+        }
+      }
+    }
+    m.controllability_iterations = iter + 1;
+    if (!changed) break;
+  }
+
+  // ---- observability: backward fixpoint -----------------------------------
+  for (NodeId po : c.pos()) m.co[po] = 0.0;
+  const auto fanouts = c.fanouts();
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    bool changed = false;
+    auto relax = [&](NodeId v, double val) {
+      if (val < m.co[v]) {
+        m.co[v] = val;
+        changed = true;
+      }
+    };
+    // Walk sinks-to-sources: reverse combinational topological order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId g = *it;
+      const Node& nd = c.node(g);
+      const double cog = m.co[g];
+      if (cog >= kScoapInf && nd.type != GateType::kFf) continue;
+      switch (nd.type) {
+        case GateType::kPi:
+        case GateType::kConst0:
+          break;
+        case GateType::kFf:
+          // Observing the D input requires observing the FF one cycle on.
+          relax(nd.fanin[0], add1(m.co[g]));
+          break;
+        case GateType::kNot:
+        case GateType::kBuf:
+          relax(nd.fanin[0], add1(cog));
+          break;
+        case GateType::kAnd:
+        case GateType::kNand:
+          // Side input must be non-controlling (1).
+          relax(nd.fanin[0], sum1(cog, m.cc1[nd.fanin[1]]));
+          relax(nd.fanin[1], sum1(cog, m.cc1[nd.fanin[0]]));
+          break;
+        case GateType::kOr:
+        case GateType::kNor:
+          relax(nd.fanin[0], sum1(cog, m.cc0[nd.fanin[1]]));
+          relax(nd.fanin[1], sum1(cog, m.cc0[nd.fanin[0]]));
+          break;
+        case GateType::kXor:
+        case GateType::kXnor:
+          // Side input only needs a known value (either one).
+          relax(nd.fanin[0],
+                sum1(cog, std::min(m.cc0[nd.fanin[1]], m.cc1[nd.fanin[1]])));
+          relax(nd.fanin[1],
+                sum1(cog, std::min(m.cc0[nd.fanin[0]], m.cc1[nd.fanin[0]])));
+          break;
+        case GateType::kMux: {
+          const NodeId s = nd.fanin[0], t = nd.fanin[1], e = nd.fanin[2];
+          // Select observable when then/else differ; cheapest: set the
+          // branches to opposite values.
+          relax(s, sum2(cog, std::min(m.cc0[t], m.cc1[t]),
+                        std::min(m.cc0[e], m.cc1[e])));
+          relax(t, sum1(cog, m.cc1[s]));  // select the then branch
+          relax(e, sum1(cog, m.cc0[s]));  // select the else branch
+          break;
+        }
+        default:
+          throw CircuitError("compute_scoap: unexpected gate type");
+      }
+    }
+    m.observability_iterations = iter + 1;
+    if (!changed) break;
+  }
+  return m;
+}
+
+}  // namespace deepseq

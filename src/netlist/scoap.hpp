@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace deepseq {
+
+/// SCOAP testability measures (Goldstein's classic controllability /
+/// observability analysis) for sequential netlists — the substrate of the
+/// test-point-insertion task that motivates circuit representation
+/// learning downstream (DeepTPI [10], §II-B of the paper).
+///
+/// * `cc0[v]` / `cc1[v]` — how many signal assignments are needed to drive
+///   node v to 0 / 1 (PIs cost 1; every gate adds 1 to its inputs' cost).
+/// * `co[v]` — how many assignments are needed to propagate a change at v
+///   to some primary output (POs cost 0).
+///
+/// Flip-flops add one time frame: controlling a FF costs controlling its D
+/// input plus one, observing a FF's D input costs observing the FF plus
+/// one. Feedback cycles are resolved by monotone fixpoint relaxation from
+/// "uncontrollable/unobservable" (kScoapInf), which converges because
+/// every relaxation only lowers a value.
+constexpr double kScoapInf = 1e18;
+
+struct ScoapMeasures {
+  std::vector<double> cc0, cc1, co;
+  int controllability_iterations = 0;
+  int observability_iterations = 0;
+
+  /// Goldstein's testability of the stuck-at-`stuck` fault at v:
+  /// cost of driving v to the opposite value plus observing it.
+  double fault_effort(NodeId v, bool stuck_at) const {
+    const double drive = stuck_at ? cc0[v] : cc1[v];
+    return drive >= kScoapInf || co[v] >= kScoapInf ? kScoapInf
+                                                    : drive + co[v];
+  }
+};
+
+struct ScoapOptions {
+  int max_iterations = 100;  // fixpoint rounds for sequential feedback
+};
+
+ScoapMeasures compute_scoap(const Circuit& c, const ScoapOptions& opt = {});
+
+}  // namespace deepseq

@@ -1,0 +1,91 @@
+#include "netlist/subcircuit.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "netlist/topology.hpp"
+
+namespace deepseq {
+
+Circuit extract_subcircuit(const Circuit& c, std::size_t target_nodes, Rng& rng) {
+  if (c.num_nodes() == 0) throw CircuitError("extract_subcircuit: empty circuit");
+  const auto fanouts = c.fanouts();
+
+  // Undirected BFS from a random seed until the region reaches target size.
+  std::unordered_set<NodeId> region;
+  std::deque<NodeId> frontier;
+  const NodeId seed = static_cast<NodeId>(rng.uniform_index(c.num_nodes()));
+  frontier.push_back(seed);
+  region.insert(seed);
+  while (!frontier.empty() && region.size() < target_nodes) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    std::vector<NodeId> neighbors;
+    for (int i = 0; i < c.num_fanins(v); ++i) neighbors.push_back(c.fanin(v, i));
+    for (NodeId u : fanouts[v]) neighbors.push_back(u);
+    rng.shuffle(neighbors);
+    for (NodeId u : neighbors) {
+      if (region.size() >= target_nodes) break;
+      if (region.insert(u).second) frontier.push_back(u);
+    }
+  }
+
+  // Build the closed subcircuit. Kept nodes keep their type; boundary fanins
+  // become fresh PIs (one per crossing source node).
+  Circuit sub(c.name() + "_sub");
+  std::vector<NodeId> map(c.num_nodes(), kNullNode);
+  std::vector<NodeId> boundary_pi(c.num_nodes(), kNullNode);
+  auto boundary = [&](NodeId src) {
+    if (boundary_pi[src] == kNullNode)
+      boundary_pi[src] = sub.add_pi("cut_" + std::to_string(src));
+    return boundary_pi[src];
+  };
+
+  // FFs in the region first (possible feedback), then comb topo order.
+  for (NodeId v : c.ffs())
+    if (region.count(v)) map[v] = sub.add_ff(kNullNode, c.node_name(v));
+  for (NodeId v : comb_topo_order(c)) {
+    if (!region.count(v) || map[v] != kNullNode) continue;
+    const GateType t = c.type(v);
+    if (t == GateType::kPi) {
+      map[v] = sub.add_pi(c.node_name(v));
+      continue;
+    }
+    if (t == GateType::kConst0) {
+      map[v] = sub.add_const0(c.node_name(v));
+      continue;
+    }
+    std::vector<NodeId> fi;
+    for (int i = 0; i < c.num_fanins(v); ++i) {
+      const NodeId u = c.fanin(v, i);
+      fi.push_back(region.count(u) ? map[u] : boundary(u));
+      if (fi.back() == kNullNode)
+        throw CircuitError("extract_subcircuit: fanin not yet mapped");
+    }
+    map[v] = sub.add_gate(t, fi, c.node_name(v));
+  }
+  for (NodeId v : c.ffs()) {
+    if (!region.count(v)) continue;
+    const NodeId d = c.fanin(v, 0);
+    sub.set_fanin(map[v], 0, region.count(d) ? map[d] : boundary(d));
+  }
+
+  // POs: region nodes whose fanout escapes the region or is empty.
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (!region.count(v) || c.type(v) == GateType::kPi) continue;
+    bool is_po = fanouts[v].empty();
+    for (NodeId u : fanouts[v])
+      if (!region.count(u)) is_po = true;
+    if (is_po) sub.add_po(map[v], "po_" + std::to_string(v));
+  }
+  if (sub.pos().empty() && !region.empty()) {
+    // Degenerate region (all fanout internal): expose the seed.
+    if (c.type(seed) != GateType::kPi) sub.add_po(map[seed], "po_seed");
+  }
+
+  sub.validate();
+  return sub;
+}
+
+}  // namespace deepseq

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netlist/circuit.hpp"
+
+namespace deepseq {
+
+/// Extract a connected subcircuit of roughly `target_nodes` nodes around a
+/// random seed node (paper §III: training circuits are 150–300 node
+/// subcircuits of the open-source benchmarks). The cut is closed by turning
+/// every fanin that crosses the boundary into a fresh PI; nodes whose
+/// fanout leaves the region (or is empty) become POs. Gate types, including
+/// FFs and their feedback where fully contained, are preserved.
+Circuit extract_subcircuit(const Circuit& c, std::size_t target_nodes, Rng& rng);
+
+}  // namespace deepseq

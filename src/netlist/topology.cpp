@@ -1,0 +1,126 @@
+#include "netlist/topology.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace deepseq {
+
+namespace {
+
+/// Generic levelization over an explicit fanin list. `is_source(v)` marks
+/// level-0 nodes whose fanins (if any) are ignored.
+Levelization levelize(std::size_t num_nodes,
+                      const std::vector<std::vector<NodeId>>& fanins,
+                      const std::vector<bool>& is_source) {
+  Levelization out;
+  out.level.assign(num_nodes, -1);
+
+  // Iterative DFS with memoized levels.
+  std::vector<std::pair<NodeId, int>> stack;
+  for (NodeId root = 0; root < num_nodes; ++root) {
+    if (out.level[root] >= 0) continue;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (is_source[v] || fanins[v].empty()) {
+        out.level[v] = 0;
+        stack.pop_back();
+        continue;
+      }
+      if (next < static_cast<int>(fanins[v].size())) {
+        const NodeId u = fanins[v][next++];
+        if (out.level[u] < 0) stack.emplace_back(u, 0);
+      } else {
+        int lvl = 0;
+        for (NodeId u : fanins[v]) {
+          if (out.level[u] < 0)
+            throw CircuitError("levelize: cycle detected at node " +
+                               std::to_string(u));
+          lvl = std::max(lvl, out.level[u] + 1);
+        }
+        out.level[v] = lvl;
+        stack.pop_back();
+      }
+    }
+  }
+
+  out.depth = 0;
+  for (int l : out.level) out.depth = std::max(out.depth, l);
+  out.by_level.assign(static_cast<std::size_t>(out.depth) + 1, {});
+  for (NodeId v = 0; v < num_nodes; ++v)
+    out.by_level[static_cast<std::size_t>(out.level[v])].push_back(v);
+  return out;
+}
+
+}  // namespace
+
+Levelization comb_levelize(const Circuit& c) {
+  const std::size_t n = c.num_nodes();
+  std::vector<std::vector<NodeId>> fanins(n);
+  std::vector<bool> is_source(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    const GateType t = c.type(v);
+    if (t == GateType::kPi || t == GateType::kFf || t == GateType::kConst0) {
+      is_source[v] = true;
+      continue;
+    }
+    for (int i = 0; i < c.num_fanins(v); ++i) fanins[v].push_back(c.fanin(v, i));
+  }
+  return levelize(n, fanins, is_source);
+}
+
+std::vector<NodeId> comb_topo_order(const Circuit& c) {
+  const Levelization lv = comb_levelize(c);
+  std::vector<NodeId> order;
+  order.reserve(c.num_nodes());
+  for (const auto& level : lv.by_level)
+    for (NodeId v : level) order.push_back(v);
+  return order;
+}
+
+AcyclicView make_acyclic_view(const Circuit& c) {
+  const std::size_t n = c.num_nodes();
+  AcyclicView out;
+  out.fanins.assign(n, {});
+
+  // DFS over the full graph (FF D edges included); drop edges into gray
+  // nodes (back edges) so the remainder is a DAG.
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(n, Mark::kWhite);
+  std::vector<std::pair<NodeId, int>> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (mark[root] != Mark::kWhite) continue;
+    mark[root] = Mark::kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < c.num_fanins(v)) {
+        const NodeId u = c.fanin(v, next++);
+        if (mark[u] == Mark::kGray) {
+          ++out.num_removed_edges;  // back edge: skip
+        } else {
+          out.fanins[v].push_back(u);
+          if (mark[u] == Mark::kWhite) {
+            mark[u] = Mark::kGray;
+            stack.emplace_back(u, 0);
+          }
+        }
+      } else {
+        mark[v] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+
+  std::vector<bool> is_source(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    if (c.type(v) == GateType::kPi || c.type(v) == GateType::kConst0)
+      is_source[v] = true;
+  }
+  out.levels = levelize(n, out.fanins, is_source);
+  return out;
+}
+
+}  // namespace deepseq

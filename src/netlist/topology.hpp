@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace deepseq {
+
+/// Logic-level assignment of the combinational view of a sequential circuit:
+/// PIs, FFs and constants sit at level 0 (FFs act as pseudo primary inputs,
+/// exactly the cycle-removal of the paper's propagation step 1); every other
+/// node is 1 + max(fanin level). by_level groups nodes for level-batched
+/// processing (simulation and GNN propagation both walk levels in order).
+struct Levelization {
+  std::vector<int> level;                     // per node
+  std::vector<std::vector<NodeId>> by_level;  // nodes grouped by level
+  int depth = 0;                              // deepest level index
+};
+
+/// Levelize the combinational view. Throws CircuitError on a combinational
+/// cycle (call Circuit::validate() first for a better message).
+Levelization comb_levelize(const Circuit& c);
+
+/// All nodes in a valid combinational evaluation order: level 0 sources
+/// first, then gates by increasing level.
+std::vector<NodeId> comb_topo_order(const Circuit& c);
+
+/// The graph baseline DAG-GNNs consume: the full directed graph (including
+/// FF D-input edges) with the minimal set of cycle-closing back edges
+/// removed by DFS. FFs keep any forward D edges and aggregate like ordinary
+/// nodes — this is the "apply a DAG-GNN to a cyclic circuit" strategy the
+/// paper contrasts its customized propagation against.
+struct AcyclicView {
+  std::vector<std::vector<NodeId>> fanins;  // per node, after edge removal
+  Levelization levels;                      // levels of the acyclified DAG
+  std::size_t num_removed_edges = 0;
+};
+
+AcyclicView make_acyclic_view(const Circuit& c);
+
+}  // namespace deepseq

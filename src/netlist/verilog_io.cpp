@@ -1,0 +1,632 @@
+#include "netlist/verilog_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/expand.hpp"
+
+namespace deepseq {
+
+namespace {
+
+// ---- tokenizer -------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+bool is_ident_start(char ch) {
+  return std::isalpha(static_cast<unsigned char>(ch)) || ch == '_';
+}
+bool is_ident_char(char ch) {
+  return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' || ch == '$';
+}
+
+/// Splits the stream into identifiers, sized constants (1'b0 style) and
+/// single-character punctuation; strips // and /* */ comments.
+std::vector<Token> tokenize(std::istream& in) {
+  std::vector<Token> out;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  int line = 1;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char ch = text[i];
+    if (ch == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      ++i;
+      continue;
+    }
+    if (ch == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (ch == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= text.size()) throw ParseError("unterminated comment", line);
+      i += 2;
+      continue;
+    }
+    if (is_ident_start(ch)) {
+      std::size_t j = i + 1;
+      while (j < text.size() && is_ident_char(text[j])) ++j;
+      out.push_back({text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      // Sized constant such as 1'b0 / 1'b1 (the only numbers we accept).
+      std::size_t j = i;
+      while (j < text.size() &&
+             (is_ident_char(text[j]) || text[j] == '\''))
+        ++j;
+      out.push_back({text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (ch == '\\')
+      throw ParseError("escaped identifiers are not supported", line);
+    if (ch == '[')
+      throw ParseError("vector/bus ports are not supported", line);
+    out.push_back({std::string(1, ch), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---- parser ----------------------------------------------------------------
+
+/// A gate or DFF instantiation captured during the first pass; fanins are
+/// patched once every driven net is known (nets may be used before their
+/// driver appears, e.g. DFF feedback).
+struct Instance {
+  GateType type = GateType::kConst0;
+  NodeId id = kNullNode;  // kNullNode: n-ary gate expanded after pass 1
+  std::string lhs;
+  std::vector<std::string> fanin_names;
+  int line = 0;
+};
+
+/// One operand of an assign: a net name, possibly complemented, or a
+/// constant (net empty, const_value 0/1).
+struct Operand {
+  std::string net;
+  bool complemented = false;
+  int const_value = -1;
+};
+
+/// Right-hand side of an assign: one operand, or a ternary (MUX).
+struct AssignRhs {
+  bool is_ternary = false;
+  Operand sel, a, b;  // a = then-branch, b = else-branch
+};
+
+struct AssignStmt {
+  std::string lhs;
+  AssignRhs rhs;
+  int line = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string fallback_name)
+      : toks_(std::move(tokens)), fallback_(std::move(fallback_name)) {}
+
+  Circuit run() {
+    expect_keyword("module");
+    module_name_ = take_ident("module name");
+    // The port list only orders names; directions come from declarations.
+    if (peek("(")) {
+      take("(");
+      if (!peek(")")) {
+        port_order_.push_back(take_ident("port"));
+        while (peek(",")) {
+          take(",");
+          port_order_.push_back(take_ident("port"));
+        }
+      }
+      take(")");
+    }
+    take(";");
+    while (!peek_keyword("endmodule")) statement();
+    take("endmodule");
+    return build();
+  }
+
+ private:
+  // ---- token helpers -------------------------------------------------------
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    const int line = pos_ < toks_.size() ? toks_[pos_].line : 0;
+    throw ParseError(msg, line);
+  }
+  bool at_end() const { return pos_ >= toks_.size(); }
+  bool peek(std::string_view text) const {
+    return !at_end() && toks_[pos_].text == text;
+  }
+  bool peek_keyword(std::string_view kw) const {
+    return !at_end() && to_lower(toks_[pos_].text) == kw;
+  }
+  Token take(std::string_view expected) {
+    if (!peek(expected)) fail("expected '" + std::string(expected) + "'");
+    return toks_[pos_++];
+  }
+  void expect_keyword(std::string_view kw) {
+    if (!peek_keyword(kw)) fail("expected '" + std::string(kw) + "'");
+    ++pos_;
+  }
+  std::string take_ident(const std::string& what) {
+    if (at_end() || !is_ident_start(toks_[pos_].text[0]))
+      fail("expected " + what);
+    return toks_[pos_++].text;
+  }
+
+  // ---- grammar -------------------------------------------------------------
+
+  void statement() {
+    if (at_end()) fail("unexpected end of file (missing endmodule?)");
+    const std::string kw = to_lower(toks_[pos_].text);
+    if (kw == "input" || kw == "output" || kw == "wire" || kw == "reg") {
+      declaration(kw);
+      return;
+    }
+    if (kw == "assign") {
+      ++pos_;
+      assign_statement();
+      return;
+    }
+    if (kw == "dff") {
+      ++pos_;
+      dff_instance();
+      return;
+    }
+    static const std::unordered_map<std::string, GateType> kPrimitives = {
+        {"and", GateType::kAnd},   {"or", GateType::kOr},
+        {"nand", GateType::kNand}, {"nor", GateType::kNor},
+        {"xor", GateType::kXor},   {"xnor", GateType::kXnor},
+        {"not", GateType::kNot},   {"buf", GateType::kBuf}};
+    const auto it = kPrimitives.find(kw);
+    if (it == kPrimitives.end())
+      fail("unsupported statement or module '" + toks_[pos_].text + "'");
+    ++pos_;
+    gate_instance(it->second);
+  }
+
+  void declaration(const std::string& kind) {
+    ++pos_;
+    if (peek_keyword("reg")) ++pos_;  // "output reg q"
+    do {
+      const std::string name = take_ident("net name");
+      if (kind == "input") inputs_.push_back(name);
+      if (kind == "output") outputs_.push_back(name);
+      // wire/reg declarations carry no structure of their own.
+    } while (peek(",") && (take(","), true));
+    take(";");
+  }
+
+  void gate_instance(GateType type) {
+    Instance inst;
+    inst.type = type;
+    inst.line = toks_[pos_ - 1].line;
+    if (!peek("(")) take_ident("instance name");  // optional, ignored
+    take("(");
+    inst.lhs = take_ident("output net");
+    while (peek(",")) {
+      take(",");
+      inst.fanin_names.push_back(take_ident("input net"));
+    }
+    take(")");
+    take(";");
+    const int arity = gate_arity(type);
+    const bool nary_ok = type == GateType::kAnd || type == GateType::kOr ||
+                         type == GateType::kNand || type == GateType::kNor;
+    const int n = static_cast<int>(inst.fanin_names.size());
+    if (n != arity && !(nary_ok && n > 2))
+      fail("wrong fanin count for primitive " +
+           std::string(gate_type_name(type)));
+    instances_.push_back(std::move(inst));
+  }
+
+  void dff_instance() {
+    Instance inst;
+    inst.type = GateType::kFf;
+    inst.line = toks_[pos_ - 1].line;
+    if (!peek("(")) take_ident("instance name");
+    take("(");
+    std::string q, d, ck;
+    if (peek(".")) {
+      // Named ports: .Q(net), .D(net), optional .CK/.CLK(net).
+      while (peek(".")) {
+        take(".");
+        const std::string port = to_lower(take_ident("port name"));
+        take("(");
+        const std::string net = take_ident("net");
+        take(")");
+        if (port == "q") q = net;
+        else if (port == "d") d = net;
+        else if (port == "ck" || port == "clk") ck = net;
+        else fail("unknown DFF port ." + port);
+        if (peek(",")) take(",");
+      }
+    } else {
+      q = take_ident("Q net");
+      take(",");
+      d = take_ident("D net");
+      if (peek(",")) {
+        take(",");
+        ck = take_ident("clock net");
+      }
+    }
+    take(")");
+    take(";");
+    if (q.empty() || d.empty()) fail("DFF requires Q and D connections");
+    if (!ck.empty()) clock_nets_.insert(ck);
+    inst.lhs = q;
+    inst.fanin_names.push_back(d);
+    instances_.push_back(std::move(inst));
+  }
+
+  Operand operand() {
+    Operand op;
+    if (peek("~")) {
+      take("~");
+      op.complemented = true;
+    }
+    if (at_end()) fail("expected operand");
+    const std::string& t = toks_[pos_].text;
+    if (t == "1'b0" || t == "1'B0") {
+      op.const_value = op.complemented ? 1 : 0;
+      op.complemented = false;
+      ++pos_;
+    } else if (t == "1'b1" || t == "1'B1") {
+      op.const_value = op.complemented ? 0 : 1;
+      op.complemented = false;
+      ++pos_;
+    } else {
+      op.net = take_ident("operand net");
+    }
+    return op;
+  }
+
+  void assign_statement() {
+    AssignStmt st;
+    st.line = toks_[pos_ - 1].line;
+    st.lhs = take_ident("assign target");
+    take("=");
+    st.rhs.a = operand();
+    if (peek("?")) {
+      take("?");
+      st.rhs.is_ternary = true;
+      st.rhs.sel = st.rhs.a;
+      st.rhs.a = operand();
+      take(":");
+      st.rhs.b = operand();
+    }
+    take(";");
+    assigns_.push_back(std::move(st));
+  }
+
+  // ---- construction --------------------------------------------------------
+
+  Circuit build() {
+    Circuit c(module_name_.empty() ? fallback_ : module_name_);
+
+    // Inputs referenced only as DFF clocks carry no logic value.
+    std::unordered_set<std::string> data_nets;
+    for (const Instance& inst : instances_)
+      for (const auto& f : inst.fanin_names) data_nets.insert(f);
+    for (const AssignStmt& st : assigns_)
+      for (const Operand* op : {&st.rhs.sel, &st.rhs.a, &st.rhs.b})
+        if (!op->net.empty()) data_nets.insert(op->net);
+
+    std::unordered_map<std::string, NodeId> by_name;
+    auto define = [&](const std::string& name, NodeId id, int line) {
+      if (!by_name.emplace(name, id).second)
+        throw ParseError("net driven twice: " + name, line);
+    };
+
+    for (const std::string& in : inputs_) {
+      if (clock_nets_.count(in) != 0 && data_nets.count(in) == 0) continue;
+      define(in, c.add_pi(in), 0);
+    }
+
+    // Pass 1: create nodes for fixed-arity instances and assign targets.
+    for (Instance& inst : instances_) {
+      if (inst.type == GateType::kFf) {
+        inst.id = c.add_ff(kNullNode, inst.lhs);
+      } else if (static_cast<int>(inst.fanin_names.size()) ==
+                 gate_arity(inst.type)) {
+        inst.id = c.add_gate(
+            inst.type,
+            std::vector<NodeId>(inst.fanin_names.size(), kNullNode),
+            inst.lhs);
+      }
+      if (inst.id != kNullNode) define(inst.lhs, inst.id, inst.line);
+    }
+
+    NodeId const0 = kNullNode;
+    auto get_const = [&](int value, int line) -> NodeId {
+      if (const0 == kNullNode) const0 = c.add_const0("const0");
+      if (value == 0) return const0;
+      auto it = by_name.find("const1");
+      if (it != by_name.end()) return it->second;
+      const NodeId n1 = c.add_not(const0, "const1");
+      define("const1", n1, line);
+      return n1;
+    };
+
+    auto resolve = [&](const std::string& name, int line) -> NodeId {
+      const auto it = by_name.find(name);
+      if (it == by_name.end())
+        throw ParseError("undriven net: " + name, line);
+      return it->second;
+    };
+    auto resolve_op = [&](const Operand& op, int line) -> NodeId {
+      if (op.const_value >= 0) return get_const(op.const_value, line);
+      const NodeId base = resolve(op.net, line);
+      return op.complemented ? c.add_not(base) : base;
+    };
+
+    // Assign targets may feed instances parsed earlier, so define them all
+    // before patching fanins. Ternaries/complements also create nodes here.
+    for (const AssignStmt& st : assigns_) {
+      NodeId id;
+      if (st.rhs.is_ternary) {
+        id = c.add_gate(GateType::kMux,
+                        {kNullNode, kNullNode, kNullNode}, st.lhs);
+        mux_fixups_.push_back({id, st});
+      } else if (st.rhs.a.const_value >= 0) {
+        id = get_const(st.rhs.a.const_value, st.line);
+        by_name.emplace(st.lhs, id);  // alias, duplicates allowed
+        continue;
+      } else if (st.rhs.a.complemented) {
+        id = c.add_gate(GateType::kNot, {kNullNode}, st.lhs);
+        not_fixups_.push_back({id, st});
+      } else {
+        id = c.add_gate(GateType::kBuf, {kNullNode}, st.lhs);
+        buf_fixups_.push_back({id, st});
+      }
+      define(st.lhs, id, st.line);
+    }
+
+    // N-ary expansions. An n-ary gate may feed another n-ary gate declared
+    // earlier in the file, so expand to a fixpoint: every round, expand the
+    // gates whose leaves are all driven. Progress is guaranteed because
+    // combinational cycles are invalid (feedback must pass through FFs,
+    // which are already defined).
+    std::vector<const Instance*> todo;
+    for (const Instance& inst : instances_)
+      if (inst.id == kNullNode) todo.push_back(&inst);
+    while (!todo.empty()) {
+      std::vector<const Instance*> stuck;
+      for (const Instance* inst : todo) {
+        bool ready = true;
+        for (const auto& f : inst->fanin_names)
+          if (by_name.find(f) == by_name.end()) ready = false;
+        if (!ready) {
+          stuck.push_back(inst);
+          continue;
+        }
+        std::vector<NodeId> leaves;
+        for (const auto& f : inst->fanin_names)
+          leaves.push_back(resolve(f, inst->line));
+        define(inst->lhs,
+               build_gate_tree(c, inst->type, std::move(leaves), inst->lhs),
+               inst->line);
+      }
+      if (stuck.size() == todo.size())
+        throw ParseError("undriven net: " + stuck.front()->fanin_names.front(),
+                         stuck.front()->line);
+      todo = std::move(stuck);
+    }
+
+    // Pass 2: patch fanins.
+    for (const Instance& inst : instances_) {
+      if (inst.id == kNullNode) continue;
+      for (std::size_t i = 0; i < inst.fanin_names.size(); ++i)
+        c.set_fanin(inst.id, static_cast<int>(i),
+                    resolve(inst.fanin_names[i], inst.line));
+    }
+    for (const auto& [id, st] : mux_fixups_) {
+      c.set_fanin(id, 0, resolve_op(st.rhs.sel, st.line));
+      c.set_fanin(id, 1, resolve_op(st.rhs.a, st.line));
+      c.set_fanin(id, 2, resolve_op(st.rhs.b, st.line));
+    }
+    for (const auto& [id, st] : not_fixups_)
+      c.set_fanin(id, 0, resolve(st.rhs.a.net, st.line));
+    for (const auto& [id, st] : buf_fixups_)
+      c.set_fanin(id, 0, resolve(st.rhs.a.net, st.line));
+
+    for (const std::string& out : outputs_) c.add_po(resolve(out, 0), out);
+
+    c.validate();
+    return c;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::string fallback_;
+  std::string module_name_;
+  std::vector<std::string> port_order_;
+  std::vector<std::string> inputs_, outputs_;
+  std::unordered_set<std::string> clock_nets_;
+  std::vector<Instance> instances_;
+  std::vector<AssignStmt> assigns_;
+  std::vector<std::pair<NodeId, AssignStmt>> mux_fixups_, not_fixups_,
+      buf_fixups_;
+};
+
+// ---- writer ----------------------------------------------------------------
+
+/// Make node names valid, collision-free Verilog identifiers.
+std::vector<std::string> verilog_names(const Circuit& c) {
+  std::vector<std::string> names = unique_node_names(c);
+  std::unordered_set<std::string> used;
+  for (auto& n : names) {
+    std::string s;
+    s.reserve(n.size());
+    for (char ch : n)
+      s.push_back(is_ident_char(ch) && ch != '$' ? ch : '_');
+    if (s.empty() || !is_ident_start(s[0])) s.insert(0, "n_");
+    std::string candidate = s;
+    for (int k = 2; !used.insert(candidate).second; ++k)
+      candidate = s + "_" + std::to_string(k);
+    n = candidate;
+  }
+  return names;
+}
+
+const char* primitive_name(GateType t) {
+  switch (t) {
+    case GateType::kAnd: return "and";
+    case GateType::kOr: return "or";
+    case GateType::kNand: return "nand";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+    case GateType::kNot: return "not";
+    case GateType::kBuf: return "buf";
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+Circuit parse_verilog(std::istream& in, std::string fallback_name) {
+  return Parser(tokenize(in), std::move(fallback_name)).run();
+}
+
+Circuit parse_verilog_string(const std::string& text,
+                             std::string fallback_name) {
+  std::istringstream in(text);
+  return parse_verilog(in, std::move(fallback_name));
+}
+
+Circuit parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open file: " + path);
+  const auto slash = path.find_last_of('/');
+  std::string base = (slash == std::string::npos) ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  return parse_verilog(in, std::move(base));
+}
+
+void write_verilog(const Circuit& c, std::ostream& out) {
+  const std::vector<std::string> names = verilog_names(c);
+  const bool has_ffs = !c.ffs().empty();
+  // The added clock port must not collide with a net name.
+  std::string clk = "clk";
+  for (bool collides = true; collides;) {
+    collides = false;
+    for (const auto& n : names)
+      if (n == clk) {
+        clk += "_g";
+        collides = true;
+        break;
+      }
+  }
+  std::string module = c.name().empty() ? "top" : c.name();
+  for (char& ch : module)
+    if (!is_ident_char(ch) || ch == '$') ch = '_';
+  if (!is_ident_start(module[0])) module.insert(0, "m_");
+
+  // Ports: inputs, clk (when sequential), one output per PO. PO port names
+  // must not collide with net names, so they get a po_ prefix when needed.
+  std::vector<std::string> po_ports;
+  for (std::size_t k = 0; k < c.pos().size(); ++k) {
+    std::string p = c.po_name(k).empty() ? "po" + std::to_string(k)
+                                         : c.po_name(k);
+    std::string s;
+    for (char ch : p) s.push_back(is_ident_char(ch) && ch != '$' ? ch : '_');
+    if (s.empty() || !is_ident_start(s[0])) s.insert(0, "po_");
+    po_ports.push_back("po_" + s);
+  }
+
+  out << "// generated by deepseq write_verilog\n";
+  out << "module " << module << " (";
+  bool first = true;
+  auto port = [&](const std::string& p) {
+    out << (first ? "" : ", ") << p;
+    first = false;
+  };
+  for (NodeId pi : c.pis()) port(names[pi]);
+  if (has_ffs) port(clk);
+  for (const auto& p : po_ports) port(p);
+  out << ");\n";
+
+  for (NodeId pi : c.pis()) out << "  input " << names[pi] << ";\n";
+  if (has_ffs) out << "  input " << clk << ";\n";
+  for (const auto& p : po_ports) out << "  output " << p << ";\n";
+  for (NodeId v = 0; v < c.num_nodes(); ++v)
+    if (c.type(v) != GateType::kPi) out << "  wire " << names[v] << ";\n";
+
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    const Node& n = c.node(v);
+    switch (n.type) {
+      case GateType::kPi:
+        break;
+      case GateType::kConst0:
+        out << "  assign " << names[v] << " = 1'b0;\n";
+        break;
+      case GateType::kFf:
+        out << "  DFF ff_" << v << " (.Q(" << names[v] << "), .D("
+            << names[n.fanin[0]] << "), .CK(" << clk << "));\n";
+        break;
+      case GateType::kMux:
+        out << "  assign " << names[v] << " = " << names[n.fanin[0]] << " ? "
+            << names[n.fanin[1]] << " : " << names[n.fanin[2]] << ";\n";
+        break;
+      default: {
+        const char* prim = primitive_name(n.type);
+        out << "  " << prim << " g_" << v << " (" << names[v];
+        for (int i = 0; i < n.num_fanins; ++i)
+          out << ", " << names[n.fanin[i]];
+        out << ");\n";
+      }
+    }
+  }
+  for (std::size_t k = 0; k < c.pos().size(); ++k)
+    out << "  assign " << po_ports[k] << " = " << names[c.pos()[k]] << ";\n";
+  out << "endmodule\n";
+
+  if (has_ffs) {
+    out << "\nmodule DFF (Q, D, CK);\n"
+           "  output reg Q;\n"
+           "  input D, CK;\n"
+           "  initial Q = 1'b0;\n"
+           "  always @(posedge CK) Q <= D;\n"
+           "endmodule\n";
+  }
+}
+
+std::string write_verilog_string(const Circuit& c) {
+  std::ostringstream out;
+  write_verilog(c, out);
+  return out.str();
+}
+
+void write_verilog_file(const Circuit& c, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open file for writing: " + path);
+  write_verilog(c, out);
+}
+
+}  // namespace deepseq

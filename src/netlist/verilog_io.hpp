@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace deepseq {
+
+/// Parse a gate-level structural Verilog module (the netlist subset emitted
+/// by synthesis tools and by write_verilog below):
+///
+///   module top (a, b, clk, y);
+///     input a, b, clk;
+///     output y;
+///     wire w1, w2;
+///     and  g1 (w1, a, b);        // primitives: and or nand nor xor xnor
+///     not  g2 (w2, w1);          //             not buf (instance name
+///     DFF  r1 (.Q(q), .D(w2));   //             optional)
+///     assign y = s ? w2 : q;     // ternary = MUX, ~x = NOT, 1'b0/1 consts
+///   endmodule
+///
+/// Supported: scalar nets only; n-ary and/or/nand/nor (expanded to 2-input
+/// trees); DFF instances positional (Q, D [, CK]) or by named ports
+/// (case-insensitive Q/D/CK/CLK); assigns of a net, ~net, constant or
+/// ternary. Inputs used only as DFF clocks are dropped (they carry no logic
+/// value). Escaped identifiers and vectors/buses are rejected.
+Circuit parse_verilog(std::istream& in, std::string fallback_name = "top");
+Circuit parse_verilog_string(const std::string& text,
+                             std::string fallback_name = "top");
+Circuit parse_verilog_file(const std::string& path);
+
+/// Serialize any Circuit (all 12 gate types) as a structural Verilog module
+/// named after the circuit. FFs become instances of an appended behavioral
+/// `DFF` module clocked by an added `clk` input; MUXes become ternary
+/// assigns; node names are sanitized into unique Verilog identifiers.
+void write_verilog(const Circuit& c, std::ostream& out);
+std::string write_verilog_string(const Circuit& c);
+void write_verilog_file(const Circuit& c, const std::string& path);
+
+}  // namespace deepseq

@@ -1,0 +1,61 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace deepseq::nn {
+
+Adam::Adam(NamedParams params, const Options& opt)
+    : params_(std::move(params)), opt_(opt) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& [name, p] : params_) {
+    (void)name;
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& [name, p] : params_) {
+    (void)name;
+    if (p->has_grad()) p->grad.zero();
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  // Optional global-norm clipping over all parameter gradients.
+  float clip_scale = 1.0f;
+  if (opt_.grad_clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (const auto& [name, p] : params_) {
+      (void)name;
+      if (!p->has_grad()) continue;
+      for (std::size_t i = 0; i < p->grad.size(); ++i)
+        norm_sq += static_cast<double>(p->grad.data()[i]) * p->grad.data()[i];
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > opt_.grad_clip)
+      clip_scale = static_cast<float>(opt_.grad_clip / norm);
+  }
+
+  const float bc1 = 1.0f - std::pow(opt_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(opt_.beta2, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Var& p = params_[k].second;
+    if (!p->has_grad()) continue;
+    Tensor& g = p->grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const float gi = g.data()[i] * clip_scale;
+      float& m = m_[k].data()[i];
+      float& v = v_[k].data()[i];
+      m = opt_.beta1 * m + (1.0f - opt_.beta1) * gi;
+      v = opt_.beta2 * v + (1.0f - opt_.beta2) * gi * gi;
+      const float mhat = m / bc1;
+      const float vhat = v / bc2;
+      p->value.data()[i] -= opt_.lr * mhat / (std::sqrt(vhat) + opt_.eps);
+    }
+  }
+}
+
+}  // namespace deepseq::nn

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/modules.hpp"
+
+namespace deepseq::nn {
+
+/// ADAM optimizer (paper §IV-A3: all models train with ADAM, lr = 1e-4).
+/// Gradients accumulate on parameter Vars across one or more backward()
+/// calls (gradient accumulation over a batch of circuits); step() consumes
+/// and zero_grad() clears them.
+struct AdamOptions {
+  float lr = 1e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float grad_clip = 0.0f;  // 0 disables; otherwise clip by global L2 norm
+};
+
+class Adam {
+ public:
+  using Options = AdamOptions;
+
+  explicit Adam(NamedParams params, const Options& opt = {});
+
+  void zero_grad();
+  void step();
+  int step_count() const { return t_; }
+  const NamedParams& params() const { return params_; }
+
+ private:
+  NamedParams params_;
+  Options opt_;
+  std::vector<Tensor> m_, v_;
+  int t_ = 0;
+};
+
+}  // namespace deepseq::nn

@@ -1,0 +1,59 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+
+namespace deepseq::nn {
+
+GradCheckResult grad_check(const std::function<Var(Graph&)>& forward,
+                           const std::vector<std::pair<std::string, Var>>& params,
+                           float eps, int max_entries_per_param) {
+  GradCheckResult res;
+
+  // Analytic gradients.
+  for (const auto& [name, p] : params) {
+    (void)name;
+    if (p->has_grad()) p->grad.zero();
+  }
+  {
+    Graph g(true);
+    Var loss = forward(g);
+    g.backward(loss);
+  }
+  std::vector<Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const auto& [name, p] : params) {
+    (void)name;
+    analytic.push_back(p->has_grad() ? p->grad : Tensor(p->value.rows(), p->value.cols()));
+  }
+
+  auto eval_loss = [&]() -> double {
+    Graph g(false);
+    return forward(g)->value.at(0, 0);
+  };
+
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Var p = params[k].second;
+    const int n = static_cast<int>(p->value.size());
+    const int stride = std::max(1, n / max_entries_per_param);
+    for (int i = 0; i < n; i += stride) {
+      const float saved = p->value.data()[i];
+      p->value.data()[i] = saved + eps;
+      const double up = eval_loss();
+      p->value.data()[i] = saved - eps;
+      const double down = eval_loss();
+      p->value.data()[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double exact = analytic[k].data()[i];
+      const double denom = std::max({std::fabs(numeric), std::fabs(exact), 1e-4});
+      const double rel = std::fabs(numeric - exact) / denom;
+      ++res.checked_entries;
+      if (rel > res.max_rel_error) {
+        res.max_rel_error = rel;
+        res.worst_param = params[k].first + "[" + std::to_string(i) + "]";
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace deepseq::nn

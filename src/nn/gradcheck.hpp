@@ -1,0 +1,25 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace deepseq::nn {
+
+/// Finite-difference gradient verification for tests. `forward` must build a
+/// scalar loss from scratch on the supplied Graph each call (parameters are
+/// perturbed between calls). Returns the maximum relative error between
+/// analytic and central-difference gradients over all checked parameters.
+struct GradCheckResult {
+  double max_rel_error = 0.0;
+  std::string worst_param;
+  int checked_entries = 0;
+};
+
+GradCheckResult grad_check(const std::function<Var(Graph&)>& forward,
+                           const std::vector<std::pair<std::string, Var>>& params,
+                           float eps = 1e-2f, int max_entries_per_param = 5);
+
+}  // namespace deepseq::nn

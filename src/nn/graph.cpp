@@ -1,0 +1,452 @@
+#include "nn/graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace deepseq::nn {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_id{1};
+
+Var new_node(Tensor value, bool requires_grad) {
+  auto n = std::make_shared<VarNode>();
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  n->id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  return n;
+}
+
+bool any_requires_grad(const std::vector<Var>& parents) {
+  for (const auto& p : parents)
+    if (p->requires_grad) return true;
+  return false;
+}
+
+}  // namespace
+
+Var make_param(Tensor value) { return new_node(std::move(value), true); }
+Var make_constant(Tensor value) { return new_node(std::move(value), false); }
+
+Var Graph::constant(Tensor value) { return make_constant(std::move(value)); }
+
+Var Graph::record(Tensor value, std::vector<Var> parents,
+                  std::function<void(VarNode&)> backward_fn) {
+  const bool needs = grad_enabled_ && any_requires_grad(parents);
+  Var n = new_node(std::move(value), needs);
+  if (needs) {
+    n->parents = std::move(parents);
+    n->backward_fn = std::move(backward_fn);
+    tape_.push_back(n);
+  }
+  return n;
+}
+
+Var Graph::add(const Var& a, const Var& b) {
+  Tensor v = nn::add(a->value, b->value);
+  return record(std::move(v), {a, b}, [a, b](VarNode& self) {
+    if (a->requires_grad) add_in_place(a->ensure_grad(), self.grad);
+    if (b->requires_grad) add_in_place(b->ensure_grad(), self.grad);
+  });
+}
+
+Var Graph::sub(const Var& a, const Var& b) {
+  Tensor v = nn::sub(a->value, b->value);
+  return record(std::move(v), {a, b}, [a, b](VarNode& self) {
+    if (a->requires_grad) add_in_place(a->ensure_grad(), self.grad);
+    if (b->requires_grad) {
+      Tensor& g = b->ensure_grad();
+      for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] -= self.grad.data()[i];
+    }
+  });
+}
+
+Var Graph::mul(const Var& a, const Var& b) {
+  Tensor v = nn::mul(a->value, b->value);
+  return record(std::move(v), {a, b}, [a, b](VarNode& self) {
+    if (a->requires_grad)
+      add_in_place(a->ensure_grad(), nn::mul(self.grad, b->value));
+    if (b->requires_grad)
+      add_in_place(b->ensure_grad(), nn::mul(self.grad, a->value));
+  });
+}
+
+Var Graph::add_row(const Var& a, const Var& row) {
+  Tensor v = nn::add_row(a->value, row->value);
+  return record(std::move(v), {a, row}, [a, row](VarNode& self) {
+    if (a->requires_grad) add_in_place(a->ensure_grad(), self.grad);
+    if (row->requires_grad) {
+      Tensor& g = row->ensure_grad();
+      for (int r = 0; r < self.grad.rows(); ++r)
+        for (int c = 0; c < self.grad.cols(); ++c) g.at(0, c) += self.grad.at(r, c);
+    }
+  });
+}
+
+Var Graph::matmul(const Var& a, const Var& b) {
+  Tensor v = nn::matmul(a->value, b->value);
+  return record(std::move(v), {a, b}, [a, b](VarNode& self) {
+    if (a->requires_grad) matmul_nt_acc(self.grad, b->value, a->ensure_grad());
+    if (b->requires_grad) matmul_tn_acc(a->value, self.grad, b->ensure_grad());
+  });
+}
+
+Var Graph::scale(const Var& a, float s) {
+  Tensor v = nn::scale(a->value, s);
+  return record(std::move(v), {a}, [a, s](VarNode& self) {
+    if (a->requires_grad) add_in_place(a->ensure_grad(), nn::scale(self.grad, s));
+  });
+}
+
+Var Graph::sigmoid(const Var& a) {
+  Tensor v = nn::sigmoid(a->value);
+  return record(std::move(v), {a}, [a](VarNode& self) {
+    if (!a->requires_grad) return;
+    Tensor& g = a->ensure_grad();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const float y = self.value.data()[i];
+      g.data()[i] += self.grad.data()[i] * y * (1.0f - y);
+    }
+  });
+}
+
+Var Graph::tanh_(const Var& a) {
+  Tensor v = nn::tanh_t(a->value);
+  return record(std::move(v), {a}, [a](VarNode& self) {
+    if (!a->requires_grad) return;
+    Tensor& g = a->ensure_grad();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const float y = self.value.data()[i];
+      g.data()[i] += self.grad.data()[i] * (1.0f - y * y);
+    }
+  });
+}
+
+Var Graph::relu(const Var& a) {
+  Tensor v = nn::relu(a->value);
+  return record(std::move(v), {a}, [a](VarNode& self) {
+    if (!a->requires_grad) return;
+    Tensor& g = a->ensure_grad();
+    for (std::size_t i = 0; i < g.size(); ++i)
+      if (a->value.data()[i] > 0.0f) g.data()[i] += self.grad.data()[i];
+  });
+}
+
+Var Graph::one_minus(const Var& a) {
+  Tensor v(a->value.rows(), a->value.cols());
+  for (std::size_t i = 0; i < v.size(); ++i) v.data()[i] = 1.0f - a->value.data()[i];
+  return record(std::move(v), {a}, [a](VarNode& self) {
+    if (!a->requires_grad) return;
+    Tensor& g = a->ensure_grad();
+    for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] -= self.grad.data()[i];
+  });
+}
+
+Var Graph::concat_cols(const std::vector<Var>& blocks) {
+  if (blocks.empty()) throw ShapeError("concat_cols: no blocks");
+  const int rows = blocks[0]->value.rows();
+  int cols = 0;
+  for (const auto& b : blocks) {
+    if (b->value.rows() != rows) throw ShapeError("concat_cols: row mismatch");
+    cols += b->value.cols();
+  }
+  Tensor v(rows, cols);
+  int offset = 0;
+  for (const auto& b : blocks) {
+    for (int r = 0; r < rows; ++r)
+      std::copy(b->value.row(r), b->value.row(r) + b->value.cols(),
+                v.row(r) + offset);
+    offset += b->value.cols();
+  }
+  std::vector<Var> parents(blocks.begin(), blocks.end());
+  return record(std::move(v), std::move(parents), [blocks](VarNode& self) {
+    int off = 0;
+    for (const auto& b : blocks) {
+      const int bc = b->value.cols();
+      if (b->requires_grad) {
+        Tensor& g = b->ensure_grad();
+        for (int r = 0; r < g.rows(); ++r)
+          for (int c = 0; c < bc; ++c) g.at(r, c) += self.grad.at(r, off + c);
+      }
+      off += bc;
+    }
+  });
+}
+
+Var Graph::gather(const std::vector<RowRef>& refs) {
+  if (refs.empty()) throw ShapeError("gather: no rows");
+  const int cols = refs[0].var->value.cols();
+  Tensor v(static_cast<int>(refs.size()), cols);
+  for (std::size_t e = 0; e < refs.size(); ++e) {
+    const auto& r = refs[e];
+    if (r.var->value.cols() != cols) throw ShapeError("gather: column mismatch");
+    if (r.row < 0 || r.row >= r.var->value.rows())
+      throw ShapeError("gather: row index out of range");
+    std::copy(r.var->value.row(r.row), r.var->value.row(r.row) + cols,
+              v.row(static_cast<int>(e)));
+  }
+  // Unique parents.
+  std::vector<Var> parents;
+  {
+    std::unordered_set<VarNode*> seen;
+    for (const auto& r : refs)
+      if (seen.insert(r.var.get()).second) parents.push_back(r.var);
+  }
+  auto refs_copy = refs;
+  return record(std::move(v), std::move(parents),
+                [refs_copy](VarNode& self) {
+                  const int cols = self.value.cols();
+                  for (std::size_t e = 0; e < refs_copy.size(); ++e) {
+                    const auto& r = refs_copy[e];
+                    if (!r.var->requires_grad) continue;
+                    Tensor& g = r.var->ensure_grad();
+                    const float* src = self.grad.row(static_cast<int>(e));
+                    float* dst = g.row(r.row);
+                    for (int c = 0; c < cols; ++c) dst[c] += src[c];
+                  }
+                });
+}
+
+Var Graph::segment_softmax(const Var& scores, const std::vector<int>& segment,
+                           int num_segments) {
+  if (scores->value.cols() != 1)
+    throw ShapeError("segment_softmax: scores must be E x 1");
+  const int e_count = scores->value.rows();
+  if (static_cast<int>(segment.size()) != e_count)
+    throw ShapeError("segment_softmax: segment size mismatch");
+
+  Tensor v(e_count, 1);
+  {
+    std::vector<float> seg_max(num_segments, -1e30f);
+    for (int e = 0; e < e_count; ++e)
+      seg_max[segment[e]] = std::max(seg_max[segment[e]], scores->value.at(e, 0));
+    std::vector<double> seg_sum(num_segments, 0.0);
+    for (int e = 0; e < e_count; ++e) {
+      const float x = std::exp(scores->value.at(e, 0) - seg_max[segment[e]]);
+      v.at(e, 0) = x;
+      seg_sum[segment[e]] += x;
+    }
+    for (int e = 0; e < e_count; ++e)
+      v.at(e, 0) = static_cast<float>(v.at(e, 0) / seg_sum[segment[e]]);
+  }
+
+  auto seg = segment;
+  return record(std::move(v), {scores}, [scores, seg, num_segments](VarNode& self) {
+    if (!scores->requires_grad) return;
+    // ds_e = y_e * (g_e - sum_{e' in seg} g_e' y_e')
+    std::vector<double> seg_dot(num_segments, 0.0);
+    const int n = self.value.rows();
+    for (int e = 0; e < n; ++e)
+      seg_dot[seg[e]] += static_cast<double>(self.grad.at(e, 0)) * self.value.at(e, 0);
+    Tensor& g = scores->ensure_grad();
+    for (int e = 0; e < n; ++e)
+      g.at(e, 0) += self.value.at(e, 0) *
+                    (self.grad.at(e, 0) - static_cast<float>(seg_dot[seg[e]]));
+  });
+}
+
+Var Graph::mul_col(const Var& values, const Var& col) {
+  if (col->value.cols() != 1 || col->value.rows() != values->value.rows())
+    throw ShapeError("mul_col: col must be E x 1 matching values rows");
+  Tensor v(values->value.rows(), values->value.cols());
+  for (int r = 0; r < v.rows(); ++r) {
+    const float a = col->value.at(r, 0);
+    for (int c = 0; c < v.cols(); ++c) v.at(r, c) = values->value.at(r, c) * a;
+  }
+  return record(std::move(v), {values, col}, [values, col](VarNode& self) {
+    if (values->requires_grad) {
+      Tensor& g = values->ensure_grad();
+      for (int r = 0; r < g.rows(); ++r) {
+        const float a = col->value.at(r, 0);
+        for (int c = 0; c < g.cols(); ++c) g.at(r, c) += self.grad.at(r, c) * a;
+      }
+    }
+    if (col->requires_grad) {
+      Tensor& g = col->ensure_grad();
+      for (int r = 0; r < self.grad.rows(); ++r) {
+        double acc = 0.0;
+        for (int c = 0; c < self.grad.cols(); ++c)
+          acc += static_cast<double>(self.grad.at(r, c)) * values->value.at(r, c);
+        g.at(r, 0) += static_cast<float>(acc);
+      }
+    }
+  });
+}
+
+Var Graph::segment_sum(const Var& values, const std::vector<int>& segment,
+                       int num_segments) {
+  if (static_cast<int>(segment.size()) != values->value.rows())
+    throw ShapeError("segment_sum: segment size mismatch");
+  Tensor v(num_segments, values->value.cols());
+  for (int e = 0; e < values->value.rows(); ++e) {
+    float* dst = v.row(segment[e]);
+    const float* src = values->value.row(e);
+    for (int c = 0; c < v.cols(); ++c) dst[c] += src[c];
+  }
+  auto seg = segment;
+  return record(std::move(v), {values}, [values, seg](VarNode& self) {
+    if (!values->requires_grad) return;
+    Tensor& g = values->ensure_grad();
+    for (int e = 0; e < g.rows(); ++e) {
+      const float* src = self.grad.row(seg[e]);
+      float* dst = g.row(e);
+      for (int c = 0; c < g.cols(); ++c) dst[c] += src[c];
+    }
+  });
+}
+
+Var Graph::segment_max(const Var& values, const std::vector<int>& segment,
+                       int num_segments) {
+  if (static_cast<int>(segment.size()) != values->value.rows())
+    throw ShapeError("segment_max: segment size mismatch");
+  const int cols = values->value.cols();
+  Tensor v(num_segments, cols);
+  // argmax[s*cols + c] = source row providing segment s's max in column c.
+  std::vector<int> argmax(static_cast<std::size_t>(num_segments) * cols, -1);
+  for (int e = 0; e < values->value.rows(); ++e) {
+    const int s = segment[e];
+    const float* src = values->value.row(e);
+    float* dst = v.row(s);
+    for (int c = 0; c < cols; ++c) {
+      int& am = argmax[static_cast<std::size_t>(s) * cols + c];
+      if (am < 0 || src[c] > dst[c]) {
+        dst[c] = src[c];
+        am = e;
+      }
+    }
+  }
+  return record(std::move(v), {values},
+                [values, argmax, cols](VarNode& self) {
+                  if (!values->requires_grad) return;
+                  Tensor& g = values->ensure_grad();
+                  for (int s = 0; s < self.value.rows(); ++s) {
+                    const float* src = self.grad.row(s);
+                    for (int c = 0; c < cols; ++c) {
+                      const int e = argmax[static_cast<std::size_t>(s) * cols + c];
+                      if (e >= 0) g.row(e)[c] += src[c];
+                    }
+                  }
+                });
+}
+
+Var Graph::l1_loss(const Var& pred, const Tensor& target) {
+  if (!pred->value.same_shape(target))
+    throw ShapeError("l1_loss: prediction/target shape mismatch " +
+                     pred->value.shape_string() + " vs " + target.shape_string());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i)
+    acc += std::fabs(pred->value.data()[i] - target.data()[i]);
+  const auto n = static_cast<double>(target.size());
+  Tensor v = Tensor::scalar(static_cast<float>(acc / n));
+  Tensor tgt = target;
+  return record(std::move(v), {pred}, [pred, tgt, n](VarNode& self) {
+    if (!pred->requires_grad) return;
+    Tensor& g = pred->ensure_grad();
+    const float s = self.grad.at(0, 0) / static_cast<float>(n);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const float d = pred->value.data()[i] - tgt.data()[i];
+      g.data()[i] += d > 0.0f ? s : (d < 0.0f ? -s : 0.0f);
+    }
+  });
+}
+
+Var Graph::l1_loss_weighted(const Var& pred, const Tensor& target,
+                            const Tensor& weight) {
+  if (!pred->value.same_shape(target) || !pred->value.same_shape(weight))
+    throw ShapeError("l1_loss_weighted: shape mismatch");
+  double acc = 0.0, wsum = 0.0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    acc += weight.data()[i] * std::fabs(pred->value.data()[i] - target.data()[i]);
+    wsum += weight.data()[i];
+  }
+  if (wsum <= 0.0) wsum = 1.0;
+  Tensor v = Tensor::scalar(static_cast<float>(acc / wsum));
+  Tensor tgt = target, wt = weight;
+  return record(std::move(v), {pred}, [pred, tgt, wt, wsum](VarNode& self) {
+    if (!pred->requires_grad) return;
+    Tensor& g = pred->ensure_grad();
+    const float s = self.grad.at(0, 0) / static_cast<float>(wsum);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const float d = pred->value.data()[i] - tgt.data()[i];
+      const float w = wt.data()[i];
+      g.data()[i] += w * (d > 0.0f ? s : (d < 0.0f ? -s : 0.0f));
+    }
+  });
+}
+
+Var Graph::softmax_cross_entropy(const Var& logits,
+                                 const std::vector<int>& labels) {
+  const int rows = logits->value.rows(), cols = logits->value.cols();
+  if (static_cast<int>(labels.size()) != rows)
+    throw ShapeError("softmax_cross_entropy: label count mismatch");
+  for (int r = 0; r < rows; ++r)
+    if (labels[r] < 0 || labels[r] >= cols)
+      throw ShapeError("softmax_cross_entropy: label out of range");
+  // Cache the softmax for the backward pass: d(loss)/d(logit) is
+  // (softmax - onehot) / B.
+  Tensor soft(rows, cols);
+  double acc = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    const float* z = logits->value.row(r);
+    float zmax = z[0];
+    for (int c = 1; c < cols; ++c) zmax = std::max(zmax, z[c]);
+    double denom = 0.0;
+    for (int c = 0; c < cols; ++c) denom += std::exp(static_cast<double>(z[c] - zmax));
+    float* p = soft.row(r);
+    for (int c = 0; c < cols; ++c)
+      p[c] = static_cast<float>(std::exp(static_cast<double>(z[c] - zmax)) / denom);
+    acc -= std::log(std::max(static_cast<double>(p[labels[r]]), 1e-12));
+  }
+  Tensor v = Tensor::scalar(static_cast<float>(acc / rows));
+  auto lab = labels;
+  return record(std::move(v), {logits}, [logits, soft, lab](VarNode& self) {
+    if (!logits->requires_grad) return;
+    Tensor& g = logits->ensure_grad();
+    const float s = self.grad.at(0, 0) / static_cast<float>(soft.rows());
+    for (int r = 0; r < soft.rows(); ++r) {
+      const float* p = soft.row(r);
+      float* dst = g.row(r);
+      for (int c = 0; c < soft.cols(); ++c)
+        dst[c] += s * (p[c] - (c == lab[r] ? 1.0f : 0.0f));
+    }
+  });
+}
+
+void Graph::backward(const Var& root) {
+  if (!grad_enabled_) throw Error("Graph::backward: gradients disabled");
+  root->ensure_grad().fill(1.0f);
+
+  // Reachable set, then descending creation id = reverse topological order.
+  std::vector<VarNode*> reachable;
+  {
+    std::unordered_set<VarNode*> seen;
+    std::vector<VarNode*> work{root.get()};
+    seen.insert(root.get());
+    while (!work.empty()) {
+      VarNode* n = work.back();
+      work.pop_back();
+      reachable.push_back(n);
+      for (const auto& p : n->parents)
+        if (seen.insert(p.get()).second) work.push_back(p.get());
+    }
+  }
+  std::sort(reachable.begin(), reachable.end(),
+            [](const VarNode* a, const VarNode* b) { return a->id > b->id; });
+  for (VarNode* n : reachable) {
+    if (n->backward_fn && n->has_grad()) n->backward_fn(*n);
+  }
+}
+
+void Graph::clear() {
+  for (auto& n : tape_) {
+    n->parents.clear();
+    n->backward_fn = nullptr;
+  }
+  tape_.clear();
+}
+
+}  // namespace deepseq::nn

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace deepseq::nn {
+
+/// A node in the dynamically built computation graph. `value` is always
+/// present; `grad` is allocated lazily during backward(). Operation nodes
+/// carry a backward function that scatters the node's gradient into its
+/// parents' gradients.
+struct VarNode {
+  Tensor value;
+  Tensor grad;  // empty until needed
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<VarNode>> parents;
+  std::function<void(VarNode&)> backward_fn;
+  std::uint64_t id = 0;  // creation order: descending id is a reverse topo order
+
+  bool has_grad() const { return grad.rows() == value.rows() && grad.cols() == value.cols() && grad.size() > 0; }
+  Tensor& ensure_grad() {
+    if (!has_grad()) grad = Tensor(value.rows(), value.cols());
+    return grad;
+  }
+};
+
+using Var = std::shared_ptr<VarNode>;
+
+/// Create a trainable parameter (lives outside any Graph tape; gradients
+/// accumulate across backward calls until an optimizer zeroes them).
+Var make_param(Tensor value);
+/// Create a non-trainable constant/input.
+Var make_constant(Tensor value);
+
+/// Reference to one row of a Var — the unit the GNN state map hands to
+/// gather(): node states live as rows of per-level matrices.
+struct RowRef {
+  Var var;
+  int row = 0;
+};
+
+/// Dynamic reverse-mode autograd tape. All operations are methods so that
+/// every created node is registered with the tape, which (a) gives backward
+/// a creation-order topological sort and (b) lets clear() break parent links
+/// iteratively, avoiding deep recursive shared_ptr destruction on long
+/// unrolled propagation graphs. Construct with grad_enabled=false for
+/// inference: ops then keep no parents/backwards and intermediates free as
+/// soon as they go out of scope.
+class Graph {
+ public:
+  explicit Graph(bool grad_enabled = true) : grad_enabled_(grad_enabled) {}
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  ~Graph() { clear(); }
+
+  bool grad_enabled() const { return grad_enabled_; }
+
+  Var constant(Tensor value);
+
+  // ---- elementwise / linear algebra ---------------------------------------
+  Var add(const Var& a, const Var& b);
+  Var sub(const Var& a, const Var& b);
+  Var mul(const Var& a, const Var& b);
+  /// a (r x c) + row (1 x c), broadcast over rows.
+  Var add_row(const Var& a, const Var& row);
+  Var matmul(const Var& a, const Var& b);
+  Var scale(const Var& a, float s);
+  Var sigmoid(const Var& a);
+  Var tanh_(const Var& a);
+  Var relu(const Var& a);
+  /// 1 - a (elementwise), used by the GRU update gate.
+  Var one_minus(const Var& a);
+
+  // ---- structure ops for level-batched message passing --------------------
+  /// Horizontally concatenate equal-row-count blocks.
+  Var concat_cols(const std::vector<Var>& blocks);
+  /// Stack arbitrary rows of arbitrary Vars into a new matrix.
+  Var gather(const std::vector<RowRef>& refs);
+  /// Per-segment softmax over a column of scores (E x 1). segment[e] in
+  /// [0, num_segments); entries of a segment need not be contiguous.
+  Var segment_softmax(const Var& scores, const std::vector<int>& segment,
+                      int num_segments);
+  /// values (E x d) * col (E x 1) broadcast across columns.
+  Var mul_col(const Var& values, const Var& col);
+  /// Sum rows of values (E x d) into their segment (num_segments x d).
+  Var segment_sum(const Var& values, const std::vector<int>& segment,
+                  int num_segments);
+  /// Columnwise max of values (E x d) per segment (num_segments x d);
+  /// gradient flows to the (first) argmax row of each segment/column only.
+  /// Empty segments yield 0.
+  Var segment_max(const Var& values, const std::vector<int>& segment,
+                  int num_segments);
+
+  // ---- losses --------------------------------------------------------------
+  /// Mean absolute error against a fixed target; returns a 1x1 scalar.
+  Var l1_loss(const Var& pred, const Tensor& target);
+  /// Weighted mean absolute error; weight shape == pred shape.
+  Var l1_loss_weighted(const Var& pred, const Tensor& target,
+                       const Tensor& weight);
+  /// Mean softmax cross-entropy of logits (B x C) against integer class
+  /// labels (size B, values in [0, C)); returns a 1x1 scalar. Numerically
+  /// stabilized by row-max subtraction.
+  Var softmax_cross_entropy(const Var& logits, const std::vector<int>& labels);
+
+  /// Backpropagate from a scalar (or any) root: seeds d(root)/d(root) = 1.
+  void backward(const Var& root);
+
+  /// Break all graph links recorded on this tape (values stay valid).
+  void clear();
+
+  std::size_t tape_size() const { return tape_.size(); }
+
+ private:
+  Var record(Tensor value, std::vector<Var> parents,
+             std::function<void(VarNode&)> backward_fn);
+
+  bool grad_enabled_;
+  std::vector<Var> tape_;
+};
+
+}  // namespace deepseq::nn

@@ -1,0 +1,70 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace deepseq::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x44535130;  // "DSQ0"
+}
+
+void save_params(const std::string& path, const NamedParams& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("save_params: cannot open " + path);
+  const std::uint32_t magic = kMagic;
+  const auto count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, p] : params) {
+    const auto len = static_cast<std::uint32_t>(name.size());
+    const std::uint32_t rows = static_cast<std::uint32_t>(p->value.rows());
+    const std::uint32_t cols = static_cast<std::uint32_t>(p->value.cols());
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(name.data(), len);
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!out) throw Error("save_params: write failed for " + path);
+}
+
+void load_params(const std::string& path, const NamedParams& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("load_params: cannot open " + path);
+  std::uint32_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) throw Error("load_params: bad file format");
+
+  std::unordered_map<std::string, Tensor> loaded;
+  for (std::uint32_t k = 0; k < count; ++k) {
+    std::uint32_t len = 0, rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!in || len > 4096) throw Error("load_params: corrupt entry");
+    std::string name(len, '\0');
+    in.read(name.data(), len);
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    Tensor t(static_cast<int>(rows), static_cast<int>(cols));
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    if (!in) throw Error("load_params: truncated file");
+    loaded.emplace(std::move(name), std::move(t));
+  }
+
+  for (const auto& [name, p] : params) {
+    auto it = loaded.find(name);
+    if (it == loaded.end())
+      throw Error("load_params: parameter '" + name + "' missing from " + path);
+    if (!it->second.same_shape(p->value))
+      throw Error("load_params: shape mismatch for '" + name + "'");
+    p->value = it->second;
+  }
+}
+
+}  // namespace deepseq::nn

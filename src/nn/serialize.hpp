@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "nn/modules.hpp"
+
+namespace deepseq::nn {
+
+/// Save named parameters to a simple binary format (magic, count, then
+/// name/rows/cols/float data per entry). Used to persist pre-trained
+/// DeepSeq weights between the pre-training and fine-tuning stages.
+void save_params(const std::string& path, const NamedParams& params);
+
+/// Load parameters saved with save_params into matching Vars (matched by
+/// name; shapes must agree). Throws Error on missing names or shape
+/// mismatch; entries present in the file but absent from `params` are
+/// ignored, so a fine-tuning model with an extra head can load a
+/// pre-trained backbone.
+void load_params(const std::string& path, const NamedParams& params);
+
+}  // namespace deepseq::nn

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace deepseq::nn {
+
+/// Dense row-major 2-D float matrix. Vectors are 1xN or Nx1 tensors; a
+/// scalar is 1x1. This is the only numeric container the NN substrate uses —
+/// every model quantity in the paper (node states, attention scores, GRU
+/// gates, regressor outputs) is a matrix of [#nodes-in-level x dim].
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols) : rows_(rows), cols_(cols), data_(checked_size(rows, cols), 0.0f) {}
+
+  static Tensor zeros(int rows, int cols) { return Tensor(rows, cols); }
+  static Tensor full(int rows, int cols, float value);
+  static Tensor scalar(float value);
+  static Tensor from_rows(const std::vector<std::vector<float>>& rows);
+  /// Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+  static Tensor xavier(int rows, int cols, Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool same_shape(const Tensor& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  float& at(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  float at(int r, int c) const { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  float* row(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const float* row(int r) const { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Frobenius-style reductions used by tests and the trainer.
+  float sum() const;
+  float mean() const;
+  float abs_max() const;
+
+  std::string shape_string() const;
+
+ private:
+  static std::size_t checked_size(int rows, int cols);
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- out-of-place kernels (no autograd; the Graph layer wraps these) ------
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C += A^T * B. Shapes: (k x m)^T * (k x n) -> adds into (m x n).
+void matmul_tn_acc(const Tensor& a, const Tensor& b, Tensor& out);
+/// C += A * B^T. Shapes: (m x k) * (n x k)^T -> adds into (m x n).
+void matmul_nt_acc(const Tensor& a, const Tensor& b, Tensor& out);
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+/// A (r x c) + row vector (1 x c) broadcast over rows.
+Tensor add_row(const Tensor& a, const Tensor& row);
+Tensor scale(const Tensor& a, float s);
+void add_in_place(Tensor& into, const Tensor& what);
+void scale_in_place(Tensor& t, float s);
+
+Tensor sigmoid(const Tensor& a);
+Tensor tanh_t(const Tensor& a);
+Tensor relu(const Tensor& a);
+
+}  // namespace deepseq::nn

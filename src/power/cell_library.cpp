@@ -1,0 +1,10 @@
+#include "power/cell_library.hpp"
+
+namespace deepseq {
+
+const CellLibrary& default_cell_library() {
+  static const CellLibrary lib{};
+  return lib;
+}
+
+}  // namespace deepseq

@@ -1,0 +1,174 @@
+#include "power/grannite.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "core/trainer.hpp"
+
+namespace deepseq {
+
+using nn::Graph;
+using nn::RowRef;
+using nn::Tensor;
+using nn::Var;
+
+GranniteSample make_grannite_sample(const TrainSample& base) {
+  GranniteSample s;
+  s.base = &base;
+  const int n = base.graph.num_nodes;
+  s.source_feats = Tensor(n, 3);
+  s.comb_mask = Tensor(n, 2);
+  for (int v = 0; v < n; ++v) {
+    const bool is_pi = base.graph.features.at(v, feature_index(GateType::kPi)) > 0.5f;
+    const bool is_ff = base.graph.features.at(v, feature_index(GateType::kFf)) > 0.5f;
+    if (is_pi || is_ff) {
+      // Simulator-derived activity of sequential elements and inputs
+      // (Grannite's "RTL simulation" inputs).
+      const float rate = base.target_tr.at(v, 0) + base.target_tr.at(v, 1);
+      s.source_feats.at(v, 0) = rate;
+      s.source_feats.at(v, 1) = base.target_lg.at(v, 0);
+      s.source_feats.at(v, 2) = 1.0f;
+    } else {
+      s.comb_mask.at(v, 0) = 1.0f;
+      s.comb_mask.at(v, 1) = 1.0f;
+    }
+  }
+  return s;
+}
+
+GranniteModel::GranniteModel(const GranniteConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  const int d = config.hidden_dim;
+  agg_ = Aggregator(AggregatorKind::kAttention, d, rng, "grannite.agg");
+  // Input = message + one-hot type + the 3 source features.
+  gru_ = nn::GruCell(d + kFeatureDim + 3, d, rng, "grannite.gru");
+  head_ = nn::Mlp({d, d, 2}, nn::Activation::kSigmoid, rng, "grannite.head");
+}
+
+Var GranniteModel::forward(Graph& g, const CircuitGraph& graph,
+                           const Tensor& source_feats,
+                           std::uint64_t init_seed) const {
+  const int d = config_.hidden_dim;
+  const int n = graph.num_nodes;
+  if (source_feats.rows() != n || source_feats.cols() != 3)
+    throw Error("GranniteModel: source feature shape mismatch");
+
+  // Extended per-node features: one-hot type || source activity.
+  Tensor feats(n, kFeatureDim + 3);
+  for (int v = 0; v < n; ++v) {
+    for (int c = 0; c < kFeatureDim; ++c) feats.at(v, c) = graph.features.at(v, c);
+    for (int c = 0; c < 3; ++c) feats.at(v, kFeatureDim + c) = source_feats.at(v, c);
+  }
+  const Var features = g.constant(std::move(feats));
+
+  // Source states broadcast their activity; gates start from seeded noise.
+  Rng rng(init_seed);
+  Tensor h0(n, d);
+  for (int v = 0; v < n; ++v) {
+    if (source_feats.at(v, 2) > 0.5f) {
+      for (int c = 0; c < d; ++c)
+        h0.at(v, c) = (c % 2 == 0) ? source_feats.at(v, 0) : source_feats.at(v, 1);
+    } else {
+      for (int c = 0; c < d; ++c) h0.at(v, c) = static_cast<float>(rng.uniform());
+    }
+  }
+  const Var init = g.constant(std::move(h0));
+
+  std::vector<RowRef> state(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) state[v] = RowRef{init, v};
+
+  // Single forward sweep over the combinational levels (no reverse pass, no
+  // FF update, no recursion — the Grannite schedule).
+  for (const auto& batch : graph.comb_forward) {
+    const int num_targets = static_cast<int>(batch.targets.size());
+    std::vector<RowRef> target_refs, edge_refs, source_refs, feat_refs;
+    for (NodeId v : batch.targets) {
+      target_refs.push_back(state[v]);
+      feat_refs.push_back(RowRef{features, static_cast<int>(v)});
+    }
+    for (std::size_t e = 0; e < batch.sources.size(); ++e) {
+      edge_refs.push_back(state[batch.targets[batch.segment[e]]]);
+      source_refs.push_back(state[batch.sources[e]]);
+    }
+    const Var hv_prev = g.gather(target_refs);
+    const Var hu = g.gather(source_refs);
+    const Var m = agg_.aggregate(g, hv_prev, g.gather(edge_refs), hu,
+                                 batch.segment, num_targets);
+    const Var x = g.concat_cols({m, g.gather(feat_refs)});
+    const Var h_new = gru_.apply(g, x, hv_prev);
+    for (int i = 0; i < num_targets; ++i)
+      state[batch.targets[i]] = RowRef{h_new, i};
+  }
+
+  std::vector<RowRef> all;
+  all.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) all.push_back(state[v]);
+  return head_.apply(g, g.gather(all));
+}
+
+void GranniteModel::fit(const std::vector<GranniteSample>& samples, int epochs,
+                        float lr, std::uint64_t shuffle_seed,
+                        bool balance_active) {
+  nn::Adam adam(params(), nn::AdamOptions{lr, 0.9f, 0.999f, 1e-8f, 5.0f});
+  Rng rng(shuffle_seed);
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.shuffle(order);
+    int in_batch = 0;
+    adam.zero_grad();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const GranniteSample& s = samples[order[i]];
+      Graph g(true);
+      const Var pred = forward(g, s.base->graph, s.source_feats, s.base->init_seed);
+      Tensor weight = s.comb_mask;
+      if (balance_active) {
+        const Tensor bal = balanced_tr_weights(s.base->target_tr);
+        for (std::size_t k = 0; k < weight.size(); ++k)
+          weight.data()[k] *= bal.data()[k];
+      }
+      const Var loss = g.l1_loss_weighted(pred, s.base->target_tr, weight);
+      g.backward(loss);
+      if (++in_batch >= 4 || i + 1 == order.size()) {
+        adam.step();
+        adam.zero_grad();
+        in_batch = 0;
+      }
+    }
+  }
+}
+
+std::vector<double> GranniteModel::toggle_rates(const CircuitGraph& graph,
+                                                const Tensor& source_feats,
+                                                std::uint64_t init_seed) const {
+  Graph g(false);
+  const Var pred = forward(g, graph, source_feats, init_seed);
+  std::vector<double> rates(static_cast<std::size_t>(graph.num_nodes));
+  for (int v = 0; v < graph.num_nodes; ++v) {
+    if (source_feats.at(v, 2) > 0.5f) {
+      rates[v] = source_feats.at(v, 0);  // simulation truth for PI/FF
+    } else {
+      rates[v] = pred->value.at(v, 0) + pred->value.at(v, 1);
+    }
+  }
+  return rates;
+}
+
+nn::NamedParams GranniteModel::params() const {
+  nn::NamedParams out;
+  agg_.collect_params(out);
+  gru_.collect_params(out);
+  head_.collect_params(out);
+  return out;
+}
+
+void GranniteModel::copy_params_from(const GranniteModel& other) {
+  const nn::NamedParams mine = params();
+  const nn::NamedParams theirs = other.params();
+  if (mine.size() != theirs.size())
+    throw Error("GranniteModel::copy_params_from: architecture mismatch");
+  for (std::size_t i = 0; i < mine.size(); ++i)
+    mine[i].second->value = theirs[i].second->value;
+}
+
+}  // namespace deepseq

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/circuit_graph.hpp"
+#include "core/sample.hpp"
+#include "nn/adam.hpp"
+#include "nn/modules.hpp"
+
+namespace deepseq {
+
+/// Re-implementation of the Grannite-style learning baseline [18] in the
+/// paper's unified framework (§V-A2): a *forward-only* DAG-GNN over the
+/// combinational logic whose sequential-element activity is an input, not a
+/// prediction. PI and FF nodes carry simulator-derived features (toggle
+/// rate and static probability — the paper feeds Grannite RTL-simulation
+/// results; our golden gate-level simulation provides the identical
+/// information) and keep them fixed; the model infers toggle rates of
+/// combinational gates only. The missing periodic exchange between memory
+/// elements and logic is exactly the deficiency §V-A3c discusses.
+struct GranniteConfig {
+  int hidden_dim = 64;
+  std::uint64_t seed = 77;
+};
+
+/// Per-circuit input for Grannite: the shared CircuitGraph plus the source
+/// feature matrix (N x 3: [toggle_rate, logic1, is_source], zero for
+/// non-source nodes).
+struct GranniteSample {
+  const TrainSample* base = nullptr;  // circuit graph + TR labels
+  nn::Tensor source_feats;            // N x 3
+  nn::Tensor comb_mask;               // N x 2: 1 where the loss applies
+};
+
+/// Build the Grannite input from a sample whose activity is already known
+/// (source features come from the simulated workload).
+GranniteSample make_grannite_sample(const TrainSample& base);
+
+class GranniteModel {
+ public:
+  explicit GranniteModel(const GranniteConfig& config);
+
+  /// Predicted per-node toggle probabilities (N x 2, sigmoid). Predictions
+  /// are only meaningful on combinational gates; callers substitute
+  /// simulator truth for PI/FF rows (the Grannite protocol).
+  nn::Var forward(nn::Graph& g, const CircuitGraph& graph,
+                  const nn::Tensor& source_feats,
+                  std::uint64_t init_seed) const;
+
+  /// L1-fit on combinational gates of the given samples. With
+  /// balance_active, active and static gates get equal loss mass (see
+  /// TrainOptions::balance_tr for the rationale at reduced budgets).
+  void fit(const std::vector<GranniteSample>& samples, int epochs, float lr,
+           std::uint64_t shuffle_seed = 99, bool balance_active = false);
+
+  /// Full toggle-rate vector for power analysis: model predictions on comb
+  /// gates, simulation values on PI/FF (taken from source_feats).
+  std::vector<double> toggle_rates(const CircuitGraph& graph,
+                                   const nn::Tensor& source_feats,
+                                   std::uint64_t init_seed) const;
+
+  nn::NamedParams params() const;
+  void copy_params_from(const GranniteModel& other);
+  const GranniteConfig& config() const { return config_; }
+
+ private:
+  GranniteConfig config_;
+  Aggregator agg_;
+  nn::GruCell gru_;
+  nn::Mlp head_;
+};
+
+}  // namespace deepseq

@@ -1,0 +1,257 @@
+#include "power/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "netlist/aig.hpp"
+#include "netlist/bench_io.hpp"
+#include "prob/switching.hpp"
+
+namespace deepseq {
+
+Workload map_workload_to_aig(const Circuit& generic,
+                             const std::vector<NodeId>& node_map,
+                             const Circuit& aig, const Workload& w) {
+  if (w.pi_prob.size() != generic.pis().size())
+    throw Error("map_workload_to_aig: workload PI count mismatch");
+  std::unordered_map<NodeId, double> prob_of_aig_pi;
+  for (std::size_t k = 0; k < generic.pis().size(); ++k)
+    prob_of_aig_pi.emplace(node_map[generic.pis()[k]], w.pi_prob[k]);
+
+  Workload out;
+  out.pattern_seed = w.pattern_seed;
+  out.pi_prob.reserve(aig.pis().size());
+  for (NodeId pi : aig.pis()) {
+    const auto it = prob_of_aig_pi.find(pi);
+    if (it == prob_of_aig_pi.end())
+      throw Error("map_workload_to_aig: AIG PI without a generic source");
+    out.pi_prob.push_back(it->second);
+  }
+  return out;
+}
+
+namespace {
+
+/// SAIF document over the generic netlist's node names from per-node
+/// logic-1 probabilities and toggle rates.
+SaifDocument make_saif(const Circuit& netlist, const std::vector<double>& logic1,
+                       const std::vector<double>& rate, long long duration,
+                       const std::string& design) {
+  SaifDocument doc;
+  doc.design = design;
+  doc.duration = duration;
+  const auto names = unique_node_names(netlist);
+  for (NodeId v = 0; v < netlist.num_nodes(); ++v)
+    doc.add_net(names[v], logic1[v], rate[v]);
+  return doc;
+}
+
+double power_via_saif(const Circuit& netlist, const SaifDocument& doc,
+                      const std::string& saif_dir, const std::string& label) {
+  if (!saif_dir.empty())
+    write_saif_file(doc, saif_dir + "/" + doc.design + "_" + label + ".saif");
+  return analyze_power(netlist, doc).total_mw();
+}
+
+}  // namespace
+
+const char* finetune_dist_name(FinetuneDist d) {
+  switch (d) {
+    case FinetuneDist::kUniform: return "uniform";
+    case FinetuneDist::kLowActivity: return "low-activity";
+    case FinetuneDist::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+namespace {
+
+double rel_error(double est, double gt) {
+  return gt != 0.0 ? std::fabs(est - gt) / gt : 0.0;
+}
+
+}  // namespace
+
+PowerPipeline::PowerPipeline(const DeepSeqModel& pretrained_deepseq,
+                             const GranniteModel& pretrained_grannite,
+                             const PowerPipelineOptions& options)
+    : pretrained_deepseq_(pretrained_deepseq),
+      pretrained_grannite_(pretrained_grannite),
+      options_(options) {}
+
+PowerComparison PowerPipeline::run(const TestDesign& design,
+                                   const Workload& workload) {
+  return run_workloads(design, {workload}).front();
+}
+
+std::vector<PowerComparison> PowerPipeline::run_workloads(
+    const TestDesign& design, const std::vector<Workload>& workloads) {
+  const Circuit& netlist = design.netlist;
+  Rng rng(options_.seed ^ std::hash<std::string>{}(design.name));
+
+  // Decompose to AIG without optimization (paper §V-A2); probabilities are
+  // read off the representative fanout node of each gate's combination.
+  const AigConversion conv = decompose_to_aig(netlist);
+  auto aig = std::make_shared<const Circuit>(conv.aig);
+
+  // ---- fine-tuning stage (once per design) --------------------------------
+  DeepSeqModel deepseq(pretrained_deepseq_.config());
+  deepseq.copy_params_from(pretrained_deepseq_);
+  GranniteModel grannite(pretrained_grannite_.config());
+  grannite.copy_params_from(pretrained_grannite_);
+
+  // Fine-tuning workloads (paper §V-A1: 1000 workloads per design drawn
+  // from the §III-B pipeline; bench/ablation_finetune studies the
+  // distribution choice at reduced budgets).
+  auto draw_ft_workload = [&](int k) {
+    switch (options_.finetune_dist) {
+      case FinetuneDist::kUniform:
+        return random_workload(netlist, rng);
+      case FinetuneDist::kLowActivity:
+        return low_activity_workload(netlist, rng,
+                                     options_.finetune_active_fraction);
+      case FinetuneDist::kMixed:
+      default:
+        return k % 2 == 0 ? random_workload(netlist, rng)
+                          : low_activity_workload(
+                                netlist, rng,
+                                options_.finetune_active_fraction);
+    }
+  };
+  std::vector<TrainSample> ft_samples;
+  ft_samples.reserve(static_cast<std::size_t>(options_.finetune_workloads));
+  for (int k = 0; k < options_.finetune_workloads; ++k) {
+    Workload w_gen = draw_ft_workload(k);
+    Workload w_aig = map_workload_to_aig(netlist, conv.node_map, *aig, w_gen);
+    ActivityOptions sim_opt;
+    sim_opt.num_cycles = options_.finetune_sim_cycles;
+    const NodeActivity act = collect_activity(*aig, w_aig, sim_opt);
+    ft_samples.push_back(make_sample_from_activity(
+        design.name + "_ft" + std::to_string(k), aig, std::move(w_aig), act,
+        options_.init_seed + static_cast<std::uint64_t>(k)));
+  }
+
+  {
+    TrainOptions ft;
+    ft.epochs = options_.finetune_epochs;
+    ft.lr = options_.finetune_lr;
+    ft.batch_size = options_.finetune_batch;
+    ft.balance_tr = options_.balanced_finetune;
+    Trainer trainer(deepseq, ft);
+    trainer.fit(ft_samples);
+  }
+  {
+    std::vector<GranniteSample> gs;
+    gs.reserve(ft_samples.size());
+    for (const auto& s : ft_samples) gs.push_back(make_grannite_sample(s));
+    grannite.fit(gs, options_.finetune_epochs, options_.finetune_lr,
+                 rng.next_u64(), options_.balanced_finetune);
+  }
+
+  // ---- evaluation per workload --------------------------------------------
+  std::vector<PowerComparison> out;
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const Workload& w_gen = workloads[wi];
+    const Workload w_aig = map_workload_to_aig(netlist, conv.node_map, *aig, w_gen);
+
+    PowerComparison cmp;
+    cmp.design = design.name;
+    cmp.workload_id = "W" + std::to_string(wi);
+
+    // Ground truth: logic simulation of the generic netlist (Fig. 3 top).
+    ActivityOptions gt_opt;
+    gt_opt.num_cycles = options_.gt_sim_cycles;
+    const NodeActivity gt_act = collect_activity(netlist, w_gen, gt_opt);
+    cmp.static_fraction = gt_act.static_fraction();
+    std::vector<double> gt_rate(netlist.num_nodes());
+    for (NodeId v = 0; v < netlist.num_nodes(); ++v)
+      gt_rate[v] = gt_act.toggle_rate(v);
+    const SaifDocument gt_saif = make_saif(netlist, gt_act.logic1, gt_rate,
+                                           options_.gt_sim_cycles, design.name);
+    cmp.gt_mw = power_via_saif(netlist, gt_saif, options_.saif_dir,
+                               cmp.workload_id + "_gt");
+
+    // Probabilistic baseline [27]: non-simulative estimate on the netlist.
+    const SwitchingEstimate sw = estimate_switching(netlist, w_gen);
+    std::vector<double> sw_rate(netlist.num_nodes());
+    for (NodeId v = 0; v < netlist.num_nodes(); ++v)
+      sw_rate[v] = sw.tr01[v] + sw.tr10[v];
+    cmp.probabilistic_mw = power_via_saif(
+        netlist, make_saif(netlist, sw.logic1, sw_rate, options_.gt_sim_cycles,
+                           design.name),
+        options_.saif_dir, cmp.workload_id + "_probabilistic");
+    cmp.probabilistic_error = rel_error(cmp.probabilistic_mw, cmp.gt_mw);
+
+    // Both learned methods predict on the AIG under the test workload.
+    ActivityOptions aig_opt;
+    aig_opt.num_cycles = options_.gt_sim_cycles;
+    const NodeActivity aig_act = collect_activity(*aig, w_aig, aig_opt);
+    const CircuitGraph aig_graph = build_circuit_graph(*aig);
+
+    const int ensemble = std::max(1, options_.inference_init_seeds);
+
+    // Grannite: PI/FF activity comes from simulation, logic is inferred.
+    // Predictions are averaged over the h0 ensemble (see options).
+    {
+      TrainSample probe = make_sample_from_activity("probe", aig, w_aig,
+                                                    aig_act, options_.init_seed);
+      const GranniteSample gsample = make_grannite_sample(probe);
+      std::vector<double> aig_rates(aig->num_nodes(), 0.0);
+      for (int e = 0; e < ensemble; ++e) {
+        const std::vector<double> one = grannite.toggle_rates(
+            probe.graph, gsample.source_feats,
+            options_.init_seed + static_cast<std::uint64_t>(e));
+        for (std::size_t v = 0; v < aig_rates.size(); ++v)
+          aig_rates[v] += one[v] / ensemble;
+      }
+      std::vector<double> rate(netlist.num_nodes()), logic1(netlist.num_nodes());
+      for (NodeId v = 0; v < netlist.num_nodes(); ++v) {
+        rate[v] = aig_rates[conv.node_map[v]];
+        logic1[v] = aig_act.logic1[conv.node_map[v]];
+      }
+      cmp.grannite_mw = power_via_saif(
+          netlist, make_saif(netlist, logic1, rate, options_.gt_sim_cycles,
+                             design.name),
+          options_.saif_dir, cmp.workload_id + "_grannite");
+      cmp.grannite_error = rel_error(cmp.grannite_mw, cmp.gt_mw);
+    }
+
+    // DeepSeq: the fine-tuned model predicts every component's activity
+    // from the workload alone — no simulation input. Averaged over the h0
+    // ensemble.
+    {
+      std::vector<double> aig_rate(aig->num_nodes(), 0.0);
+      std::vector<double> aig_lg(aig->num_nodes(), 0.0);
+      for (int e = 0; e < ensemble; ++e) {
+        nn::Graph g(false);
+        const auto pred = deepseq.forward(
+            g, aig_graph, w_aig,
+            options_.init_seed + static_cast<std::uint64_t>(e));
+        for (std::size_t v = 0; v < aig_rate.size(); ++v) {
+          aig_rate[v] += (pred.tr->value.at(static_cast<int>(v), 0) +
+                          pred.tr->value.at(static_cast<int>(v), 1)) /
+                         ensemble;
+          aig_lg[v] += pred.lg->value.at(static_cast<int>(v), 0) / ensemble;
+        }
+      }
+      std::vector<double> rate(netlist.num_nodes()), logic1(netlist.num_nodes());
+      for (NodeId v = 0; v < netlist.num_nodes(); ++v) {
+        const NodeId rep = conv.node_map[v];
+        rate[v] = aig_rate[rep];
+        logic1[v] = aig_lg[rep];
+      }
+      cmp.deepseq_mw = power_via_saif(
+          netlist, make_saif(netlist, logic1, rate, options_.gt_sim_cycles,
+                             design.name),
+          options_.saif_dir, cmp.workload_id + "_deepseq");
+      cmp.deepseq_error = rel_error(cmp.deepseq_mw, cmp.gt_mw);
+    }
+
+    out.push_back(cmp);
+  }
+  return out;
+}
+
+}  // namespace deepseq

@@ -1,0 +1,58 @@
+#include "power/power_analyzer.hpp"
+
+#include "common/error.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace deepseq {
+
+namespace {
+
+void accumulate(PowerReport& report, GateType t, double watts) {
+  report.total_watts += watts;
+  if (t == GateType::kFf) {
+    report.sequential_watts += watts;
+  } else if (t == GateType::kPi) {
+    report.io_watts += watts;
+  } else {
+    report.combinational_watts += watts;
+  }
+}
+
+}  // namespace
+
+PowerReport analyze_power(const Circuit& netlist, const SaifDocument& saif,
+                          const CellLibrary& lib) {
+  if (saif.duration <= 0) throw Error("analyze_power: SAIF duration must be > 0");
+  const auto names = unique_node_names(netlist);
+  const auto nets = saif.net_map();
+
+  PowerReport report;
+  for (NodeId v = 0; v < netlist.num_nodes(); ++v) {
+    const auto it = nets.find(names[v]);
+    if (it == nets.end()) {
+      ++report.nets_missing;
+      continue;
+    }
+    ++report.nets_matched;
+    const double rate = static_cast<double>(it->second.tc) /
+                        static_cast<double>(saif.duration);
+    accumulate(report, netlist.type(v), lib.gate_power(netlist.type(v), rate));
+  }
+  return report;
+}
+
+PowerReport analyze_power_rates(const Circuit& netlist,
+                                const std::vector<double>& toggle_rate,
+                                const CellLibrary& lib) {
+  if (toggle_rate.size() != netlist.num_nodes())
+    throw Error("analyze_power_rates: rate vector size mismatch");
+  PowerReport report;
+  for (NodeId v = 0; v < netlist.num_nodes(); ++v) {
+    ++report.nets_matched;
+    accumulate(report, netlist.type(v),
+               lib.gate_power(netlist.type(v), toggle_rate[v]));
+  }
+  return report;
+}
+
+}  // namespace deepseq

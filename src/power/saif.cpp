@@ -1,0 +1,183 @@
+#include "power/saif.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace deepseq {
+
+void SaifDocument::add_net(const std::string& name, double logic1_prob,
+                           double toggle_rate) {
+  SaifNet net;
+  net.t1 = static_cast<long long>(std::llround(logic1_prob * static_cast<double>(duration)));
+  net.t0 = duration - net.t1;
+  net.tc = static_cast<long long>(std::llround(toggle_rate * static_cast<double>(duration)));
+  nets.emplace_back(name, net);
+}
+
+std::unordered_map<std::string, SaifNet> SaifDocument::net_map() const {
+  std::unordered_map<std::string, SaifNet> out;
+  out.reserve(nets.size());
+  for (const auto& [name, net] : nets) out.emplace(name, net);
+  return out;
+}
+
+void write_saif(const SaifDocument& doc, std::ostream& out) {
+  out << "(SAIFILE\n";
+  out << "  (SAIFVERSION \"2.0\")\n";
+  out << "  (DIRECTION \"backward\")\n";
+  out << "  (DURATION " << doc.duration << ")\n";
+  out << "  (INSTANCE " << (doc.design.empty() ? "top" : doc.design) << "\n";
+  out << "    (NET\n";
+  for (const auto& [name, net] : doc.nets) {
+    out << "      (" << name << " (T0 " << net.t0 << ") (T1 " << net.t1
+        << ") (TC " << net.tc << "))\n";
+  }
+  out << "    )\n  )\n)\n";
+}
+
+std::string write_saif_string(const SaifDocument& doc) {
+  std::ostringstream out;
+  write_saif(doc, out);
+  return out.str();
+}
+
+void write_saif_file(const SaifDocument& doc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("write_saif_file: cannot open " + path);
+  write_saif(doc, out);
+}
+
+namespace {
+
+/// Tiny s-expression tokenizer: parentheses and atoms.
+class SexprLexer {
+ public:
+  explicit SexprLexer(std::istream& in) : in_(in) {}
+
+  /// Next token, or empty at EOF. Quoted strings come back without quotes.
+  std::string next() {
+    char ch;
+    while (in_.get(ch)) {
+      if (std::isspace(static_cast<unsigned char>(ch))) continue;
+      if (ch == '(' || ch == ')') return std::string(1, ch);
+      if (ch == '"') {
+        std::string s;
+        while (in_.get(ch) && ch != '"') s.push_back(ch);
+        return s;
+      }
+      std::string s(1, ch);
+      while (in_.get(ch)) {
+        if (std::isspace(static_cast<unsigned char>(ch)) || ch == '(' || ch == ')') {
+          if (ch == '(' || ch == ')') in_.unget();
+          break;
+        }
+        s.push_back(ch);
+      }
+      return s;
+    }
+    return {};
+  }
+
+ private:
+  std::istream& in_;
+};
+
+long long to_ll(const std::string& tok) {
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == tok.c_str()) throw ParseError("SAIF: expected integer, got '" + tok + "'");
+  return v;
+}
+
+}  // namespace
+
+SaifDocument parse_saif(std::istream& in) {
+  SaifDocument doc;
+  SexprLexer lex(in);
+
+  // Simple recursive-descent over the fixed structure; unknown sections are
+  // skipped by paren balancing.
+  std::string tok = lex.next();
+  if (tok != "(") throw ParseError("SAIF: expected '('");
+  tok = lex.next();
+  if (tok != "SAIFILE") throw ParseError("SAIF: expected SAIFILE");
+
+  std::function<void(int)> skip_section = [&](int depth) {
+    while (depth > 0) {
+      const std::string t = lex.next();
+      if (t.empty()) throw ParseError("SAIF: unexpected EOF");
+      if (t == "(") ++depth;
+      if (t == ")") --depth;
+    }
+  };
+
+  auto parse_net_entry = [&]() {
+    // Already consumed "(": next is the net name.
+    const std::string name = lex.next();
+    SaifNet net;
+    for (;;) {
+      std::string t = lex.next();
+      if (t == ")") break;
+      if (t != "(") throw ParseError("SAIF: malformed net entry for " + name);
+      const std::string key = lex.next();
+      const std::string val = lex.next();
+      if (key == "T0") net.t0 = to_ll(val);
+      else if (key == "T1") net.t1 = to_ll(val);
+      else if (key == "TC") net.tc = to_ll(val);
+      if (lex.next() != ")") throw ParseError("SAIF: expected ')' after " + key);
+    }
+    doc.nets.emplace_back(name, net);
+  };
+
+  for (;;) {
+    tok = lex.next();
+    if (tok == ")") break;  // end of SAIFILE
+    if (tok.empty()) throw ParseError("SAIF: unexpected EOF");
+    if (tok != "(") throw ParseError("SAIF: expected '(' in SAIFILE body");
+    const std::string section = lex.next();
+    if (section == "DURATION") {
+      doc.duration = to_ll(lex.next());
+      if (lex.next() != ")") throw ParseError("SAIF: malformed DURATION");
+    } else if (section == "INSTANCE") {
+      doc.design = lex.next();
+      for (;;) {
+        std::string t = lex.next();
+        if (t == ")") break;
+        if (t != "(") throw ParseError("SAIF: expected '(' in INSTANCE");
+        const std::string sub = lex.next();
+        if (sub == "NET") {
+          for (;;) {
+            std::string t2 = lex.next();
+            if (t2 == ")") break;
+            if (t2 != "(") throw ParseError("SAIF: expected '(' in NET");
+            parse_net_entry();
+          }
+        } else {
+          skip_section(1);
+        }
+      }
+    } else {
+      skip_section(1);  // SAIFVERSION, DIRECTION, etc.
+    }
+  }
+  return doc;
+}
+
+SaifDocument parse_saif_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_saif(in);
+}
+
+SaifDocument parse_saif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("parse_saif_file: cannot open " + path);
+  return parse_saif(in);
+}
+
+}  // namespace deepseq

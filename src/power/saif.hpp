@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace deepseq {
+
+/// One net's switching record in a SAIF file: durations at 0/1 and the
+/// toggle count over the capture window.
+struct SaifNet {
+  long long t0 = 0;  // time at logic 0
+  long long t1 = 0;  // time at logic 1
+  long long tc = 0;  // toggle count
+};
+
+/// A minimal Switching Activity Interchange Format document — the handoff
+/// artifact between the probability estimators and the power analyzer
+/// (paper Fig. 3: every method emits a SAIF file which the power tool
+/// consumes). Only the subset needed for average-power analysis is modeled.
+struct SaifDocument {
+  std::string design;
+  long long duration = 0;  // capture window (cycles)
+  std::vector<std::pair<std::string, SaifNet>> nets;
+
+  /// Fill from per-net probabilities: t1 = p1*duration, tc = rate*duration.
+  void add_net(const std::string& name, double logic1_prob,
+               double toggle_rate);
+
+  std::unordered_map<std::string, SaifNet> net_map() const;
+};
+
+void write_saif(const SaifDocument& doc, std::ostream& out);
+std::string write_saif_string(const SaifDocument& doc);
+void write_saif_file(const SaifDocument& doc, const std::string& path);
+
+SaifDocument parse_saif(std::istream& in);
+SaifDocument parse_saif_string(const std::string& text);
+SaifDocument parse_saif_file(const std::string& path);
+
+}  // namespace deepseq

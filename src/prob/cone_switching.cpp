@@ -1,0 +1,296 @@
+#include "prob/cone_switching.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "netlist/topology.hpp"
+
+namespace deepseq {
+
+namespace {
+
+/// Lag-1 joint distribution of a stationary binary process, mirrored from
+/// the base estimator (kept local: the two estimators must stay
+/// independently readable).
+struct Joint {
+  double j[2][2] = {{1.0, 0.0}, {0.0, 0.0}};
+
+  double p1() const { return j[1][0] + j[1][1]; }
+
+  static Joint constant0() { return Joint{}; }
+
+  static Joint bernoulli(double p) {
+    Joint out;
+    out.j[0][0] = (1.0 - p) * (1.0 - p);
+    out.j[0][1] = (1.0 - p) * p;
+    out.j[1][0] = p * (1.0 - p);
+    out.j[1][1] = p * p;
+    return out;
+  }
+
+  double max_abs_diff(const Joint& o) const {
+    double m = 0.0;
+    for (int x = 0; x < 2; ++x)
+      for (int y = 0; y < 2; ++y)
+        m = std::max(m, std::fabs(j[x][y] - o.j[x][y]));
+    return m;
+  }
+
+  void normalize() {
+    double sum = 0.0;
+    for (int x = 0; x < 2; ++x)
+      for (int y = 0; y < 2; ++y) {
+        if (j[x][y] < 0.0) j[x][y] = 0.0;
+        sum += j[x][y];
+      }
+    if (sum <= 0.0) {
+      *this = constant0();
+      return;
+    }
+    for (int x = 0; x < 2; ++x)
+      for (int y = 0; y < 2; ++y) j[x][y] /= sum;
+  }
+};
+
+bool gate_out(GateType t, int a, int b, int s) {
+  // Circuit MUX fanin order is (select, then, else); eval_gate takes
+  // (then, else, select).
+  if (t == GateType::kMux) return eval_gate(t, b != 0, s != 0, a != 0);
+  return eval_gate(t, a != 0, b != 0);
+}
+
+/// Independence propagation of one gate (the base method's rule).
+Joint independent_joint(GateType t, const Joint* in, int arity) {
+  Joint out;
+  out.j[0][0] = out.j[0][1] = out.j[1][0] = out.j[1][1] = 0.0;
+  const int combos = 1 << (2 * arity);
+  for (int mask = 0; mask < combos; ++mask) {
+    double prob = 1.0;
+    int vt[3] = {0, 0, 0}, vt1[3] = {0, 0, 0};
+    for (int i = 0; i < arity; ++i) {
+      vt[i] = (mask >> (2 * i)) & 1;
+      vt1[i] = (mask >> (2 * i + 1)) & 1;
+      prob *= in[i].j[vt[i]][vt1[i]];
+      if (prob == 0.0) break;
+    }
+    if (prob == 0.0) continue;
+    const int x = gate_out(t, vt[0], vt[1], vt[2]) ? 1 : 0;
+    const int y = gate_out(t, vt1[0], vt1[1], vt1[2]) ? 1 : 0;
+    out.j[x][y] += prob;
+  }
+  out.normalize();
+  return out;
+}
+
+/// Evaluate node v's logic value given fixed source values, memoized per
+/// assignment with an epoch stamp (sources = PIs/FFs/CONST0).
+class ConeEvaluator {
+ public:
+  explicit ConeEvaluator(const Circuit& c)
+      : c_(c),
+        value_(c.num_nodes(), 0),
+        stamp_(c.num_nodes(), 0),
+        source_value_(c.num_nodes(), 0) {}
+
+  void begin_assignment() { ++epoch_; }
+  void set_source(NodeId s, bool v) {
+    source_value_[s] = v ? 1 : 0;
+    stamp_[s] = epoch_;
+    value_[s] = source_value_[s];
+  }
+
+  bool eval(NodeId v) {
+    if (stamp_[v] == epoch_) return value_[v] != 0;
+    const Node& n = c_.node(v);
+    bool out = false;
+    switch (n.type) {
+      case GateType::kConst0:
+        out = false;
+        break;
+      case GateType::kPi:
+      case GateType::kFf:
+        throw Error("ConeEvaluator: unassigned source in cone");
+      default: {
+        const bool a = eval(n.fanin[0]);
+        const bool b = n.num_fanins > 1 ? eval(n.fanin[1]) : false;
+        const bool s = n.num_fanins > 2 ? eval(n.fanin[2]) : false;
+        out = gate_out(n.type, a ? 1 : 0, b ? 1 : 0, s ? 1 : 0);
+      }
+    }
+    stamp_[v] = epoch_;
+    value_[v] = out ? 1 : 0;
+    return out;
+  }
+
+ private:
+  const Circuit& c_;
+  std::vector<std::uint8_t> value_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint8_t> source_value_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Sorted source-support sets with a size cap; empty + wide flag when the
+/// union exceeds the cap.
+struct SupportTable {
+  std::vector<std::vector<NodeId>> support;  // per node, sorted
+  std::vector<bool> wide;                    // support exceeds the cap
+
+  SupportTable(const Circuit& c, const Levelization& lv, int cap)
+      : support(c.num_nodes()), wide(c.num_nodes(), false) {
+    for (const auto& level : lv.by_level)
+      for (NodeId v : level) {
+        const GateType t = c.type(v);
+        if (t == GateType::kPi || t == GateType::kFf) {
+          support[v] = {v};
+          continue;
+        }
+        if (t == GateType::kConst0) continue;  // empty support
+        std::vector<NodeId> acc;
+        bool w = false;
+        for (int i = 0; i < c.num_fanins(v) && !w; ++i) {
+          const NodeId f = c.fanin(v, i);
+          if (wide[f]) {
+            w = true;
+            break;
+          }
+          std::vector<NodeId> merged;
+          std::set_union(acc.begin(), acc.end(), support[f].begin(),
+                         support[f].end(), std::back_inserter(merged));
+          acc = std::move(merged);
+          if (static_cast<int>(acc.size()) > cap) w = true;
+        }
+        if (w) {
+          wide[v] = true;
+        } else {
+          support[v] = std::move(acc);
+        }
+      }
+  }
+
+  /// True when two fanins share support — independence is then wrong.
+  bool reconvergent(const Circuit& c, NodeId v) const {
+    for (int i = 0; i < c.num_fanins(v); ++i)
+      for (int k = i + 1; k < c.num_fanins(v); ++k) {
+        const auto& a = support[c.fanin(v, i)];
+        const auto& b = support[c.fanin(v, k)];
+        std::size_t ia = 0, ib = 0;
+        while (ia < a.size() && ib < b.size()) {
+          if (a[ia] == b[ib]) return true;
+          if (a[ia] < b[ib]) ++ia;
+          else ++ib;
+        }
+      }
+    return false;
+  }
+};
+
+}  // namespace
+
+ConeSwitchingEstimate estimate_switching_cone(const Circuit& c,
+                                              const Workload& w,
+                                              const ConeSwitchingOptions& opt) {
+  if (w.pi_prob.size() != c.pis().size())
+    throw Error("estimate_switching_cone: workload PI count mismatch");
+  if (opt.max_support < 1 || opt.max_support > 12)
+    throw Error("estimate_switching_cone: max_support must be in [1, 12]");
+
+  const Levelization lv = comb_levelize(c);
+  const SupportTable st(c, lv, opt.max_support);
+  ConeEvaluator cone(c);
+
+  const std::size_t n = c.num_nodes();
+  std::vector<Joint> joint(n);
+  for (std::size_t k = 0; k < c.pis().size(); ++k)
+    joint[c.pis()[k]] = Joint::bernoulli(w.pi_prob[k]);
+  // FFs start at constant 0 (their reset state) and iterate to fixpoint.
+
+  ConeSwitchingEstimate out;
+  out.logic1.resize(n);
+  out.tr01.resize(n);
+  out.tr10.resize(n);
+
+  // Which gates get the exact treatment (decided once; support is
+  // structural). Exact iff narrow support AND reconvergent fanin supports.
+  std::vector<bool> exact(n, false);
+  for (const auto& level : lv.by_level)
+    for (NodeId v : level) {
+      const GateType t = c.type(v);
+      if (t == GateType::kPi || t == GateType::kFf || t == GateType::kConst0)
+        continue;
+      if (!st.wide[v] && st.reconvergent(c, v)) {
+        exact[v] = true;
+        ++out.exact_nodes;
+      } else if (st.wide[v]) {
+        ++out.fallback_nodes;
+      }
+    }
+
+  for (int iter = 0; iter < opt.base.max_iterations; ++iter) {
+    // One combinational sweep with the current FF joints.
+    for (std::size_t l = 1; l < lv.by_level.size(); ++l)
+      for (NodeId v : lv.by_level[l]) {
+        const Node& nd = c.node(v);
+        if (!exact[v]) {
+          Joint in[3];
+          for (int i = 0; i < nd.num_fanins; ++i) in[i] = joint[nd.fanin[i]];
+          joint[v] = independent_joint(nd.type, in, nd.num_fanins);
+          continue;
+        }
+        // Exact enumeration of the cone's source processes over two
+        // consecutive cycles.
+        const auto& sup = st.support[v];
+        const int m = static_cast<int>(sup.size());
+        Joint acc;
+        acc.j[0][0] = acc.j[0][1] = acc.j[1][0] = acc.j[1][1] = 0.0;
+        const std::uint64_t combos = 1ULL << (2 * m);
+        for (std::uint64_t mask = 0; mask < combos; ++mask) {
+          double prob = 1.0;
+          for (int i = 0; i < m && prob != 0.0; ++i) {
+            const int xt = (mask >> (2 * i)) & 1;
+            const int xt1 = (mask >> (2 * i + 1)) & 1;
+            prob *= joint[sup[i]].j[xt][xt1];
+          }
+          if (prob == 0.0) continue;
+          cone.begin_assignment();
+          for (int i = 0; i < m; ++i)
+            cone.set_source(sup[i], ((mask >> (2 * i)) & 1) != 0);
+          const int x = cone.eval(v) ? 1 : 0;
+          cone.begin_assignment();
+          for (int i = 0; i < m; ++i)
+            cone.set_source(sup[i], ((mask >> (2 * i + 1)) & 1) != 0);
+          const int y = cone.eval(v) ? 1 : 0;
+          acc.j[x][y] += prob;
+        }
+        acc.normalize();
+        joint[v] = acc;
+      }
+
+    // FF update: an FF's process is its D input's process one cycle later;
+    // damped like the base method.
+    double delta = 0.0;
+    for (NodeId ff : c.ffs()) {
+      const Joint target = joint[c.fanin(ff, 0)];
+      Joint next;
+      for (int x = 0; x < 2; ++x)
+        for (int y = 0; y < 2; ++y)
+          next.j[x][y] = opt.base.damping * target.j[x][y] +
+                         (1.0 - opt.base.damping) * joint[ff].j[x][y];
+      next.normalize();
+      delta = std::max(delta, next.max_abs_diff(joint[ff]));
+      joint[ff] = next;
+    }
+    out.iterations_used = iter + 1;
+    if (delta < opt.base.tolerance) break;
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    out.logic1[v] = joint[v].p1();
+    out.tr01[v] = joint[v].j[0][1];
+    out.tr10[v] = joint[v].j[1][0];
+  }
+  return out;
+}
+
+}  // namespace deepseq

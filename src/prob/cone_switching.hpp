@@ -1,0 +1,42 @@
+#pragma once
+
+#include "prob/switching.hpp"
+
+namespace deepseq {
+
+/// Reconvergence-aware refinement of the probabilistic baseline, in the
+/// spirit of multipass-SPRA [31] (exact on reconvergent fanout, exponential
+/// in the number of fanout sources — which is why the paper notes it cannot
+/// scale to large circuits).
+///
+/// The plain estimator (estimate_switching) assumes spatial independence
+/// between gate fanins, which is exact on fanout-free (tree) logic but
+/// wrong wherever a fanout reconverges: the classic failure y = a AND NOT a
+/// yields P(y=1) = p(1-p) instead of 0. This estimator detects gates whose
+/// fanin support sets (transitive PI/FF sources) intersect and, when the
+/// combined support is small enough, computes the exact lag-1 joint by
+/// enumerating all source value pairs over two consecutive cycles —
+/// 4^|support| cone evaluations. Gates with disjoint fanin supports keep
+/// the (then exact) independence propagation; gates whose support exceeds
+/// the cap fall back to it (approximate).
+///
+/// FF temporal feedback is resolved with the same damped fixed point as the
+/// base method, so the two estimators differ only in spatial correlation
+/// handling — isolating exactly the error source the paper attributes to
+/// non-simulative methods (§V-A).
+struct ConeSwitchingOptions {
+  /// Exact enumeration cap: a gate is enumerated when its support holds at
+  /// most this many sources (cost 4^max_support cone evaluations).
+  int max_support = 8;
+  SwitchingOptions base;
+};
+
+struct ConeSwitchingEstimate : SwitchingEstimate {
+  std::size_t exact_nodes = 0;     // gates with exact (enumerated) joints
+  std::size_t fallback_nodes = 0;  // reconvergent gates beyond the cap
+};
+
+ConeSwitchingEstimate estimate_switching_cone(
+    const Circuit& c, const Workload& w, const ConeSwitchingOptions& opt = {});
+
+}  // namespace deepseq

@@ -1,0 +1,120 @@
+#include "prob/reliability_analytic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "netlist/topology.hpp"
+#include "prob/switching.hpp"
+
+namespace deepseq {
+
+namespace {
+
+/// P(gate output unchanged) when each input i is flipped independently with
+/// probability (1 - r_i) and the golden input values are Bernoulli(p_i),
+/// all independent. Exact enumeration over the gate's truth table.
+double masking_prob(GateType t, int arity, const double* r, const double* p) {
+  double total = 0.0;
+  const int value_patterns = 1 << arity;
+  const int corr_patterns = 1 << arity;
+  for (int corr = 0; corr < corr_patterns; ++corr) {
+    double pc = 1.0;
+    for (int i = 0; i < arity; ++i)
+      pc *= (corr >> i & 1) ? r[i] : (1.0 - r[i]);
+    if (pc == 0.0) continue;
+    for (int vals = 0; vals < value_patterns; ++vals) {
+      double pv = 1.0;
+      for (int i = 0; i < arity; ++i)
+        pv *= (vals >> i & 1) ? p[i] : (1.0 - p[i]);
+      if (pv == 0.0) continue;
+      bool in_g[3] = {false, false, false};
+      bool in_f[3] = {false, false, false};
+      for (int i = 0; i < arity; ++i) {
+        in_g[i] = (vals >> i) & 1;
+        in_f[i] = ((corr >> i) & 1) ? in_g[i] : !in_g[i];
+      }
+      const bool out_g = eval_gate(t, in_g[0], arity > 1 ? in_g[1] : false,
+                                   arity > 2 ? in_g[2] : false);
+      const bool out_f = eval_gate(t, in_f[0], arity > 1 ? in_f[1] : false,
+                                   arity > 2 ? in_f[2] : false);
+      if (out_g == out_f) total += pc * pv;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+ReliabilityEstimate estimate_reliability(const Circuit& c, const Workload& w,
+                                         const ReliabilityOptions& opt) {
+  if (w.pi_prob.size() != c.pis().size())
+    throw Error("estimate_reliability: workload PI count mismatch");
+
+  // Signal probabilities for logical masking (same independence machinery
+  // as the switching baseline).
+  const SwitchingEstimate sw = estimate_switching(c, w);
+  const Levelization lv = comb_levelize(c);
+
+  const std::size_t n = c.num_nodes();
+  std::vector<double> r(n, 1.0);
+  std::vector<double> ff_rel(c.ffs().size(), 1.0);
+  const double eps = opt.gate_error_rate;
+
+  int iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    for (std::size_t k = 0; k < c.ffs().size(); ++k) r[c.ffs()[k]] = ff_rel[k];
+    for (NodeId pi : c.pis()) r[pi] = 1.0;
+
+    for (std::size_t l = 1; l < lv.by_level.size(); ++l) {
+      for (NodeId v : lv.by_level[l]) {
+        const Node& nd = c.node(v);
+        if (nd.type == GateType::kConst0) {
+          r[v] = 1.0;
+          continue;
+        }
+        double rin[3], pin[3];
+        for (int i = 0; i < nd.num_fanins; ++i) {
+          rin[i] = r[nd.fanin[i]];
+          // MUX evaluation order: eval_gate takes (then, else, select)
+          // differently — masking_prob passes values positionally matching
+          // eval_gate(t, a, b, s) with our fanin order (select, then, else)
+          // for kMux handled below.
+          pin[i] = sw.logic1[nd.fanin[i]];
+        }
+        double r_prop;
+        if (nd.type == GateType::kMux) {
+          // eval_gate(kMux, a=then, b=else, s=select); reorder fanins
+          // (select, then, else) -> (then, else, select).
+          const double rr[3] = {rin[1], rin[2], rin[0]};
+          const double pp[3] = {pin[1], pin[2], pin[0]};
+          r_prop = masking_prob(nd.type, 3, rr, pp);
+        } else {
+          r_prop = masking_prob(nd.type, nd.num_fanins, rin, pin);
+        }
+        r[v] = r_prop * (1.0 - eps) + (1.0 - r_prop) * eps;
+      }
+    }
+
+    double max_delta = 0.0;
+    for (std::size_t k = 0; k < c.ffs().size(); ++k) {
+      const double next = r[c.fanin(c.ffs()[k], 0)];
+      const double updated = opt.damping * next + (1.0 - opt.damping) * ff_rel[k];
+      max_delta = std::max(max_delta, std::fabs(updated - ff_rel[k]));
+      ff_rel[k] = updated;
+    }
+    if (max_delta < opt.tolerance) break;
+  }
+
+  ReliabilityEstimate est;
+  est.iterations_used = iter + 1;
+  for (std::size_t k = 0; k < c.ffs().size(); ++k) r[c.ffs()[k]] = ff_rel[k];
+  est.node_reliability = r;
+  if (!c.pos().empty()) {
+    double sum = 0.0;
+    for (NodeId po : c.pos()) sum += r[po];
+    est.circuit_reliability = sum / static_cast<double>(c.pos().size());
+  }
+  return est;
+}
+
+}  // namespace deepseq

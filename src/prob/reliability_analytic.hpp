@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/workload.hpp"
+
+namespace deepseq {
+
+/// Analytic (non-simulative) reliability estimation — the "Probabilistic"
+/// baseline of Table VII, in the spirit of signal-probability reliability
+/// analysis [31][32]. Each node carries r(v) = P(value under faults equals
+/// the golden value). Input errors are assumed independent and signal
+/// probabilities (for logical masking) independent as well; the per-gate
+/// propagation formula is derived exactly from the gate's truth table:
+///
+///   r_prop = sum over input-correctness patterns and golden input values of
+///            P(pattern) * P(values) * [gate(flipped inputs) == gate(inputs)]
+///
+/// followed by the gate's intrinsic flip: r = r_prop(1-eps) + (1-r_prop)eps.
+/// FF reliabilities are solved by damped fixed-point iteration like the
+/// switching estimator. The independence assumptions are exactly what fails
+/// on reconvergent fanout, which the paper calls out as the weakness of
+/// analytic methods.
+struct ReliabilityEstimate {
+  std::vector<double> node_reliability;  // P(node value correct)
+  double circuit_reliability = 1.0;      // mean over primary outputs
+  int iterations_used = 0;
+};
+
+struct ReliabilityOptions {
+  double gate_error_rate = 0.0005;  // matches the Monte-Carlo GT epsilon
+  int max_iterations = 100;
+  double tolerance = 1e-9;
+  double damping = 0.5;
+};
+
+ReliabilityEstimate estimate_reliability(const Circuit& c, const Workload& w,
+                                         const ReliabilityOptions& opt = {});
+
+}  // namespace deepseq

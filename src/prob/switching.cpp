@@ -1,0 +1,204 @@
+#include "prob/switching.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "netlist/topology.hpp"
+
+namespace deepseq {
+
+namespace {
+
+double gate_prob(GateType t, double a, double b, double s) {
+  switch (t) {
+    case GateType::kAnd: return a * b;
+    case GateType::kNot: return 1.0 - a;
+    case GateType::kBuf: return a;
+    case GateType::kOr: return 1.0 - (1.0 - a) * (1.0 - b);
+    case GateType::kNand: return 1.0 - a * b;
+    case GateType::kNor: return (1.0 - a) * (1.0 - b);
+    case GateType::kXor: return a * (1.0 - b) + (1.0 - a) * b;
+    case GateType::kXnor: return a * b + (1.0 - a) * (1.0 - b);
+    case GateType::kMux: return a * b + (1.0 - a) * s;  // a=select, b=then, s=else
+    case GateType::kConst0: return 0.0;
+    default: throw Error("gate_prob: unexpected gate type");
+  }
+}
+
+/// Lag-1 joint distribution of a stationary binary process:
+/// j[x][y] = P(v_t = x, v_t+1 = y).
+struct Joint {
+  double j[2][2] = {{1.0, 0.0}, {0.0, 0.0}};  // constant 0 by default
+
+  double p1() const { return j[1][0] + j[1][1]; }
+  double tr01() const { return j[0][1]; }
+  double tr10() const { return j[1][0]; }
+
+  static Joint constant(int value) {
+    Joint out;
+    out.j[0][0] = value ? 0.0 : 1.0;
+    out.j[1][1] = value ? 1.0 : 0.0;
+    out.j[0][1] = out.j[1][0] = 0.0;
+    return out;
+  }
+
+  /// Independent Bernoulli(p) per cycle (the PI pattern model, §III-B).
+  static Joint bernoulli(double p) {
+    Joint out;
+    out.j[0][0] = (1.0 - p) * (1.0 - p);
+    out.j[0][1] = (1.0 - p) * p;
+    out.j[1][0] = p * (1.0 - p);
+    out.j[1][1] = p * p;
+    return out;
+  }
+
+  double max_abs_diff(const Joint& o) const {
+    double m = 0.0;
+    for (int x = 0; x < 2; ++x)
+      for (int y = 0; y < 2; ++y)
+        m = std::max(m, std::fabs(j[x][y] - o.j[x][y]));
+    return m;
+  }
+
+  /// Re-normalize to a proper distribution. Without this, the ~1 ulp the
+  /// product rule adds per level compounds roughly *quadratically* through
+  /// deep circuits across fixed-point iterations (error doubles per sweep)
+  /// and diverges to infinity after ~55 iterations.
+  void normalize() {
+    double sum = 0.0;
+    for (int x = 0; x < 2; ++x)
+      for (int y = 0; y < 2; ++y) {
+        if (j[x][y] < 0.0) j[x][y] = 0.0;
+        sum += j[x][y];
+      }
+    if (sum <= 0.0) {
+      *this = constant(0);
+      return;
+    }
+    for (int x = 0; x < 2; ++x)
+      for (int y = 0; y < 2; ++y) j[x][y] /= sum;
+  }
+};
+
+bool gate_out(GateType t, int a, int b, int s) {
+  // Circuit MUX fanin order is (select, then, else); eval_gate takes
+  // (then, else, select).
+  if (t == GateType::kMux) return eval_gate(t, b != 0, s != 0, a != 0);
+  return eval_gate(t, a != 0, b != 0);
+}
+
+/// Output joint from input joints assuming the input processes are
+/// mutually independent: enumerate all input (t, t+1) value pairs.
+Joint propagate_gate_joint(GateType t, const Joint* in, int arity) {
+  Joint out;
+  out.j[0][0] = out.j[0][1] = out.j[1][0] = out.j[1][1] = 0.0;
+  const int combos = 1 << (2 * arity);  // (v_t, v_t1) per input
+  for (int mask = 0; mask < combos; ++mask) {
+    double prob = 1.0;
+    int vt[3] = {0, 0, 0}, vt1[3] = {0, 0, 0};
+    for (int i = 0; i < arity; ++i) {
+      vt[i] = (mask >> (2 * i)) & 1;
+      vt1[i] = (mask >> (2 * i + 1)) & 1;
+      prob *= in[i].j[vt[i]][vt1[i]];
+      if (prob == 0.0) break;
+    }
+    if (prob == 0.0) continue;
+    const int x = gate_out(t, vt[0], vt[1], vt[2]) ? 1 : 0;
+    const int y = gate_out(t, vt1[0], vt1[1], vt1[2]) ? 1 : 0;
+    out.j[x][y] += prob;
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> propagate_signal_probs(const Circuit& c,
+                                           const std::vector<double>& pi_prob,
+                                           const std::vector<double>& ff_prob) {
+  if (pi_prob.size() != c.pis().size())
+    throw Error("propagate_signal_probs: PI probability count mismatch");
+  if (ff_prob.size() != c.ffs().size())
+    throw Error("propagate_signal_probs: FF probability count mismatch");
+
+  std::vector<double> p(c.num_nodes(), 0.0);
+  for (std::size_t k = 0; k < c.pis().size(); ++k) p[c.pis()[k]] = pi_prob[k];
+  for (std::size_t k = 0; k < c.ffs().size(); ++k) p[c.ffs()[k]] = ff_prob[k];
+
+  const Levelization lv = comb_levelize(c);
+  for (std::size_t l = 1; l < lv.by_level.size(); ++l) {
+    for (NodeId v : lv.by_level[l]) {
+      const Node& n = c.node(v);
+      const double a = p[n.fanin[0]];
+      const double b = n.num_fanins > 1 ? p[n.fanin[1]] : 0.0;
+      const double s = n.num_fanins > 2 ? p[n.fanin[2]] : 0.0;
+      p[v] = gate_prob(n.type, a, b, s);
+    }
+  }
+  return p;
+}
+
+SwitchingEstimate estimate_switching(const Circuit& c, const Workload& w,
+                                     const SwitchingOptions& opt) {
+  if (w.pi_prob.size() != c.pis().size())
+    throw Error("estimate_switching: workload PI count mismatch");
+
+  const std::size_t n = c.num_nodes();
+  std::vector<Joint> joint(n);
+  for (std::size_t k = 0; k < c.pis().size(); ++k)
+    joint[c.pis()[k]] = Joint::bernoulli(w.pi_prob[k]);
+  // FFs start from the hardware reset state (constant 0) so hold registers
+  // whose D feeds back to themselves keep the correct static fixed point —
+  // starting from 0.5/0.5 they would never leave it (identity has every
+  // joint as a fixed point) and the estimate would report 0.25 activity on
+  // completely idle state bits.
+  for (NodeId ff : c.ffs()) joint[ff] = Joint::constant(0);
+
+  const Levelization lv = comb_levelize(c);
+  auto comb_sweep = [&]() {
+    for (std::size_t l = 1; l < lv.by_level.size(); ++l) {
+      for (NodeId v : lv.by_level[l]) {
+        const Node& nd = c.node(v);
+        Joint in[3];
+        for (int i = 0; i < nd.num_fanins; ++i) in[i] = joint[nd.fanin[i]];
+        joint[v] = propagate_gate_joint(nd.type, in, nd.num_fanins);
+      }
+    }
+  };
+
+  SwitchingEstimate est;
+  int iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    comb_sweep();
+    // FF process = D process delayed by one cycle; in steady state their
+    // lag-1 joints coincide. Damped update toward the D joint.
+    double max_delta = 0.0;
+    for (NodeId ff : c.ffs()) {
+      const Joint& d = joint[c.fanin(ff, 0)];
+      Joint updated;
+      for (int x = 0; x < 2; ++x)
+        for (int y = 0; y < 2; ++y)
+          updated.j[x][y] =
+              opt.damping * d.j[x][y] + (1.0 - opt.damping) * joint[ff].j[x][y];
+      updated.normalize();
+      max_delta = std::max(max_delta, updated.max_abs_diff(joint[ff]));
+      joint[ff] = updated;
+    }
+    if (max_delta < opt.tolerance) break;
+  }
+  est.iterations_used = iter + 1;
+  comb_sweep();  // final pass with the converged FF joints
+
+  est.logic1.resize(n);
+  est.tr01.resize(n);
+  est.tr10.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    est.logic1[v] = joint[v].p1();
+    est.tr01[v] = joint[v].tr01();
+    est.tr10[v] = joint[v].tr10();
+  }
+  return est;
+}
+
+}  // namespace deepseq

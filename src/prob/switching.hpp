@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/workload.hpp"
+
+namespace deepseq {
+
+/// Non-simulative switching-activity estimation in the style of Ghosh et
+/// al., DAC'92 [27] — the "Probabilistic" baseline of Tables V/VI.
+///
+/// Every signal is modeled as a stationary two-state process described by
+/// its lag-1 joint distribution pxy = P(v_t = x, v_t+1 = y); PIs get the
+/// exact joint of their Bernoulli(p) pattern stream, gates combine their
+/// fanins' joints through the gate function assuming *spatial independence*
+/// between signals, and FF joints are solved by damped fixed-point
+/// iteration (an FF's process is its D input's process delayed one cycle).
+/// Spatial independence is exactly what fails on reconvergent fanout and
+/// cross-signal sequential correlation — the error source the paper
+/// attributes to probabilistic methods (§V-A).
+struct SwitchingEstimate {
+  std::vector<double> logic1;  // stationary P(v = 1)
+  std::vector<double> tr01;    // joint P(v_t = 0, v_t+1 = 1)
+  std::vector<double> tr10;    // joint P(v_t = 1, v_t+1 = 0)
+  int iterations_used = 0;     // fixed-point iterations until convergence
+
+  double toggle_rate(NodeId v) const { return tr01[v] + tr10[v]; }
+};
+
+struct SwitchingOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-9;  // max FF joint change to declare convergence
+  double damping = 0.5;     // new = damping*new + (1-damping)*old
+};
+
+SwitchingEstimate estimate_switching(const Circuit& c, const Workload& w,
+                                     const SwitchingOptions& opt = {});
+
+/// Propagate stationary signal probabilities only (one combinational sweep
+/// given fixed source probabilities). Exposed for reuse by the reliability
+/// estimator.
+std::vector<double> propagate_signal_probs(const Circuit& c,
+                                           const std::vector<double>& pi_prob,
+                                           const std::vector<double>& ff_prob);
+
+}  // namespace deepseq

@@ -1,0 +1,65 @@
+#include "reliability/pipeline.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "netlist/aig.hpp"
+#include "power/pipeline.hpp"
+#include "prob/reliability_analytic.hpp"
+
+namespace deepseq {
+
+ReliabilityPipeline::ReliabilityPipeline(
+    const DeepSeqModel& pretrained, const ReliabilityPipelineOptions& options)
+    : model_(pretrained), options_(options) {}
+
+void ReliabilityPipeline::finetune(const std::vector<TrainSample>& dataset) {
+  std::vector<ReliabilitySample> samples;
+  samples.reserve(dataset.size());
+  for (const auto& s : dataset)
+    samples.push_back(make_reliability_sample(s, options_.fault));
+  model_.fit(samples, options_.finetune_epochs, options_.finetune_lr,
+             options_.seed);
+  finetuned_ = true;
+}
+
+ReliabilityComparison ReliabilityPipeline::run(const TestDesign& design,
+                                               const Workload& workload) {
+  if (!finetuned_)
+    throw Error("ReliabilityPipeline: call finetune() before run()");
+
+  ReliabilityComparison cmp;
+  cmp.design = design.name;
+  const Circuit& netlist = design.netlist;
+
+  // Ground truth: paired golden/faulty Monte-Carlo simulation.
+  const FaultSimResult gt = simulate_faults(netlist, workload, options_.fault);
+  cmp.gt = gt.circuit_reliability;
+
+  // Analytic baseline on the generic netlist.
+  ReliabilityOptions an;
+  an.gate_error_rate = options_.fault.gate_error_rate;
+  cmp.probabilistic =
+      estimate_reliability(netlist, workload, an).circuit_reliability;
+
+  // DeepSeq: inference on the decomposed AIG; POs map to representatives.
+  const AigConversion conv = decompose_to_aig(netlist);
+  const Workload w_aig =
+      map_workload_to_aig(netlist, conv.node_map, conv.aig, workload);
+  const CircuitGraph graph = build_circuit_graph(conv.aig);
+  std::vector<NodeId> pos;
+  pos.reserve(netlist.pos().size());
+  for (NodeId po : netlist.pos()) pos.push_back(conv.node_map[po]);
+  Rng rng(options_.seed ^ std::hash<std::string>{}(design.name));
+  cmp.deepseq =
+      model_.estimate(graph, w_aig, pos, rng.next_u64()).circuit_reliability;
+
+  const auto rel_err = [&](double est) {
+    return cmp.gt != 0.0 ? std::fabs(est - cmp.gt) / cmp.gt : 0.0;
+  };
+  cmp.probabilistic_error = rel_err(cmp.probabilistic);
+  cmp.deepseq_error = rel_err(cmp.deepseq);
+  return cmp;
+}
+
+}  // namespace deepseq

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/test_designs.hpp"
+#include "reliability/reliability_model.hpp"
+
+namespace deepseq {
+
+/// Table VII orchestration: fine-tune DeepSeq for reliability on the
+/// pre-training corpus (paper §V-B1), then compare — per large test design —
+/// Monte-Carlo ground truth, the analytic baseline [32] and the fine-tuned
+/// model.
+struct ReliabilityPipelineOptions {
+  FaultSimOptions fault;  // paper: 1000 sequences x 100 cycles, eps = 0.05%
+  int finetune_epochs = 4;
+  float finetune_lr = 1e-3f;
+  double workload_active_fraction = 0.3;
+  std::uint64_t seed = 727;
+};
+
+struct ReliabilityComparison {
+  std::string design;
+  double gt = 1.0;
+  double probabilistic = 1.0;
+  double probabilistic_error = 0.0;
+  double deepseq = 1.0;
+  double deepseq_error = 0.0;
+};
+
+class ReliabilityPipeline {
+ public:
+  ReliabilityPipeline(const DeepSeqModel& pretrained,
+                      const ReliabilityPipelineOptions& options);
+
+  /// Fine-tune on the (Table I) pre-training samples: each is labeled by
+  /// fault simulation under its own workload.
+  void finetune(const std::vector<TrainSample>& dataset);
+
+  ReliabilityComparison run(const TestDesign& design, const Workload& workload);
+
+ private:
+  ReliabilityModel model_;
+  ReliabilityPipelineOptions options_;
+  bool finetuned_ = false;
+};
+
+}  // namespace deepseq

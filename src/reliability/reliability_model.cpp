@@ -1,0 +1,95 @@
+#include "reliability/reliability_model.hpp"
+
+#include <numeric>
+
+#include "nn/adam.hpp"
+
+namespace deepseq {
+
+using nn::Graph;
+using nn::Var;
+
+ReliabilitySample make_reliability_sample(TrainSample base,
+                                          const FaultSimOptions& opt) {
+  ReliabilitySample s;
+  const FaultSimResult fr = simulate_faults(*base.circuit, base.workload, opt);
+  const int n = base.graph.num_nodes;
+  s.target_err = nn::Tensor(n, 2);
+  for (int v = 0; v < n; ++v) {
+    s.target_err.at(v, 0) = static_cast<float>(fr.err01[v]);
+    s.target_err.at(v, 1) = static_cast<float>(fr.err10[v]);
+  }
+  s.base = std::move(base);
+  return s;
+}
+
+ReliabilityModel::ReliabilityModel(const DeepSeqModel& pretrained)
+    : backbone_(pretrained.config()) {
+  backbone_.copy_params_from(pretrained);
+  Rng rng(pretrained.config().seed ^ 0xE77Au);
+  const int d = pretrained.config().hidden_dim;
+  err_head_ = nn::Mlp({d, d, d, 2}, nn::Activation::kSigmoid, rng, "err_head");
+}
+
+Var ReliabilityModel::forward(Graph& g, const CircuitGraph& graph,
+                              const Workload& w, std::uint64_t init_seed) const {
+  return err_head_.apply(g, backbone_.embed(g, graph, w, init_seed));
+}
+
+void ReliabilityModel::fit(const std::vector<ReliabilitySample>& samples,
+                           int epochs, float lr, std::uint64_t shuffle_seed) {
+  nn::Adam adam(params(), nn::AdamOptions{lr, 0.9f, 0.999f, 1e-8f, 5.0f});
+  Rng rng(shuffle_seed);
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.shuffle(order);
+    int in_batch = 0;
+    adam.zero_grad();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const ReliabilitySample& s = samples[order[i]];
+      Graph g(true);
+      const Var pred =
+          forward(g, s.base.graph, s.base.workload, s.base.init_seed);
+      const Var loss = g.l1_loss(pred, s.target_err);
+      g.backward(loss);
+      if (++in_batch >= 16 || i + 1 == order.size()) {
+        adam.step();
+        adam.zero_grad();
+        in_batch = 0;
+      }
+    }
+  }
+}
+
+ReliabilityModel::Estimate ReliabilityModel::estimate(
+    const CircuitGraph& graph, const Workload& w,
+    const std::vector<NodeId>& pos, std::uint64_t init_seed) const {
+  Graph g(false);
+  const Var emb = backbone_.embed(g, graph, w, init_seed);
+  const Var err = err_head_.apply(g, emb);
+  const auto lg = backbone_.regress(g, emb).lg;
+
+  Estimate est;
+  est.node_reliability.resize(static_cast<std::size_t>(graph.num_nodes));
+  for (int v = 0; v < graph.num_nodes; ++v) {
+    const double p1 = lg->value.at(v, 0);
+    const double e01 = err->value.at(v, 0);
+    const double e10 = err->value.at(v, 1);
+    est.node_reliability[v] = p1 * (1.0 - e10) + (1.0 - p1) * (1.0 - e01);
+  }
+  if (!pos.empty()) {
+    double sum = 0.0;
+    for (NodeId po : pos) sum += est.node_reliability[po];
+    est.circuit_reliability = sum / static_cast<double>(pos.size());
+  }
+  return est;
+}
+
+nn::NamedParams ReliabilityModel::params() const {
+  nn::NamedParams out = backbone_.params();
+  err_head_.collect_params(out);
+  return out;
+}
+
+}  // namespace deepseq

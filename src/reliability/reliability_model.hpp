@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/sample.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace deepseq {
+
+/// A training instance for the reliability task (paper §V-B1): the circuit
+/// and workload of a regular sample plus per-node conditional error
+/// probabilities from Monte-Carlo fault simulation. target_err columns are
+/// [P(reads 1 | golden 0), P(reads 0 | golden 1)].
+struct ReliabilitySample {
+  TrainSample base;
+  nn::Tensor target_err;  // N x 2
+};
+
+/// Attach fault-simulation labels to an existing sample.
+ReliabilitySample make_reliability_sample(TrainSample base,
+                                          const FaultSimOptions& opt);
+
+/// DeepSeq fine-tuned for reliability: the pre-trained backbone is forked
+/// and a fresh 2-d error-probability head is added (paper §V-B1 supervises
+/// every node with the 0->1 / 1->0 error probabilities). Circuit-level
+/// reliability is read out from the model alone, combining the predicted
+/// logic probability with the predicted conditional error probabilities:
+///   r(v) = P(v=1)(1 - err10) + P(v=0)(1 - err01),
+/// averaged over primary outputs — no simulation at inference time.
+class ReliabilityModel {
+ public:
+  explicit ReliabilityModel(const DeepSeqModel& pretrained);
+
+  /// Predicted error probabilities (N x 2) for one circuit.
+  nn::Var forward(nn::Graph& g, const CircuitGraph& graph, const Workload& w,
+                  std::uint64_t init_seed) const;
+
+  /// Fine-tune backbone + head with L1 on the error probabilities.
+  void fit(const std::vector<ReliabilitySample>& samples, int epochs, float lr,
+           std::uint64_t shuffle_seed = 31);
+
+  struct Estimate {
+    std::vector<double> node_reliability;
+    double circuit_reliability = 1.0;
+  };
+  /// Model-only reliability estimate of a circuit (needs its PO list).
+  Estimate estimate(const CircuitGraph& graph, const Workload& w,
+                    const std::vector<NodeId>& pos,
+                    std::uint64_t init_seed) const;
+
+  nn::NamedParams params() const;
+
+ private:
+  DeepSeqModel backbone_;
+  nn::Mlp err_head_;
+};
+
+}  // namespace deepseq

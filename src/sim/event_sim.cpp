@@ -1,0 +1,106 @@
+#include "sim/event_sim.hpp"
+
+#include "common/error.hpp"
+
+namespace deepseq {
+
+EventDrivenSimulator::EventDrivenSimulator(const Circuit& c)
+    : c_(c), levels_(comb_levelize(c)), fanouts_(c.fanouts()) {
+  val_.assign(c.num_nodes(), 0);
+  queued_.assign(c.num_nodes(), 0);
+  buckets_.resize(static_cast<std::size_t>(levels_.depth) + 1);
+  for (NodeId v = 0; v < c.num_nodes(); ++v)
+    if (levels_.level[v] > 0) ++num_comb_gates_;
+}
+
+void EventDrivenSimulator::reset() {
+  val_.assign(c_.num_nodes(), 0);
+  queued_.assign(c_.num_nodes(), 0);
+  for (auto& b : buckets_) b.clear();
+  full_eval_pending_ = true;
+  evals_ = 0;
+  cycles_ = 0;
+}
+
+bool EventDrivenSimulator::evaluate(NodeId v) const {
+  const Node& n = c_.node(v);
+  const bool a = n.num_fanins > 0 && val_[n.fanin[0]];
+  const bool b = n.num_fanins > 1 && val_[n.fanin[1]];
+  // Node MUX fanin order is (select, then, else); eval_gate takes the select
+  // in its third slot.
+  if (n.type == GateType::kMux)
+    return eval_gate(n.type, val_[n.fanin[1]] != 0, val_[n.fanin[2]] != 0, a);
+  return eval_gate(n.type, a, b);
+}
+
+void EventDrivenSimulator::schedule_fanouts(NodeId v) {
+  for (NodeId f : fanouts_[v]) {
+    // FFs are latched by clock(), never evaluated during step().
+    if (c_.type(f) == GateType::kFf) continue;
+    if (!queued_[f]) {
+      queued_[f] = 1;
+      buckets_[static_cast<std::size_t>(levels_.level[f])].push_back(f);
+    }
+  }
+}
+
+void EventDrivenSimulator::step(const std::vector<bool>& pi_values) {
+  if (pi_values.size() != c_.pis().size())
+    throw Error("EventDrivenSimulator::step: wrong number of PI values");
+
+  if (full_eval_pending_) {
+    // First cycle after reset: stale zeros may violate gate functions (a
+    // NOT of 0 must read 1), so evaluate every combinational gate once.
+    full_eval_pending_ = false;
+    for (std::size_t k = 0; k < pi_values.size(); ++k)
+      val_[c_.pis()[k]] = pi_values[k] ? 1 : 0;
+    for (std::size_t l = 1; l < levels_.by_level.size(); ++l)
+      for (NodeId v : levels_.by_level[l]) {
+        val_[v] = evaluate(v) ? 1 : 0;
+        ++evals_;
+      }
+    // Anything queued by construction-time clock() calls is now stale.
+    for (auto& b : buckets_) b.clear();
+    std::fill(queued_.begin(), queued_.end(), 0);
+    ++cycles_;
+    return;
+  }
+
+  for (std::size_t k = 0; k < pi_values.size(); ++k) {
+    const NodeId pi = c_.pis()[k];
+    const std::uint8_t nv = pi_values[k] ? 1 : 0;
+    if (val_[pi] != nv) {
+      val_[pi] = nv;
+      schedule_fanouts(pi);
+    }
+  }
+
+  for (std::size_t l = 1; l < buckets_.size(); ++l) {
+    // schedule_fanouts only appends to strictly deeper buckets while we
+    // drain level l, so plain iteration is safe.
+    for (std::size_t i = 0; i < buckets_[l].size(); ++i) {
+      const NodeId v = buckets_[l][i];
+      queued_[v] = 0;
+      const std::uint8_t nv = evaluate(v) ? 1 : 0;
+      ++evals_;
+      if (nv != val_[v]) {
+        val_[v] = nv;
+        schedule_fanouts(v);
+      }
+    }
+    buckets_[l].clear();
+  }
+  ++cycles_;
+}
+
+void EventDrivenSimulator::clock() {
+  for (NodeId ff : c_.ffs()) {
+    const std::uint8_t nv = val_[c_.node(ff).fanin[0]];
+    if (nv != val_[ff]) {
+      val_[ff] = nv;
+      schedule_fanouts(ff);
+    }
+  }
+}
+
+}  // namespace deepseq

@@ -1,0 +1,111 @@
+#include "sim/fault_sim.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "netlist/topology.hpp"
+
+namespace deepseq {
+
+FaultSimResult simulate_faults(const Circuit& c, const Workload& w,
+                               const FaultSimOptions& opt) {
+  if (w.pi_prob.size() != c.pis().size())
+    throw Error("simulate_faults: workload PI count mismatch");
+  const std::size_t n = c.num_nodes();
+
+  // Evaluation order of combinational gates.
+  const Levelization lv = comb_levelize(c);
+  std::vector<NodeId> order;
+  for (std::size_t l = 1; l < lv.by_level.size(); ++l)
+    for (NodeId v : lv.by_level[l]) order.push_back(v);
+
+  std::vector<std::uint64_t> golden(n, 0), faulty(n, 0);
+  std::vector<std::uint64_t> match1(n, 0), g0(n, 0), g1(n, 0), e01(n, 0), e10(n, 0);
+  std::uint64_t po_match = 0, po_total = 0;
+
+  Rng pattern_rng(w.pattern_seed);
+  Rng fault_rng(w.pattern_seed ^ 0x9E3779B97F4A7C15ULL);
+
+  auto eval = [&](std::vector<std::uint64_t>& val, NodeId v) {
+    const Node& nd = c.node(v);
+    const std::uint64_t a = val[nd.fanin[0]];
+    const std::uint64_t b = nd.num_fanins > 1 ? val[nd.fanin[1]] : 0;
+    const std::uint64_t s3 = nd.num_fanins > 2 ? val[nd.fanin[2]] : 0;
+    switch (nd.type) {
+      case GateType::kAnd: return a & b;
+      case GateType::kNot: return ~a;
+      case GateType::kBuf: return a;
+      case GateType::kOr: return a | b;
+      case GateType::kNand: return ~(a & b);
+      case GateType::kNor: return ~(a | b);
+      case GateType::kXor: return a ^ b;
+      case GateType::kXnor: return ~(a ^ b);
+      case GateType::kMux: return (a & b) | (~a & s3);
+      default: throw Error("simulate_faults: unexpected gate type");
+    }
+  };
+
+  const int words = (opt.num_sequences + 63) / 64;
+  std::vector<std::uint64_t> pi_words(c.pis().size());
+  for (int word = 0; word < words; ++word) {
+    std::fill(golden.begin(), golden.end(), 0);
+    std::fill(faulty.begin(), faulty.end(), 0);
+    for (int cycle = 0; cycle < opt.cycles_per_sequence; ++cycle) {
+      for (std::size_t k = 0; k < pi_words.size(); ++k) {
+        pi_words[k] = pattern_rng.bernoulli_word(w.pi_prob[k]);
+        golden[c.pis()[k]] = pi_words[k];
+        faulty[c.pis()[k]] = pi_words[k];
+      }
+      for (NodeId v : order) {
+        golden[v] = eval(golden, v);
+        faulty[v] = eval(faulty, v) ^ fault_rng.bernoulli_word(opt.gate_error_rate);
+      }
+      // Statistics for this cycle.
+      for (std::size_t v = 0; v < n; ++v) {
+        const std::uint64_t gv = golden[v], fv = faulty[v];
+        g1[v] += std::popcount(gv);
+        g0[v] += std::popcount(~gv);
+        e01[v] += std::popcount(~gv & fv);
+        e10[v] += std::popcount(gv & ~fv);
+        match1[v] += std::popcount(~(gv ^ fv));
+      }
+      for (NodeId po : c.pos()) {
+        po_match += std::popcount(~(golden[po] ^ faulty[po]));
+        po_total += 64;
+      }
+      // Clock both runs (two-phase for FF chains).
+      std::vector<std::uint64_t> gnext(c.ffs().size()), fnext(c.ffs().size());
+      for (std::size_t k = 0; k < c.ffs().size(); ++k) {
+        gnext[k] = golden[c.fanin(c.ffs()[k], 0)];
+        fnext[k] = faulty[c.fanin(c.ffs()[k], 0)];
+        if (opt.inject_ff)
+          fnext[k] ^= fault_rng.bernoulli_word(opt.gate_error_rate);
+      }
+      for (std::size_t k = 0; k < c.ffs().size(); ++k) {
+        golden[c.ffs()[k]] = gnext[k];
+        faulty[c.ffs()[k]] = fnext[k];
+      }
+    }
+  }
+
+  FaultSimResult res;
+  res.err01.assign(n, 0.0);
+  res.err10.assign(n, 0.0);
+  res.node_reliability.assign(n, 1.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (g0[v] > 0)
+      res.err01[v] = static_cast<double>(e01[v]) / static_cast<double>(g0[v]);
+    if (g1[v] > 0)
+      res.err10[v] = static_cast<double>(e10[v]) / static_cast<double>(g1[v]);
+    const std::uint64_t total = g0[v] + g1[v];
+    if (total > 0)
+      res.node_reliability[v] =
+          static_cast<double>(match1[v]) / static_cast<double>(total);
+  }
+  res.circuit_reliability =
+      po_total > 0 ? static_cast<double>(po_match) / static_cast<double>(po_total)
+                   : 1.0;
+  return res;
+}
+
+}  // namespace deepseq

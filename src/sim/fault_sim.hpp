@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/workload.hpp"
+
+namespace deepseq {
+
+/// Monte-Carlo transient/intermittent fault simulation (paper §V-B1): the
+/// circuit is simulated fault-free and in parallel with per-gate random
+/// output flips at `gate_error_rate` per cycle; faulty values propagate and
+/// are captured by FFs (state corruption across cycles). The comparison of
+/// both runs yields per-node conditional error probabilities and the
+/// circuit-level reliability figure of Table VII.
+struct FaultSimOptions {
+  int num_sequences = 1000;     // independent runs (paper: 1000 patterns)
+  int cycles_per_sequence = 100;
+  double gate_error_rate = 0.0005;  // 0.05% per gate per cycle
+  bool inject_ff = false;           // also flip FF captured values
+};
+
+struct FaultSimResult {
+  /// P(faulty = 1 | golden = 0), per node — the 0->1 error probability.
+  std::vector<double> err01;
+  /// P(faulty = 0 | golden = 1), per node — the 1->0 error probability.
+  std::vector<double> err10;
+  /// Per-node probability of matching the golden value.
+  std::vector<double> node_reliability;
+  /// Mean over primary outputs and cycles of P(faulty == golden) — the
+  /// "GT" reliability column of Table VII.
+  double circuit_reliability = 1.0;
+};
+
+FaultSimResult simulate_faults(const Circuit& c, const Workload& w,
+                               const FaultSimOptions& opt = {});
+
+}  // namespace deepseq

@@ -1,0 +1,152 @@
+#include "sim/simulator.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace deepseq {
+
+SequentialSimulator::SequentialSimulator(const Circuit& c) : c_(c) {
+  const Levelization lv = comb_levelize(c);
+  for (std::size_t l = 1; l < lv.by_level.size(); ++l)
+    for (NodeId v : lv.by_level[l]) eval_order_.push_back(v);
+  val_.assign(c.num_nodes(), 0);
+}
+
+void SequentialSimulator::reset() {
+  val_.assign(c_.num_nodes(), 0);
+  if (forced_node_ != kNullNode) val_[forced_node_] = forced_word_;
+}
+
+void SequentialSimulator::force_stuck(NodeId v, bool value) {
+  forced_node_ = v;
+  forced_word_ = value ? ~0ULL : 0ULL;
+  val_[v] = forced_word_;
+}
+
+void SequentialSimulator::clear_forcing() { forced_node_ = kNullNode; }
+
+void SequentialSimulator::step(const std::vector<std::uint64_t>& pi_words) {
+  if (pi_words.size() != c_.pis().size())
+    throw Error("SequentialSimulator::step: wrong number of PI words");
+  for (std::size_t k = 0; k < pi_words.size(); ++k)
+    val_[c_.pis()[k]] = pi_words[k];
+  if (forced_node_ != kNullNode) val_[forced_node_] = forced_word_;
+  for (NodeId v : eval_order_) {
+    const Node& n = c_.node(v);
+    switch (n.type) {
+      case GateType::kAnd:
+        val_[v] = val_[n.fanin[0]] & val_[n.fanin[1]];
+        break;
+      case GateType::kNot:
+        val_[v] = ~val_[n.fanin[0]];
+        break;
+      case GateType::kBuf:
+        val_[v] = val_[n.fanin[0]];
+        break;
+      case GateType::kOr:
+        val_[v] = val_[n.fanin[0]] | val_[n.fanin[1]];
+        break;
+      case GateType::kNand:
+        val_[v] = ~(val_[n.fanin[0]] & val_[n.fanin[1]]);
+        break;
+      case GateType::kNor:
+        val_[v] = ~(val_[n.fanin[0]] | val_[n.fanin[1]]);
+        break;
+      case GateType::kXor:
+        val_[v] = val_[n.fanin[0]] ^ val_[n.fanin[1]];
+        break;
+      case GateType::kXnor:
+        val_[v] = ~(val_[n.fanin[0]] ^ val_[n.fanin[1]]);
+        break;
+      case GateType::kMux: {
+        const std::uint64_t s = val_[n.fanin[0]];
+        val_[v] = (s & val_[n.fanin[1]]) | (~s & val_[n.fanin[2]]);
+        break;
+      }
+      case GateType::kConst0:
+        val_[v] = 0;
+        break;
+      case GateType::kPi:
+      case GateType::kFf:
+        break;  // sources, never in eval_order_
+    }
+    if (v == forced_node_) val_[v] = forced_word_;
+  }
+}
+
+void SequentialSimulator::clock() {
+  // Two phases so FF->FF chains latch the pre-clock values.
+  std::vector<std::uint64_t> next(c_.ffs().size());
+  for (std::size_t k = 0; k < c_.ffs().size(); ++k)
+    next[k] = val_[c_.fanin(c_.ffs()[k], 0)];
+  for (std::size_t k = 0; k < c_.ffs().size(); ++k) val_[c_.ffs()[k]] = next[k];
+  if (forced_node_ != kNullNode) val_[forced_node_] = forced_word_;
+}
+
+double NodeActivity::mean_toggle_rate() const {
+  if (tr01.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t v = 0; v < tr01.size(); ++v) sum += tr01[v] + tr10[v];
+  return sum / static_cast<double>(tr01.size());
+}
+
+double NodeActivity::static_fraction() const {
+  if (toggle_count.empty()) return 0.0;
+  std::size_t zero = 0;
+  for (const auto t : toggle_count) zero += (t == 0);
+  return static_cast<double>(zero) / static_cast<double>(toggle_count.size());
+}
+
+NodeActivity collect_activity(const Circuit& c, const Workload& w,
+                              const ActivityOptions& opt) {
+  if (w.pi_prob.size() != c.pis().size())
+    throw Error("collect_activity: workload PI count mismatch");
+  if (opt.num_cycles < 2) throw Error("collect_activity: need >= 2 cycles");
+
+  const std::size_t n = c.num_nodes();
+  NodeActivity act;
+  act.logic1.assign(n, 0.0);
+  act.tr01.assign(n, 0.0);
+  act.tr10.assign(n, 0.0);
+  act.toggle_count.assign(n, 0);
+
+  std::vector<std::uint64_t> ones(n, 0), c01(n, 0), c10(n, 0);
+  SequentialSimulator sim(c);
+  std::vector<std::uint64_t> prev(n, 0), pi_words(c.pis().size());
+  Rng rng(w.pattern_seed);
+
+  for (int word = 0; word < opt.num_words; ++word) {
+    sim.reset();
+    for (int cycle = 0; cycle < opt.num_cycles; ++cycle) {
+      for (std::size_t k = 0; k < pi_words.size(); ++k)
+        pi_words[k] = rng.bernoulli_word(w.pi_prob[k]);
+      sim.step(pi_words);
+      const auto& val = sim.values();
+      if (cycle > 0) {
+        for (std::size_t v = 0; v < n; ++v) {
+          c01[v] += std::popcount(~prev[v] & val[v]);
+          c10[v] += std::popcount(prev[v] & ~val[v]);
+        }
+      }
+      for (std::size_t v = 0; v < n; ++v) {
+        ones[v] += std::popcount(val[v]);
+        prev[v] = val[v];
+      }
+      sim.clock();
+    }
+  }
+
+  const auto lanes = static_cast<std::uint64_t>(opt.num_words) * 64;
+  act.logic_samples = lanes * static_cast<std::uint64_t>(opt.num_cycles);
+  act.transition_samples = lanes * static_cast<std::uint64_t>(opt.num_cycles - 1);
+  for (std::size_t v = 0; v < n; ++v) {
+    act.logic1[v] = static_cast<double>(ones[v]) / static_cast<double>(act.logic_samples);
+    act.tr01[v] = static_cast<double>(c01[v]) / static_cast<double>(act.transition_samples);
+    act.tr10[v] = static_cast<double>(c10[v]) / static_cast<double>(act.transition_samples);
+    act.toggle_count[v] = c01[v] + c10[v];
+  }
+  return act;
+}
+
+}  // namespace deepseq

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "netlist/topology.hpp"
+#include "sim/workload.hpp"
+
+namespace deepseq {
+
+/// Levelized 64-lane bit-parallel sequential logic simulator. Lane i of
+/// every value word is an independent simulation running the same circuit
+/// (64 sequences advance per step). FFs start at 0; each step() evaluates
+/// the combinational logic for the supplied PI values, and clock() latches
+/// the FF D inputs into the FF states.
+class SequentialSimulator {
+ public:
+  explicit SequentialSimulator(const Circuit& c);
+
+  const Circuit& circuit() const { return c_; }
+
+  /// Reset all FFs (and stale gate values) to 0.
+  void reset();
+
+  /// Evaluate one cycle's combinational logic. `pi_words[k]` holds the 64
+  /// lanes of PI k (order of Circuit::pis()).
+  void step(const std::vector<std::uint64_t>& pi_words);
+
+  /// Latch FF D values (call after step, before the next step).
+  void clock();
+
+  /// Value word of a node after the latest step().
+  std::uint64_t value(NodeId v) const { return val_[v]; }
+  const std::vector<std::uint64_t>& values() const { return val_; }
+
+  /// Pin `v` to a constant in every lane until clear_forcing() — stuck-at
+  /// fault injection. The forced value overrides evaluation (gates), PI
+  /// application and FF latching within the same cycle.
+  void force_stuck(NodeId v, bool value);
+  void clear_forcing();
+
+ private:
+  const Circuit& c_;
+  std::vector<NodeId> eval_order_;  // combinational gates, level order
+  std::vector<std::uint64_t> val_;
+  NodeId forced_node_ = kNullNode;
+  std::uint64_t forced_word_ = 0;
+};
+
+/// Per-node switching/logic statistics of one simulated workload — the
+/// supervision of the paper's multi-task objective (§III-A) and the input
+/// to power analysis.
+struct NodeActivity {
+  std::uint64_t logic_samples = 0;       // cycles * lanes
+  std::uint64_t transition_samples = 0;  // (cycles-1) * lanes
+  std::vector<double> logic1;            // P(node = 1)
+  std::vector<double> tr01;              // P(0 -> 1 between cycles)
+  std::vector<double> tr10;              // P(1 -> 0)
+  std::vector<std::uint64_t> toggle_count;  // raw toggles (01 + 10)
+
+  /// Average per-cycle toggle rate of a node.
+  double toggle_rate(NodeId v) const { return tr01[v] + tr10[v]; }
+  /// Mean toggle rate over a node subset (all nodes when empty).
+  double mean_toggle_rate() const;
+  /// Fraction of nodes with zero observed transitions (paper §V-A1 reports
+  /// ~70% static gates under realistic workloads).
+  double static_fraction() const;
+};
+
+struct ActivityOptions {
+  int num_cycles = 10000;
+  int num_words = 1;  // 64 lanes per word
+};
+
+/// Simulate `workload` on `c` and collect logic/transition probabilities.
+NodeActivity collect_activity(const Circuit& c, const Workload& w,
+                              const ActivityOptions& opt = {});
+
+}  // namespace deepseq

@@ -1,0 +1,91 @@
+#include "sim/stuck_at.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+
+std::vector<StuckAtFault> enumerate_stuck_at_faults(const Circuit& c) {
+  std::vector<StuckAtFault> out;
+  out.reserve(2 * c.num_nodes());
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.type(v) == GateType::kConst0) continue;  // already constant
+    out.push_back({v, false});
+    out.push_back({v, true});
+  }
+  return out;
+}
+
+StuckAtResult simulate_stuck_at(const Circuit& c, const Workload& w,
+                                const std::vector<StuckAtFault>& faults,
+                                const StuckAtOptions& opt) {
+  if (w.pi_prob.size() != c.pis().size())
+    throw Error("simulate_stuck_at: workload PI count mismatch");
+  if (opt.num_cycles <= 0 || opt.num_words <= 0)
+    throw Error("simulate_stuck_at: cycles/words must be positive");
+
+  const std::size_t num_pis = c.pis().size();
+  const std::size_t num_pos = c.pos().size();
+  const auto cycles = static_cast<std::size_t>(opt.num_cycles);
+
+  StuckAtResult result;
+  result.faults = faults;
+  result.detected.assign(faults.size(), false);
+
+  SequentialSimulator golden(c);
+  SequentialSimulator faulty(c);
+
+  for (int word = 0; word < opt.num_words; ++word) {
+    // Draw the pattern stream once (identical for golden and every faulty
+    // machine) and record the golden PO responses.
+    Rng rng(w.pattern_seed + static_cast<std::uint64_t>(word));
+    std::vector<std::uint64_t> patterns(cycles * num_pis);
+    for (std::size_t cycle = 0; cycle < cycles; ++cycle)
+      for (std::size_t k = 0; k < num_pis; ++k)
+        patterns[cycle * num_pis + k] = rng.bernoulli_word(w.pi_prob[k]);
+
+    std::vector<std::uint64_t> golden_po(cycles * num_pos);
+    golden.reset();
+    std::vector<std::uint64_t> pi(num_pis);
+    for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+      for (std::size_t k = 0; k < num_pis; ++k)
+        pi[k] = patterns[cycle * num_pis + k];
+      golden.step(pi);
+      for (std::size_t p = 0; p < num_pos; ++p)
+        golden_po[cycle * num_pos + p] = golden.value(c.pos()[p]);
+      golden.clock();
+    }
+
+    // Serial fault simulation with early exit on detection.
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (result.detected[f]) continue;
+      faulty.clear_forcing();
+      faulty.reset();
+      faulty.force_stuck(faults[f].node, faults[f].value);
+      for (std::size_t cycle = 0; cycle < cycles && !result.detected[f];
+           ++cycle) {
+        for (std::size_t k = 0; k < num_pis; ++k)
+          pi[k] = patterns[cycle * num_pis + k];
+        faulty.step(pi);
+        for (std::size_t p = 0; p < num_pos; ++p) {
+          if (faulty.value(c.pos()[p]) != golden_po[cycle * num_pos + p]) {
+            result.detected[f] = true;
+            break;
+          }
+        }
+        faulty.clock();
+      }
+    }
+  }
+
+  for (const bool d : result.detected) result.num_detected += d ? 1 : 0;
+  return result;
+}
+
+StuckAtResult simulate_stuck_at(const Circuit& c, const Workload& w,
+                                const StuckAtOptions& opt) {
+  return simulate_stuck_at(c, w, enumerate_stuck_at_faults(c), opt);
+}
+
+}  // namespace deepseq

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/workload.hpp"
+
+namespace deepseq {
+
+/// A single stuck-at fault: node `node` permanently reads `value`.
+struct StuckAtFault {
+  NodeId node = kNullNode;
+  bool value = false;
+};
+
+/// The collapsed-free full fault list: stuck-at-0 and stuck-at-1 on the
+/// output of every node except constants (2N faults).
+std::vector<StuckAtFault> enumerate_stuck_at_faults(const Circuit& c);
+
+struct StuckAtOptions {
+  int num_cycles = 1000;
+  int num_words = 1;  // 64 pattern lanes per word
+};
+
+/// Result of serial stuck-at fault simulation under one workload.
+struct StuckAtResult {
+  std::vector<StuckAtFault> faults;
+  std::vector<bool> detected;      // per fault: some PO differed in some cycle
+  std::size_t num_detected = 0;
+
+  double coverage() const {
+    return faults.empty()
+               ? 0.0
+               : static_cast<double>(num_detected) /
+                     static_cast<double>(faults.size());
+  }
+};
+
+/// Serial stuck-at fault simulation: the golden machine and one faulty
+/// machine run the same bit-parallel pattern stream (64 lanes x
+/// num_cycles); a fault is detected when any primary output differs in any
+/// lane of any cycle. This is the workhorse behind test-point-insertion
+/// flows (DeepTPI [10]) — test points are inserted exactly where stuck-at
+/// coverage is poor, which SCOAP's fault_effort predicts.
+StuckAtResult simulate_stuck_at(const Circuit& c, const Workload& w,
+                                const std::vector<StuckAtFault>& faults,
+                                const StuckAtOptions& opt = {});
+
+/// Convenience: full fault list.
+StuckAtResult simulate_stuck_at(const Circuit& c, const Workload& w,
+                                const StuckAtOptions& opt = {});
+
+}  // namespace deepseq

@@ -1,0 +1,84 @@
+#include "sim/vcd.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace deepseq {
+
+namespace {
+
+/// VCD identifiers: base-94 strings over the printable range '!'..'~'.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& out, const Circuit& c,
+                     std::vector<NodeId> watch)
+    : out_(out), c_(c), watch_(std::move(watch)) {
+  if (watch_.empty())
+    for (NodeId v = 0; v < c.num_nodes(); ++v) watch_.push_back(v);
+  for (NodeId v : watch_)
+    if (v >= c.num_nodes()) throw Error("VcdWriter: watched node out of range");
+
+  const auto names = unique_node_names(c);
+  ids_.reserve(watch_.size());
+  last_.assign(watch_.size(), -1);
+
+  out_ << "$version deepseq sequential simulator $end\n";
+  out_ << "$timescale 1ns $end\n";
+  out_ << "$scope module " << (c.name().empty() ? "top" : c.name())
+       << " $end\n";
+  for (std::size_t i = 0; i < watch_.size(); ++i) {
+    ids_.push_back(vcd_id(i));
+    out_ << "$var wire 1 " << ids_[i] << ' ' << names[watch_[i]] << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::sample(const SequentialSimulator& sim, int lane) {
+  if (lane < 0 || lane > 63) throw Error("VcdWriter: lane must be in [0,63]");
+  bool stamped = false;
+  for (std::size_t i = 0; i < watch_.size(); ++i) {
+    const signed char bit =
+        static_cast<signed char>((sim.value(watch_[i]) >> lane) & 1ULL);
+    if (bit == last_[i]) continue;
+    if (!stamped) {
+      out_ << '#' << time_ << '\n';
+      stamped = true;
+    }
+    out_ << (bit ? '1' : '0') << ids_[i] << '\n';
+    last_[i] = bit;
+  }
+  ++time_;
+}
+
+std::string dump_vcd(const Circuit& c, const Workload& w, int cycles) {
+  if (w.pi_prob.size() != c.pis().size())
+    throw Error("dump_vcd: workload PI count mismatch");
+  std::ostringstream out;
+  VcdWriter vcd(out, c);
+  SequentialSimulator sim(c);
+  Rng rng(w.pattern_seed);
+  std::vector<std::uint64_t> pi(c.pis().size());
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    for (std::size_t k = 0; k < pi.size(); ++k)
+      pi[k] = rng.bernoulli_word(w.pi_prob[k]);
+    sim.step(pi);
+    vcd.sample(sim);
+    sim.clock();
+  }
+  return out.str();
+}
+
+}  // namespace deepseq

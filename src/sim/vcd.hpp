@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+
+/// Standard value-change-dump (IEEE 1364 §18) writer for simulator traces:
+/// the debugging artifact every waveform viewer (GTKWave etc.) consumes.
+/// One VcdWriter records one lane of the bit-parallel simulator; values are
+/// emitted only when they change, after an initial full dump at time 0.
+class VcdWriter {
+ public:
+  /// Watches `watch` nodes (all nodes when empty). The header is written
+  /// immediately; node names come from unique_node_names().
+  VcdWriter(std::ostream& out, const Circuit& c,
+            std::vector<NodeId> watch = {});
+
+  /// Record the watched values of `sim` (lane `lane`) at the next
+  /// timestep. Call once per cycle, after step().
+  void sample(const SequentialSimulator& sim, int lane = 0);
+
+  /// Timesteps recorded so far.
+  int timesteps() const { return time_; }
+
+ private:
+  std::ostream& out_;
+  const Circuit& c_;
+  std::vector<NodeId> watch_;
+  std::vector<std::string> ids_;     // VCD identifier per watched node
+  std::vector<signed char> last_;    // -1 = not yet dumped
+  int time_ = 0;
+};
+
+/// Convenience: simulate `cycles` of `workload` on `c` and dump all nodes'
+/// lane-0 waveform as VCD text.
+std::string dump_vcd(const Circuit& c, const Workload& w, int cycles);
+
+}  // namespace deepseq

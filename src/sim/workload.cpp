@@ -1,0 +1,29 @@
+#include "sim/workload.hpp"
+
+namespace deepseq {
+
+Workload random_workload(const Circuit& c, Rng& rng) {
+  Workload w;
+  w.pi_prob.reserve(c.pis().size());
+  for (std::size_t k = 0; k < c.pis().size(); ++k)
+    w.pi_prob.push_back(rng.uniform());
+  w.pattern_seed = rng.next_u64();
+  return w;
+}
+
+Workload low_activity_workload(const Circuit& c, Rng& rng,
+                               double active_fraction) {
+  Workload w;
+  w.pi_prob.reserve(c.pis().size());
+  for (std::size_t k = 0; k < c.pis().size(); ++k) {
+    if (rng.bernoulli(active_fraction)) {
+      w.pi_prob.push_back(rng.uniform());
+    } else {
+      w.pi_prob.push_back(rng.bernoulli(0.5) ? 1.0 : 0.0);
+    }
+  }
+  w.pattern_seed = rng.next_u64();
+  return w;
+}
+
+}  // namespace deepseq

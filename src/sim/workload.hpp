@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netlist/circuit.hpp"
+
+namespace deepseq {
+
+/// A workload for a sequential netlist is defined by the behaviour of its
+/// primary inputs (paper §III-B): per-PI logic-1 probabilities from which a
+/// sequential input pattern is drawn. `pi_prob[k]` corresponds to
+/// `circuit.pis()[k]`. `pattern_seed` makes the drawn pattern reproducible.
+struct Workload {
+  std::vector<double> pi_prob;
+  std::uint64_t pattern_seed = 1;
+};
+
+/// Uniform-random workload: each PI gets an independent logic-1 probability
+/// drawn uniformly from [0, 1] (training-set generation, paper §III-B).
+Workload random_workload(const Circuit& c, Rng& rng);
+
+/// Low-activity workload emulating realistic testbenches on large designs
+/// (paper §V-A1: under a real workload only a few modules are active and
+/// ~70% of gates show no transitions). A fraction `active_fraction` of PIs
+/// behave randomly; the rest are pinned to constant 0 or 1 (enables, modes,
+/// resets) and never toggle.
+Workload low_activity_workload(const Circuit& c, Rng& rng,
+                               double active_fraction = 0.3);
+
+}  // namespace deepseq

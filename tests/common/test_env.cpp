@@ -1,0 +1,35 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace deepseq {
+namespace {
+
+TEST(Env, FallbackWhenUnset) {
+  ::unsetenv("DEEPSEQ_TEST_KNOB");
+  EXPECT_EQ(env_int("DEEPSEQ_TEST_KNOB", 42), 42);
+  EXPECT_EQ(env_string("DEEPSEQ_TEST_KNOB", "dflt"), "dflt");
+}
+
+TEST(Env, ReadsIntegerValue) {
+  ::setenv("DEEPSEQ_TEST_KNOB", "17", 1);
+  EXPECT_EQ(env_int("DEEPSEQ_TEST_KNOB", 42), 17);
+  ::unsetenv("DEEPSEQ_TEST_KNOB");
+}
+
+TEST(Env, UnparsableFallsBack) {
+  ::setenv("DEEPSEQ_TEST_KNOB", "abc", 1);
+  EXPECT_EQ(env_int("DEEPSEQ_TEST_KNOB", 9), 9);
+  ::unsetenv("DEEPSEQ_TEST_KNOB");
+}
+
+TEST(Env, ReadsString) {
+  ::setenv("DEEPSEQ_TEST_KNOB", "value", 1);
+  EXPECT_EQ(env_string("DEEPSEQ_TEST_KNOB", "d"), "value");
+  ::unsetenv("DEEPSEQ_TEST_KNOB");
+}
+
+}  // namespace
+}  // namespace deepseq

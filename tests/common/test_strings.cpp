@@ -1,0 +1,65 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepseq {
+namespace {
+
+TEST(Strings, TrimRemovesWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nfoo\r "), "foo");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWsEmptyInput) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t ").empty());
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("input(a)", "input("));
+  EXPECT_FALSE(starts_with("in", "input"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 3), "-0.500");
+}
+
+TEST(Strings, FormatPercent) {
+  EXPECT_EQ(format_percent(0.0319), "3.19%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,166 @@
+#include "core/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nn/gradcheck.hpp"
+
+namespace deepseq {
+namespace {
+
+using nn::Graph;
+using nn::Tensor;
+using nn::Var;
+
+struct AggFixture {
+  int dim = 4;
+  Tensor hv_targets, hv_edges, hu;
+  std::vector<int> segment{0, 0, 1, 1, 1};
+  int num_targets = 2;
+
+  AggFixture() {
+    Rng rng(5);
+    hv_targets = Tensor::xavier(num_targets, dim, rng);
+    hu = Tensor::xavier(5, dim, rng);
+    hv_edges = Tensor(5, dim);
+    for (int e = 0; e < 5; ++e)
+      for (int c = 0; c < dim; ++c)
+        hv_edges.at(e, c) = hv_targets.at(segment[e], c);
+  }
+};
+
+class AggregatorKinds : public ::testing::TestWithParam<AggregatorKind> {};
+
+TEST_P(AggregatorKinds, OutputShapeMatchesMessageDim) {
+  AggFixture f;
+  Rng rng(7);
+  const Aggregator agg(GetParam(), f.dim, rng, "agg");
+  Graph g;
+  const Var m = agg.aggregate(g, g.constant(f.hv_targets), g.constant(f.hv_edges),
+                              g.constant(f.hu), f.segment, f.num_targets);
+  EXPECT_EQ(m->value.rows(), f.num_targets);
+  EXPECT_EQ(m->value.cols(), agg.message_dim());
+}
+
+TEST_P(AggregatorKinds, HasTrainableParams) {
+  Rng rng(8);
+  const Aggregator agg(GetParam(), 4, rng, "agg");
+  nn::NamedParams p;
+  agg.collect_params(p);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST_P(AggregatorKinds, GradCheckThroughAggregation) {
+  AggFixture f;
+  Rng rng(9);
+  const Aggregator agg(GetParam(), f.dim, rng, "agg");
+  nn::NamedParams params;
+  agg.collect_params(params);
+  // Also check gradients flowing into the source states.
+  Var hu_param = nn::make_param(f.hu);
+  params.emplace_back("hu", hu_param);
+  const Tensor target = Tensor::full(f.num_targets, agg.message_dim(), 0.1f);
+  auto forward = [&](Graph& g) {
+    const Var m =
+        agg.aggregate(g, g.constant(f.hv_targets), g.constant(f.hv_edges),
+                      hu_param, f.segment, f.num_targets);
+    return g.l1_loss(m, target);
+  };
+  const auto res = nn::grad_check(forward, params, 5e-3f, 4);
+  EXPECT_LT(res.max_rel_error, 0.06) << "worst: " << res.worst_param;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AggregatorKinds,
+                         ::testing::Values(AggregatorKind::kConvSum,
+                                           AggregatorKind::kAttention,
+                                           AggregatorKind::kDualAttention),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case AggregatorKind::kConvSum: return "ConvSum";
+                             case AggregatorKind::kAttention: return "Attention";
+                             default: return "DualAttention";
+                           }
+                         });
+
+TEST(Aggregator, ConvSumIsDegreeNormalizedMean) {
+  // With identity weights and zero bias, conv-sum reduces to the mean of
+  // predecessor states.
+  const int dim = 3;
+  Rng rng(11);
+  Aggregator agg(AggregatorKind::kConvSum, dim, rng, "agg");
+  nn::NamedParams p;
+  agg.collect_params(p);
+  p[0].second->value = Tensor(dim, dim);
+  for (int i = 0; i < dim; ++i) p[0].second->value.at(i, i) = 1.0f;
+  p[1].second->value.zero();
+
+  Graph g;
+  const Tensor hu = Tensor::from_rows({{1, 0, 0}, {3, 0, 0}, {6, 0, 0}});
+  const std::vector<int> seg{0, 0, 1};
+  const Var m = agg.aggregate(g, g.constant(Tensor(2, dim)),
+                              g.constant(Tensor(3, dim)), g.constant(hu), seg, 2);
+  EXPECT_NEAR(m->value.at(0, 0), 2.0f, 1e-6);  // mean(1, 3)
+  EXPECT_NEAR(m->value.at(1, 0), 6.0f, 1e-6);  // mean(6)
+}
+
+TEST(Aggregator, AttentionIsConvexCombination) {
+  // Attention output lies in the convex hull of source states: with 1-d
+  // states, between min and max.
+  Rng rng(13);
+  Aggregator agg(AggregatorKind::kAttention, 1, rng, "agg");
+  Graph g;
+  const Tensor hu = Tensor::from_rows({{0.0f}, {1.0f}, {0.5f}});
+  const std::vector<int> seg{0, 0, 0};
+  const Var m = agg.aggregate(g, g.constant(Tensor(1, 1)),
+                              g.constant(Tensor(3, 1)), g.constant(hu), seg, 1);
+  EXPECT_GE(m->value.at(0, 0), 0.0f);
+  EXPECT_LE(m->value.at(0, 0), 1.0f);
+}
+
+TEST(Aggregator, DualAttentionConcatenatesTrAndLg) {
+  // m = m_TR || m_LG with m_TR = gate * m_LG, so the left half equals the
+  // right half scaled by a factor in (0, 1), column-wise per target.
+  AggFixture f;
+  const int dim = f.dim;
+  Rng rng(17);
+  Aggregator agg(AggregatorKind::kDualAttention, dim, rng, "agg");
+  Graph g;
+  const Var m = agg.aggregate(g, g.constant(f.hv_targets), g.constant(f.hv_edges),
+                              g.constant(f.hu), f.segment, f.num_targets);
+  ASSERT_EQ(m->value.cols(), 2 * dim);
+  for (int t = 0; t < f.num_targets; ++t) {
+    // Recover the gate from any nonzero LG column and check consistency.
+    double gate = -1.0;
+    for (int c = 0; c < dim; ++c) {
+      const float lg = m->value.at(t, dim + c);
+      const float tr = m->value.at(t, c);
+      if (std::abs(lg) > 1e-5) {
+        const double ratio = tr / lg;
+        if (gate < 0) {
+          gate = ratio;
+        } else {
+          EXPECT_NEAR(ratio, gate, 1e-4);
+        }
+      }
+    }
+    EXPECT_GT(gate, 0.0);
+    EXPECT_LT(gate, 1.0);
+  }
+}
+
+TEST(Aggregator, NameCollisionFreeParams) {
+  Rng rng(19);
+  Aggregator a1(AggregatorKind::kDualAttention, 4, rng, "fwd");
+  Aggregator a2(AggregatorKind::kDualAttention, 4, rng, "rev");
+  nn::NamedParams p;
+  a1.collect_params(p);
+  a2.collect_params(p);
+  std::set<std::string> names;
+  for (const auto& [n, v] : p) names.insert(n);
+  EXPECT_EQ(names.size(), p.size());
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,189 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "dataset/embedded.hpp"
+#include "netlist/aig.hpp"
+#include "nn/gradcheck.hpp"
+
+namespace deepseq {
+namespace {
+
+using nn::Graph;
+using nn::Tensor;
+
+struct ModelFixture {
+  Circuit aig = decompose_to_aig(iscas89_s27()).aig;
+  CircuitGraph graph = build_circuit_graph(aig);
+  Workload w;
+
+  ModelFixture() { w.pi_prob = {0.2, 0.5, 0.8, 0.4}; }
+};
+
+TEST(ModelConfig, PresetsMatchPaperRows) {
+  const ModelConfig ds = ModelConfig::deepseq();
+  EXPECT_EQ(ds.aggregator, AggregatorKind::kDualAttention);
+  EXPECT_EQ(ds.propagation, PropagationKind::kDeepSeqCustom);
+  EXPECT_EQ(ds.iterations, 10);
+  EXPECT_EQ(ds.hidden_dim, 64);
+
+  const ModelConfig conv = ModelConfig::dag_conv_gnn(AggregatorKind::kConvSum);
+  EXPECT_EQ(conv.iterations, 1);
+  EXPECT_EQ(conv.propagation, PropagationKind::kBaselineDag);
+
+  const ModelConfig rec = ModelConfig::dag_rec_gnn(AggregatorKind::kAttention);
+  EXPECT_EQ(rec.iterations, 10);
+
+  EXPECT_EQ(ModelConfig::deepseq().description(), "DeepSeq / Dual Attention");
+  EXPECT_EQ(conv.description(), "DAG-ConvGNN / Conv. Sum");
+  EXPECT_EQ(rec.description(), "DAG-RecGNN / Attention");
+}
+
+TEST(Model, OutputShapesAndRanges) {
+  ModelFixture f;
+  const DeepSeqModel model(ModelConfig::deepseq(16, 2));
+  Graph g(false);
+  const auto out = model.forward(g, f.graph, f.w, 1);
+  EXPECT_EQ(out.tr->value.rows(), f.graph.num_nodes);
+  EXPECT_EQ(out.tr->value.cols(), 2);
+  EXPECT_EQ(out.lg->value.rows(), f.graph.num_nodes);
+  EXPECT_EQ(out.lg->value.cols(), 1);
+  for (std::size_t i = 0; i < out.tr->value.size(); ++i) {
+    EXPECT_GE(out.tr->value.data()[i], 0.0f);
+    EXPECT_LE(out.tr->value.data()[i], 1.0f);
+  }
+}
+
+class ModelVariants : public ::testing::TestWithParam<ModelConfig> {};
+
+TEST_P(ModelVariants, ForwardRunsAndBackpropagates) {
+  ModelFixture f;
+  const DeepSeqModel model(GetParam());
+  const Tensor target_tr = Tensor::full(f.graph.num_nodes, 2, 0.25f);
+  const Tensor target_lg = Tensor::full(f.graph.num_nodes, 1, 0.5f);
+  Graph g(true);
+  const auto out = model.forward(g, f.graph, f.w, 1);
+  const auto loss = g.add(g.l1_loss(out.tr, target_tr), g.l1_loss(out.lg, target_lg));
+  g.backward(loss);
+  // Every parameter must receive a gradient.
+  int with_grad = 0;
+  for (const auto& [name, p] : model.params()) with_grad += p->has_grad();
+  EXPECT_EQ(with_grad, static_cast<int>(model.params().size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableIIRows, ModelVariants,
+    ::testing::Values(ModelConfig::dag_conv_gnn(AggregatorKind::kConvSum, 8),
+                      ModelConfig::dag_conv_gnn(AggregatorKind::kAttention, 8),
+                      ModelConfig::dag_rec_gnn(AggregatorKind::kConvSum, 8, 3),
+                      ModelConfig::dag_rec_gnn(AggregatorKind::kAttention, 8, 3),
+                      ModelConfig::deepseq_simple_attention(8, 3),
+                      ModelConfig::deepseq(8, 3)));
+
+TEST(Model, ParamNamesUnique) {
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  const auto params = model.params();
+  std::set<std::string> names;
+  for (const auto& [n, v] : params) names.insert(n);
+  EXPECT_EQ(names.size(), params.size());
+  EXPECT_GT(params.size(), 20u);  // two aggregators, two GRUs, two MLPs
+}
+
+TEST(Model, BackboneExcludesHeads) {
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  EXPECT_LT(model.backbone_params().size(), model.params().size());
+  for (const auto& [n, v] : model.backbone_params())
+    EXPECT_EQ(n.find("mlp_"), std::string::npos);
+}
+
+TEST(Model, SaveLoadRoundTrip) {
+  ModelFixture f;
+  DeepSeqModel m1(ModelConfig::deepseq(8, 2));
+  const std::string path = ::testing::TempDir() + "/model.bin";
+  m1.save(path);
+
+  ModelConfig cfg2 = ModelConfig::deepseq(8, 2);
+  cfg2.seed = 12345;  // different init
+  DeepSeqModel m2(cfg2);
+  Graph ga(false), gb(false);
+  const Tensor before = m2.forward(ga, f.graph, f.w, 1).lg->value;
+  m2.load(path);
+  const Tensor after = m2.forward(gb, f.graph, f.w, 1).lg->value;
+  Graph gc(false);
+  const Tensor reference = m1.forward(gc, f.graph, f.w, 1).lg->value;
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_FLOAT_EQ(after.data()[i], reference.data()[i]);
+  // And the load actually changed something.
+  double diff = 0.0;
+  for (std::size_t i = 0; i < after.size(); ++i)
+    diff += std::abs(after.data()[i] - before.data()[i]);
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Model, CopyParamsFromMatchesOutputs) {
+  ModelFixture f;
+  const DeepSeqModel src(ModelConfig::deepseq(8, 2));
+  ModelConfig cfg = ModelConfig::deepseq(8, 2);
+  cfg.seed = 4321;
+  DeepSeqModel dst(cfg);
+  dst.copy_params_from(src);
+  Graph g1(false), g2(false);
+  const Tensor a = src.forward(g1, f.graph, f.w, 9).tr->value;
+  const Tensor b = dst.forward(g2, f.graph, f.w, 9).tr->value;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Model, CopyParamsArchMismatchThrows) {
+  const DeepSeqModel src(ModelConfig::deepseq(8, 2));
+  DeepSeqModel dst(ModelConfig::deepseq(16, 2));
+  EXPECT_THROW(dst.copy_params_from(src), Error);
+}
+
+TEST(Model, WorkloadSizeMismatchThrows) {
+  ModelFixture f;
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  Workload bad;
+  bad.pi_prob = {0.5};
+  Graph g(false);
+  EXPECT_THROW(model.forward(g, f.graph, bad, 1), Error);
+}
+
+TEST(Model, GradCheckEndToEnd) {
+  // Full model finite-difference check on a tiny circuit: validates the
+  // whole unrolled propagation graph (gather/attention/GRU/FF-copy chain).
+  Circuit c("tiny");
+  const NodeId a = c.add_pi("a");
+  const NodeId ff = c.add_ff(kNullNode, "q");
+  const NodeId g1 = c.add_and(a, ff, "g1");
+  const NodeId n1 = c.add_not(g1, "n1");
+  c.set_fanin(ff, 0, n1);
+  c.add_po(n1, "o");
+  c.validate();
+  const CircuitGraph graph = build_circuit_graph(c);
+  const DeepSeqModel model(ModelConfig::deepseq(4, 2));
+  Workload w;
+  w.pi_prob = {0.3};
+  const Tensor target = Tensor::full(graph.num_nodes, 4, 0.2f);
+  const Tensor zeros = Tensor(graph.num_nodes, 4);
+
+  // Check the unrolled propagation composition (gather / attention / GRU /
+  // FF-copy across iterations) through the *backbone*, whose path is smooth
+  // (sigmoid, tanh, softmax). The ReLU regressor heads are unit-gradchecked
+  // in test_modules.cpp; their kinks would corrupt finite differences here.
+  auto forward = [&](Graph& g) {
+    const auto emb = model.embed(g, graph, w, 3);
+    const auto d = g.sub(emb, g.constant(target));
+    return g.l1_loss(g.mul(d, d), zeros);  // smooth squared error
+  };
+  const auto res = nn::grad_check(forward, model.backbone_params(), 5e-3f, 2);
+  EXPECT_LT(res.max_rel_error, 0.08) << "worst: " << res.worst_param;
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,153 @@
+#include "core/pace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+
+namespace deepseq {
+namespace {
+
+Circuit s27_aig() { return decompose_to_aig(iscas89_s27()).aig; }
+
+std::vector<TrainSample> s27_samples(int count, std::uint64_t seed) {
+  std::vector<TrainSample> out;
+  Rng rng(seed);
+  const Circuit aig = s27_aig();
+  for (int k = 0; k < count; ++k) {
+    Workload w = random_workload(aig, rng);
+    ActivityOptions opt;
+    opt.num_cycles = 500;
+    out.push_back(make_sample("s27_" + std::to_string(k), aig, std::move(w),
+                              opt, rng.next_u64()));
+  }
+  return out;
+}
+
+TEST(PaceGraph, TargetsExcludePisAndAttendToThemselvesFirst) {
+  const Circuit aig = s27_aig();
+  const PaceGraph g = build_pace_graph(aig, PaceConfig{});
+  for (NodeId pi : aig.pis())
+    for (NodeId t : g.targets) EXPECT_NE(t, pi);
+  // The BFS pushes the node itself before any ancestor.
+  std::vector<int> first_source(g.targets.size(), -1);
+  for (std::size_t e = 0; e < g.sources.size(); ++e)
+    if (first_source[g.segment[e]] < 0)
+      first_source[g.segment[e]] = static_cast<int>(g.sources[e]);
+  for (std::size_t i = 0; i < g.targets.size(); ++i)
+    EXPECT_EQ(first_source[i], static_cast<int>(g.targets[i]));
+}
+
+TEST(PaceGraph, AncestorCapIsRespected) {
+  Rng rng(5);
+  GeneratorSpec spec;
+  spec.num_pis = 6;
+  spec.num_ffs = 4;
+  spec.num_gates = 150;
+  for (int t = 0; t < kNumGateTypes; ++t) spec.gate_weights[t] = 0.0;
+  spec.gate_weights[static_cast<int>(GateType::kAnd)] = 4.0;
+  spec.gate_weights[static_cast<int>(GateType::kNot)] = 2.0;
+  const Circuit aig = generate_circuit(spec, rng);
+  PaceConfig cfg;
+  cfg.max_ancestors = 7;
+  const PaceGraph g = build_pace_graph(aig, cfg);
+  std::vector<int> count(g.targets.size(), 0);
+  for (int s : g.segment) ++count[s];
+  for (int c : count) {
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, cfg.max_ancestors + 1);
+  }
+}
+
+TEST(PaceGraph, FeatureWidthIncludesPositionalEncoding) {
+  PaceConfig cfg;
+  cfg.pos_dim = 6;
+  const PaceGraph g = build_pace_graph(s27_aig(), cfg);
+  EXPECT_EQ(g.features.cols(), kFeatureDim + 6);
+}
+
+TEST(PaceGraph, RejectsGenericCircuits) {
+  EXPECT_THROW(build_pace_graph(counter4(), PaceConfig{}), CircuitError);
+}
+
+TEST(PaceEncoder, PiRowsStayPinnedThroughAllLayers) {
+  const Circuit aig = s27_aig();
+  PaceConfig cfg;
+  cfg.hidden_dim = 8;
+  const PaceGraph graph = build_pace_graph(aig, cfg);
+  const PaceEncoder enc(cfg);
+  Rng rng(3);
+  const Workload w = random_workload(aig, rng);
+  nn::Graph g(false);
+  const nn::Var h = enc.embed(g, graph, w, 77);
+  for (std::size_t k = 0; k < aig.pis().size(); ++k)
+    for (int c = 0; c < cfg.hidden_dim; ++c)
+      EXPECT_FLOAT_EQ(h->value.at(static_cast<int>(aig.pis()[k]), c),
+                      static_cast<float>(w.pi_prob[k]));
+}
+
+TEST(PaceEncoder, OutputsAreProbabilityShaped) {
+  const Circuit aig = s27_aig();
+  PaceConfig cfg;
+  cfg.hidden_dim = 8;
+  const PaceGraph graph = build_pace_graph(aig, cfg);
+  const PaceEncoder enc(cfg);
+  Rng rng(4);
+  const Workload w = random_workload(aig, rng);
+  nn::Graph g(false);
+  const auto out = enc.forward(g, graph, w, 5);
+  ASSERT_EQ(out.tr->value.rows(), graph.num_nodes);
+  ASSERT_EQ(out.tr->value.cols(), 2);
+  ASSERT_EQ(out.lg->value.cols(), 1);
+  for (std::size_t i = 0; i < out.tr->value.size(); ++i) {
+    EXPECT_GE(out.tr->value.data()[i], 0.0f);
+    EXPECT_LE(out.tr->value.data()[i], 1.0f);
+  }
+}
+
+TEST(PaceEncoder, DeterministicForFixedSeeds) {
+  const Circuit aig = s27_aig();
+  PaceConfig cfg;
+  cfg.hidden_dim = 8;
+  const PaceGraph graph = build_pace_graph(aig, cfg);
+  const PaceEncoder a(cfg), b(cfg);
+  Rng rng(6);
+  const Workload w = random_workload(aig, rng);
+  nn::Graph g(false);
+  const auto oa = a.forward(g, graph, w, 9);
+  const auto ob = b.forward(g, graph, w, 9);
+  for (std::size_t i = 0; i < oa.tr->value.size(); ++i)
+    EXPECT_FLOAT_EQ(oa.tr->value.data()[i], ob.tr->value.data()[i]);
+}
+
+TEST(PaceEncoder, RejectsWorkloadMismatch) {
+  const Circuit aig = s27_aig();
+  PaceConfig cfg;
+  const PaceGraph graph = build_pace_graph(aig, cfg);
+  const PaceEncoder enc(cfg);
+  nn::Graph g(false);
+  Workload w;  // no PI probabilities
+  EXPECT_THROW(enc.embed(g, graph, w, 1), Error);
+}
+
+TEST(PaceFit, LearnsOnOverfitTask) {
+  auto ds = s27_samples(3, 21);
+  PaceConfig cfg;
+  cfg.hidden_dim = 12;
+  cfg.layers = 2;
+  PaceEncoder model(cfg);
+  const PaceTrainStats first = fit_pace(model, ds, ds, 1, 5e-3f, 2);
+  const PaceTrainStats later = fit_pace(model, ds, ds, 60, 5e-3f, 2);
+  EXPECT_LT(later.final_loss, first.final_loss);
+  EXPECT_LT(later.avg_pe_lg, 0.25);
+}
+
+TEST(PaceFit, RejectsEmptyTrainingSet) {
+  PaceEncoder model(PaceConfig{});
+  EXPECT_THROW(fit_pace(model, {}, {}, 1, 1e-3f), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,197 @@
+// Tests of the customized propagation scheme (paper Fig. 2): cycle removal,
+// levelized forward pass, reverse pass, and the FF state-copy step. These
+// verify the *schedule semantics* on a circuit shaped like the figure's
+// 8-node example.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model.hpp"
+#include "dataset/embedded.hpp"
+#include "netlist/aig.hpp"
+
+namespace deepseq {
+namespace {
+
+using nn::Graph;
+using nn::Tensor;
+
+/// A small sequential AIG in the spirit of Fig. 2: PIs feed logic, an FF
+/// closes a cycle back into the logic.
+Circuit fig2_circuit() {
+  Circuit c("fig2");
+  const NodeId i1 = c.add_pi("i1");
+  const NodeId i2 = c.add_pi("i2");
+  const NodeId ff = c.add_ff(kNullNode, "ff");      // node 3 in the figure
+  const NodeId g4 = c.add_and(i1, i2, "g4");
+  const NodeId g5 = c.add_and(g4, ff, "g5");        // reads the FF state
+  const NodeId g6 = c.add_not(g5, "g6");
+  c.set_fanin(ff, 0, g6);                           // cycle: g6 -> ff -> g5
+  c.add_po(g6, "po");
+  c.validate();
+  return c;
+}
+
+TEST(Propagation, Fig2CycleIsBrokenByFfRemoval) {
+  const Circuit c = fig2_circuit();
+  const CircuitGraph g = build_circuit_graph(c);
+  // The comb view levelizes despite the ff <-> logic cycle.
+  EXPECT_GT(g.comb.depth, 0);
+  // FF at level 0 (pseudo primary input, step 1 of the scheme).
+  EXPECT_EQ(g.comb.level[c.find_by_name("ff")], 0);
+}
+
+TEST(Propagation, Fig2FfStateEqualsPredecessorStateAfterIteration) {
+  // After every iteration the FF's representation must literally be its D
+  // predecessor's representation (step 4 = clock edge).
+  const Circuit c = fig2_circuit();
+  const CircuitGraph graph = build_circuit_graph(c);
+  ModelConfig cfg = ModelConfig::deepseq(8, 3);
+  const DeepSeqModel model(cfg);
+  Workload w;
+  w.pi_prob = {0.3, 0.7};
+  Graph g(false);
+  const nn::Var emb = model.embed(g, graph, w, 42);
+
+  const NodeId ff = c.find_by_name("ff");
+  const NodeId g6 = c.find_by_name("g6");
+  for (int col = 0; col < cfg.hidden_dim; ++col)
+    EXPECT_FLOAT_EQ(emb->value.at(static_cast<int>(ff), col),
+                    emb->value.at(static_cast<int>(g6), col));
+}
+
+TEST(Propagation, PiEmbeddingsStayAtWorkloadValue) {
+  // PIs are initialized to their logic-1 probability in every dimension and
+  // never updated (paper §III-B).
+  const Circuit c = fig2_circuit();
+  const CircuitGraph graph = build_circuit_graph(c);
+  const DeepSeqModel model(ModelConfig::deepseq(8, 2));
+  Workload w;
+  w.pi_prob = {0.25, 0.9};
+  Graph g(false);
+  const nn::Var emb = model.embed(g, graph, w, 7);
+  for (std::size_t k = 0; k < c.pis().size(); ++k) {
+    for (int col = 0; col < 8; ++col)
+      EXPECT_FLOAT_EQ(emb->value.at(static_cast<int>(c.pis()[k]), col),
+                      static_cast<float>(w.pi_prob[k]));
+  }
+}
+
+TEST(Propagation, WorkloadChangesEmbeddings) {
+  const Circuit c = fig2_circuit();
+  const CircuitGraph graph = build_circuit_graph(c);
+  const DeepSeqModel model(ModelConfig::deepseq(8, 2));
+  Workload w1, w2;
+  w1.pi_prob = {0.1, 0.1};
+  w2.pi_prob = {0.9, 0.9};
+  Graph g1(false), g2(false);
+  const Tensor e1 = model.embed(g1, graph, w1, 3)->value;
+  const Tensor e2 = model.embed(g2, graph, w2, 3)->value;
+  const NodeId g5 = c.find_by_name("g5");
+  double diff = 0.0;
+  for (int col = 0; col < 8; ++col)
+    diff += std::abs(e1.at(static_cast<int>(g5), col) - e2.at(static_cast<int>(g5), col));
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Propagation, MoreIterationsChangeFfState) {
+  // T=1 vs T=3: recursion must matter on a cyclic circuit (the FF state
+  // keeps integrating new information each round).
+  const Circuit c = fig2_circuit();
+  const CircuitGraph graph = build_circuit_graph(c);
+  ModelConfig c1 = ModelConfig::deepseq(8, 1);
+  ModelConfig c3 = ModelConfig::deepseq(8, 3);
+  c1.seed = c3.seed = 999;  // identical weights
+  const DeepSeqModel m1(c1), m3(c3);
+  Workload w;
+  w.pi_prob = {0.4, 0.6};
+  Graph g1(false), g3(false);
+  const Tensor e1 = m1.embed(g1, graph, w, 11)->value;
+  const Tensor e3 = m3.embed(g3, graph, w, 11)->value;
+  const NodeId ff = c.find_by_name("ff");
+  double diff = 0.0;
+  for (int col = 0; col < 8; ++col)
+    diff += std::abs(e1.at(static_cast<int>(ff), col) - e3.at(static_cast<int>(ff), col));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Propagation, BaselineIgnoresFfCopySemantics) {
+  // Under the baseline schedule the FF state is NOT a copy of its D
+  // predecessor (no step 4) — the distinguishing behaviour of the paper's
+  // scheme.
+  const Circuit c = fig2_circuit();
+  const CircuitGraph graph = build_circuit_graph(c);
+  ModelConfig cfg = ModelConfig::dag_rec_gnn(AggregatorKind::kAttention, 8, 3);
+  const DeepSeqModel model(cfg);
+  Workload w;
+  w.pi_prob = {0.3, 0.7};
+  Graph g(false);
+  const nn::Var emb = model.embed(g, graph, w, 42);
+  const NodeId ff = c.find_by_name("ff");
+  const NodeId g6 = c.find_by_name("g6");
+  double diff = 0.0;
+  for (int col = 0; col < 8; ++col)
+    diff += std::abs(emb->value.at(static_cast<int>(ff), col) -
+                     emb->value.at(static_cast<int>(g6), col));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Propagation, FfChainShiftsByOnePerIteration) {
+  // Shift register q2 <- q1 <- in-logic: after the copy step, q1 holds the
+  // D-logic state and q2 holds q1's *pre-copy* state (two-phase copy).
+  Circuit c("shift");
+  const NodeId a = c.add_pi("a");
+  const NodeId n = c.add_not(a, "n");
+  const NodeId q1 = c.add_ff(n, "q1");
+  const NodeId q2 = c.add_ff(q1, "q2");
+  c.add_po(q2, "po");
+  c.validate();
+  const CircuitGraph graph = build_circuit_graph(c);
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));  // one iteration
+  Workload w;
+  w.pi_prob = {0.5};
+  Graph g(false);
+  const nn::Var emb = model.embed(g, graph, w, 5);
+  // After exactly one iteration: q1 = state(n) (post-pass), q2 = old q1
+  // (initial random state) — they must differ.
+  for (int col = 0; col < 8; ++col)
+    EXPECT_FLOAT_EQ(emb->value.at(static_cast<int>(q1), col),
+                    emb->value.at(static_cast<int>(n), col));
+  double diff = 0.0;
+  for (int col = 0; col < 8; ++col)
+    diff += std::abs(emb->value.at(static_cast<int>(q2), col) -
+                     emb->value.at(static_cast<int>(q1), col));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Propagation, DeterministicForSameSeeds) {
+  const Circuit c = decompose_to_aig(iscas89_s27()).aig;
+  const CircuitGraph graph = build_circuit_graph(c);
+  const DeepSeqModel model(ModelConfig::deepseq(8, 2));
+  Workload w;
+  w.pi_prob = {0.2, 0.4, 0.6, 0.8};
+  Graph g1(false), g2(false);
+  const Tensor e1 = model.embed(g1, graph, w, 77)->value;
+  const Tensor e2 = model.embed(g2, graph, w, 77)->value;
+  for (std::size_t i = 0; i < e1.size(); ++i)
+    EXPECT_FLOAT_EQ(e1.data()[i], e2.data()[i]);
+}
+
+TEST(Propagation, InitSeedOnlyAffectsNonPiNodes) {
+  const Circuit c = fig2_circuit();
+  const CircuitGraph graph = build_circuit_graph(c);
+  const DeepSeqModel model(ModelConfig::deepseq(8, 2));
+  Workload w;
+  w.pi_prob = {0.3, 0.7};
+  Graph g1(false), g2(false);
+  const Tensor e1 = model.embed(g1, graph, w, 1)->value;
+  const Tensor e2 = model.embed(g2, graph, w, 2)->value;
+  for (std::size_t k = 0; k < c.pis().size(); ++k)
+    for (int col = 0; col < 8; ++col)
+      EXPECT_FLOAT_EQ(e1.at(static_cast<int>(c.pis()[k]), col),
+                      e2.at(static_cast<int>(c.pis()[k]), col));
+}
+
+}  // namespace
+}  // namespace deepseq

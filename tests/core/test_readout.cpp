@@ -1,0 +1,169 @@
+#include "core/readout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dataset/generator.hpp"
+
+namespace deepseq {
+namespace {
+
+GeneratorSpec aig_spec(int pis, int ffs, int gates) {
+  GeneratorSpec spec;
+  spec.num_pis = pis;
+  spec.num_ffs = ffs;
+  spec.num_gates = gates;
+  for (int t = 0; t < kNumGateTypes; ++t) spec.gate_weights[t] = 0.0;
+  spec.gate_weights[static_cast<int>(GateType::kAnd)] = 4.0;
+  spec.gate_weights[static_cast<int>(GateType::kNot)] = 2.0;
+  return spec;
+}
+
+LabelledNetlist make_labelled(const GeneratorSpec& spec, int label,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  const Circuit c = generate_circuit(spec, rng);
+  LabelledNetlist s;
+  s.name = spec.name;
+  s.graph = build_circuit_graph(c);
+  s.workload = random_workload(c, rng);
+  s.init_seed = seed;
+  s.label = label;
+  return s;
+}
+
+class ReadoutPool : public ::testing::TestWithParam<PoolKind> {};
+
+TEST_P(ReadoutPool, ProducesRequestedShape) {
+  Rng rng(5);
+  const Readout ro(GetParam(), 8, 5, rng);
+  nn::Graph g;
+  const nn::Var h = g.constant(nn::Tensor::xavier(12, 8, rng));
+  const nn::Var e = ro.apply(g, h);
+  EXPECT_EQ(e->value.rows(), 1);
+  EXPECT_EQ(e->value.cols(), 5);
+}
+
+TEST_P(ReadoutPool, IsInvariantToNodeOrder) {
+  Rng rng(6);
+  const Readout ro(GetParam(), 6, 6, rng);
+  nn::Tensor h(10, 6);
+  for (int r = 0; r < h.rows(); ++r)
+    for (int c = 0; c < h.cols(); ++c)
+      h.at(r, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  nn::Tensor reversed(10, 6);
+  for (int r = 0; r < h.rows(); ++r)
+    for (int c = 0; c < h.cols(); ++c) reversed.at(r, c) = h.at(9 - r, c);
+
+  nn::Graph g(/*grad_enabled=*/false);
+  const nn::Var a = ro.apply(g, g.constant(h));
+  const nn::Var b = ro.apply(g, g.constant(reversed));
+  for (int c = 0; c < 6; ++c)
+    EXPECT_NEAR(a->value.at(0, c), b->value.at(0, c), 1e-5f);
+}
+
+TEST_P(ReadoutPool, IsInvariantToNodeDuplication) {
+  // Mean, max and softmax-attention pooling are all multiset-insensitive to
+  // duplicating every node once — a graph-level readout should summarize
+  // content, not raw size.
+  Rng rng(7);
+  const Readout ro(GetParam(), 4, 4, rng);
+  nn::Tensor h(5, 4);
+  for (int r = 0; r < h.rows(); ++r)
+    for (int c = 0; c < h.cols(); ++c)
+      h.at(r, c) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  nn::Tensor doubled(10, 4);
+  for (int r = 0; r < 10; ++r)
+    for (int c = 0; c < 4; ++c) doubled.at(r, c) = h.at(r % 5, c);
+
+  nn::Graph g(/*grad_enabled=*/false);
+  const nn::Var a = ro.apply(g, g.constant(h));
+  const nn::Var b = ro.apply(g, g.constant(doubled));
+  for (int c = 0; c < 4; ++c)
+    EXPECT_NEAR(a->value.at(0, c), b->value.at(0, c), 1e-5f);
+}
+
+TEST_P(ReadoutPool, GradientsReachParameters) {
+  Rng rng(8);
+  const Readout ro(GetParam(), 4, 3, rng);
+  nn::Graph g;
+  const nn::Var h = g.constant(nn::Tensor::xavier(6, 4, rng));
+  const nn::Var e = ro.apply(g, h);
+  g.backward(g.l1_loss(e, nn::Tensor::full(1, 3, 0.5f)));
+  nn::NamedParams params;
+  ro.collect_params(params);
+  ASSERT_FALSE(params.empty());
+  bool any_nonzero = false;
+  for (const auto& [name, p] : params) {
+    ASSERT_TRUE(p->has_grad()) << name;
+    for (std::size_t i = 0; i < p->grad.size(); ++i)
+      if (p->grad.data()[i] != 0.0f) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ReadoutPool,
+                         ::testing::Values(PoolKind::kMean, PoolKind::kMax,
+                                           PoolKind::kAttention),
+                         [](const auto& info) {
+                           return std::string(pool_name(info.param));
+                         });
+
+TEST(Readout, AttentionHasScoreParams) {
+  Rng rng(9);
+  const Readout mean(PoolKind::kMean, 4, 4, rng);
+  const Readout att(PoolKind::kAttention, 4, 4, rng);
+  nn::NamedParams pm, pa;
+  mean.collect_params(pm);
+  att.collect_params(pa);
+  EXPECT_GT(pa.size(), pm.size());
+}
+
+TEST(Readout, RejectsWidthMismatch) {
+  Rng rng(10);
+  const Readout ro(PoolKind::kMean, 8, 4, rng);
+  nn::Graph g;
+  EXPECT_THROW(ro.apply(g, g.constant(nn::Tensor(3, 5))), Error);
+}
+
+TEST(NetlistClassifier, LearnsToSeparateFamilies) {
+  // Two structurally distinct families: nearly-combinational vs FF-heavy.
+  // A frozen random-init backbone already embeds the gate-type mix, so the
+  // trained head must overfit its own training set essentially perfectly.
+  ModelConfig cfg = ModelConfig::deepseq(/*hidden=*/16, /*t=*/2);
+  const DeepSeqModel backbone(cfg);
+
+  std::vector<LabelledNetlist> data;
+  for (int i = 0; i < 6; ++i) {
+    data.push_back(make_labelled(aig_spec(6, 2, 70), 0, 100 + i));
+    data.push_back(make_labelled(aig_spec(6, 24, 70), 1, 200 + i));
+  }
+
+  NetlistClassifier clf(backbone, PoolKind::kMean, 2, /*seed=*/3);
+  ClassifierTrainOptions opt;
+  opt.epochs = 40;
+  opt.lr = 5e-3f;
+  const auto history = train_classifier(clf, data, opt);
+  ASSERT_EQ(history.size(), 40u);
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+  EXPECT_GE(clf.accuracy(data), 0.9);
+}
+
+TEST(NetlistClassifier, PredictReturnsValidClass) {
+  const DeepSeqModel backbone(ModelConfig::deepseq(8, 1));
+  NetlistClassifier clf(backbone, PoolKind::kAttention, 3, 4);
+  const LabelledNetlist s = make_labelled(aig_spec(4, 4, 40), 0, 42);
+  const int cls = clf.predict(s);
+  EXPECT_GE(cls, 0);
+  EXPECT_LT(cls, 3);
+}
+
+TEST(NetlistClassifier, TrainRejectsEmptySet) {
+  const DeepSeqModel backbone(ModelConfig::deepseq(8, 1));
+  NetlistClassifier clf(backbone, PoolKind::kMean, 2, 4);
+  EXPECT_THROW(train_classifier(clf, {}, {}), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,236 @@
+#include "dataset/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+/// Drive a block with constant-probability PIs and return the activity.
+NodeActivity run(const Circuit& c, std::vector<double> pi_prob, int cycles = 2048) {
+  Workload w;
+  w.pi_prob = std::move(pi_prob);
+  w.pattern_seed = 1;
+  return collect_activity(c, w, {cycles, 1});
+}
+
+TEST(Blocks, CounterCountsInBinary) {
+  Circuit c;
+  const NodeId en = c.add_pi("en");
+  const auto q = blocks::counter(c, 3, en, "cnt");
+  for (NodeId b : q) c.add_po(b, "q");
+  c.validate();
+  SequentialSimulator sim(c);
+  // Enable always on, lane 0: count 0,1,2,...
+  for (int expect = 0; expect < 16; ++expect) {
+    sim.step({~0ULL});
+    int value = 0;
+    for (std::size_t b = 0; b < q.size(); ++b)
+      value |= static_cast<int>(sim.value(q[b]) & 1ULL) << b;
+    EXPECT_EQ(value, expect % 8);
+    sim.clock();
+  }
+}
+
+TEST(Blocks, CounterHoldsWhenDisabled) {
+  Circuit c;
+  const NodeId en = c.add_pi("en");
+  const auto q = blocks::counter(c, 3, en, "cnt");
+  c.add_po(q[0], "q0");
+  c.validate();
+  SequentialSimulator sim(c);
+  sim.step({~0ULL});
+  sim.clock();  // now q = 1
+  for (int i = 0; i < 5; ++i) {
+    sim.step({0ULL});  // disabled
+    sim.clock();
+  }
+  sim.step({0ULL});
+  EXPECT_EQ(sim.value(q[0]) & 1ULL, 1ULL);  // still 1
+}
+
+TEST(Blocks, ShiftRegisterDelaysInput) {
+  Circuit c;
+  const NodeId in = c.add_pi("in");
+  const NodeId en = c.add_pi("en");
+  const auto stages = blocks::shift_register(c, in, 3, en, "sr");
+  c.add_po(stages.back(), "out");
+  c.validate();
+  SequentialSimulator sim(c);
+  // Push a single 1 followed by 0s (enable on).
+  std::vector<int> seen;
+  for (int t = 0; t < 6; ++t) {
+    sim.step({t == 0 ? ~0ULL : 0ULL, ~0ULL});
+    seen.push_back(static_cast<int>(sim.value(stages.back()) & 1ULL));
+    sim.clock();
+  }
+  // The pulse appears at the last stage after 3 clocks.
+  EXPECT_EQ(seen, (std::vector<int>{0, 0, 0, 1, 0, 0}));
+}
+
+TEST(Blocks, LfsrVisitsManyStates) {
+  Circuit c;
+  const auto state = blocks::lfsr(c, 6, "l");
+  for (NodeId s : state) c.add_po(s, "q");
+  c.validate();
+  SequentialSimulator sim(c);
+  std::set<int> states;
+  for (int t = 0; t < 64; ++t) {
+    sim.step({});
+    int v = 0;
+    for (std::size_t b = 0; b < state.size(); ++b)
+      v |= static_cast<int>(sim.value(state[b]) & 1ULL) << b;
+    states.insert(v);
+    sim.clock();
+  }
+  EXPECT_GT(states.size(), 10u);  // long period, not stuck
+}
+
+TEST(Blocks, MuxTreeSelectsCorrectInput) {
+  Circuit c;
+  std::vector<NodeId> data, sel;
+  for (int i = 0; i < 4; ++i) data.push_back(c.add_pi("d" + std::to_string(i)));
+  for (int i = 0; i < 2; ++i) sel.push_back(c.add_pi("s" + std::to_string(i)));
+  const NodeId out = blocks::mux_tree(c, data, sel, "mx");
+  c.add_po(out, "o");
+  c.validate();
+  SequentialSimulator sim(c);
+  for (int choose = 0; choose < 4; ++choose) {
+    std::vector<std::uint64_t> pi(6, 0);
+    pi[choose] = ~0ULL;  // only the chosen data input is 1
+    pi[4] = (choose & 1) ? ~0ULL : 0;
+    pi[5] = (choose & 2) ? ~0ULL : 0;
+    sim.step(pi);
+    EXPECT_EQ(sim.value(out), ~0ULL) << "select " << choose;
+  }
+}
+
+TEST(Blocks, MuxTreeSizeChecked) {
+  Circuit c;
+  std::vector<NodeId> data{c.add_pi("a")};
+  std::vector<NodeId> sel{c.add_pi("s")};
+  EXPECT_THROW(blocks::mux_tree(c, data, sel, "m"), Error);
+}
+
+TEST(Blocks, RippleAdderAddsCorrectly) {
+  Circuit c;
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < 4; ++i) a.push_back(c.add_pi("a" + std::to_string(i)));
+  for (int i = 0; i < 4; ++i) b.push_back(c.add_pi("b" + std::to_string(i)));
+  const auto sum = blocks::ripple_adder(c, a, b, "add");
+  for (NodeId s : sum) c.add_po(s, "s");
+  c.validate();
+  SequentialSimulator sim(c);
+  for (int x = 0; x < 16; x += 3) {
+    for (int y = 0; y < 16; y += 5) {
+      std::vector<std::uint64_t> pi(8);
+      for (int i = 0; i < 4; ++i) pi[i] = (x >> i & 1) ? ~0ULL : 0;
+      for (int i = 0; i < 4; ++i) pi[4 + i] = (y >> i & 1) ? ~0ULL : 0;
+      sim.step(pi);
+      int result = 0;
+      for (std::size_t i = 0; i < sum.size(); ++i)
+        result |= static_cast<int>(sim.value(sum[i]) & 1ULL) << i;
+      EXPECT_EQ(result, x + y);
+    }
+  }
+}
+
+TEST(Blocks, ParityIsXorReduction) {
+  Circuit c;
+  std::vector<NodeId> in;
+  for (int i = 0; i < 5; ++i) in.push_back(c.add_pi("i" + std::to_string(i)));
+  const NodeId p = blocks::parity(c, in, "par");
+  c.add_po(p, "o");
+  c.validate();
+  SequentialSimulator sim(c);
+  for (int pattern = 0; pattern < 32; ++pattern) {
+    std::vector<std::uint64_t> pi(5);
+    int ones = 0;
+    for (int i = 0; i < 5; ++i) {
+      pi[i] = (pattern >> i & 1) ? ~0ULL : 0;
+      ones += pattern >> i & 1;
+    }
+    sim.step(pi);
+    EXPECT_EQ(sim.value(p) & 1ULL, static_cast<std::uint64_t>(ones % 2));
+  }
+}
+
+TEST(Blocks, EqualDetectsEquality) {
+  Circuit c;
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < 3; ++i) a.push_back(c.add_pi("a" + std::to_string(i)));
+  for (int i = 0; i < 3; ++i) b.push_back(c.add_pi("b" + std::to_string(i)));
+  const NodeId eq = blocks::equal(c, a, b, "eq");
+  c.add_po(eq, "o");
+  c.validate();
+  SequentialSimulator sim(c);
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      std::vector<std::uint64_t> pi(6);
+      for (int i = 0; i < 3; ++i) pi[i] = (x >> i & 1) ? ~0ULL : 0;
+      for (int i = 0; i < 3; ++i) pi[3 + i] = (y >> i & 1) ? ~0ULL : 0;
+      sim.step(pi);
+      EXPECT_EQ(sim.value(eq) & 1ULL, x == y ? 1ULL : 0ULL);
+    }
+  }
+}
+
+TEST(Blocks, ArbiterGrantsAreOneHot) {
+  Circuit c;
+  std::vector<NodeId> req;
+  for (int i = 0; i < 4; ++i) req.push_back(c.add_pi("r" + std::to_string(i)));
+  const auto grants = blocks::arbiter(c, req, "arb");
+  for (NodeId g : grants) c.add_po(g, "g");
+  c.validate();
+  SequentialSimulator sim(c);
+  Rng rng(9);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<std::uint64_t> pi(4);
+    for (auto& p : pi) p = rng.next_u64();
+    sim.step(pi);
+    sim.clock();
+    sim.step(pi);  // grants registered: check after the clock
+    // At most one grant per lane.
+    for (int lane = 0; lane < 64; ++lane) {
+      int granted = 0;
+      for (NodeId g : grants) granted += (sim.value(g) >> lane) & 1ULL;
+      EXPECT_LE(granted, 1);
+    }
+    sim.clock();
+  }
+}
+
+TEST(Blocks, GatedBankIsStaticWhenDisabled) {
+  Circuit c;
+  const NodeId en = c.add_pi("en");
+  std::vector<NodeId> data;
+  for (int i = 0; i < 4; ++i) data.push_back(c.add_pi("d" + std::to_string(i)));
+  const auto bank = blocks::gated_register_bank(c, data, en, "bank");
+  for (NodeId q : bank) c.add_po(q, "q");
+  c.validate();
+  // Enable pinned to 0: the registers never toggle even with wild data.
+  const NodeActivity act = run(c, {0.0, 0.5, 0.5, 0.5, 0.5});
+  for (NodeId q : bank) EXPECT_EQ(act.toggle_count[q], 0u);
+}
+
+TEST(Blocks, RandomFsmIsValidAndActive) {
+  Circuit c;
+  std::vector<NodeId> inputs;
+  for (int i = 0; i < 3; ++i) inputs.push_back(c.add_pi("i" + std::to_string(i)));
+  Rng rng(12);
+  const auto state = blocks::random_fsm(c, 3, inputs, rng, "fsm");
+  for (NodeId s : state) c.add_po(s, "q");
+  c.validate();
+  const NodeActivity act = run(c, {0.5, 0.5, 0.5});
+  // The FSM should actually move (at least one state bit toggles).
+  std::uint64_t toggles = 0;
+  for (NodeId s : state) toggles += act.toggle_count[s];
+  EXPECT_GT(toggles, 0u);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,60 @@
+#include "dataset/embedded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(Embedded, S27MatchesPublishedStructure) {
+  const Circuit c = iscas89_s27();
+  EXPECT_EQ(c.pis().size(), 4u);
+  EXPECT_EQ(c.ffs().size(), 3u);
+  EXPECT_EQ(c.pos().size(), 1u);
+  // 10 logic gates: 1 AND, 2 NOT, 2 OR (as parsed), 1 NAND, 4 NOR.
+  const auto counts = c.type_counts();
+  EXPECT_EQ(counts[static_cast<int>(GateType::kAnd)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kNot)], 2u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kOr)], 2u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kNand)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kNor)], 4u);
+}
+
+TEST(Embedded, S27KnownResponse) {
+  // With all inputs held at 0: G14=NOT(G0)=1, and the state settles into a
+  // repeating pattern; just check the first cycles are consistent and
+  // deterministic.
+  const Circuit c = iscas89_s27();
+  SequentialSimulator sim(c);
+  const NodeId g17 = c.pos()[0];
+  std::vector<int> trace;
+  for (int t = 0; t < 8; ++t) {
+    sim.step({0, 0, 0, 0});
+    trace.push_back(static_cast<int>(sim.value(g17) & 1ULL));
+    sim.clock();
+  }
+  // First cycle: G11 = NOR(G5=0, G9); G9 = NAND(G16, G15);
+  // G8 = AND(G14=1, G6=0) = 0; G12 = NOR(0, 0) = 1; G15 = OR(1, 0) = 1;
+  // G16 = OR(0, 0) = 0; G9 = NAND(0, 1) = 1; G11 = NOR(0, 1) = 0;
+  // G17 = NOT(G11) = 1.
+  EXPECT_EQ(trace[0], 1);
+  // Deterministic repeat.
+  SequentialSimulator sim2(c);
+  for (int t = 0; t < 8; ++t) {
+    sim2.step({0, 0, 0, 0});
+    EXPECT_EQ(static_cast<int>(sim2.value(g17) & 1ULL), trace[t]);
+    sim2.clock();
+  }
+}
+
+TEST(Embedded, Counter4Structure) {
+  const Circuit c = counter4();
+  EXPECT_EQ(c.pis().size(), 1u);
+  EXPECT_EQ(c.ffs().size(), 4u);
+  EXPECT_EQ(c.pos().size(), 4u);
+  EXPECT_NO_THROW(c.validate());
+}
+
+}  // namespace
+}  // namespace deepseq

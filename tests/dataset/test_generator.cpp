@@ -1,0 +1,96 @@
+#include "dataset/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/topology.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(Generator, ProducesValidCircuit) {
+  Rng rng(1);
+  GeneratorSpec spec;
+  const Circuit c = generate_circuit(spec, rng);
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.pis().size(), static_cast<std::size_t>(spec.num_pis));
+  EXPECT_EQ(c.ffs().size(), static_cast<std::size_t>(spec.num_ffs));
+  EXPECT_FALSE(c.pos().empty());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  GeneratorSpec spec;
+  Rng r1(9), r2(9);
+  const Circuit a = generate_circuit(spec, r1);
+  const Circuit b = generate_circuit(spec, r2);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.type_counts(), b.type_counts());
+}
+
+TEST(Generator, RespectsGateWeights) {
+  Rng rng(3);
+  GeneratorSpec spec;
+  spec.num_gates = 400;
+  for (int t = 0; t < kNumGateTypes; ++t) spec.gate_weights[t] = 0;
+  spec.gate_weights[static_cast<int>(GateType::kXor)] = 1;
+  const Circuit c = generate_circuit(spec, rng);
+  const auto counts = c.type_counts();
+  EXPECT_EQ(counts[static_cast<int>(GateType::kXor)], 400u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kAnd)], 0u);
+}
+
+TEST(Generator, AllWeightsZeroThrows) {
+  Rng rng(4);
+  GeneratorSpec spec;
+  for (int t = 0; t < kNumGateTypes; ++t) spec.gate_weights[t] = 0;
+  EXPECT_THROW(generate_circuit(spec, rng), Error);
+}
+
+TEST(Generator, LocalityControlsDepth) {
+  Rng r1(5), r2(5);
+  GeneratorSpec shallow, deep;
+  shallow.num_gates = deep.num_gates = 300;
+  shallow.locality = 150.0;  // far-reaching fanins -> shallow
+  deep.locality = 3.0;       // local fanins -> deep chains
+  const Circuit cs = generate_circuit(shallow, r1);
+  const Circuit cd = generate_circuit(deep, r2);
+  EXPECT_GT(comb_levelize(cd).depth, comb_levelize(cs).depth);
+}
+
+TEST(Generator, FamilySpecsProduceDifferentScales) {
+  Rng rng(6);
+  // Averaged over several draws, ITC'99-like circuits are bigger than
+  // ISCAS'89-like ones (Table I ordering).
+  double iscas = 0, itc = 0;
+  for (int k = 0; k < 10; ++k) {
+    Rng gen = rng.split();
+    iscas += static_cast<double>(
+        generate_circuit(iscas89_like_spec(gen), gen).num_nodes());
+    Rng gen2 = rng.split();
+    itc += static_cast<double>(
+        generate_circuit(itc99_like_spec(gen2), gen2).num_nodes());
+  }
+  EXPECT_GT(itc, iscas * 1.3);
+}
+
+TEST(Generator, NoDuplicateFaninsOnBinaryGates) {
+  Rng rng(7);
+  GeneratorSpec spec;
+  spec.num_gates = 300;
+  const Circuit c = generate_circuit(spec, rng);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.num_fanins(v) == 2) {
+      EXPECT_NE(c.fanin(v, 0), c.fanin(v, 1)) << "node " << v;
+    }
+  }
+}
+
+TEST(Generator, NeedsAtLeastOnePi) {
+  Rng rng(8);
+  GeneratorSpec spec;
+  spec.num_pis = 0;
+  EXPECT_THROW(generate_circuit(spec, rng), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

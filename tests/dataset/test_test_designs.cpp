@@ -1,0 +1,85 @@
+#include "dataset/test_designs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/aig.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(TestDesigns, AllSixBuildAndValidate) {
+  const auto designs = build_all_test_designs(0.05, 1);
+  ASSERT_EQ(designs.size(), 6u);
+  const std::vector<std::string> expected{"noc_router", "pll",       "ptc",
+                                          "rtcclock",   "ac97_ctrl", "mem_ctrl"};
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    EXPECT_EQ(designs[i].name, expected[i]);
+    EXPECT_NO_THROW(designs[i].netlist.validate());
+    EXPECT_FALSE(designs[i].netlist.pos().empty());
+    EXPECT_FALSE(designs[i].description.empty());
+  }
+}
+
+TEST(TestDesigns, NodeCountsScaleWithPaperTargets) {
+  const double scale = 0.05;
+  for (const auto& d : build_all_test_designs(scale, 2)) {
+    const auto target = static_cast<double>(d.paper_nodes) * scale;
+    EXPECT_GT(static_cast<double>(d.netlist.num_nodes()), target * 0.9) << d.name;
+    EXPECT_LT(static_cast<double>(d.netlist.num_nodes()), target * 1.6) << d.name;
+  }
+}
+
+TEST(TestDesigns, PaperNodeCountsMatchTableIV) {
+  const auto designs = build_all_test_designs(0.02, 3);
+  EXPECT_EQ(designs[0].paper_nodes, 5246);
+  EXPECT_EQ(designs[1].paper_nodes, 18208);
+  EXPECT_EQ(designs[2].paper_nodes, 2024);
+  EXPECT_EQ(designs[3].paper_nodes, 4720);
+  EXPECT_EQ(designs[4].paper_nodes, 14004);
+  EXPECT_EQ(designs[5].paper_nodes, 10733);
+}
+
+TEST(TestDesigns, DeterministicForSameSeed) {
+  const TestDesign a = build_test_design("ptc", 0.05, 7);
+  const TestDesign b = build_test_design("ptc", 0.05, 7);
+  EXPECT_EQ(a.netlist.num_nodes(), b.netlist.num_nodes());
+  EXPECT_EQ(a.netlist.type_counts(), b.netlist.type_counts());
+}
+
+TEST(TestDesigns, SeedChangesStructure) {
+  const TestDesign a = build_test_design("ptc", 0.05, 7);
+  const TestDesign b = build_test_design("ptc", 0.05, 8);
+  EXPECT_NE(a.netlist.type_counts(), b.netlist.type_counts());
+}
+
+TEST(TestDesigns, ContainSequentialAndMixedLogic) {
+  for (const auto& d : build_all_test_designs(0.05, 4)) {
+    EXPECT_FALSE(d.netlist.ffs().empty()) << d.name;
+    EXPECT_FALSE(d.netlist.is_strict_aig()) << d.name;  // multi-gate-type
+  }
+}
+
+TEST(TestDesigns, DecomposeToStrictAig) {
+  // The paper's inference path: decompose every test design to AIG.
+  for (const auto& d : build_all_test_designs(0.03, 5)) {
+    const AigConversion conv = decompose_to_aig(d.netlist);
+    EXPECT_TRUE(conv.aig.is_strict_aig()) << d.name;
+    EXPECT_GT(conv.aig.num_nodes(), d.netlist.num_nodes()) << d.name;
+  }
+}
+
+TEST(TestDesigns, UnknownNameThrows) {
+  EXPECT_THROW(build_test_design("cpu9000", 1.0, 1), Error);
+}
+
+TEST(TestDesigns, DefaultScaleIsEighthWithoutEnv) {
+  ::unsetenv("DEEPSEQ_FULL");
+  EXPECT_DOUBLE_EQ(default_design_scale(), 0.125);
+  ::setenv("DEEPSEQ_FULL", "1", 1);
+  EXPECT_DOUBLE_EQ(default_design_scale(), 1.0);
+  ::unsetenv("DEEPSEQ_FULL");
+}
+
+}  // namespace
+}  // namespace deepseq

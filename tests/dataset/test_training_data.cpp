@@ -1,0 +1,73 @@
+#include "dataset/training_data.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepseq {
+namespace {
+
+TrainingDataOptions small_opts(int n = 8) {
+  TrainingDataOptions opt;
+  opt.num_subcircuits = n;
+  opt.sim_cycles = 300;
+  opt.size_scale = 0.25;  // small circuits for fast tests
+  opt.seed = 11;
+  return opt;
+}
+
+TEST(TrainingData, BuildsRequestedCount) {
+  const TrainingDataset ds = build_training_dataset(small_opts());
+  EXPECT_EQ(ds.samples.size(), 8u);
+  for (const auto& s : ds.samples) {
+    EXPECT_TRUE(s.circuit->is_strict_aig());
+    EXPECT_FALSE(s.circuit->ffs().empty());
+    EXPECT_EQ(s.workload.pi_prob.size(), s.circuit->pis().size());
+    EXPECT_EQ(s.target_tr.rows(), s.graph.num_nodes);
+  }
+}
+
+TEST(TrainingData, StatsCoverThreeFamilies) {
+  const TrainingDataset ds = build_training_dataset(small_opts(12));
+  ASSERT_EQ(ds.stats.size(), 3u);
+  EXPECT_EQ(ds.stats[0].name, "ISCAS'89");
+  EXPECT_EQ(ds.stats[1].name, "ITC'99");
+  EXPECT_EQ(ds.stats[2].name, "Opencores");
+  int total = 0;
+  for (const auto& fs : ds.stats) total += fs.count;
+  EXPECT_EQ(total, 12);
+}
+
+TEST(TrainingData, OpencoresDominatesMix) {
+  // Table I: OpenCores contributes ~73% of subcircuits.
+  const TrainingDataset ds = build_training_dataset(small_opts(30));
+  EXPECT_GT(ds.stats[2].count, ds.stats[0].count);
+  EXPECT_GT(ds.stats[2].count, ds.stats[1].count);
+}
+
+TEST(TrainingData, DeterministicForSeed) {
+  const TrainingDataset a = build_training_dataset(small_opts(4));
+  const TrainingDataset b = build_training_dataset(small_opts(4));
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].circuit->num_nodes(), b.samples[i].circuit->num_nodes());
+    EXPECT_EQ(a.samples[i].workload.pi_prob, b.samples[i].workload.pi_prob);
+  }
+}
+
+TEST(TrainingData, SplitTrainVal) {
+  const TrainingDataset ds = build_training_dataset(small_opts(10));
+  std::vector<TrainSample> train, val;
+  split_train_val(ds.samples, 0.3, 5, train, val);
+  EXPECT_EQ(val.size(), 3u);
+  EXPECT_EQ(train.size(), 7u);
+}
+
+TEST(TrainingData, SplitZeroFraction) {
+  const TrainingDataset ds = build_training_dataset(small_opts(4));
+  std::vector<TrainSample> train, val;
+  split_train_val(ds.samples, 0.0, 5, train, val);
+  EXPECT_TRUE(val.empty());
+  EXPECT_EQ(train.size(), 4u);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,166 @@
+// Cross-module property tests: invariants that must hold across format
+// conversions, circuit transformations and model configurations, swept over
+// random circuits.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/model.hpp"
+#include "core/trainer.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+#include "netlist/aiger_io.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/verilog_io.hpp"
+#include "prob/switching.hpp"
+#include "support/equivalence.hpp"
+
+namespace deepseq {
+namespace {
+
+Circuit random_generic(std::uint64_t seed, int gates = 120) {
+  Rng rng(seed);
+  GeneratorSpec spec;
+  spec.num_pis = 6;
+  spec.num_ffs = 6;
+  spec.num_gates = gates;
+  return generate_circuit(spec, rng);
+}
+
+// ---- transformation composition ---------------------------------------------
+
+class TransformChain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransformChain, DecomposeThenOptimizePreservesBehaviour) {
+  const Circuit generic = random_generic(GetParam());
+  const Circuit aig = decompose_to_aig(generic).aig;
+  const OptimizeResult opt = optimize_aig(aig);
+  testing::expect_po_equivalent(generic, opt.circuit, 128, GetParam() + 11);
+}
+
+TEST_P(TransformChain, FormatChainPreservesBehaviour) {
+  // generic -> Verilog -> parse -> BENCH -> parse -> AIG -> binary AIGER ->
+  // parse: four independent codecs composed; the PO behaviour must survive.
+  const Circuit generic = random_generic(GetParam(), 80);
+  const Circuit v = parse_verilog_string(write_verilog_string(generic));
+  const Circuit b = parse_bench_string(write_bench_string(v));
+  const Circuit aig = decompose_to_aig(b).aig;
+  std::stringstream bin;
+  write_aiger_binary(aig, bin);
+  const Circuit back = parse_aiger_binary(bin);
+  testing::expect_po_equivalent(generic, back, 128, GetParam() + 13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformChain,
+                         ::testing::Values(401, 402, 403, 404, 405, 406));
+
+// ---- optimization monotonicity ----------------------------------------------
+
+class OptimizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizeSweep, NeverGrowsAndIsIdempotent) {
+  const Circuit aig = decompose_to_aig(random_generic(GetParam())).aig;
+  const OptimizeResult once = optimize_aig(aig);
+  EXPECT_LE(once.circuit.num_nodes(), aig.num_nodes());
+  const OptimizeResult twice = optimize_aig(once.circuit);
+  EXPECT_EQ(twice.circuit.num_nodes(), once.circuit.num_nodes())
+      << "optimization must reach a fixpoint in one pass";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeSweep,
+                         ::testing::Values(411, 412, 413, 414));
+
+// ---- probability estimators vs simulation ------------------------------------
+
+class EstimatorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EstimatorSweep, SwitchingEstimateIsCalibratedOnAverage) {
+  // The independence estimate is approximate per node, but its circuit
+  // mean toggle rate should track simulation within a loose factor — the
+  // property that makes it usable as the Tables V/VI baseline.
+  const Circuit c = random_generic(GetParam(), 80);
+  Rng rng(GetParam() + 1);
+  const Workload w = random_workload(c, rng);
+  ActivityOptions opt;
+  opt.num_cycles = 10000;
+  const NodeActivity act = collect_activity(c, w, opt);
+  const SwitchingEstimate est = estimate_switching(c, w);
+  double sim_mean = 0.0, est_mean = 0.0;
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    sim_mean += act.toggle_rate(v);
+    est_mean += est.toggle_rate(v);
+  }
+  sim_mean /= static_cast<double>(c.num_nodes());
+  est_mean /= static_cast<double>(c.num_nodes());
+  EXPECT_GT(est_mean, sim_mean * 0.4);
+  EXPECT_LT(est_mean, sim_mean * 2.5 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorSweep,
+                         ::testing::Values(421, 422, 423, 424, 425));
+
+// ---- model configuration sweep ------------------------------------------------
+
+struct ConfigCase {
+  const char* name;
+  ModelConfig config;
+};
+
+class ModelConfigSweep : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ModelConfigSweep, SaveLoadPredictsIdentically) {
+  const Circuit aig = decompose_to_aig(random_generic(77, 60)).aig;
+  Rng rng(7);
+  Workload w = random_workload(aig, rng);
+  ActivityOptions opt;
+  opt.num_cycles = 200;
+  const TrainSample s = make_sample("cfg", aig, std::move(w), opt, 5);
+
+  const DeepSeqModel model(GetParam().config);
+  const Predictions before = predict(model, s);
+
+  const std::string path = ::testing::TempDir() + "/deepseq_cfg_" +
+                           std::string(GetParam().name) + ".bin";
+  model.save(path);
+  DeepSeqModel loaded(GetParam().config);
+  loaded.load(path);
+  const Predictions after = predict(loaded, s);
+  for (std::size_t i = 0; i < before.tr.size(); ++i)
+    ASSERT_FLOAT_EQ(before.tr.data()[i], after.tr.data()[i]);
+  for (std::size_t i = 0; i < before.lg.size(); ++i)
+    ASSERT_FLOAT_EQ(before.lg.data()[i], after.lg.data()[i]);
+}
+
+TEST_P(ModelConfigSweep, OutputsAreProbabilities) {
+  const Circuit aig = decompose_to_aig(random_generic(78, 60)).aig;
+  Rng rng(8);
+  Workload w = random_workload(aig, rng);
+  ActivityOptions opt;
+  opt.num_cycles = 200;
+  const TrainSample s = make_sample("cfg", aig, std::move(w), opt, 6);
+  const DeepSeqModel model(GetParam().config);
+  const Predictions p = predict(model, s);
+  for (std::size_t i = 0; i < p.tr.size(); ++i) {
+    ASSERT_GE(p.tr.data()[i], 0.0f);
+    ASSERT_LE(p.tr.data()[i], 1.0f);
+  }
+  for (std::size_t i = 0; i < p.lg.size(); ++i) {
+    ASSERT_GE(p.lg.data()[i], 0.0f);
+    ASSERT_LE(p.lg.data()[i], 1.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, ModelConfigSweep,
+    ::testing::Values(
+        ConfigCase{"deepseq", ModelConfig::deepseq(8, 2)},
+        ConfigCase{"deepseq_attn", ModelConfig::deepseq_simple_attention(8, 2)},
+        ConfigCase{"conv_sum", ModelConfig::dag_conv_gnn(AggregatorKind::kConvSum, 8)},
+        ConfigCase{"conv_attn", ModelConfig::dag_conv_gnn(AggregatorKind::kAttention, 8)},
+        ConfigCase{"rec_sum", ModelConfig::dag_rec_gnn(AggregatorKind::kConvSum, 8, 2)},
+        ConfigCase{"rec_attn", ModelConfig::dag_rec_gnn(AggregatorKind::kAttention, 8, 2)}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace deepseq

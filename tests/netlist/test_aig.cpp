@@ -1,0 +1,184 @@
+#include "netlist/aig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+/// Check that for every original node, the mapped AIG node computes the
+/// same sequence of values under a shared input stream.
+void expect_equivalent(const Circuit& original, const AigConversion& conv,
+                       int cycles, std::uint64_t seed) {
+  SequentialSimulator so(original), sa(conv.aig);
+  // PI mapping: original pi k -> conv.node_map[pi].
+  Rng pat(seed);
+  std::vector<std::uint64_t> pio(original.pis().size());
+  std::vector<std::uint64_t> pia(conv.aig.pis().size());
+  std::vector<int> aig_pi_pos(conv.aig.num_nodes(), -1);
+  for (std::size_t k = 0; k < conv.aig.pis().size(); ++k)
+    aig_pi_pos[conv.aig.pis()[k]] = static_cast<int>(k);
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    for (std::size_t k = 0; k < pio.size(); ++k) {
+      pio[k] = pat.next_u64();
+      const int pos = aig_pi_pos[conv.node_map[original.pis()[k]]];
+      ASSERT_GE(pos, 0);
+      pia[static_cast<std::size_t>(pos)] = pio[k];
+    }
+    so.step(pio);
+    sa.step(pia);
+    for (NodeId v = 0; v < original.num_nodes(); ++v) {
+      if (original.type(v) == GateType::kConst0) continue;
+      ASSERT_EQ(so.value(v), sa.value(conv.node_map[v]))
+          << "cycle " << cycle << " node " << v << " ("
+          << gate_type_name(original.type(v)) << ")";
+    }
+    so.clock();
+    sa.clock();
+  }
+}
+
+TEST(AigDecompose, S27EquivalentAfterDecomposition) {
+  const Circuit c = iscas89_s27();
+  const AigConversion conv = decompose_to_aig(c);
+  EXPECT_TRUE(conv.aig.is_strict_aig());
+  expect_equivalent(c, conv, 64, 123);
+}
+
+TEST(AigDecompose, EveryGateTypeEquivalent) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId s = c.add_pi("s");
+  c.add_po(c.add_gate(GateType::kOr, {a, b}, "or"), "o1");
+  c.add_po(c.add_gate(GateType::kNand, {a, b}, "nand"), "o2");
+  c.add_po(c.add_gate(GateType::kNor, {a, b}, "nor"), "o3");
+  c.add_po(c.add_gate(GateType::kXor, {a, b}, "xor"), "o4");
+  c.add_po(c.add_gate(GateType::kXnor, {a, b}, "xnor"), "o5");
+  c.add_po(c.add_gate(GateType::kMux, {s, a, b}, "mux"), "o6");
+  c.add_po(c.add_gate(GateType::kBuf, {a}, "buf"), "o7");
+  c.validate();
+  const AigConversion conv = decompose_to_aig(c);
+  EXPECT_TRUE(conv.aig.is_strict_aig());
+  expect_equivalent(c, conv, 16, 7);
+}
+
+TEST(AigDecompose, RandomCircuitEquivalent) {
+  Rng rng(555);
+  GeneratorSpec spec;
+  spec.num_gates = 150;
+  spec.num_ffs = 12;
+  const Circuit c = generate_circuit(spec, rng);
+  expect_equivalent(c, decompose_to_aig(c), 48, 99);
+}
+
+TEST(AigDecompose, PreservesIoCounts) {
+  const Circuit c = iscas89_s27();
+  const AigConversion conv = decompose_to_aig(c);
+  EXPECT_EQ(conv.aig.pis().size(), c.pis().size());
+  EXPECT_EQ(conv.aig.ffs().size(), c.ffs().size());
+  EXPECT_EQ(conv.aig.pos().size(), c.pos().size());
+}
+
+TEST(AigOptimize, RemovesDoubleInverters) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId n1 = c.add_not(a);
+  const NodeId n2 = c.add_not(n1);
+  const NodeId n3 = c.add_not(n2);
+  c.add_po(n3, "o");
+  const OptimizeResult r = optimize_aig(c);
+  // NOT(NOT(NOT a)) == NOT a: one inverter survives.
+  EXPECT_EQ(r.circuit.type_counts()[static_cast<int>(GateType::kNot)], 1u);
+}
+
+TEST(AigOptimize, StructuralHashingMergesDuplicates) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g1 = c.add_and(a, b);
+  const NodeId g2 = c.add_and(b, a);  // commuted duplicate
+  c.add_po(c.add_and(g1, g2), "o");   // AND(x, x) -> x
+  const OptimizeResult r = optimize_aig(c);
+  EXPECT_EQ(r.circuit.type_counts()[static_cast<int>(GateType::kAnd)], 1u);
+}
+
+TEST(AigOptimize, ComplementAnnihilation) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId n = c.add_not(a);
+  const NodeId g = c.add_and(a, n);  // a & ~a == 0
+  c.add_po(g, "o");
+  const OptimizeResult r = optimize_aig(c);
+  ASSERT_EQ(r.circuit.pos().size(), 1u);
+  EXPECT_EQ(r.circuit.type(r.circuit.pos()[0]), GateType::kConst0);
+}
+
+TEST(AigOptimize, DeadLogicSwept) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId live = c.add_and(a, b);
+  c.add_not(live);  // dead: never reaches a PO
+  c.add_po(live, "o");
+  const OptimizeResult r = optimize_aig(c);
+  EXPECT_EQ(r.circuit.type_counts()[static_cast<int>(GateType::kNot)], 0u);
+  EXPECT_GT(r.removed_nodes, 0u);
+}
+
+TEST(AigOptimize, KeepsAllPis) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  c.add_pi("unused");
+  c.add_po(c.add_not(a), "o");
+  const OptimizeResult r = optimize_aig(c);
+  EXPECT_EQ(r.circuit.pis().size(), 2u);
+}
+
+TEST(AigOptimize, PreservesBehaviour) {
+  const Circuit c = decompose_to_aig(iscas89_s27()).aig;
+  const OptimizeResult r = optimize_aig(c);
+  EXPECT_LE(r.circuit.num_nodes(), c.num_nodes());
+
+  SequentialSimulator s1(c), s2(r.circuit);
+  Rng pat(17);
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    std::vector<std::uint64_t> pi(c.pis().size());
+    for (auto& w : pi) w = pat.next_u64();
+    // optimize_aig keeps PI order.
+    s1.step(pi);
+    s2.step(pi);
+    for (std::size_t k = 0; k < c.pos().size(); ++k)
+      ASSERT_EQ(s1.value(c.pos()[k]), s2.value(r.circuit.pos()[k]));
+    s1.clock();
+    s2.clock();
+  }
+}
+
+TEST(AigOptimize, RejectsGenericGates) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  c.add_po(c.add_gate(GateType::kOr, {a, b}), "o");
+  EXPECT_THROW(optimize_aig(c), CircuitError);
+}
+
+TEST(AigOptimize, NodeMapTracksRepresentatives) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId n1 = c.add_not(a);
+  const NodeId n2 = c.add_not(n1);  // collapses to a
+  c.add_po(n2, "o");
+  const OptimizeResult r = optimize_aig(c);
+  EXPECT_EQ(r.node_map[n2], r.node_map[a]);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+#include "netlist/aiger_io.hpp"
+#include "support/equivalence.hpp"
+
+namespace deepseq {
+namespace {
+
+Circuit random_aig(std::uint64_t seed, int gates = 120) {
+  Rng rng(seed);
+  GeneratorSpec spec;
+  spec.num_pis = 6;
+  spec.num_ffs = 5;
+  spec.num_gates = gates;
+  return decompose_to_aig(generate_circuit(spec, rng)).aig;
+}
+
+TEST(AigerBinary, HeaderCountsAreCanonical) {
+  const Circuit aig = decompose_to_aig(iscas89_s27()).aig;
+  std::ostringstream out;
+  write_aiger_binary(aig, out);
+  const std::string text = out.str();
+  std::istringstream header(text.substr(0, text.find('\n')));
+  std::string tag;
+  std::uint64_t m = 0, i = 0, l = 0, o = 0, a = 0;
+  header >> tag >> m >> i >> l >> o >> a;
+  EXPECT_EQ(tag, "aig");
+  EXPECT_EQ(m, i + l + a);  // binary format requires contiguous variables
+  EXPECT_EQ(i, aig.pis().size());
+  EXPECT_EQ(l, aig.ffs().size());
+  EXPECT_EQ(o, aig.pos().size());
+}
+
+TEST(AigerBinary, RoundTripS27) {
+  const Circuit aig = decompose_to_aig(iscas89_s27()).aig;
+  std::stringstream buf;
+  write_aiger_binary(aig, buf);
+  const Circuit back = parse_aiger_binary(buf);
+  EXPECT_EQ(back.pis().size(), aig.pis().size());
+  EXPECT_EQ(back.ffs().size(), aig.ffs().size());
+  testing::expect_po_equivalent(aig, back, 200, 41);
+}
+
+class AigerBinaryRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AigerBinaryRandom, RoundTripPreservesBehaviour) {
+  const Circuit aig = random_aig(GetParam());
+  std::stringstream buf;
+  write_aiger_binary(aig, buf);
+  const Circuit back = parse_aiger_binary(buf);
+  testing::expect_po_equivalent(aig, back, 128, GetParam() + 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AigerBinaryRandom,
+                         ::testing::Values(51, 52, 53, 54, 55, 56));
+
+TEST(AigerBinary, BinaryAndAsciiDescribeTheSameCircuit) {
+  const Circuit aig = random_aig(61);
+  std::stringstream bin, txt;
+  write_aiger_binary(aig, bin);
+  write_aiger(aig, txt);
+  const Circuit from_bin = parse_aiger_binary(bin);
+  const Circuit from_txt = parse_aiger(txt);
+  EXPECT_EQ(from_bin.pis().size(), from_txt.pis().size());
+  EXPECT_EQ(from_bin.ffs().size(), from_txt.ffs().size());
+  testing::expect_po_equivalent(from_bin, from_txt, 128, 62);
+}
+
+TEST(AigerBinary, BinaryIsSmallerThanAscii) {
+  const Circuit aig = random_aig(63, 400);
+  std::ostringstream bin, txt;
+  write_aiger_binary(aig, bin);
+  write_aiger(aig, txt);
+  EXPECT_LT(bin.str().size(), txt.str().size());
+}
+
+TEST(AigerBinary, SymbolTableSurvives) {
+  Circuit c("named");
+  const NodeId a = c.add_pi("alpha");
+  const NodeId b = c.add_pi("beta");
+  const NodeId g = c.add_and(a, b, "gate");
+  c.add_po(g, "out");
+  std::stringstream buf;
+  write_aiger_binary(c, buf);
+  const Circuit back = parse_aiger_binary(buf);
+  EXPECT_EQ(back.node_name(back.pis()[0]), "alpha");
+  EXPECT_EQ(back.node_name(back.pis()[1]), "beta");
+  EXPECT_EQ(back.po_name(0), "out");
+}
+
+TEST(AigerBinary, ConstantFanins) {
+  Circuit c("consts");
+  const NodeId zero = c.add_const0("z");
+  const NodeId a = c.add_pi("a");
+  const NodeId one = c.add_not(zero, "one");
+  const NodeId g = c.add_and(a, one, "g");
+  c.add_po(g, "y");
+  c.add_po(zero, "y0");
+  std::stringstream buf;
+  write_aiger_binary(c, buf);
+  const Circuit back = parse_aiger_binary(buf);
+  SequentialSimulator sim(back);
+  sim.step({~0ULL});
+  EXPECT_EQ(sim.value(back.pos()[0]) & 1ULL, 1ULL);  // a & 1 = a
+  EXPECT_EQ(sim.value(back.pos()[1]) & 1ULL, 0ULL);  // const 0
+}
+
+TEST(AigerBinary, FileRoundTrip) {
+  const Circuit aig = random_aig(64);
+  const std::string path = ::testing::TempDir() + "/deepseq_rt.aig";
+  write_aiger_binary_file(aig, path);
+  const Circuit back = parse_aiger_binary_file(path);
+  deepseq::testing::expect_po_equivalent(aig, back, 64, 65);
+}
+
+TEST(AigerBinary, RejectsGenericGates) {
+  const Circuit c = counter4();  // contains XOR/MUX gates
+  std::ostringstream out;
+  EXPECT_THROW(write_aiger_binary(c, out), CircuitError);
+}
+
+TEST(AigerBinary, RejectsTruncatedAndSection) {
+  const Circuit aig = random_aig(66);
+  std::ostringstream out;
+  write_aiger_binary(aig, out);
+  std::string text = out.str();
+  // Find the end of the last ASCII line before the AND section and cut the
+  // binary payload short.
+  text.resize(text.size() / 2);
+  std::istringstream in(text);
+  EXPECT_THROW(parse_aiger_binary(in), ParseError);
+}
+
+TEST(AigerBinary, RejectsBadHeader) {
+  std::istringstream in("aag 3 1 1 1 1\n");
+  EXPECT_THROW(parse_aiger_binary(in), ParseError);
+  std::istringstream in2("aig 9 1 1 1 1\n");  // M != I+L+A
+  EXPECT_THROW(parse_aiger_binary(in2), ParseError);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,133 @@
+#include "netlist/aiger_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+// A toggle flip-flop: latch inverts itself each cycle; output is the latch.
+//   aag 2 1 1 1 0? -- we need one AND? Simplest legal file with an AND:
+//   out = a AND latch, latch' = NOT latch.
+const char* kToggle = R"(aag 3 1 1 1 1
+2
+4 5
+6
+6 2 4
+i0 a
+l0 q
+o0 out
+)";
+
+TEST(AigerIo, ParsesToggleExample) {
+  const Circuit c = parse_aiger_string(kToggle);
+  EXPECT_EQ(c.pis().size(), 1u);
+  EXPECT_EQ(c.ffs().size(), 1u);
+  EXPECT_EQ(c.pos().size(), 1u);
+  // Nodes: PI, FF, AND, plus one NOT for literal 5.
+  const auto counts = c.type_counts();
+  EXPECT_EQ(counts[static_cast<int>(GateType::kAnd)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kNot)], 1u);
+}
+
+TEST(AigerIo, ComplementedLiteralsShareOneInverter) {
+  // Both ANDs use ~2; only one NOT node should exist.
+  const char* text = R"(aag 4 1 0 2 2
+2
+6
+8
+6 3 3
+8 3 2
+)";
+  const Circuit c = parse_aiger_string(text);
+  EXPECT_EQ(c.type_counts()[static_cast<int>(GateType::kNot)], 1u);
+}
+
+TEST(AigerIo, ConstantLiterals) {
+  // Output is constant false (literal 0).
+  const char* text = "aag 1 1 0 1 0\n2\n0\n";
+  const Circuit c = parse_aiger_string(text);
+  ASSERT_EQ(c.pos().size(), 1u);
+  EXPECT_EQ(c.type(c.pos()[0]), GateType::kConst0);
+}
+
+TEST(AigerIo, BadHeaderThrows) {
+  EXPECT_THROW(parse_aiger_string("aig 1 1 0 1 0\n2\n0\n"), ParseError);
+  EXPECT_THROW(parse_aiger_string("aag 1 1\n"), ParseError);
+}
+
+TEST(AigerIo, OddInputLiteralThrows) {
+  EXPECT_THROW(parse_aiger_string("aag 1 1 0 0 0\n3\n"), ParseError);
+}
+
+TEST(AigerIo, DuplicateVariableThrows) {
+  EXPECT_THROW(parse_aiger_string("aag 2 2 0 0 0\n2\n2\n"), ParseError);
+}
+
+TEST(AigerIo, TruncatedFileThrows) {
+  EXPECT_THROW(parse_aiger_string("aag 3 1 1 1 1\n2\n4 5\n"), ParseError);
+}
+
+TEST(AigerIo, RoundTripPreservesBehaviour) {
+  // Random AIG -> aag -> parse -> compare simulations.
+  Rng rng(4242);
+  GeneratorSpec spec;
+  spec.num_gates = 80;
+  spec.num_ffs = 8;
+  // AIG-only vocabulary.
+  for (int t = 0; t < kNumGateTypes; ++t) spec.gate_weights[t] = 0;
+  spec.gate_weights[static_cast<int>(GateType::kAnd)] = 3;
+  spec.gate_weights[static_cast<int>(GateType::kNot)] = 1;
+  const Circuit original = generate_circuit(spec, rng);
+  ASSERT_TRUE(original.is_strict_aig());
+
+  const Circuit reparsed = parse_aiger_string(write_aiger_string(original));
+  EXPECT_EQ(reparsed.pis().size(), original.pis().size());
+  EXPECT_EQ(reparsed.ffs().size(), original.ffs().size());
+  EXPECT_EQ(reparsed.pos().size(), original.pos().size());
+
+  // Behavioural equivalence on the POs under a common pattern stream.
+  SequentialSimulator s1(original), s2(reparsed);
+  Rng pat(7);
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    std::vector<std::uint64_t> pi(original.pis().size());
+    for (auto& w : pi) w = pat.next_u64();
+    s1.step(pi);
+    s2.step(pi);
+    for (std::size_t k = 0; k < original.pos().size(); ++k)
+      ASSERT_EQ(s1.value(original.pos()[k]), s2.value(reparsed.pos()[k]))
+          << "cycle " << cycle << " po " << k;
+    s1.clock();
+    s2.clock();
+  }
+}
+
+TEST(AigerIo, WriteRejectsGenericGates) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId x = c.add_gate(GateType::kXor, {a, b}, "x");
+  c.add_po(x, "o");
+  EXPECT_THROW(write_aiger_string(c), CircuitError);
+}
+
+TEST(AigerIo, NotChainFoldsIntoComplement) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId n1 = c.add_not(a, "n1");
+  const NodeId n2 = c.add_not(n1, "n2");
+  const NodeId n3 = c.add_not(n2, "n3");
+  c.add_po(n3, "o");
+  const std::string text = write_aiger_string(c);
+  // No AND gates; output literal must be the complement of input var 1.
+  const Circuit back = parse_aiger_string(text);
+  EXPECT_EQ(back.type_counts()[static_cast<int>(GateType::kAnd)], 0u);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,201 @@
+#include "netlist/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace deepseq {
+namespace {
+
+Circuit tiny() {
+  // a, b -> AND -> NOT -> PO, with an FF fed by the AND.
+  Circuit c("tiny");
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g = c.add_and(a, b, "g");
+  const NodeId n = c.add_not(g, "n");
+  c.add_ff(g, "q");
+  c.add_po(n, "out");
+  return c;
+}
+
+TEST(Circuit, BasicConstruction) {
+  const Circuit c = tiny();
+  EXPECT_EQ(c.num_nodes(), 5u);
+  EXPECT_EQ(c.pis().size(), 2u);
+  EXPECT_EQ(c.ffs().size(), 1u);
+  EXPECT_EQ(c.pos().size(), 1u);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Circuit, TypeCounts) {
+  const auto counts = tiny().type_counts();
+  EXPECT_EQ(counts[static_cast<int>(GateType::kPi)], 2u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kAnd)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kNot)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kFf)], 1u);
+}
+
+TEST(Circuit, FindByName) {
+  const Circuit c = tiny();
+  EXPECT_NE(c.find_by_name("g"), kNullNode);
+  EXPECT_EQ(c.type(c.find_by_name("q")), GateType::kFf);
+  EXPECT_EQ(c.find_by_name("nope"), kNullNode);
+}
+
+TEST(Circuit, FanoutsIncludeFfReads) {
+  const Circuit c = tiny();
+  const NodeId g = c.find_by_name("g");
+  const auto fo = c.fanouts();
+  EXPECT_EQ(fo[g].size(), 2u);  // NOT and FF both read g
+}
+
+TEST(Circuit, WrongArityThrows) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  EXPECT_THROW(c.add_gate(GateType::kAnd, {a}, "bad"), CircuitError);
+  EXPECT_THROW(c.add_gate(GateType::kNot, {a, a}, "bad"), CircuitError);
+}
+
+TEST(Circuit, AddGateRejectsPiAndFf) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  EXPECT_THROW(c.add_gate(GateType::kPi, {}, "bad"), CircuitError);
+  EXPECT_THROW(c.add_gate(GateType::kFf, {a}, "bad"), CircuitError);
+}
+
+TEST(Circuit, UnconnectedFfFailsValidation) {
+  Circuit c;
+  c.add_pi("a");
+  c.add_ff(kNullNode, "q");
+  EXPECT_THROW(c.validate(), CircuitError);
+}
+
+TEST(Circuit, CombinationalCycleDetected) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId g1 = c.add_gate(GateType::kAnd, {a, a}, "g1");
+  const NodeId g2 = c.add_and(g1, a, "g2");
+  // Close a combinational loop g1 <- g2.
+  c.set_fanin(g1, 1, g2);
+  EXPECT_THROW(c.validate(), CircuitError);
+}
+
+TEST(Circuit, SequentialCycleIsLegal) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId ff = c.add_ff(kNullNode, "q");
+  const NodeId g = c.add_and(a, ff, "g");
+  c.set_fanin(ff, 0, g);  // loop through the FF
+  c.add_po(g, "out");
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Circuit, SelfLoopFfIsLegal) {
+  Circuit c;
+  const NodeId ff = c.add_ff(kNullNode, "q");
+  c.set_fanin(ff, 0, ff);  // q -> q (hold register)
+  c.add_po(ff, "out");
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Circuit, SetFaninValidatesSlot) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId g = c.add_not(a, "g");
+  EXPECT_THROW(c.set_fanin(g, 1, a), CircuitError);
+  EXPECT_THROW(c.set_fanin(999, 0, a), CircuitError);
+}
+
+TEST(Circuit, AddPoValidatesId) {
+  Circuit c;
+  c.add_pi("a");
+  EXPECT_THROW(c.add_po(5, "bad"), CircuitError);
+}
+
+TEST(Circuit, IsStrictAig) {
+  EXPECT_TRUE(tiny().is_strict_aig());
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  c.add_gate(GateType::kXor, {a, b}, "x");
+  EXPECT_FALSE(c.is_strict_aig());
+}
+
+TEST(GateTypes, ArityTable) {
+  EXPECT_EQ(gate_arity(GateType::kPi), 0);
+  EXPECT_EQ(gate_arity(GateType::kNot), 1);
+  EXPECT_EQ(gate_arity(GateType::kAnd), 2);
+  EXPECT_EQ(gate_arity(GateType::kMux), 3);
+  EXPECT_EQ(gate_arity(GateType::kFf), 1);
+}
+
+TEST(GateTypes, ParseRoundTrip) {
+  for (int t = 0; t < kNumGateTypes; ++t) {
+    const auto type = static_cast<GateType>(t);
+    EXPECT_EQ(parse_gate_type(gate_type_name(type)), type);
+  }
+  EXPECT_THROW(parse_gate_type("FOO"), ParseError);
+}
+
+struct GateTruthCase {
+  GateType type;
+  bool a, b, expected;
+};
+
+class GateEval2 : public ::testing::TestWithParam<GateTruthCase> {};
+
+TEST_P(GateEval2, TruthTable) {
+  const auto& p = GetParam();
+  EXPECT_EQ(eval_gate(p.type, p.a, p.b), p.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, GateEval2,
+    ::testing::Values(
+        GateTruthCase{GateType::kAnd, true, true, true},
+        GateTruthCase{GateType::kAnd, true, false, false},
+        GateTruthCase{GateType::kOr, false, false, false},
+        GateTruthCase{GateType::kOr, true, false, true},
+        GateTruthCase{GateType::kNand, true, true, false},
+        GateTruthCase{GateType::kNand, false, true, true},
+        GateTruthCase{GateType::kNor, false, false, true},
+        GateTruthCase{GateType::kNor, true, false, false},
+        GateTruthCase{GateType::kXor, true, false, true},
+        GateTruthCase{GateType::kXor, true, true, false},
+        GateTruthCase{GateType::kXnor, true, true, true},
+        GateTruthCase{GateType::kXnor, false, true, false}));
+
+TEST(GateEval, NotAndBuf) {
+  EXPECT_TRUE(eval_gate(GateType::kNot, false));
+  EXPECT_FALSE(eval_gate(GateType::kNot, true));
+  EXPECT_TRUE(eval_gate(GateType::kBuf, true));
+}
+
+TEST(GateEval, MuxSelects) {
+  // eval_gate(kMux, then, else, select)
+  EXPECT_TRUE(eval_gate(GateType::kMux, true, false, true));
+  EXPECT_FALSE(eval_gate(GateType::kMux, true, false, false));
+  EXPECT_TRUE(eval_gate(GateType::kMux, false, true, false));
+}
+
+TEST(GateEval, WordParallelMatchesScalar) {
+  for (const GateType t : {GateType::kAnd, GateType::kOr, GateType::kXor,
+                           GateType::kNand, GateType::kNor, GateType::kXnor}) {
+    for (int a = 0; a <= 1; ++a) {
+      for (int b = 0; b <= 1; ++b) {
+        const std::uint64_t wa = a ? ~0ULL : 0, wb = b ? ~0ULL : 0;
+        const bool scalar = eval_gate(t, a, b);
+        EXPECT_EQ(eval_gate_word(t, wa, wb) & 1ULL, scalar ? 1ULL : 0ULL);
+      }
+    }
+  }
+}
+
+TEST(GateEval, PiAndFfThrow) {
+  EXPECT_THROW(eval_gate_word(GateType::kPi, 0), Error);
+  EXPECT_THROW(eval_gate_word(GateType::kFf, 0), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

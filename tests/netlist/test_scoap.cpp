@@ -1,0 +1,150 @@
+#include "netlist/scoap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(Scoap, PiBaseline) {
+  Circuit c("pi");
+  const NodeId a = c.add_pi("a");
+  c.add_po(a, "y");
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_DOUBLE_EQ(m.cc0[a], 1.0);
+  EXPECT_DOUBLE_EQ(m.cc1[a], 1.0);
+  EXPECT_DOUBLE_EQ(m.co[a], 0.0);
+}
+
+TEST(Scoap, AndGateGoldsteinValues) {
+  Circuit c("and");
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g = c.add_and(a, b, "g");
+  c.add_po(g, "y");
+  const ScoapMeasures m = compute_scoap(c);
+  // CC1(AND) = CC1(a) + CC1(b) + 1; CC0(AND) = min(CC0) + 1.
+  EXPECT_DOUBLE_EQ(m.cc1[g], 3.0);
+  EXPECT_DOUBLE_EQ(m.cc0[g], 2.0);
+  // CO(input) = CO(g) + CC1(other) + 1.
+  EXPECT_DOUBLE_EQ(m.co[a], 2.0);
+  EXPECT_DOUBLE_EQ(m.co[b], 2.0);
+}
+
+TEST(Scoap, XorSideInputNeedsAnyValue) {
+  Circuit c("xor");
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g = c.add_gate(GateType::kXor, {a, b}, "g");
+  c.add_po(g, "y");
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_DOUBLE_EQ(m.cc0[g], 3.0);  // equal inputs
+  EXPECT_DOUBLE_EQ(m.cc1[g], 3.0);  // differing inputs
+  EXPECT_DOUBLE_EQ(m.co[a], 2.0);   // side input: min(CC0, CC1) + 1
+}
+
+TEST(Scoap, NotChainAccumulatesDepth) {
+  Circuit c("chain");
+  NodeId cur = c.add_pi("a");
+  for (int i = 0; i < 5; ++i) cur = c.add_not(cur);
+  c.add_po(cur, "y");
+  const ScoapMeasures m = compute_scoap(c);
+  // Each inverter adds 1 to controllability.
+  EXPECT_DOUBLE_EQ(std::min(m.cc0[cur], m.cc1[cur]), 6.0);
+}
+
+TEST(Scoap, ConstantIsUncontrollableToOne) {
+  Circuit c("const");
+  const NodeId z = c.add_const0("z");
+  const NodeId a = c.add_pi("a");
+  const NodeId g = c.add_and(a, z, "g");
+  c.add_po(g, "y");
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_GE(m.cc1[z], kScoapInf);
+  EXPECT_DOUBLE_EQ(m.cc0[z], 0.0);
+  // g = a AND 0 can never be 1.
+  EXPECT_GE(m.cc1[g], kScoapInf);
+  // a is unobservable: the AND's side input can never be 1.
+  EXPECT_GE(m.co[a], kScoapInf);
+}
+
+TEST(Scoap, FlipFlopAddsATimeFrame) {
+  Circuit c("ff");
+  const NodeId d = c.add_pi("d");
+  const NodeId q = c.add_ff(d, "q");
+  c.add_po(q, "y");
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_DOUBLE_EQ(m.cc1[q], m.cc1[d] + 1.0);
+  EXPECT_DOUBLE_EQ(m.co[d], m.co[q] + 1.0);
+}
+
+TEST(Scoap, FeedbackLoopConverges) {
+  // Toggle FF: q' = NOT(q). The fixpoint must terminate and yield finite
+  // controllability for both values (the toggler reaches 0 and 1).
+  Circuit c("toggle");
+  const NodeId q = c.add_ff(kNullNode, "q");
+  const NodeId nq = c.add_not(q, "nq");
+  c.set_fanin(q, 0, nq);
+  c.add_po(q, "y");
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_LT(m.cc0[q], kScoapInf);
+  EXPECT_LT(m.cc1[q], kScoapInf);
+  EXPECT_GT(m.controllability_iterations, 1);
+}
+
+TEST(Scoap, UnobservableDeadLogic) {
+  Circuit c("dead");
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId dead = c.add_and(a, b, "dead");  // no path to any PO
+  const NodeId live = c.add_not(a, "live");
+  c.add_po(live, "y");
+  const ScoapMeasures m = compute_scoap(c);
+  EXPECT_GE(m.co[dead], kScoapInf);
+  EXPECT_LT(m.co[a], kScoapInf);
+}
+
+TEST(Scoap, DeeperNodesAreHarder) {
+  const Circuit c = iscas89_s27();
+  const ScoapMeasures m = compute_scoap(c);
+  // PIs are easiest to control, FFs reach 0 by reset (cost 1); every
+  // combinational gate costs strictly more.
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.type(v) == GateType::kPi || c.type(v) == GateType::kFf) continue;
+    EXPECT_GE(std::min(m.cc0[v], m.cc1[v]), 2.0) << "node " << v;
+  }
+}
+
+TEST(Scoap, FaultEffortCombinesDriveAndObserve) {
+  Circuit c("fe");
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g = c.add_and(a, b, "g");
+  c.add_po(g, "y");
+  const ScoapMeasures m = compute_scoap(c);
+  // stuck-at-0 at g: drive g to 1 (cost 3) + observe g (cost 0).
+  EXPECT_DOUBLE_EQ(m.fault_effort(g, false), 3.0);
+  // stuck-at-1 at g: drive g to 0 (cost 2).
+  EXPECT_DOUBLE_EQ(m.fault_effort(g, true), 2.0);
+}
+
+TEST(Scoap, RandomCircuitsAllFiniteWhenFullyObservable) {
+  Rng rng(91);
+  GeneratorSpec spec;
+  spec.num_pis = 6;
+  spec.num_ffs = 6;
+  spec.num_gates = 120;
+  spec.extra_po_fraction = 1.0;  // every non-sink gate exported
+  const Circuit c = generate_circuit(spec, rng);
+  const ScoapMeasures m = compute_scoap(c);
+  std::size_t finite_cc = 0;
+  for (NodeId v = 0; v < c.num_nodes(); ++v)
+    if (std::min(m.cc0[v], m.cc1[v]) < kScoapInf) ++finite_cc;
+  // At least the vast majority of nodes must be controllable to one value.
+  EXPECT_GT(finite_cc, c.num_nodes() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,92 @@
+#include "netlist/subcircuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "dataset/generator.hpp"
+#include "dataset/embedded.hpp"
+#include "netlist/aig.hpp"
+
+namespace deepseq {
+namespace {
+
+Circuit random_aig(std::uint64_t seed, int gates = 300, int ffs = 24) {
+  Rng rng(seed);
+  GeneratorSpec spec;
+  spec.num_gates = gates;
+  spec.num_ffs = ffs;
+  return optimize_aig(decompose_to_aig(generate_circuit(spec, rng)).aig).circuit;
+}
+
+TEST(Subcircuit, ValidatesAndRespectsSize) {
+  const Circuit big = random_aig(1);
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Circuit sub = extract_subcircuit(big, 80, rng);
+    EXPECT_NO_THROW(sub.validate());
+    // Region capped at 80; boundary PIs can add more nodes but not double.
+    EXPECT_LE(sub.num_nodes(), 80u + 120u);
+    EXPECT_GE(sub.num_nodes(), 8u);
+  }
+}
+
+TEST(Subcircuit, PreservesAigVocabulary) {
+  // Extraction introduces no new gate types: everything stays in the AIG
+  // vocabulary (plus CONST0, which optimization can legitimately produce
+  // from annihilated reconvergence and the dataset builder filters out).
+  const Circuit big = random_aig(3);
+  Rng rng(4);
+  const Circuit sub = extract_subcircuit(big, 120, rng);
+  for (NodeId v = 0; v < sub.num_nodes(); ++v)
+    EXPECT_TRUE(is_aig_type(sub.type(v)) || sub.type(v) == GateType::kConst0)
+        << gate_type_name(sub.type(v));
+}
+
+TEST(Subcircuit, HasInputsAndOutputs) {
+  const Circuit big = random_aig(5);
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Circuit sub = extract_subcircuit(big, 100, rng);
+    EXPECT_FALSE(sub.pis().empty());
+    EXPECT_FALSE(sub.pos().empty());
+  }
+}
+
+TEST(Subcircuit, DeterministicGivenRngState) {
+  const Circuit big = random_aig(7);
+  Rng r1(42), r2(42);
+  const Circuit s1 = extract_subcircuit(big, 90, r1);
+  const Circuit s2 = extract_subcircuit(big, 90, r2);
+  EXPECT_EQ(s1.num_nodes(), s2.num_nodes());
+  EXPECT_EQ(s1.type_counts(), s2.type_counts());
+}
+
+TEST(Subcircuit, TargetLargerThanComponentTakesComponent) {
+  // On a connected circuit, an oversized target captures every node (the
+  // BFS walks the seed's connected component).
+  const Circuit big = decompose_to_aig(iscas89_s27()).aig;
+  Rng rng(9);
+  const Circuit sub = extract_subcircuit(big, 100000, rng);
+  EXPECT_EQ(sub.num_nodes(), big.num_nodes());
+}
+
+TEST(Subcircuit, EmptyCircuitThrows) {
+  Circuit empty;
+  Rng rng(1);
+  EXPECT_THROW(extract_subcircuit(empty, 10, rng), CircuitError);
+}
+
+TEST(Subcircuit, OftenKeepsFlipFlops) {
+  const Circuit big = random_aig(10);
+  Rng rng(11);
+  int with_ffs = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Circuit sub = extract_subcircuit(big, 120, rng);
+    with_ffs += !sub.ffs().empty();
+  }
+  EXPECT_GT(with_ffs, 10);  // most decent-sized regions contain FFs
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,111 @@
+#include "netlist/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(Topology, SourcesAtLevelZero) {
+  const Circuit c = iscas89_s27();
+  const Levelization lv = comb_levelize(c);
+  for (NodeId pi : c.pis()) EXPECT_EQ(lv.level[pi], 0);
+  for (NodeId ff : c.ffs()) EXPECT_EQ(lv.level[ff], 0);
+}
+
+TEST(Topology, GateAboveItsFanins) {
+  const Circuit c = iscas89_s27();
+  const Levelization lv = comb_levelize(c);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.type(v) == GateType::kFf || c.type(v) == GateType::kPi) continue;
+    for (int i = 0; i < c.num_fanins(v); ++i)
+      EXPECT_GT(lv.level[v], lv.level[c.fanin(v, i)])
+          << "node " << v << " fanin " << c.fanin(v, i);
+  }
+}
+
+TEST(Topology, ByLevelPartitionsAllNodes) {
+  const Circuit c = iscas89_s27();
+  const Levelization lv = comb_levelize(c);
+  std::size_t total = 0;
+  for (const auto& level : lv.by_level) total += level.size();
+  EXPECT_EQ(total, c.num_nodes());
+  EXPECT_EQ(static_cast<int>(lv.by_level.size()), lv.depth + 1);
+}
+
+TEST(Topology, TopoOrderRespectsDependencies) {
+  const Circuit c = iscas89_s27();
+  const auto order = comb_topo_order(c);
+  EXPECT_EQ(order.size(), c.num_nodes());
+  std::vector<int> pos(c.num_nodes(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<int>(i);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    if (c.type(v) == GateType::kFf || c.type(v) == GateType::kPi) continue;
+    for (int i = 0; i < c.num_fanins(v); ++i)
+      EXPECT_LT(pos[c.fanin(v, i)], pos[v]);
+  }
+}
+
+TEST(Topology, AcyclicViewRemovesFeedbackOnly) {
+  // A 2-FF ring: both D edges are forward (FF -> gate -> FF), so the
+  // acyclified graph drops the loop-closing edges.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId f1 = c.add_ff(kNullNode, "f1");
+  const NodeId f2 = c.add_ff(kNullNode, "f2");
+  const NodeId g1 = c.add_and(a, f2, "g1");
+  const NodeId g2 = c.add_and(a, f1, "g2");
+  c.set_fanin(f1, 0, g1);
+  c.set_fanin(f2, 0, g2);
+  c.add_po(g1, "o");
+  c.validate();
+
+  const AcyclicView av = make_acyclic_view(c);
+  // Some edges must be gone (the design has a cycle), but the remainder
+  // must levelize without error.
+  EXPECT_GT(av.num_removed_edges, 0u);
+  std::size_t edges = 0;
+  for (const auto& fi : av.fanins) edges += fi.size();
+  std::size_t orig_edges = 0;
+  for (NodeId v = 0; v < c.num_nodes(); ++v) orig_edges += c.num_fanins(v);
+  EXPECT_EQ(edges + av.num_removed_edges, orig_edges);
+}
+
+TEST(Topology, AcyclicViewIsDag) {
+  Rng rng(99);
+  GeneratorSpec spec;
+  spec.num_gates = 120;
+  spec.num_ffs = 14;
+  const Circuit c = generate_circuit(spec, rng);
+  const AcyclicView av = make_acyclic_view(c);
+  // Level order is a topological witness of acyclicity.
+  for (NodeId v = 0; v < c.num_nodes(); ++v)
+    for (NodeId u : av.fanins[v])
+      EXPECT_LT(av.levels.level[u], av.levels.level[v]);
+}
+
+TEST(Topology, AcyclicViewOnPureDagKeepsAllEdges) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g = c.add_and(a, b, "g");
+  const NodeId n = c.add_not(g, "n");
+  c.add_po(n, "o");
+  const AcyclicView av = make_acyclic_view(c);
+  EXPECT_EQ(av.num_removed_edges, 0u);
+}
+
+TEST(Topology, DepthOfChain) {
+  Circuit c;
+  NodeId x = c.add_pi("a");
+  for (int i = 0; i < 10; ++i) x = c.add_not(x, "n" + std::to_string(i));
+  c.add_po(x, "o");
+  const Levelization lv = comb_levelize(c);
+  EXPECT_EQ(lv.depth, 10);
+}
+
+}  // namespace
+}  // namespace deepseq

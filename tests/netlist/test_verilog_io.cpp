@@ -1,0 +1,222 @@
+#include "netlist/verilog_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+#include "support/equivalence.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(VerilogParse, MinimalCombinationalModule) {
+  const Circuit c = parse_verilog_string(R"(
+    module half_adder (a, b, s, co);
+      input a, b;
+      output s, co;
+      xor g1 (s, a, b);
+      and g2 (co, a, b);
+    endmodule
+  )");
+  EXPECT_EQ(c.name(), "half_adder");
+  EXPECT_EQ(c.pis().size(), 2u);
+  EXPECT_EQ(c.pos().size(), 2u);
+  EXPECT_EQ(c.type_counts()[static_cast<int>(GateType::kXor)], 1u);
+  EXPECT_EQ(c.type_counts()[static_cast<int>(GateType::kAnd)], 1u);
+}
+
+TEST(VerilogParse, DffWithFeedbackAndClock) {
+  const Circuit c = parse_verilog_string(R"(
+    // toggle flip-flop
+    module toggle (clk, q);
+      input clk;
+      output q;
+      wire nq;
+      DFF r (.Q(q), .D(nq), .CK(clk));
+      not g (nq, q);
+    endmodule
+  )");
+  // clk only drives the DFF clock pin, so it is not a logic PI.
+  EXPECT_EQ(c.pis().size(), 0u);
+  EXPECT_EQ(c.ffs().size(), 1u);
+  // The FF toggles every cycle: 0, 1, 0, 1, ...
+  SequentialSimulator sim(c);
+  const NodeId q = c.pos()[0];
+  bool expected = false;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    sim.step({});
+    EXPECT_EQ(sim.value(q) & 1ULL, expected ? 1ULL : 0ULL) << "cycle " << cycle;
+    sim.clock();
+    expected = !expected;
+  }
+}
+
+TEST(VerilogParse, PositionalDffAndInstancelessGates) {
+  const Circuit c = parse_verilog_string(R"(
+    module m (clk, d, q);
+      input clk, d;
+      output q;
+      DFF r1 (q, d, clk);
+    endmodule
+  )");
+  EXPECT_EQ(c.pis().size(), 1u);  // clk dropped, d kept
+  EXPECT_EQ(c.ffs().size(), 1u);
+}
+
+TEST(VerilogParse, ClockUsedAsDataStaysPi) {
+  const Circuit c = parse_verilog_string(R"(
+    module m (clk, q, y);
+      input clk;
+      output q, y;
+      DFF r1 (q, y, clk);
+      buf g (y, clk);
+    endmodule
+  )");
+  EXPECT_EQ(c.pis().size(), 1u);  // clk also feeds a buf, so it is a PI
+}
+
+TEST(VerilogParse, AssignFormsProduceExpectedGates) {
+  const Circuit c = parse_verilog_string(R"(
+    module m (a, b, s, y0, y1, y2, y3);
+      input a, b, s;
+      output y0, y1, y2, y3;
+      assign y0 = a;
+      assign y1 = ~a;
+      assign y2 = s ? a : b;
+      assign y3 = 1'b1;
+    endmodule
+  )");
+  const auto counts = c.type_counts();
+  EXPECT_EQ(counts[static_cast<int>(GateType::kBuf)], 1u);
+  EXPECT_GE(counts[static_cast<int>(GateType::kNot)], 2u);  // ~a and const1
+  EXPECT_EQ(counts[static_cast<int>(GateType::kMux)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(GateType::kConst0)], 1u);
+}
+
+TEST(VerilogParse, NaryGatesExpandToTrees) {
+  const Circuit c = parse_verilog_string(R"(
+    module m (a, b, d, e, y);
+      input a, b, d, e;
+      output y;
+      nand g (y, a, b, d, e);
+    endmodule
+  )");
+  // 4-input NAND = NOT over a 3-AND tree.
+  EXPECT_EQ(c.type_counts()[static_cast<int>(GateType::kAnd)], 3u);
+  EXPECT_EQ(c.type_counts()[static_cast<int>(GateType::kNot)], 1u);
+  SequentialSimulator sim(c);
+  sim.step({~0ULL, ~0ULL, ~0ULL, ~0ULL});
+  EXPECT_EQ(sim.value(c.pos()[0]) & 1ULL, 0ULL);
+  sim.step({~0ULL, 0ULL, ~0ULL, ~0ULL});
+  EXPECT_EQ(sim.value(c.pos()[0]) & 1ULL, 1ULL);
+}
+
+TEST(VerilogParse, NaryGateFeedingNaryGateResolvesOutOfOrder) {
+  const Circuit c = parse_verilog_string(R"(
+    module m (a, b, d, y);
+      input a, b, d;
+      output y;
+      and g2 (y, w, a, b);
+      or  g1 (w, a, b, d);
+    endmodule
+  )");
+  EXPECT_EQ(c.pos().size(), 1u);
+}
+
+TEST(VerilogParse, RejectsBuses) {
+  EXPECT_THROW(parse_verilog_string("module m (a); input [3:0] a; endmodule"),
+               ParseError);
+}
+
+TEST(VerilogParse, RejectsUnknownModule) {
+  EXPECT_THROW(parse_verilog_string(R"(
+    module m (a, y);
+      input a; output y;
+      SUPERGATE g (y, a);
+    endmodule
+  )"),
+               ParseError);
+}
+
+TEST(VerilogParse, RejectsDoubleDriver) {
+  EXPECT_THROW(parse_verilog_string(R"(
+    module m (a, y);
+      input a; output y;
+      buf g1 (y, a);
+      not g2 (y, a);
+    endmodule
+  )"),
+               ParseError);
+}
+
+TEST(VerilogParse, CommentsAreIgnored) {
+  const Circuit c = parse_verilog_string(R"(
+    /* block
+       comment */
+    module m (a, y); // trailing
+      input a;
+      output y;
+      buf g (y, a); /* inline */
+    endmodule
+  )");
+  EXPECT_EQ(c.pis().size(), 1u);
+}
+
+TEST(VerilogRoundTrip, S27IsSimulationEquivalent) {
+  const Circuit c = iscas89_s27();
+  const Circuit back = parse_verilog_string(write_verilog_string(c));
+  testing::expect_po_equivalent(c, back, 200, 31);
+}
+
+TEST(VerilogRoundTrip, Counter4IsSimulationEquivalent) {
+  const Circuit c = counter4();
+  const Circuit back = parse_verilog_string(write_verilog_string(c));
+  testing::expect_po_equivalent(c, back, 200, 32);
+}
+
+class VerilogRoundTripRandom : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(VerilogRoundTripRandom, GenericCircuitSurvivesRoundTrip) {
+  Rng rng(GetParam());
+  GeneratorSpec spec;
+  spec.num_pis = 5;
+  spec.num_ffs = 6;
+  spec.num_gates = 120;
+  const Circuit c = generate_circuit(spec, rng);
+  const Circuit back = parse_verilog_string(write_verilog_string(c));
+  EXPECT_EQ(c.ffs().size(), back.ffs().size());
+  testing::expect_po_equivalent(c, back, 128, GetParam() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerilogRoundTripRandom,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
+TEST(VerilogRoundTrip, AigCircuitSurvivesRoundTrip) {
+  Rng rng(77);
+  GeneratorSpec spec;
+  spec.num_pis = 6;
+  spec.num_ffs = 4;
+  spec.num_gates = 100;
+  const Circuit generic = generate_circuit(spec, rng);
+  const Circuit aig = decompose_to_aig(generic).aig;
+  const Circuit back = parse_verilog_string(write_verilog_string(aig));
+  testing::expect_po_equivalent(aig, back, 128, 78);
+}
+
+TEST(VerilogWrite, ClkNameCollisionIsAvoided) {
+  Circuit c("m");
+  const NodeId clk_named_pi = c.add_pi("clk");  // a data PI named clk
+  const NodeId ff = c.add_ff(clk_named_pi, "q");
+  c.add_po(ff, "y");
+  const std::string text = write_verilog_string(c);
+  const Circuit back = parse_verilog_string(text);
+  EXPECT_EQ(back.pis().size(), 1u);
+  EXPECT_EQ(back.ffs().size(), 1u);
+  testing::expect_po_equivalent(c, back, 64, 5);
+}
+
+}  // namespace
+}  // namespace deepseq

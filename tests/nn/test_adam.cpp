@@ -1,0 +1,99 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/graph.hpp"
+
+namespace deepseq::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize (x - 3)^2 elementwise via autograd + Adam.
+  Var x = make_param(Tensor::scalar(0.0f));
+  Adam adam({{"x", x}}, AdamOptions{0.1f, 0.9f, 0.999f, 1e-8f, 0.0f});
+  const Tensor target = Tensor::scalar(3.0f);
+  for (int step = 0; step < 500; ++step) {
+    adam.zero_grad();
+    Graph g;
+    Var diff = g.sub(x, g.constant(target));
+    Var loss = g.mul(diff, diff);
+    g.backward(loss);
+    adam.step();
+  }
+  EXPECT_NEAR(x->value.at(0, 0), 3.0f, 0.05f);
+}
+
+TEST(Adam, ZeroGradClearsAccumulation) {
+  Var x = make_param(Tensor::scalar(1.0f));
+  Adam adam({{"x", x}});
+  {
+    Graph g;
+    g.backward(g.mul(x, x));
+  }
+  EXPECT_NE(x->grad.at(0, 0), 0.0f);
+  adam.zero_grad();
+  EXPECT_FLOAT_EQ(x->grad.at(0, 0), 0.0f);
+}
+
+TEST(Adam, StepWithoutGradIsNoop) {
+  Var x = make_param(Tensor::scalar(5.0f));
+  Adam adam({{"x", x}});
+  adam.step();  // no gradient accumulated yet
+  EXPECT_FLOAT_EQ(x->value.at(0, 0), 5.0f);
+}
+
+TEST(Adam, FirstStepMovesByLr) {
+  // Adam's bias-corrected first step has magnitude ~lr regardless of
+  // gradient scale.
+  Var x = make_param(Tensor::scalar(0.0f));
+  Adam adam({{"x", x}}, AdamOptions{0.01f, 0.9f, 0.999f, 1e-8f, 0.0f});
+  x->ensure_grad().fill(123.0f);
+  adam.step();
+  EXPECT_NEAR(x->value.at(0, 0), -0.01f, 1e-4);
+}
+
+TEST(Adam, GradClipBoundsStep) {
+  Var x = make_param(Tensor::scalar(0.0f));
+  Var y = make_param(Tensor::scalar(0.0f));
+  Adam clipped({{"x", x}, {"y", y}},
+               AdamOptions{0.01f, 0.9f, 0.999f, 1e-8f, 1.0f});
+  x->ensure_grad().fill(1000.0f);
+  y->ensure_grad().fill(1000.0f);
+  clipped.step();
+  // Both entries clipped to global norm 1 (each ~0.707); the Adam update is
+  // still ~lr in magnitude but must be finite and sane.
+  EXPECT_LT(std::fabs(x->value.at(0, 0)), 0.02f);
+  EXPECT_GT(std::fabs(x->value.at(0, 0)), 0.0f);
+}
+
+TEST(Adam, CountsSteps) {
+  Var x = make_param(Tensor::scalar(0.0f));
+  Adam adam({{"x", x}});
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.step();
+  adam.step();
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+TEST(Adam, TwoParameterCoupledObjective) {
+  // Minimize (a + b - 1)^2 + (a - b)^2 -> a = b = 0.5.
+  Var a = make_param(Tensor::scalar(2.0f));
+  Var b = make_param(Tensor::scalar(-1.0f));
+  Adam adam({{"a", a}, {"b", b}}, AdamOptions{0.05f, 0.9f, 0.999f, 1e-8f, 0.0f});
+  for (int step = 0; step < 800; ++step) {
+    adam.zero_grad();
+    Graph g;
+    Var s = g.sub(g.add(a, b), g.constant(Tensor::scalar(1.0f)));
+    Var d = g.sub(a, b);
+    Var loss = g.add(g.mul(s, s), g.mul(d, d));
+    g.backward(loss);
+    adam.step();
+  }
+  EXPECT_NEAR(a->value.at(0, 0), 0.5f, 0.05f);
+  EXPECT_NEAR(b->value.at(0, 0), 0.5f, 0.05f);
+}
+
+}  // namespace
+}  // namespace deepseq::nn

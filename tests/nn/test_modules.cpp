@@ -1,0 +1,144 @@
+#include "nn/modules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/gradcheck.hpp"
+
+namespace deepseq::nn {
+namespace {
+
+TEST(Linear, OutputShapeAndParams) {
+  Rng rng(1);
+  Linear lin(4, 3, rng, "l");
+  Graph g;
+  Var x = g.constant(Tensor::xavier(5, 4, rng));
+  Var y = lin.apply(g, x);
+  EXPECT_EQ(y->value.rows(), 5);
+  EXPECT_EQ(y->value.cols(), 3);
+  NamedParams p;
+  lin.collect_params(p);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0].first, "l.w");
+}
+
+TEST(Linear, BiasIsAdded) {
+  Rng rng(2);
+  Linear lin(2, 2, rng, "l");
+  NamedParams p;
+  lin.collect_params(p);
+  p[1].second->value = Tensor::from_rows({{10.0f, 20.0f}});  // bias
+  p[0].second->value = Tensor(2, 2);                         // zero weights
+  Graph g;
+  Var y = lin.apply(g, g.constant(Tensor(1, 2)));
+  EXPECT_FLOAT_EQ(y->value.at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(y->value.at(0, 1), 20.0f);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(3);
+  Linear lin(3, 2, rng, "l");
+  const Tensor x = Tensor::xavier(4, 3, rng);
+  const Tensor target = Tensor::full(4, 2, 0.2f);
+  NamedParams p;
+  lin.collect_params(p);
+  auto forward = [&](Graph& g) {
+    return g.l1_loss(g.sigmoid(lin.apply(g, g.constant(x))), target);
+  };
+  EXPECT_LT(grad_check(forward, p).max_rel_error, 0.05);
+}
+
+TEST(Mlp, ThreeLayerShapes) {
+  Rng rng(4);
+  Mlp mlp({8, 8, 8, 2}, Activation::kSigmoid, rng, "m");
+  Graph g;
+  Var y = mlp.apply(g, g.constant(Tensor::xavier(10, 8, rng)));
+  EXPECT_EQ(y->value.rows(), 10);
+  EXPECT_EQ(y->value.cols(), 2);
+  // Sigmoid outputs are probabilities.
+  for (std::size_t i = 0; i < y->value.size(); ++i) {
+    EXPECT_GE(y->value.data()[i], 0.0f);
+    EXPECT_LE(y->value.data()[i], 1.0f);
+  }
+  NamedParams p;
+  mlp.collect_params(p);
+  EXPECT_EQ(p.size(), 6u);  // 3 layers x (w, b)
+}
+
+TEST(Mlp, NeedsTwoDims) {
+  Rng rng(5);
+  EXPECT_THROW(Mlp({4}, Activation::kNone, rng, "m"), Error);
+}
+
+TEST(Mlp, GradCheck) {
+  Rng rng(6);
+  Mlp mlp({3, 4, 1}, Activation::kSigmoid, rng, "m");
+  const Tensor x = Tensor::xavier(6, 3, rng);
+  const Tensor target = Tensor::full(6, 1, 0.7f);
+  NamedParams p;
+  mlp.collect_params(p);
+  auto forward = [&](Graph& g) {
+    return g.l1_loss(mlp.apply(g, g.constant(x)), target);
+  };
+  EXPECT_LT(grad_check(forward, p).max_rel_error, 0.05);
+}
+
+TEST(Gru, OutputShapeAndRange) {
+  Rng rng(7);
+  GruCell gru(5, 4, rng, "g");
+  Graph g;
+  Var x = g.constant(Tensor::xavier(3, 5, rng));
+  Var h = g.constant(Tensor::xavier(3, 4, rng));
+  Var h2 = gru.apply(g, x, h);
+  EXPECT_EQ(h2->value.rows(), 3);
+  EXPECT_EQ(h2->value.cols(), 4);
+  NamedParams p;
+  gru.collect_params(p);
+  EXPECT_EQ(p.size(), 9u);
+}
+
+TEST(Gru, InputDimChecked) {
+  Rng rng(8);
+  GruCell gru(5, 4, rng, "g");
+  Graph g;
+  EXPECT_THROW(gru.apply(g, g.constant(Tensor(3, 6)), g.constant(Tensor(3, 4))),
+               ShapeError);
+  EXPECT_THROW(gru.apply(g, g.constant(Tensor(3, 5)), g.constant(Tensor(3, 5))),
+               ShapeError);
+}
+
+TEST(Gru, UpdateGateInterpolates) {
+  // With all weights zero, z = sigmoid(0) = 0.5, n = tanh(0) = 0, so
+  // h' = 0.5 * h exactly — the GRU's interpolation semantics.
+  Rng rng(9);
+  GruCell gru(2, 3, rng, "g");
+  NamedParams p;
+  gru.collect_params(p);
+  for (auto& [name, v] : p) v->value.zero();
+  Graph g;
+  const Tensor h0 = Tensor::from_rows({{1.0f, -2.0f, 0.5f}});
+  Var h2 = gru.apply(g, g.constant(Tensor(1, 2)), g.constant(h0));
+  EXPECT_NEAR(h2->value.at(0, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(h2->value.at(0, 1), -1.0f, 1e-6);
+  EXPECT_NEAR(h2->value.at(0, 2), 0.25f, 1e-6);
+}
+
+TEST(Gru, GradCheckThroughTwoSteps) {
+  Rng rng(10);
+  GruCell gru(3, 3, rng, "g");
+  const Tensor x1 = Tensor::xavier(2, 3, rng);
+  const Tensor x2 = Tensor::xavier(2, 3, rng);
+  const Tensor h0 = Tensor::xavier(2, 3, rng);
+  const Tensor target = Tensor::full(2, 3, 0.1f);
+  NamedParams p;
+  gru.collect_params(p);
+  auto forward = [&](Graph& g) {
+    Var h = gru.apply(g, g.constant(x1), g.constant(h0));
+    h = gru.apply(g, g.constant(x2), h);  // recurrent reuse of weights
+    return g.l1_loss(h, target);
+  };
+  EXPECT_LT(grad_check(forward, p, 5e-3f, 4).max_rel_error, 0.06);
+}
+
+}  // namespace
+}  // namespace deepseq::nn

@@ -1,0 +1,76 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include <fstream>
+
+namespace deepseq::nn {
+namespace {
+
+TEST(Serialize, RoundTrip) {
+  Rng rng(1);
+  Var a = make_param(Tensor::xavier(3, 4, rng));
+  Var b = make_param(Tensor::xavier(1, 7, rng));
+  const Tensor a_orig = a->value, b_orig = b->value;
+
+  const std::string path = ::testing::TempDir() + "/params.bin";
+  save_params(path, {{"a", a}, {"b", b}});
+
+  // Perturb, then reload.
+  a->value.fill(0.0f);
+  b->value.fill(-1.0f);
+  load_params(path, {{"a", a}, {"b", b}});
+  for (std::size_t i = 0; i < a_orig.size(); ++i)
+    EXPECT_FLOAT_EQ(a->value.data()[i], a_orig.data()[i]);
+  for (std::size_t i = 0; i < b_orig.size(); ++i)
+    EXPECT_FLOAT_EQ(b->value.data()[i], b_orig.data()[i]);
+}
+
+TEST(Serialize, SubsetLoadIgnoresExtraFileEntries) {
+  Rng rng(2);
+  Var a = make_param(Tensor::xavier(2, 2, rng));
+  Var b = make_param(Tensor::xavier(2, 2, rng));
+  const std::string path = ::testing::TempDir() + "/params2.bin";
+  save_params(path, {{"a", a}, {"b", b}});
+  // Loading only "a" works (fine-tuning heads load a backbone subset).
+  Var a2 = make_param(Tensor(2, 2));
+  EXPECT_NO_THROW(load_params(path, {{"a", a2}}));
+  EXPECT_FLOAT_EQ(a2->value.at(1, 1), a->value.at(1, 1));
+}
+
+TEST(Serialize, MissingNameThrows) {
+  Rng rng(3);
+  Var a = make_param(Tensor::xavier(2, 2, rng));
+  const std::string path = ::testing::TempDir() + "/params3.bin";
+  save_params(path, {{"a", a}});
+  Var c = make_param(Tensor(2, 2));
+  EXPECT_THROW(load_params(path, {{"missing", c}}), Error);
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  Rng rng(4);
+  Var a = make_param(Tensor::xavier(2, 2, rng));
+  const std::string path = ::testing::TempDir() + "/params4.bin";
+  save_params(path, {{"a", a}});
+  Var wrong = make_param(Tensor(3, 3));
+  EXPECT_THROW(load_params(path, {{"a", wrong}}), Error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Var a = make_param(Tensor(1, 1));
+  EXPECT_THROW(load_params("/nonexistent/params.bin", {{"a", a}}), Error);
+}
+
+TEST(Serialize, CorruptFileThrows) {
+  const std::string path = ::testing::TempDir() + "/corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "notaparamfile";
+  }
+  Var a = make_param(Tensor(1, 1));
+  EXPECT_THROW(load_params(path, {{"a", a}}), Error);
+}
+
+}  // namespace
+}  // namespace deepseq::nn

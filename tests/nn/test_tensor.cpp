@@ -1,0 +1,152 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace deepseq::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(Tensor, NegativeDimensionThrows) {
+  EXPECT_THROW(Tensor(-1, 4), ShapeError);
+}
+
+TEST(Tensor, FromRows) {
+  const Tensor t = Tensor::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(Tensor, FromRowsRaggedThrows) {
+  EXPECT_THROW(Tensor::from_rows({{1, 2}, {3}}), ShapeError);
+}
+
+TEST(Tensor, FullAndScalar) {
+  const Tensor t = Tensor::full(2, 2, 7.5f);
+  EXPECT_EQ(t.at(1, 1), 7.5f);
+  EXPECT_EQ(Tensor::scalar(3.0f).at(0, 0), 3.0f);
+}
+
+TEST(Tensor, XavierBounds) {
+  Rng rng(1);
+  const Tensor t = Tensor::xavier(16, 16, rng);
+  const double bound = std::sqrt(6.0 / 32.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::fabs(t.data()[i]), bound);
+  }
+  EXPECT_GT(t.abs_max(), 0.0f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t = Tensor::from_rows({{1, -2}, {3, -4}});
+  EXPECT_FLOAT_EQ(t.sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.5f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+}
+
+TEST(Tensor, MatmulIdentity) {
+  const Tensor a = Tensor::from_rows({{1, 2}, {3, 4}});
+  Tensor eye(2, 2);
+  eye.at(0, 0) = eye.at(1, 1) = 1.0f;
+  const Tensor r = matmul(a, eye);
+  EXPECT_FLOAT_EQ(r.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(r.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, MatmulKnownValues) {
+  const Tensor a = Tensor::from_rows({{1, 2, 3}});       // 1x3
+  const Tensor b = Tensor::from_rows({{1}, {2}, {3}});   // 3x1
+  EXPECT_FLOAT_EQ(matmul(a, b).at(0, 0), 14.0f);
+  const Tensor outer = matmul(b, a);  // 3x3
+  EXPECT_FLOAT_EQ(outer.at(2, 2), 9.0f);
+}
+
+TEST(Tensor, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor(2, 3), Tensor(2, 3)), ShapeError);
+}
+
+TEST(Tensor, MatmulTnAccEqualsTransposedProduct) {
+  Rng rng(3);
+  const Tensor a = Tensor::xavier(4, 3, rng);
+  const Tensor b = Tensor::xavier(4, 5, rng);
+  Tensor out(3, 5);
+  matmul_tn_acc(a, b, out);
+  Tensor at(3, 4);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  const Tensor expect = matmul(at, b);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out.data()[i], expect.data()[i], 1e-5);
+}
+
+TEST(Tensor, MatmulNtAccEqualsProductWithTranspose) {
+  Rng rng(4);
+  const Tensor a = Tensor::xavier(4, 3, rng);
+  const Tensor b = Tensor::xavier(5, 3, rng);
+  Tensor out(4, 5);
+  matmul_nt_acc(a, b, out);
+  Tensor bt(3, 5);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  const Tensor expect = matmul(a, bt);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_NEAR(out.data()[i], expect.data()[i], 1e-5);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  const Tensor a = Tensor::from_rows({{1, 2}});
+  const Tensor b = Tensor::from_rows({{3, 5}});
+  EXPECT_FLOAT_EQ(add(a, b).at(0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(sub(a, b).at(0, 0), -2.0f);
+  EXPECT_FLOAT_EQ(mul(a, b).at(0, 1), 10.0f);
+  EXPECT_FLOAT_EQ(scale(a, -2.0f).at(0, 0), -2.0f);
+}
+
+TEST(Tensor, ElementwiseShapeChecks) {
+  EXPECT_THROW(add(Tensor(1, 2), Tensor(2, 1)), ShapeError);
+  EXPECT_THROW(mul(Tensor(1, 2), Tensor(1, 3)), ShapeError);
+}
+
+TEST(Tensor, AddRowBroadcast) {
+  const Tensor a = Tensor::from_rows({{1, 2}, {3, 4}});
+  const Tensor r = Tensor::from_rows({{10, 20}});
+  const Tensor out = add_row(a, r);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 24.0f);
+  EXPECT_THROW(add_row(a, Tensor(1, 3)), ShapeError);
+}
+
+TEST(Tensor, Activations) {
+  const Tensor x = Tensor::from_rows({{0.0f, -100.0f, 100.0f}});
+  const Tensor s = sigmoid(x);
+  EXPECT_NEAR(s.at(0, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(s.at(0, 1), 0.0f, 1e-6);
+  EXPECT_NEAR(s.at(0, 2), 1.0f, 1e-6);
+  const Tensor t = tanh_t(Tensor::from_rows({{0.0f, 100.0f}}));
+  EXPECT_NEAR(t.at(0, 0), 0.0f, 1e-6);
+  EXPECT_NEAR(t.at(0, 1), 1.0f, 1e-6);
+  const Tensor r = relu(Tensor::from_rows({{-1.0f, 2.0f}}));
+  EXPECT_FLOAT_EQ(r.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(r.at(0, 1), 2.0f);
+}
+
+TEST(Tensor, InPlaceOps) {
+  Tensor a = Tensor::from_rows({{1, 2}});
+  add_in_place(a, Tensor::from_rows({{10, 10}}));
+  EXPECT_FLOAT_EQ(a.at(0, 1), 12.0f);
+  scale_in_place(a, 0.5f);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 5.5f);
+}
+
+}  // namespace
+}  // namespace deepseq::nn

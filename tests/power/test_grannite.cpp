@@ -1,0 +1,115 @@
+#include "power/grannite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/embedded.hpp"
+#include "netlist/aig.hpp"
+
+namespace deepseq {
+namespace {
+
+TrainSample s27_sample(std::uint64_t seed) {
+  Rng rng(seed);
+  const Circuit aig = decompose_to_aig(iscas89_s27()).aig;
+  Workload w = random_workload(aig, rng);
+  return make_sample("s27", aig, std::move(w), {600, 1}, rng.next_u64());
+}
+
+TEST(Grannite, SampleSeparatesSourcesFromLogic) {
+  const TrainSample base = s27_sample(1);
+  const GranniteSample gs = make_grannite_sample(base);
+  for (int v = 0; v < base.graph.num_nodes; ++v) {
+    const bool src = gs.source_feats.at(v, 2) > 0.5f;
+    const bool masked = gs.comb_mask.at(v, 0) > 0.5f;
+    EXPECT_NE(src, masked) << "node " << v;
+    if (src) {
+      // Source features equal the simulated PI/FF activity.
+      EXPECT_FLOAT_EQ(gs.source_feats.at(v, 0),
+                      base.target_tr.at(v, 0) + base.target_tr.at(v, 1));
+      EXPECT_FLOAT_EQ(gs.source_feats.at(v, 1), base.target_lg.at(v, 0));
+    }
+  }
+}
+
+TEST(Grannite, ForwardShapeAndRange) {
+  const TrainSample base = s27_sample(2);
+  const GranniteSample gs = make_grannite_sample(base);
+  GranniteConfig cfg;
+  cfg.hidden_dim = 8;
+  const GranniteModel model(cfg);
+  nn::Graph g(false);
+  const auto pred = model.forward(g, base.graph, gs.source_feats, 1);
+  EXPECT_EQ(pred->value.rows(), base.graph.num_nodes);
+  EXPECT_EQ(pred->value.cols(), 2);
+  for (std::size_t i = 0; i < pred->value.size(); ++i) {
+    EXPECT_GE(pred->value.data()[i], 0.0f);
+    EXPECT_LE(pred->value.data()[i], 1.0f);
+  }
+}
+
+TEST(Grannite, ToggleRatesUseSimulationForSources) {
+  const TrainSample base = s27_sample(3);
+  const GranniteSample gs = make_grannite_sample(base);
+  GranniteConfig cfg;
+  cfg.hidden_dim = 8;
+  const GranniteModel model(cfg);
+  const auto rates = model.toggle_rates(base.graph, gs.source_feats, 1);
+  for (int v = 0; v < base.graph.num_nodes; ++v) {
+    if (gs.source_feats.at(v, 2) > 0.5f) {
+      EXPECT_NEAR(rates[v], gs.source_feats.at(v, 0), 1e-6);
+    }
+  }
+}
+
+TEST(Grannite, FitReducesCombGateError) {
+  std::vector<TrainSample> bases;
+  for (int k = 0; k < 3; ++k) bases.push_back(s27_sample(10 + k));
+  std::vector<GranniteSample> gs;
+  for (const auto& b : bases) gs.push_back(make_grannite_sample(b));
+
+  GranniteConfig cfg;
+  cfg.hidden_dim = 8;
+  GranniteModel model(cfg);
+  auto comb_error = [&]() {
+    double err = 0.0;
+    int n = 0;
+    for (const auto& s : gs) {
+      nn::Graph g(false);
+      const auto pred = model.forward(g, s.base->graph, s.source_feats,
+                                      s.base->init_seed);
+      for (int v = 0; v < s.base->graph.num_nodes; ++v) {
+        if (s.comb_mask.at(v, 0) < 0.5f) continue;
+        err += std::abs(pred->value.at(v, 0) - s.base->target_tr.at(v, 0));
+        err += std::abs(pred->value.at(v, 1) - s.base->target_tr.at(v, 1));
+        n += 2;
+      }
+    }
+    return err / n;
+  };
+  const double before = comb_error();
+  model.fit(gs, 25, 5e-3f);
+  const double after = comb_error();
+  EXPECT_LT(after, before);
+}
+
+TEST(Grannite, CopyParamsMatchesOutputs) {
+  const TrainSample base = s27_sample(4);
+  const GranniteSample gs = make_grannite_sample(base);
+  GranniteConfig cfg;
+  cfg.hidden_dim = 8;
+  const GranniteModel src(cfg);
+  GranniteConfig cfg2 = cfg;
+  cfg2.seed = 1234;
+  GranniteModel dst(cfg2);
+  dst.copy_params_from(src);
+  nn::Graph g1(false), g2(false);
+  const auto a = src.forward(g1, base.graph, gs.source_feats, 5);
+  const auto b = dst.forward(g2, base.graph, gs.source_feats, 5);
+  for (std::size_t i = 0; i < a->value.size(); ++i)
+    EXPECT_FLOAT_EQ(a->value.data()[i], b->value.data()[i]);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,103 @@
+#include "power/power_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(CellLibrary, PowerFormula) {
+  const CellLibrary& lib = default_cell_library();
+  // P = 1/2 C V^2 f rate.
+  const double p = lib.gate_power(GateType::kAnd, 0.5);
+  EXPECT_NEAR(p, 0.5 * 3.2e-15 * 1.0 * 5e8 * 0.5, 1e-18);
+  EXPECT_DOUBLE_EQ(lib.gate_power(GateType::kConst0, 1.0), 0.0);
+  // FFs cost more than inverters (clock load).
+  EXPECT_GT(lib.cap_of(GateType::kFf), lib.cap_of(GateType::kNot));
+}
+
+TEST(PowerAnalyzer, SingleGateHandCalculation) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g = c.add_and(a, b, "g");
+  c.add_po(g, "o");
+  std::vector<double> rates(c.num_nodes(), 0.0);
+  rates[g] = 0.2;
+  const PowerReport rep = analyze_power_rates(c, rates);
+  const CellLibrary& lib = default_cell_library();
+  EXPECT_NEAR(rep.total_watts, lib.gate_power(GateType::kAnd, 0.2), 1e-15);
+  EXPECT_NEAR(rep.combinational_watts, rep.total_watts, 1e-18);
+}
+
+TEST(PowerAnalyzer, SaifPathMatchesDirectRates) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.4, 0.6, 0.3, 0.7};
+  w.pattern_seed = 21;
+  const NodeActivity act = collect_activity(c, w, {4000, 1});
+
+  std::vector<double> rates(c.num_nodes());
+  for (NodeId v = 0; v < c.num_nodes(); ++v) rates[v] = act.toggle_rate(v);
+  const PowerReport direct = analyze_power_rates(c, rates);
+
+  SaifDocument doc;
+  doc.design = "s27";
+  doc.duration = 100000;  // fine-grained so rounding error is negligible
+  const auto names = unique_node_names(c);
+  for (NodeId v = 0; v < c.num_nodes(); ++v)
+    doc.add_net(names[v], act.logic1[v], rates[v]);
+  const PowerReport via_saif = analyze_power(c, doc);
+
+  EXPECT_EQ(via_saif.nets_missing, 0u);
+  EXPECT_NEAR(via_saif.total_watts, direct.total_watts,
+              direct.total_watts * 0.01);
+}
+
+TEST(PowerAnalyzer, SplitsByCategory) {
+  const Circuit c = iscas89_s27();
+  std::vector<double> rates(c.num_nodes(), 0.1);
+  const PowerReport rep = analyze_power_rates(c, rates);
+  EXPECT_GT(rep.sequential_watts, 0.0);
+  EXPECT_GT(rep.combinational_watts, 0.0);
+  EXPECT_GT(rep.io_watts, 0.0);
+  EXPECT_NEAR(rep.total_watts,
+              rep.sequential_watts + rep.combinational_watts + rep.io_watts,
+              1e-18);
+}
+
+TEST(PowerAnalyzer, MissingNetsCounted) {
+  const Circuit c = iscas89_s27();
+  SaifDocument doc;
+  doc.design = "s27";
+  doc.duration = 100;
+  doc.add_net("G0", 0.5, 0.1);  // only one net present
+  const PowerReport rep = analyze_power(c, doc);
+  EXPECT_EQ(rep.nets_matched, 1u);
+  EXPECT_EQ(rep.nets_missing, c.num_nodes() - 1);
+}
+
+TEST(PowerAnalyzer, ZeroDurationThrows) {
+  const Circuit c = iscas89_s27();
+  SaifDocument doc;
+  EXPECT_THROW(analyze_power(c, doc), Error);
+}
+
+TEST(PowerAnalyzer, RateVectorSizeChecked) {
+  const Circuit c = iscas89_s27();
+  EXPECT_THROW(analyze_power_rates(c, {0.1, 0.2}), Error);
+}
+
+TEST(PowerAnalyzer, MoreSwitchingMorePower) {
+  const Circuit c = iscas89_s27();
+  std::vector<double> low(c.num_nodes(), 0.05), high(c.num_nodes(), 0.5);
+  EXPECT_GT(analyze_power_rates(c, high).total_watts,
+            analyze_power_rates(c, low).total_watts * 5);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,87 @@
+#include "power/saif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace deepseq {
+namespace {
+
+SaifDocument sample_doc() {
+  SaifDocument doc;
+  doc.design = "testchip";
+  doc.duration = 10000;
+  doc.add_net("n1", 0.25, 0.1);
+  doc.add_net("n2", 0.75, 0.02);
+  doc.add_net("clk_q", 0.5, 1.0);
+  return doc;
+}
+
+TEST(Saif, AddNetComputesDurations) {
+  const SaifDocument doc = sample_doc();
+  const auto nets = doc.net_map();
+  EXPECT_EQ(nets.at("n1").t1, 2500);
+  EXPECT_EQ(nets.at("n1").t0, 7500);
+  EXPECT_EQ(nets.at("n1").tc, 1000);
+  EXPECT_EQ(nets.at("clk_q").tc, 10000);
+}
+
+TEST(Saif, RoundTripPreservesRecords) {
+  const SaifDocument doc = sample_doc();
+  const SaifDocument back = parse_saif_string(write_saif_string(doc));
+  EXPECT_EQ(back.design, "testchip");
+  EXPECT_EQ(back.duration, 10000);
+  ASSERT_EQ(back.nets.size(), 3u);
+  const auto nets = back.net_map();
+  EXPECT_EQ(nets.at("n1").t0, 7500);
+  EXPECT_EQ(nets.at("n2").tc, 200);
+  EXPECT_EQ(nets.at("clk_q").t1, 5000);
+}
+
+TEST(Saif, OutputContainsStandardSections) {
+  const std::string text = write_saif_string(sample_doc());
+  EXPECT_NE(text.find("(SAIFILE"), std::string::npos);
+  EXPECT_NE(text.find("(SAIFVERSION \"2.0\")"), std::string::npos);
+  EXPECT_NE(text.find("(DURATION 10000)"), std::string::npos);
+  EXPECT_NE(text.find("(INSTANCE testchip"), std::string::npos);
+  EXPECT_NE(text.find("(TC 1000)"), std::string::npos);
+}
+
+TEST(Saif, ParserSkipsUnknownSections) {
+  const char* text = R"((SAIFILE
+  (SAIFVERSION "2.0")
+  (SOMETHING (NESTED (DEEP 3)))
+  (DURATION 100)
+  (INSTANCE top
+    (PORT (ignored (T0 1)))
+    (NET
+      (a (T0 40) (T1 60) (TC 7))
+    )
+  )
+))";
+  const SaifDocument doc = parse_saif_string(text);
+  EXPECT_EQ(doc.duration, 100);
+  ASSERT_EQ(doc.nets.size(), 1u);
+  EXPECT_EQ(doc.nets[0].first, "a");
+  EXPECT_EQ(doc.nets[0].second.tc, 7);
+}
+
+TEST(Saif, MalformedInputThrows) {
+  EXPECT_THROW(parse_saif_string("(NOTSAIF)"), ParseError);
+  EXPECT_THROW(parse_saif_string("(SAIFILE (DURATION abc))"), ParseError);
+  EXPECT_THROW(parse_saif_string("(SAIFILE"), ParseError);
+}
+
+TEST(Saif, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/test.saif";
+  write_saif_file(sample_doc(), path);
+  const SaifDocument back = parse_saif_file(path);
+  EXPECT_EQ(back.nets.size(), 3u);
+}
+
+TEST(Saif, MissingFileThrows) {
+  EXPECT_THROW(parse_saif_file("/nonexistent/x.saif"), ParseError);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,203 @@
+#include "prob/cone_switching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+Workload uniform_workload(const Circuit& c, double p) {
+  Workload w;
+  w.pi_prob.assign(c.pis().size(), p);
+  w.pattern_seed = 9;
+  return w;
+}
+
+double mean_abs_toggle_error(const SwitchingEstimate& est,
+                             const NodeActivity& act, const Circuit& c) {
+  double acc = 0.0;
+  for (NodeId v = 0; v < c.num_nodes(); ++v)
+    acc += std::fabs(est.tr01[v] + est.tr10[v] - act.toggle_rate(v));
+  return acc / static_cast<double>(c.num_nodes());
+}
+
+TEST(ConeSwitching, ContradictionIsExactlyZero) {
+  // y = a AND NOT a == 0; independence predicts p(1-p).
+  Circuit c("contra");
+  const NodeId a = c.add_pi("a");
+  const NodeId na = c.add_not(a, "na");
+  const NodeId y = c.add_and(a, na, "y");
+  c.add_po(y, "y");
+  const Workload w = uniform_workload(c, 0.5);
+
+  const SwitchingEstimate plain = estimate_switching(c, w);
+  EXPECT_NEAR(plain.logic1[y], 0.25, 1e-9);  // the independence error
+
+  const ConeSwitchingEstimate cone = estimate_switching_cone(c, w);
+  EXPECT_NEAR(cone.logic1[y], 0.0, 1e-12);
+  EXPECT_NEAR(cone.tr01[y] + cone.tr10[y], 0.0, 1e-12);
+  EXPECT_EQ(cone.exact_nodes, 1u);
+}
+
+TEST(ConeSwitching, TautologyIsExactlyOne) {
+  // y = a OR NOT a == 1.
+  Circuit c("tauto");
+  const NodeId a = c.add_pi("a");
+  const NodeId na = c.add_not(a, "na");
+  const NodeId y = c.add_gate(GateType::kOr, {a, na}, "y");
+  c.add_po(y, "y");
+  const Workload w = uniform_workload(c, 0.3);
+  const ConeSwitchingEstimate cone = estimate_switching_cone(c, w);
+  EXPECT_NEAR(cone.logic1[y], 1.0, 1e-12);
+}
+
+TEST(ConeSwitching, ReconvergentIdentityMatchesSource) {
+  // y = (a AND b) OR (a AND NOT b) == a: joint must equal a's Bernoulli.
+  Circuit c("ident");
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId nb = c.add_not(b, "nb");
+  const NodeId t1 = c.add_and(a, b, "t1");
+  const NodeId t2 = c.add_and(a, nb, "t2");
+  const NodeId y = c.add_gate(GateType::kOr, {t1, t2}, "y");
+  c.add_po(y, "y");
+  const double p = 0.37;
+  const Workload w = uniform_workload(c, p);
+
+  const ConeSwitchingEstimate cone = estimate_switching_cone(c, w);
+  EXPECT_NEAR(cone.logic1[y], p, 1e-12);
+  EXPECT_NEAR(cone.tr01[y], (1.0 - p) * p, 1e-12);
+
+  const SwitchingEstimate plain = estimate_switching(c, w);
+  EXPECT_GT(std::fabs(plain.logic1[y] - p), 1e-3);  // independence is off
+}
+
+TEST(ConeSwitching, AgreesWithPlainOnTrees) {
+  // Fanout-free logic: independence is exact, so both estimators and the
+  // simulator agree.
+  Circuit c("tree");
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId d = c.add_pi("d");
+  const NodeId e = c.add_pi("e");
+  const NodeId g1 = c.add_and(a, b, "g1");
+  const NodeId g2 = c.add_gate(GateType::kXor, {d, e}, "g2");
+  const NodeId y = c.add_gate(GateType::kOr, {g1, g2}, "y");
+  c.add_po(y, "y");
+  const Workload w = uniform_workload(c, 0.4);
+
+  const SwitchingEstimate plain = estimate_switching(c, w);
+  const ConeSwitchingEstimate cone = estimate_switching_cone(c, w);
+  EXPECT_EQ(cone.exact_nodes, 0u);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    EXPECT_NEAR(cone.logic1[v], plain.logic1[v], 1e-12);
+    EXPECT_NEAR(cone.tr01[v], plain.tr01[v], 1e-12);
+  }
+}
+
+TEST(ConeSwitching, CloseToSimulationOnS27) {
+  // Sequential case: FF source processes are *not* independent (they are
+  // correlated with the PIs through the feedback), so within-cone
+  // exactness is not a guaranteed win — only a comparable-quality
+  // estimate. The strict ordering is asserted combinationally below.
+  const Circuit c = iscas89_s27();
+  const Workload w = uniform_workload(c, 0.5);
+  ActivityOptions opt;
+  opt.num_cycles = 30000;
+  const NodeActivity act = collect_activity(c, w, opt);
+  const ConeSwitchingEstimate cone = estimate_switching_cone(c, w);
+  const SwitchingEstimate plain = estimate_switching(c, w);
+  EXPECT_LT(mean_abs_toggle_error(cone, act, c), 0.08);
+  EXPECT_LT(mean_abs_toggle_error(plain, act, c), 0.08);
+}
+
+TEST(ConeSwitching, BeatsPlainOnCombinationalReconvergence) {
+  // Combinational circuits with independent PIs: enumerated joints are
+  // exact, so the cone estimate must be at least as close to simulation.
+  double plain_total = 0.0, cone_total = 0.0;
+  for (std::uint64_t seed : {301, 302, 303, 304}) {
+    Rng rng(seed);
+    GeneratorSpec spec;
+    spec.num_pis = 6;
+    spec.num_ffs = 0;
+    spec.num_gates = 50;
+    spec.locality = 8.0;  // dense sharing -> lots of reconvergence
+    const Circuit c = generate_circuit(spec, rng);
+    const Workload w = random_workload(c, rng);
+    ActivityOptions opt;
+    opt.num_cycles = 30000;
+    const NodeActivity act = collect_activity(c, w, opt);
+    plain_total += mean_abs_toggle_error(estimate_switching(c, w), act, c);
+    cone_total +=
+        mean_abs_toggle_error(estimate_switching_cone(c, w), act, c);
+  }
+  EXPECT_LE(cone_total, plain_total + 1e-3);
+}
+
+TEST(ConeSwitching, WideSupportFallsBackGracefully) {
+  // Parity of 12 PIs through shared structure: support exceeds the cap at
+  // the top, so the estimate still completes with fallback nodes counted.
+  Circuit c("wide");
+  std::vector<NodeId> pis;
+  for (int i = 0; i < 12; ++i) pis.push_back(c.add_pi("p" + std::to_string(i)));
+  NodeId acc = pis[0];
+  for (int i = 1; i < 12; ++i)
+    acc = c.add_gate(GateType::kXor, {acc, pis[i]});
+  // Add a reconvergence over the wide cone.
+  const NodeId y = c.add_gate(GateType::kXor, {acc, pis[0]}, "y");
+  c.add_po(y, "y");
+  ConeSwitchingOptions opt;
+  opt.max_support = 6;
+  const ConeSwitchingEstimate cone =
+      estimate_switching_cone(c, uniform_workload(c, 0.5), opt);
+  EXPECT_GT(cone.fallback_nodes, 0u);
+  EXPECT_GE(cone.logic1[y], 0.0);
+  EXPECT_LE(cone.logic1[y], 1.0);
+}
+
+class ConeVsPlainRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConeVsPlainRandom, ConeIsNoWorseOnAverage) {
+  Rng rng(GetParam());
+  GeneratorSpec spec;
+  spec.num_pis = 6;
+  spec.num_ffs = 4;
+  spec.num_gates = 60;
+  const Circuit c = generate_circuit(spec, rng);
+  const Workload w = random_workload(c, rng);
+  ActivityOptions opt;
+  opt.num_cycles = 20000;
+  const NodeActivity act = collect_activity(c, w, opt);
+  const double plain_err =
+      mean_abs_toggle_error(estimate_switching(c, w), act, c);
+  const double cone_err =
+      mean_abs_toggle_error(estimate_switching_cone(c, w), act, c);
+  // Within-cone exactness should help or at least not hurt much; allow a
+  // small tolerance for FF fixed-point interaction.
+  EXPECT_LE(cone_err, plain_err + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConeVsPlainRandom,
+                         ::testing::Values(71, 72, 73, 74, 75, 76));
+
+TEST(ConeSwitching, RejectsBadArguments) {
+  const Circuit c = iscas89_s27();
+  Workload w;  // wrong PI count
+  EXPECT_THROW(estimate_switching_cone(c, w), Error);
+  ConeSwitchingOptions opt;
+  opt.max_support = 0;
+  EXPECT_THROW(estimate_switching_cone(c, uniform_workload(c, 0.5), opt),
+               Error);
+  opt.max_support = 13;
+  EXPECT_THROW(estimate_switching_cone(c, uniform_workload(c, 0.5), opt),
+               Error);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,128 @@
+#include "prob/reliability_analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(ReliabilityAnalytic, ZeroErrorRateIsPerfect) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.5, 0.5, 0.5, 0.5};
+  ReliabilityOptions opt;
+  opt.gate_error_rate = 0.0;
+  const auto est = estimate_reliability(c, w, opt);
+  EXPECT_DOUBLE_EQ(est.circuit_reliability, 1.0);
+  for (const double r : est.node_reliability) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(ReliabilityAnalytic, SingleGateMatchesEpsilon) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g = c.add_and(a, b, "g");
+  c.add_po(g, "o");
+  Workload w;
+  w.pi_prob = {0.5, 0.5};
+  ReliabilityOptions opt;
+  opt.gate_error_rate = 0.01;
+  const auto est = estimate_reliability(c, w, opt);
+  // Inputs are perfect, so the gate's only unreliability is intrinsic.
+  EXPECT_NEAR(est.node_reliability[g], 0.99, 1e-9);
+  EXPECT_NEAR(est.circuit_reliability, 0.99, 1e-9);
+}
+
+TEST(ReliabilityAnalytic, AndGateMasksInputErrors) {
+  // Two-level: g2 = AND(g1, b) with b mostly 0 masks g1's errors.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g1 = c.add_not(a, "g1");
+  const NodeId g2 = c.add_and(g1, b, "g2");
+  c.add_po(g2, "o");
+  Workload w_mask, w_pass;
+  w_mask.pi_prob = {0.5, 0.05};  // b ~ 0: AND output mostly 0, errors masked
+  w_pass.pi_prob = {0.5, 0.95};  // b ~ 1: g1's errors pass through
+  ReliabilityOptions opt;
+  opt.gate_error_rate = 0.01;
+  const double r_mask = estimate_reliability(c, w_mask, opt).node_reliability[g2];
+  const double r_pass = estimate_reliability(c, w_pass, opt).node_reliability[g2];
+  EXPECT_GT(r_mask, r_pass);
+}
+
+TEST(ReliabilityAnalytic, DeeperLogicIsLessReliable) {
+  Circuit chain1, chain4;
+  {
+    const NodeId a = chain1.add_pi("a");
+    chain1.add_po(chain1.add_not(a), "o");
+  }
+  {
+    NodeId x = chain4.add_pi("a");
+    for (int i = 0; i < 4; ++i) x = chain4.add_not(x);
+    chain4.add_po(x, "o");
+  }
+  Workload w1, w4;
+  w1.pi_prob = {0.5};
+  w4.pi_prob = {0.5};
+  ReliabilityOptions opt;
+  opt.gate_error_rate = 0.01;
+  const double r1 = estimate_reliability(chain1, w1, opt).circuit_reliability;
+  const double r4 = estimate_reliability(chain4, w4, opt).circuit_reliability;
+  EXPECT_GT(r1, r4);
+  // NOT chains never mask: r4 ~ accumulated flips of 4 gates.
+  EXPECT_NEAR(r1, 0.99, 1e-9);
+  EXPECT_LT(r4, 0.97);
+}
+
+TEST(ReliabilityAnalytic, TracksMonteCarloOnTreeCircuit) {
+  // On reconvergence-free logic the analytic estimate should land close to
+  // fault simulation.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId d = c.add_pi("d");
+  const NodeId g1 = c.add_and(a, b, "g1");
+  const NodeId g2 = c.add_gate(GateType::kOr, {g1, d}, "g2");
+  c.add_po(g2, "o");
+  Workload w;
+  w.pi_prob = {0.5, 0.5, 0.3};
+  w.pattern_seed = 77;
+  ReliabilityOptions opt;
+  opt.gate_error_rate = 0.01;
+  const double analytic = estimate_reliability(c, w, opt).circuit_reliability;
+  FaultSimOptions fopt;
+  fopt.num_sequences = 4096;
+  fopt.cycles_per_sequence = 20;
+  fopt.gate_error_rate = 0.01;
+  const double mc = simulate_faults(c, w, fopt).circuit_reliability;
+  EXPECT_NEAR(analytic, mc, 0.01);
+}
+
+TEST(ReliabilityAnalytic, S27ReasonableRange) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.5, 0.5, 0.5, 0.5};
+  ReliabilityOptions opt;
+  opt.gate_error_rate = 0.0005;  // the paper's 0.05%
+  const auto est = estimate_reliability(c, w, opt);
+  EXPECT_GT(est.circuit_reliability, 0.95);
+  EXPECT_LT(est.circuit_reliability, 1.0);
+  for (const double r : est.node_reliability) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(ReliabilityAnalytic, MismatchedWorkloadThrows) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.5};
+  EXPECT_THROW(estimate_reliability(c, w, {}), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

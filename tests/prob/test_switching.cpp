@@ -1,0 +1,197 @@
+#include "prob/switching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+#include "dataset/embedded.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(Switching, IndependentGatesAreExact) {
+  // On a tree (no reconvergence, no FFs) the independence assumption is
+  // exact for signal probabilities.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId d = c.add_pi("d");
+  const NodeId g1 = c.add_and(a, b, "g1");
+  const NodeId g2 = c.add_gate(GateType::kOr, {g1, d}, "g2");
+  const NodeId g3 = c.add_not(g2, "g3");
+  c.add_po(g3, "o");
+  Workload w;
+  w.pi_prob = {0.5, 0.4, 0.2};
+  const SwitchingEstimate est = estimate_switching(c, w);
+  EXPECT_NEAR(est.logic1[g1], 0.2, 1e-12);
+  EXPECT_NEAR(est.logic1[g2], 1 - 0.8 * 0.8, 1e-12);
+  EXPECT_NEAR(est.logic1[g3], 0.8 * 0.8, 1e-12);
+}
+
+TEST(Switching, AllGateTypeFormulas) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId s = c.add_pi("s");
+  const NodeId g_and = c.add_and(a, b);
+  const NodeId g_or = c.add_gate(GateType::kOr, {a, b});
+  const NodeId g_nand = c.add_gate(GateType::kNand, {a, b});
+  const NodeId g_nor = c.add_gate(GateType::kNor, {a, b});
+  const NodeId g_xor = c.add_gate(GateType::kXor, {a, b});
+  const NodeId g_xnor = c.add_gate(GateType::kXnor, {a, b});
+  const NodeId g_mux = c.add_gate(GateType::kMux, {s, a, b});
+  const NodeId g_buf = c.add_gate(GateType::kBuf, {a});
+  c.add_po(g_and, "o");
+  Workload w;
+  w.pi_prob = {0.3, 0.7, 0.5};
+  const auto est = estimate_switching(c, w);
+  EXPECT_NEAR(est.logic1[g_and], 0.21, 1e-12);
+  EXPECT_NEAR(est.logic1[g_or], 1 - 0.7 * 0.3, 1e-12);
+  EXPECT_NEAR(est.logic1[g_nand], 1 - 0.21, 1e-12);
+  EXPECT_NEAR(est.logic1[g_nor], 0.7 * 0.3, 1e-12);
+  EXPECT_NEAR(est.logic1[g_xor], 0.3 * 0.3 + 0.7 * 0.7, 1e-12);
+  EXPECT_NEAR(est.logic1[g_xnor], 1 - (0.3 * 0.3 + 0.7 * 0.7), 1e-12);
+  EXPECT_NEAR(est.logic1[g_mux], 0.5 * 0.3 + 0.5 * 0.7, 1e-12);
+  EXPECT_NEAR(est.logic1[g_buf], 0.3, 1e-12);
+}
+
+TEST(Switching, TransitionModelIsTemporalIndependence) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  c.add_po(c.add_not(a), "o");
+  Workload w;
+  w.pi_prob = {0.3};
+  const auto est = estimate_switching(c, w);
+  EXPECT_NEAR(est.tr01[a], 0.7 * 0.3, 1e-12);
+  EXPECT_NEAR(est.tr10[a], 0.3 * 0.7, 1e-12);
+}
+
+TEST(Switching, FfFixedPointConverges) {
+  // Toggle FF: q' = NOT q. Stationary probability is 0.5 — which equals the
+  // initial guess, so convergence is immediate.
+  Circuit c;
+  const NodeId q = c.add_ff(kNullNode, "q");
+  const NodeId n = c.add_not(q, "n");
+  c.set_fanin(q, 0, n);
+  c.add_po(q, "o");
+  c.validate();
+  Workload w;  // no PIs
+  const auto est = estimate_switching(c, w);
+  EXPECT_NEAR(est.logic1[q], 0.5, 1e-6);
+}
+
+TEST(Switching, FfFixedPointIterates) {
+  // Sticky FF: q' = q OR a with P(a)=0.1. Starting from the hardware reset
+  // state 0, the estimate must climb toward the absorbing all-ones state
+  // over several damped iterations.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId q = c.add_ff(kNullNode, "q");
+  const NodeId g = c.add_gate(GateType::kOr, {q, a}, "g");
+  c.set_fanin(q, 0, g);
+  c.add_po(q, "o");
+  c.validate();
+  Workload w;
+  w.pi_prob = {0.1};
+  const auto est = estimate_switching(c, w);
+  EXPECT_GT(est.iterations_used, 3);
+  EXPECT_GT(est.logic1[q], 0.9);
+}
+
+TEST(Switching, HoldRegisterStaysAtResetState) {
+  // Gated hold register q' = q: the FF never leaves the reset state, so a
+  // sound estimate reports zero switching (the 0.5/0.5-initialized variant
+  // of this estimator would report 0.25 forever).
+  Circuit c;
+  const NodeId q = c.add_ff(kNullNode, "q");
+  const NodeId buf = c.add_gate(GateType::kBuf, {q}, "keep");
+  c.set_fanin(q, 0, buf);
+  c.add_po(q, "o");
+  c.validate();
+  Workload w;
+  const auto est = estimate_switching(c, w);
+  EXPECT_NEAR(est.logic1[q], 0.0, 1e-9);
+  EXPECT_NEAR(est.tr01[q] + est.tr10[q], 0.0, 1e-9);
+}
+
+TEST(Switching, CounterBitsConvergeToHalf) {
+  const Circuit c = counter4();
+  Workload w;
+  w.pi_prob = {1.0};
+  const auto est = estimate_switching(c, w);
+  for (NodeId ff : c.ffs()) EXPECT_NEAR(est.logic1[ff], 0.5, 1e-4);
+}
+
+TEST(Switching, AgreesWithSimulationOnTreeCircuit) {
+  // For a reconvergence-free combinational cone, the probabilistic method
+  // matches simulation closely.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId d = c.add_pi("d");
+  const NodeId e = c.add_pi("e");
+  const NodeId g1 = c.add_and(a, b, "g1");
+  const NodeId g2 = c.add_gate(GateType::kXor, {d, e}, "g2");
+  const NodeId g3 = c.add_gate(GateType::kOr, {g1, g2}, "g3");
+  c.add_po(g3, "o");
+  Workload w;
+  w.pi_prob = {0.3, 0.8, 0.5, 0.25};
+  w.pattern_seed = 42;
+  const auto est = estimate_switching(c, w);
+  const NodeActivity act = collect_activity(c, w, {20000, 1});
+  EXPECT_NEAR(est.logic1[g3], act.logic1[g3], 0.01);
+  EXPECT_NEAR(est.tr01[g3], act.tr01[g3], 0.01);
+}
+
+TEST(Switching, ErrsOnSequentialCorrelation) {
+  // A counter's upper bits toggle at deterministic, cross-bit-correlated
+  // rates (1/2^k) that the spatial-independence model cannot track — the
+  // cyclic-FF weakness the paper attributes to probabilistic methods
+  // (§V-A). Require a large relative error in either direction.
+  const Circuit c = counter4();
+  Workload w;
+  w.pi_prob = {1.0};
+  w.pattern_seed = 3;
+  const auto est = estimate_switching(c, w);
+  const NodeActivity act = collect_activity(c, w, {8192, 1});
+  const NodeId bit3 = c.pos()[3];
+  const double est_rate = est.tr01[bit3] + est.tr10[bit3];
+  const double true_rate = act.toggle_rate(bit3);
+  EXPECT_GT(std::fabs(est_rate - true_rate) / true_rate, 0.5)
+      << "est " << est_rate << " true " << true_rate;
+}
+
+TEST(Switching, ProbabilitiesStayInRange) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.1, 0.9, 0.4, 0.6};
+  const auto est = estimate_switching(c, w);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    EXPECT_GE(est.logic1[v], 0.0);
+    EXPECT_LE(est.logic1[v], 1.0);
+    EXPECT_GE(est.tr01[v], 0.0);
+    EXPECT_LE(est.tr01[v], 0.25 + 1e-12);
+  }
+}
+
+TEST(Switching, MismatchedWorkloadThrows) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.5};
+  EXPECT_THROW(estimate_switching(c, w), Error);
+}
+
+TEST(SignalProbs, DirectPropagation) {
+  const Circuit c = counter4();
+  const std::vector<double> pi_prob{1.0};
+  const std::vector<double> ff_prob(c.ffs().size(), 0.25);
+  const auto p = propagate_signal_probs(c, pi_prob, ff_prob);
+  for (std::size_t k = 0; k < c.ffs().size(); ++k)
+    EXPECT_DOUBLE_EQ(p[c.ffs()[k]], 0.25);
+  EXPECT_THROW(propagate_signal_probs(c, {0.5, 0.5}, ff_prob), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,125 @@
+#include "reliability/pipeline.hpp"
+#include "reliability/reliability_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+#include "netlist/aig.hpp"
+
+namespace deepseq {
+namespace {
+
+TrainSample s27_sample(std::uint64_t seed) {
+  Rng rng(seed);
+  const Circuit aig = decompose_to_aig(iscas89_s27()).aig;
+  Workload w = random_workload(aig, rng);
+  return make_sample("s27", aig, std::move(w), {400, 1}, rng.next_u64());
+}
+
+FaultSimOptions fast_faults() {
+  FaultSimOptions f;
+  f.num_sequences = 128;
+  f.cycles_per_sequence = 30;
+  f.gate_error_rate = 0.002;
+  return f;
+}
+
+TEST(ReliabilitySample, LabelsFromFaultSimulation) {
+  const ReliabilitySample s = make_reliability_sample(s27_sample(1), fast_faults());
+  EXPECT_EQ(s.target_err.rows(), s.base.graph.num_nodes);
+  EXPECT_EQ(s.target_err.cols(), 2);
+  bool any_positive = false;
+  for (std::size_t i = 0; i < s.target_err.size(); ++i) {
+    EXPECT_GE(s.target_err.data()[i], 0.0f);
+    EXPECT_LE(s.target_err.data()[i], 1.0f);
+    any_positive |= s.target_err.data()[i] > 0.0f;
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(ReliabilityModel, ForwardShape) {
+  const DeepSeqModel pretrained(ModelConfig::deepseq(8, 2));
+  const ReliabilityModel model(pretrained);
+  const TrainSample s = s27_sample(2);
+  nn::Graph g(false);
+  const auto err = model.forward(g, s.graph, s.workload, s.init_seed);
+  EXPECT_EQ(err->value.rows(), s.graph.num_nodes);
+  EXPECT_EQ(err->value.cols(), 2);
+}
+
+TEST(ReliabilityModel, FitReducesError) {
+  const DeepSeqModel pretrained(ModelConfig::deepseq(8, 2));
+  ReliabilityModel model(pretrained);
+  std::vector<ReliabilitySample> samples;
+  for (int k = 0; k < 3; ++k)
+    samples.push_back(make_reliability_sample(s27_sample(10 + k), fast_faults()));
+
+  auto mean_err = [&]() {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const auto& s : samples) {
+      nn::Graph g(false);
+      const auto pred = model.forward(g, s.base.graph, s.base.workload,
+                                      s.base.init_seed);
+      for (std::size_t i = 0; i < pred->value.size(); ++i)
+        acc += std::abs(pred->value.data()[i] - s.target_err.data()[i]);
+      n += pred->value.size();
+    }
+    return acc / static_cast<double>(n);
+  };
+  const double before = mean_err();
+  model.fit(samples, 20, 5e-3f);
+  EXPECT_LT(mean_err(), before);
+}
+
+TEST(ReliabilityModel, EstimateCombinesLogicAndErrorHeads) {
+  const DeepSeqModel pretrained(ModelConfig::deepseq(8, 1));
+  const ReliabilityModel model(pretrained);
+  const TrainSample s = s27_sample(3);
+  const auto est = model.estimate(s.graph, s.workload, s.circuit->pos(), 7);
+  EXPECT_EQ(est.node_reliability.size(),
+            static_cast<std::size_t>(s.graph.num_nodes));
+  for (const double r : est.node_reliability) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  EXPECT_GT(est.circuit_reliability, 0.0);
+  EXPECT_LE(est.circuit_reliability, 1.0);
+}
+
+TEST(ReliabilityPipeline, RequiresFineTuneBeforeRun) {
+  const DeepSeqModel pretrained(ModelConfig::deepseq(8, 1));
+  ReliabilityPipelineOptions opt;
+  ReliabilityPipeline pipeline(pretrained, opt);
+  const TestDesign design = build_test_design("ptc", 0.02, 1);
+  Rng rng(5);
+  EXPECT_THROW(pipeline.run(design, low_activity_workload(design.netlist, rng, 0.5)),
+               Error);
+}
+
+TEST(ReliabilityPipeline, EndToEndSmoke) {
+  const DeepSeqModel pretrained(ModelConfig::deepseq(8, 1));
+  ReliabilityPipelineOptions opt;
+  opt.fault = fast_faults();
+  opt.finetune_epochs = 2;
+  ReliabilityPipeline pipeline(pretrained, opt);
+  pipeline.finetune({s27_sample(20), s27_sample(21)});
+
+  const TestDesign design = build_test_design("ptc", 0.03, 9);
+  Rng rng(7);
+  const auto cmp =
+      pipeline.run(design, low_activity_workload(design.netlist, rng, 0.4));
+  EXPECT_EQ(cmp.design, "ptc");
+  EXPECT_GT(cmp.gt, 0.5);
+  EXPECT_LE(cmp.gt, 1.0);
+  EXPECT_GT(cmp.probabilistic, 0.5);
+  EXPECT_GT(cmp.deepseq, 0.0);
+  EXPECT_GE(cmp.probabilistic_error, 0.0);
+  EXPECT_GE(cmp.deepseq_error, 0.0);
+}
+
+}  // namespace
+}  // namespace deepseq

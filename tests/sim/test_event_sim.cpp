@@ -1,0 +1,149 @@
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+/// Drive both backends with the same single-lane pattern and require
+/// identical values on every node after every cycle.
+void expect_backends_agree(const Circuit& c, std::uint64_t seed, int cycles) {
+  SequentialSimulator levelized(c);
+  EventDrivenSimulator event(c);
+  Rng rng(seed);
+  std::vector<std::uint64_t> words(c.pis().size());
+  std::vector<bool> bits(c.pis().size());
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+      bits[k] = rng.bernoulli(0.5);
+      words[k] = bits[k] ? 1 : 0;
+    }
+    levelized.step(words);
+    event.step(bits);
+    for (NodeId v = 0; v < c.num_nodes(); ++v)
+      ASSERT_EQ((levelized.value(v) & 1ULL) != 0, event.value(v))
+          << "node " << v << " (" << gate_type_name(c.type(v)) << ") cycle "
+          << cycle;
+    levelized.clock();
+    event.clock();
+  }
+}
+
+TEST(EventSim, MatchesLevelizedOnS27) {
+  expect_backends_agree(iscas89_s27(), 11, 300);
+}
+
+TEST(EventSim, MatchesLevelizedOnCounter) {
+  expect_backends_agree(counter4(), 12, 300);
+}
+
+TEST(EventSim, MatchesLevelizedOnDecomposedCounterAig) {
+  const AigConversion conv = decompose_to_aig(counter4());
+  expect_backends_agree(conv.aig, 13, 300);
+}
+
+/// Property sweep: random generic-gate circuits of varying shape.
+class EventSimRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventSimRandom, MatchesLevelized) {
+  Rng rng(GetParam());
+  GeneratorSpec spec;
+  spec.num_pis = 4 + static_cast<int>(rng.uniform_index(8));
+  spec.num_ffs = 2 + static_cast<int>(rng.uniform_index(12));
+  spec.num_gates = 60 + static_cast<int>(rng.uniform_index(200));
+  const Circuit c = generate_circuit(spec, rng);
+  expect_backends_agree(c, GetParam() * 7919 + 1, 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventSimRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(EventSim, ConstantInputsCauseNoReEvaluation) {
+  const Circuit c = iscas89_s27();
+  EventDrivenSimulator sim(c);
+  const std::vector<bool> pi(c.pis().size(), false);
+  sim.step(pi);  // full initial evaluation
+  const std::uint64_t after_first = sim.gate_evaluations();
+  EXPECT_EQ(after_first, sim.num_comb_gates());
+  // s27 has a feedback loop, so a couple of cycles may still settle FF
+  // state; once the state is a fixed point, steps must be free.
+  for (int i = 0; i < 10; ++i) {
+    sim.clock();
+    sim.step(pi);
+  }
+  const std::uint64_t settled = sim.gate_evaluations();
+  sim.clock();
+  sim.step(pi);
+  EXPECT_EQ(sim.gate_evaluations(), settled);
+}
+
+TEST(EventSim, LowActivityEvaluatesFewerGatesThanOblivious) {
+  Rng rng(99);
+  GeneratorSpec spec;
+  spec.num_pis = 12;
+  spec.num_ffs = 16;
+  spec.num_gates = 300;
+  const Circuit c = generate_circuit(spec, rng);
+  EventDrivenSimulator sim(c);
+  std::vector<bool> pi(c.pis().size(), false);
+  const int cycles = 200;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Only PI 0 toggles; everything else is pinned — the low-activity
+    // regime of paper §V-A1.
+    pi[0] = (cycle & 1) != 0;
+    sim.step(pi);
+    sim.clock();
+  }
+  // FF feedback keeps some internal state churning even under constant
+  // inputs, so the saving is partial; require a clear (>25%) win over the
+  // oblivious per-cycle full evaluation.
+  const std::uint64_t oblivious_work =
+      static_cast<std::uint64_t>(sim.num_comb_gates()) * cycles;
+  EXPECT_LT(sim.gate_evaluations(), oblivious_work * 3 / 4);
+}
+
+TEST(EventSim, ResetRestoresInitialState) {
+  const Circuit c = counter4();
+  EventDrivenSimulator sim(c);
+  std::vector<bool> pi(c.pis().size(), true);
+  std::vector<bool> first_cycle(c.num_nodes());
+  sim.step(pi);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) first_cycle[v] = sim.value(v);
+  for (int i = 0; i < 9; ++i) {
+    sim.clock();
+    sim.step(pi);
+  }
+  sim.reset();
+  EXPECT_EQ(sim.gate_evaluations(), 0u);
+  EXPECT_EQ(sim.cycles(), 0u);
+  sim.step(pi);
+  for (NodeId v = 0; v < c.num_nodes(); ++v)
+    EXPECT_EQ(sim.value(v), first_cycle[v]) << "node " << v;
+}
+
+TEST(EventSim, ClockBeforeFirstStepIsHarmless) {
+  const Circuit c = counter4();
+  EventDrivenSimulator a(c);
+  EventDrivenSimulator b(c);
+  a.clock();  // no step yet: FF D values are all stale zeros
+  const std::vector<bool> pi(c.pis().size(), true);
+  a.step(pi);
+  b.step(pi);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) EXPECT_EQ(a.value(v), b.value(v));
+}
+
+TEST(EventSim, RejectsWrongPiCount) {
+  const Circuit c = counter4();
+  EventDrivenSimulator sim(c);
+  EXPECT_THROW(sim.step(std::vector<bool>(c.pis().size() + 1)), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

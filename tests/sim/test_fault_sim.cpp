@@ -1,0 +1,128 @@
+#include "sim/fault_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "dataset/embedded.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+Workload s27_workload(std::uint64_t seed = 9) {
+  Workload w;
+  w.pi_prob = {0.4, 0.5, 0.6, 0.5};
+  w.pattern_seed = seed;
+  return w;
+}
+
+TEST(FaultSim, ZeroErrorRateIsPerfectlyReliable) {
+  const Circuit c = iscas89_s27();
+  FaultSimOptions opt;
+  opt.num_sequences = 128;
+  opt.cycles_per_sequence = 50;
+  opt.gate_error_rate = 0.0;
+  const FaultSimResult r = simulate_faults(c, s27_workload(), opt);
+  EXPECT_DOUBLE_EQ(r.circuit_reliability, 1.0);
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(r.err01[v], 0.0);
+    EXPECT_DOUBLE_EQ(r.err10[v], 0.0);
+    EXPECT_DOUBLE_EQ(r.node_reliability[v], 1.0);
+  }
+}
+
+TEST(FaultSim, SingleGateErrorRateMatchesEpsilon) {
+  // One AND gate: its conditional flip probabilities equal the injection
+  // rate (no propagation or masking involved).
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId g = c.add_and(a, b, "g");
+  c.add_po(g, "o");
+  Workload w;
+  w.pi_prob = {0.5, 0.5};
+  w.pattern_seed = 3;
+  FaultSimOptions opt;
+  opt.num_sequences = 2048;
+  opt.cycles_per_sequence = 50;
+  opt.gate_error_rate = 0.02;
+  const FaultSimResult r = simulate_faults(c, w, opt);
+  EXPECT_NEAR(r.err01[g], 0.02, 0.004);
+  EXPECT_NEAR(r.err10[g], 0.02, 0.004);
+  EXPECT_NEAR(r.circuit_reliability, 0.98, 0.004);
+}
+
+TEST(FaultSim, PisAreNeverCorrupted) {
+  const Circuit c = iscas89_s27();
+  FaultSimOptions opt;
+  opt.num_sequences = 128;
+  opt.cycles_per_sequence = 50;
+  opt.gate_error_rate = 0.05;
+  const FaultSimResult r = simulate_faults(c, s27_workload(), opt);
+  for (NodeId pi : c.pis()) {
+    EXPECT_DOUBLE_EQ(r.err01[pi], 0.0);
+    EXPECT_DOUBLE_EQ(r.err10[pi], 0.0);
+  }
+}
+
+TEST(FaultSim, HigherErrorRateLowersReliability) {
+  const Circuit c = iscas89_s27();
+  FaultSimOptions low, high;
+  low.num_sequences = high.num_sequences = 512;
+  low.cycles_per_sequence = high.cycles_per_sequence = 50;
+  low.gate_error_rate = 0.001;
+  high.gate_error_rate = 0.05;
+  const double r_low = simulate_faults(c, s27_workload(), low).circuit_reliability;
+  const double r_high = simulate_faults(c, s27_workload(), high).circuit_reliability;
+  EXPECT_GT(r_low, r_high);
+  EXPECT_GT(r_low, 0.98);
+  EXPECT_LT(r_high, 0.95);
+}
+
+TEST(FaultSim, StateCorruptionPersists) {
+  // A hold register (q -> q) with fault injection on its driving logic:
+  // once corrupted, the error persists, so the FF's reliability is much
+  // worse than the per-cycle injection rate.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId ff = c.add_ff(kNullNode, "q");
+  const NodeId keep = c.add_gate(GateType::kBuf, {ff}, "keep");
+  c.set_fanin(ff, 0, keep);
+  c.add_po(ff, "o");
+  c.add_po(c.add_and(a, ff, "g"), "o2");
+  c.validate();
+  Workload w;
+  w.pi_prob = {0.5};
+  w.pattern_seed = 8;
+  FaultSimOptions opt;
+  opt.num_sequences = 256;
+  opt.cycles_per_sequence = 100;
+  opt.gate_error_rate = 0.002;
+  const FaultSimResult r = simulate_faults(c, w, opt);
+  // Accumulated corruption probability after ~100 cycles is far above the
+  // per-cycle rate.
+  EXPECT_GT(1.0 - r.node_reliability[ff], 0.02);
+}
+
+TEST(FaultSim, DeterministicForSameSeed) {
+  const Circuit c = iscas89_s27();
+  FaultSimOptions opt;
+  opt.num_sequences = 64;
+  opt.cycles_per_sequence = 20;
+  opt.gate_error_rate = 0.01;
+  const FaultSimResult r1 = simulate_faults(c, s27_workload(), opt);
+  const FaultSimResult r2 = simulate_faults(c, s27_workload(), opt);
+  EXPECT_EQ(r1.circuit_reliability, r2.circuit_reliability);
+  EXPECT_EQ(r1.err01, r2.err01);
+}
+
+TEST(FaultSim, WorkloadMismatchThrows) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.5};
+  EXPECT_THROW(simulate_faults(c, w, {}), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,251 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "dataset/embedded.hpp"
+#include "netlist/aig.hpp"
+
+namespace deepseq {
+namespace {
+
+/// Naive scalar reference simulator: evaluates one lane with bools in
+/// recursive topological order. Used to cross-check the word-parallel
+/// engine bit by bit.
+class ReferenceSim {
+ public:
+  explicit ReferenceSim(const Circuit& c)
+      : c_(c), order_(comb_topo_order(c)), val_(c.num_nodes(), false) {}
+
+  void step(const std::vector<bool>& pi) {
+    for (std::size_t k = 0; k < c_.pis().size(); ++k) val_[c_.pis()[k]] = pi[k];
+    for (NodeId v : order_) {
+      const Node& n = c_.node(v);
+      if (n.type == GateType::kPi || n.type == GateType::kFf ||
+          n.type == GateType::kConst0)
+        continue;
+      const bool a = val_[n.fanin[0]];
+      const bool b = n.num_fanins > 1 ? val_[n.fanin[1]] : false;
+      const bool s = n.num_fanins > 2 ? val_[n.fanin[2]] : false;
+      // eval_gate expects MUX as (then, else, select); fanins are
+      // (select, then, else).
+      val_[v] = n.type == GateType::kMux ? eval_gate(n.type, b, s, a)
+                                         : eval_gate(n.type, a, b);
+    }
+  }
+
+  void clock() {
+    std::vector<bool> next(c_.ffs().size());
+    for (std::size_t k = 0; k < c_.ffs().size(); ++k)
+      next[k] = val_[c_.fanin(c_.ffs()[k], 0)];
+    for (std::size_t k = 0; k < c_.ffs().size(); ++k) val_[c_.ffs()[k]] = next[k];
+  }
+
+  bool value(NodeId v) const { return val_[v]; }
+
+ private:
+  const Circuit& c_;
+  std::vector<NodeId> order_;
+  std::vector<bool> val_;
+};
+
+TEST(Simulator, MatchesReferenceOnS27) {
+  const Circuit c = iscas89_s27();
+  SequentialSimulator fast(c);
+  ReferenceSim slow(c);
+  Rng rng(2024);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    std::vector<std::uint64_t> pi_words(c.pis().size());
+    std::vector<bool> pi_bits(c.pis().size());
+    for (std::size_t k = 0; k < pi_words.size(); ++k) {
+      pi_words[k] = rng.next_u64();
+      pi_bits[k] = pi_words[k] & 1ULL;  // lane 0
+    }
+    fast.step(pi_words);
+    slow.step(pi_bits);
+    for (NodeId v = 0; v < c.num_nodes(); ++v)
+      ASSERT_EQ(fast.value(v) & 1ULL, slow.value(v) ? 1ULL : 0ULL)
+          << "cycle " << cycle << " node " << v;
+    fast.clock();
+    slow.clock();
+  }
+}
+
+TEST(Simulator, MatchesReferenceOnGenericGates) {
+  // Exercise every gate type including MUX through both engines.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId b = c.add_pi("b");
+  const NodeId s = c.add_pi("s");
+  const NodeId x1 = c.add_gate(GateType::kXor, {a, b}, "x1");
+  const NodeId m = c.add_gate(GateType::kMux, {s, x1, b}, "m");
+  const NodeId ff = c.add_ff(m, "q");
+  const NodeId o = c.add_gate(GateType::kNor, {ff, x1}, "o");
+  c.add_po(o, "out");
+  c.validate();
+
+  SequentialSimulator fast(c);
+  ReferenceSim slow(c);
+  Rng rng(5);
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    std::vector<std::uint64_t> pw(3);
+    std::vector<bool> pb(3);
+    for (int k = 0; k < 3; ++k) {
+      pw[k] = rng.next_u64();
+      pb[k] = pw[k] & 1ULL;
+    }
+    fast.step(pw);
+    slow.step(pb);
+    for (NodeId v = 0; v < c.num_nodes(); ++v)
+      ASSERT_EQ(fast.value(v) & 1ULL, slow.value(v) ? 1ULL : 0ULL);
+    fast.clock();
+    slow.clock();
+  }
+}
+
+TEST(Simulator, FfsStartAtZeroAndLatchOnClock) {
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId ff = c.add_ff(a, "q");
+  c.add_po(ff, "o");
+  SequentialSimulator sim(c);
+  sim.step({~0ULL});
+  EXPECT_EQ(sim.value(ff), 0u);  // not latched yet
+  sim.clock();
+  sim.step({0ULL});
+  EXPECT_EQ(sim.value(ff), ~0ULL);  // previous cycle's input
+}
+
+TEST(Simulator, FfChainShiftsNotRipples) {
+  // q2 <- q1 <- a: after one clock q1 = a(0), q2 must still be 0.
+  Circuit c;
+  const NodeId a = c.add_pi("a");
+  const NodeId q1 = c.add_ff(a, "q1");
+  const NodeId q2 = c.add_ff(q1, "q2");
+  c.add_po(q2, "o");
+  SequentialSimulator sim(c);
+  sim.step({~0ULL});
+  sim.clock();
+  EXPECT_EQ(sim.value(q1), ~0ULL);
+  EXPECT_EQ(sim.value(q2), 0u);
+  sim.step({~0ULL});
+  sim.clock();
+  EXPECT_EQ(sim.value(q2), ~0ULL);
+}
+
+TEST(Simulator, WrongPiCountThrows) {
+  const Circuit c = iscas89_s27();
+  SequentialSimulator sim(c);
+  EXPECT_THROW(sim.step({1, 2}), Error);
+}
+
+TEST(Activity, PiStatisticsMatchWorkload) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.1, 0.5, 0.9, 0.3};
+  w.pattern_seed = 99;
+  ActivityOptions opt;
+  opt.num_cycles = 5000;
+  const NodeActivity act = collect_activity(c, w, opt);
+  for (std::size_t k = 0; k < c.pis().size(); ++k) {
+    const NodeId pi = c.pis()[k];
+    const double p = w.pi_prob[k];
+    EXPECT_NEAR(act.logic1[pi], p, 0.01) << "pi " << k;
+    EXPECT_NEAR(act.tr01[pi], p * (1 - p), 0.01) << "pi " << k;
+    EXPECT_NEAR(act.tr10[pi], p * (1 - p), 0.01) << "pi " << k;
+  }
+}
+
+TEST(Activity, CounterTogglesAtClosedFormRates) {
+  const Circuit c = counter4();
+  Workload w;
+  w.pi_prob = {1.0};  // always enabled
+  w.pattern_seed = 1;
+  ActivityOptions opt;
+  opt.num_cycles = 4096;
+  const NodeActivity act = collect_activity(c, w, opt);
+  // Bit k toggles once every 2^k cycles.
+  for (int k = 0; k < 4; ++k) {
+    const NodeId q = c.pos()[k];
+    EXPECT_NEAR(act.toggle_rate(q), std::pow(0.5, k), 0.02) << "bit " << k;
+    EXPECT_NEAR(act.logic1[q], 0.5, 0.02) << "bit " << k;
+  }
+}
+
+TEST(Activity, CounterHalfEnabledScalesRates) {
+  const Circuit c = counter4();
+  Workload w;
+  w.pi_prob = {0.5};
+  w.pattern_seed = 3;
+  ActivityOptions opt;
+  opt.num_cycles = 8192;
+  const NodeActivity act = collect_activity(c, w, opt);
+  EXPECT_NEAR(act.toggle_rate(c.pos()[0]), 0.5, 0.03);
+  EXPECT_NEAR(act.toggle_rate(c.pos()[1]), 0.25, 0.03);
+}
+
+TEST(Activity, ProbabilitiesAreProbabilities) {
+  const Circuit c = iscas89_s27();
+  Rng rng(77);
+  const Workload w = random_workload(c, rng);
+  const NodeActivity act = collect_activity(c, w, {2000, 1});
+  for (NodeId v = 0; v < c.num_nodes(); ++v) {
+    EXPECT_GE(act.logic1[v], 0.0);
+    EXPECT_LE(act.logic1[v], 1.0);
+    EXPECT_GE(act.tr01[v], 0.0);
+    EXPECT_LE(act.tr01[v] + act.tr10[v], 1.0);
+  }
+}
+
+TEST(Activity, Tr01EqualsTr10InSteadyState) {
+  // In a long stationary run, every node makes as many 0->1 as 1->0
+  // transitions (they alternate), so the rates match closely.
+  const Circuit c = iscas89_s27();
+  Rng rng(31);
+  const Workload w = random_workload(c, rng);
+  const NodeActivity act = collect_activity(c, w, {10000, 1});
+  for (NodeId v = 0; v < c.num_nodes(); ++v)
+    EXPECT_NEAR(act.tr01[v], act.tr10[v], 0.01) << "node " << v;
+}
+
+TEST(Activity, PinnedPiIsStatic) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.0, 1.0, 0.0, 1.0};
+  w.pattern_seed = 5;
+  const NodeActivity act = collect_activity(c, w, {1000, 1});
+  for (std::size_t k = 0; k < c.pis().size(); ++k)
+    EXPECT_EQ(act.toggle_count[c.pis()[k]], 0u);
+  EXPECT_GT(act.static_fraction(), 0.5);
+}
+
+TEST(Activity, DeterministicForSameSeed) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.3, 0.6, 0.2, 0.8};
+  w.pattern_seed = 11;
+  const NodeActivity a1 = collect_activity(c, w, {500, 1});
+  const NodeActivity a2 = collect_activity(c, w, {500, 1});
+  EXPECT_EQ(a1.logic1, a2.logic1);
+  EXPECT_EQ(a1.toggle_count, a2.toggle_count);
+}
+
+TEST(Activity, TooFewCyclesThrows) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.5, 0.5, 0.5, 0.5};
+  EXPECT_THROW(collect_activity(c, w, {1, 1}), Error);
+}
+
+TEST(Activity, WorkloadSizeMismatchThrows) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob = {0.5};
+  EXPECT_THROW(collect_activity(c, w, {100, 1}), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

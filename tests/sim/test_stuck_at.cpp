@@ -1,0 +1,155 @@
+#include "sim/stuck_at.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+#include "netlist/scoap.hpp"
+#include "sim/simulator.hpp"
+
+namespace deepseq {
+namespace {
+
+Workload uniform_half(const Circuit& c) {
+  Workload w;
+  w.pi_prob.assign(c.pis().size(), 0.5);
+  w.pattern_seed = 3;
+  return w;
+}
+
+TEST(StuckAt, FaultListCoversEveryNonConstantNodeTwice) {
+  const Circuit c = iscas89_s27();
+  const auto faults = enumerate_stuck_at_faults(c);
+  EXPECT_EQ(faults.size(), 2 * c.num_nodes());
+}
+
+TEST(StuckAt, ForcedSimulatorPinsTheNode) {
+  Circuit c("f");
+  const NodeId a = c.add_pi("a");
+  const NodeId g = c.add_not(a, "g");
+  c.add_po(g, "y");
+  SequentialSimulator sim(c);
+  sim.force_stuck(g, true);
+  sim.step({0});
+  EXPECT_EQ(sim.value(g), ~0ULL);
+  sim.step({~0ULL});  // NOT would yield 0, force wins
+  EXPECT_EQ(sim.value(g), ~0ULL);
+  sim.clear_forcing();
+  sim.step({~0ULL});
+  EXPECT_EQ(sim.value(g), 0ULL);
+}
+
+TEST(StuckAt, ObviousFaultOnPoConeIsDetected) {
+  Circuit c("det");
+  const NodeId a = c.add_pi("a");
+  const NodeId g = c.add_not(a, "g");
+  c.add_po(g, "y");
+  const StuckAtResult r =
+      simulate_stuck_at(c, uniform_half(c), {{g, false}, {g, true}}, {64, 1});
+  EXPECT_TRUE(r.detected[0]);
+  EXPECT_TRUE(r.detected[1]);
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(StuckAt, DeadLogicFaultIsUndetectable) {
+  Circuit c("dead");
+  const NodeId a = c.add_pi("a");
+  const NodeId dead = c.add_not(a, "dead");  // not in any PO cone
+  const NodeId live = c.add_gate(GateType::kBuf, {a}, "live");
+  c.add_po(live, "y");
+  const StuckAtResult r =
+      simulate_stuck_at(c, uniform_half(c), {{dead, true}}, {256, 1});
+  EXPECT_FALSE(r.detected[0]);
+}
+
+TEST(StuckAt, GatedLogicFaultNeedsTheEnable) {
+  // g = a AND en; with en pinned low, faults on a are masked.
+  Circuit c("gated");
+  const NodeId a = c.add_pi("a");
+  const NodeId en = c.add_pi("en");
+  const NodeId g = c.add_and(a, en, "g");
+  c.add_po(g, "y");
+  Workload masked;
+  masked.pi_prob = {0.5, 0.0};  // enable never asserts
+  masked.pattern_seed = 4;
+  const StuckAtResult off =
+      simulate_stuck_at(c, masked, {{a, true}}, {256, 1});
+  EXPECT_FALSE(off.detected[0]);
+  Workload open;
+  open.pi_prob = {0.5, 1.0};
+  open.pattern_seed = 4;
+  const StuckAtResult on = simulate_stuck_at(c, open, {{a, true}}, {256, 1});
+  EXPECT_TRUE(on.detected[0]);
+}
+
+TEST(StuckAt, StuckValueEqualToConstantBehaviourIsUndetected) {
+  // y = a AND 0 is constant 0, so stuck-at-0 at y changes nothing.
+  Circuit c("redund");
+  const NodeId a = c.add_pi("a");
+  const NodeId z = c.add_const0("z");
+  const NodeId g = c.add_and(a, z, "g");
+  c.add_po(g, "y");
+  const StuckAtResult r =
+      simulate_stuck_at(c, uniform_half(c), {{g, false}, {g, true}}, {128, 1});
+  EXPECT_FALSE(r.detected[0]);  // stuck-at-0 == normal behaviour
+  EXPECT_TRUE(r.detected[1]);   // stuck-at-1 flips the PO
+}
+
+TEST(StuckAt, S27CoverageIsHighUnderRandomPatterns) {
+  const Circuit c = iscas89_s27();
+  const StuckAtResult r = simulate_stuck_at(c, uniform_half(c), {1000, 1});
+  // s27 is fully testable; random patterns detect nearly everything.
+  EXPECT_GT(r.coverage(), 0.9);
+  EXPECT_EQ(r.detected.size(), r.faults.size());
+}
+
+TEST(StuckAt, SequentialFaultNeedsStatePropagation) {
+  // Fault on a FF's D-cone is only visible after a clock edge.
+  Circuit c("seq");
+  const NodeId a = c.add_pi("a");
+  const NodeId q = c.add_ff(a, "q");
+  c.add_po(q, "y");
+  const StuckAtResult one_cycle =
+      simulate_stuck_at(c, uniform_half(c), {{a, true}}, {1, 1});
+  EXPECT_FALSE(one_cycle.detected[0]) << "needs a clock to reach the PO";
+  const StuckAtResult two_cycles =
+      simulate_stuck_at(c, uniform_half(c), {{a, true}}, {8, 1});
+  EXPECT_TRUE(two_cycles.detected[0]);
+}
+
+TEST(StuckAt, ScoapEffortPredictsDetectability) {
+  // The harder SCOAP says a fault is, the less likely random patterns
+  // detect it: every undetected s27 fault must not be strictly easier
+  // than every detected one (sanity-level agreement, not a strict order).
+  const Circuit c = iscas89_s27();
+  const ScoapMeasures m = compute_scoap(c);
+  const StuckAtResult r = simulate_stuck_at(c, uniform_half(c), {200, 1});
+  double max_detected = 0.0;
+  double min_undetected = kScoapInf;
+  for (std::size_t f = 0; f < r.faults.size(); ++f) {
+    const double effort =
+        m.fault_effort(r.faults[f].node, r.faults[f].value);
+    if (effort >= kScoapInf) continue;
+    if (r.detected[f]) {
+      max_detected = std::max(max_detected, effort);
+    } else {
+      min_undetected = std::min(min_undetected, effort);
+    }
+  }
+  if (min_undetected < kScoapInf) {
+    EXPECT_GE(min_undetected, 2.0)
+        << "an undetected fault scored trivially easy by SCOAP";
+  }
+  EXPECT_GT(max_detected, 0.0);
+}
+
+TEST(StuckAt, RejectsBadArguments) {
+  const Circuit c = iscas89_s27();
+  Workload bad;  // wrong PI count
+  EXPECT_THROW(simulate_stuck_at(c, bad, {10, 1}), Error);
+  Workload ok = uniform_half(c);
+  EXPECT_THROW(simulate_stuck_at(c, ok, {0, 1}), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

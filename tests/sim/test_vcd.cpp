@@ -1,0 +1,104 @@
+#include "sim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+
+namespace deepseq {
+namespace {
+
+Circuit buf_circuit() {
+  Circuit c("bufc");
+  const NodeId a = c.add_pi("a");
+  const NodeId y = c.add_gate(GateType::kBuf, {a}, "y");
+  c.add_po(y, "out");
+  return c;
+}
+
+TEST(Vcd, HeaderDeclaresWatchedVariables) {
+  const Circuit c = buf_circuit();
+  std::ostringstream out;
+  VcdWriter vcd(out, c);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("$timescale"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! a $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(text.find("$scope module bufc"), std::string::npos);
+}
+
+TEST(Vcd, InitialSampleDumpsEverythingOnceThenOnlyChanges) {
+  const Circuit c = buf_circuit();
+  std::ostringstream out;
+  VcdWriter vcd(out, c);
+  SequentialSimulator sim(c);
+  sim.step({0});
+  vcd.sample(sim);  // full dump at #0
+  sim.clock();
+  sim.step({0});
+  vcd.sample(sim);  // nothing changed: no #1 stamp
+  sim.clock();
+  sim.step({~0ULL});
+  vcd.sample(sim);  // both nodes change at #2
+  const std::string text = out.str();
+  EXPECT_NE(text.find("#0\n"), std::string::npos);
+  EXPECT_EQ(text.find("#1\n"), std::string::npos);
+  EXPECT_NE(text.find("#2\n"), std::string::npos);
+  EXPECT_EQ(vcd.timesteps(), 3);
+}
+
+TEST(Vcd, LaneSelectsTheRightBit) {
+  const Circuit c = buf_circuit();
+  std::ostringstream out0, out5;
+  VcdWriter v0(out0, c), v5(out5, c);
+  SequentialSimulator sim(c);
+  sim.step({1ULL << 5});  // only lane 5 is high
+  v0.sample(sim, 0);
+  v5.sample(sim, 5);
+  EXPECT_NE(out0.str().find("0!"), std::string::npos);
+  EXPECT_NE(out5.str().find("1!"), std::string::npos);
+}
+
+TEST(Vcd, WatchSubsetOnly) {
+  const Circuit c = buf_circuit();
+  std::ostringstream out;
+  VcdWriter vcd(out, c, {c.pis()[0]});
+  const std::string text = out.str();
+  EXPECT_NE(text.find(" a $end"), std::string::npos);
+  EXPECT_EQ(text.find(" y $end"), std::string::npos);
+}
+
+TEST(Vcd, DumpProducesParseableWaveOnS27) {
+  const Circuit c = iscas89_s27();
+  Workload w;
+  w.pi_prob.assign(c.pis().size(), 0.5);
+  w.pattern_seed = 6;
+  const std::string text = dump_vcd(c, w, 32);
+  // One $var per node, a #0 stamp, and at least one later change.
+  std::size_t vars = 0, stamps = 0;
+  for (std::size_t pos = 0; (pos = text.find("$var", pos)) != std::string::npos;
+       ++pos)
+    ++vars;
+  for (std::size_t pos = 0; (pos = text.find("\n#", pos)) != std::string::npos;
+       ++pos)
+    ++stamps;
+  EXPECT_EQ(vars, c.num_nodes());
+  EXPECT_GT(stamps, 1u);
+}
+
+TEST(Vcd, RejectsBadArguments) {
+  const Circuit c = buf_circuit();
+  std::ostringstream out;
+  EXPECT_THROW(VcdWriter(out, c, {NodeId{99}}), Error);
+  VcdWriter vcd(out, c);
+  SequentialSimulator sim(c);
+  sim.step({0});
+  EXPECT_THROW(vcd.sample(sim, 64), Error);
+  Workload bad;
+  EXPECT_THROW(dump_vcd(c, bad, 4), Error);
+}
+
+}  // namespace
+}  // namespace deepseq

@@ -1,0 +1,55 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/embedded.hpp"
+
+namespace deepseq {
+namespace {
+
+TEST(Workload, RandomWorkloadCoversAllPis) {
+  const Circuit c = iscas89_s27();
+  Rng rng(1);
+  const Workload w = random_workload(c, rng);
+  EXPECT_EQ(w.pi_prob.size(), c.pis().size());
+  for (const double p : w.pi_prob) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Workload, RandomWorkloadsDiffer) {
+  const Circuit c = iscas89_s27();
+  Rng rng(2);
+  const Workload w1 = random_workload(c, rng);
+  const Workload w2 = random_workload(c, rng);
+  EXPECT_NE(w1.pi_prob, w2.pi_prob);
+  EXPECT_NE(w1.pattern_seed, w2.pattern_seed);
+}
+
+TEST(Workload, LowActivityPinsMostPis) {
+  // With many PIs and a small active fraction, most probabilities must be
+  // exactly 0 or 1.
+  Circuit c("wide");
+  for (int i = 0; i < 200; ++i) c.add_pi("p" + std::to_string(i));
+  c.add_po(c.add_and(0, 1), "o");
+  Rng rng(3);
+  const Workload w = low_activity_workload(c, rng, 0.25);
+  int pinned = 0;
+  for (const double p : w.pi_prob) pinned += (p == 0.0 || p == 1.0);
+  EXPECT_GT(pinned, 100);
+  EXPECT_LT(pinned, 200);  // some PIs stay active
+}
+
+TEST(Workload, ActiveFractionOneKeepsAllRandom) {
+  const Circuit c = iscas89_s27();
+  Rng rng(4);
+  const Workload w = low_activity_workload(c, rng, 1.0);
+  for (const double p : w.pi_prob) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace deepseq
