@@ -179,4 +179,124 @@ std::string pct(double fraction, int decimals) {
   return format_percent(fraction, decimals);
 }
 
+// ---- JSON ------------------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string JsonWriter::str() const { return out_ + "\n"; }
+
+void JsonWriter::separator() {
+  if (need_comma_) out_ += ",";
+  need_comma_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ += "{";
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += "}";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(const std::string& k) {
+  if (!k.empty()) key(k);
+  separator();
+  out_ += "[";
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += "]";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  separator();
+  out_ += "\"" + json_escape(k) + "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separator();
+  out_ += "\"" + json_escape(v) + "\"";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separator();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+void write_json_file(const std::string& path, const std::string& json) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("[bench] wrote %s\n", path.c_str());
+}
+
 }  // namespace deepseq::bench

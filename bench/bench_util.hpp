@@ -91,4 +91,39 @@ void print_banner(const std::string& table, const std::string& caption,
                   const BenchConfig& cfg);
 std::string pct(double fraction, int decimals = 2);
 
+/// Minimal streaming JSON writer for machine-readable bench output (the
+/// serving/runtime benches emit one JSON document next to their tables so
+/// results can be tracked across commits). Keys/values are appended in
+/// call order; strings are escaped; no pretty-printing beyond newlines.
+class JsonWriter {
+ public:
+  std::string str() const;  // finalized document
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(const std::string& key = {});
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);  // next value's key (inside object)
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& k, const T& v) {
+    return key(k).value(v);
+  }
+
+ private:
+  void separator();
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Write `json` to `path` (parent dirs created), echoing the path on stdout.
+void write_json_file(const std::string& path, const std::string& json);
+
 }  // namespace deepseq::bench

@@ -1,0 +1,173 @@
+// Serving throughput of the concurrent batched inference runtime
+// (src/runtime/): requests/sec and p50/p99 latency vs worker-thread count
+// (1/2/4/8) and cache temperature, for both embedding backends — the
+// paper's levelized DeepSeq propagation and the PACE-style parallel
+// encoder (§VI). Each configuration replays the same closed-burst trace
+// twice against one engine: the first pass is all-cold (every structure
+// levelized, every forward pass computed), the second is warm (the
+// structural-hash-keyed cache serves repeats). Emits a table and a JSON
+// document (serving_throughput.json) for cross-commit tracking.
+//
+// Knobs: DEEPSEQ_SERVE_REQUESTS (trace length), DEEPSEQ_SERVE_CIRCUITS,
+// DEEPSEQ_FULL=1 for paper-scale model presets.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/env.hpp"
+#include "common/timer.hpp"
+#include "dataset/generator.hpp"
+#include "runtime/inference_engine.hpp"
+#include "runtime/server_loop.hpp"
+
+using namespace deepseq;
+using namespace deepseq::bench;
+using namespace deepseq::runtime;
+
+namespace {
+
+struct RunResult {
+  double wall_s = 0.0;
+  double qps = 0.0;
+  LatencySummary latency;
+};
+
+/// Submit the whole trace as fast as possible (closed burst) and drain:
+/// wall time measures pipeline throughput, per-request futures measure
+/// latency under that load.
+RunResult replay(InferenceEngine& engine,
+                 const std::vector<EmbeddingRequest>& trace) {
+  std::vector<std::future<EmbeddingResult>> futures;
+  futures.reserve(trace.size());
+  WallTimer t;
+  for (const auto& r : trace) futures.push_back(engine.submit(r));
+  engine.drain();
+  RunResult out;
+  out.wall_s = t.seconds();
+  std::vector<double> total_ms;
+  total_ms.reserve(futures.size());
+  for (auto& f : futures) total_ms.push_back(f.get().total_ms);
+  out.qps = out.wall_s > 0 ? static_cast<double>(trace.size()) / out.wall_s : 0;
+  out.latency = summarize_latencies(std::move(total_ms));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+  print_banner("SERVING", "batched inference runtime throughput (src/runtime)",
+               cfg);
+
+  const int num_requests =
+      static_cast<int>(env_int("DEEPSEQ_SERVE_REQUESTS", cfg.full ? 512 : 96));
+  const int num_circuits =
+      static_cast<int>(env_int("DEEPSEQ_SERVE_CIRCUITS", 6));
+  const int workloads_per_circuit = 4;
+
+  // Servable fleet: AIG-only generated netlists of increasing size.
+  Rng rng(cfg.eval_seed);
+  std::vector<std::shared_ptr<const Circuit>> circuits;
+  for (int i = 0; i < num_circuits; ++i) {
+    GeneratorSpec spec;
+    spec.name = "serve" + std::to_string(i);
+    spec.num_pis = 6 + i;
+    spec.num_ffs = 4 + i;
+    spec.num_gates = 80 + 40 * i;
+    for (int t = 0; t < kNumGateTypes; ++t) spec.gate_weights[t] = 0.0;
+    spec.gate_weights[static_cast<int>(GateType::kAnd)] = 4.0;
+    spec.gate_weights[static_cast<int>(GateType::kNot)] = 2.0;
+    circuits.push_back(
+        std::make_shared<const Circuit>(generate_circuit(spec, rng)));
+  }
+  std::vector<std::vector<Workload>> workloads(circuits.size());
+  for (std::size_t i = 0; i < circuits.size(); ++i)
+    for (int k = 0; k < workloads_per_circuit; ++k)
+      workloads[i].push_back(random_workload(*circuits[i], rng));
+
+  std::printf("trace: %d requests over %d circuits x %d workloads\n\n",
+              num_requests, num_circuits, workloads_per_circuit);
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "serving_throughput");
+  json.field("requests", num_requests);
+  json.field("circuits", num_circuits);
+  json.begin_array("rows");
+
+  double baseline_cold_qps[2] = {0.0, 0.0};  // per backend, threads == 1
+  double best_warm_qps_4t[2] = {0.0, 0.0};
+
+  for (const Backend backend : {Backend::kDeepSeqCustom, Backend::kPace}) {
+    const int bi = backend == Backend::kPace ? 1 : 0;
+    std::printf("%-8s | %7s | %9s %9s %9s | %9s %9s %9s | %8s\n",
+                "backend", "threads", "cold q/s", "p50 ms", "p99 ms",
+                "warm q/s", "p50 ms", "p99 ms", "hit rate");
+    std::printf("%.*s\n", 98, std::string(98, '-').c_str());
+    for (const int threads : {1, 2, 4, 8}) {
+      // Deterministic trace shared by every configuration.
+      Rng trace_rng(4242);
+      std::vector<EmbeddingRequest> trace;
+      for (int i = 0; i < num_requests; ++i) {
+        EmbeddingRequest r;
+        const std::size_t c = trace_rng.uniform_index(circuits.size());
+        r.circuit = circuits[c];
+        r.workload = workloads[c][trace_rng.uniform_index(workloads_per_circuit)];
+        r.backend = backend;
+        r.init_seed = 7;
+        trace.push_back(std::move(r));
+      }
+
+      EngineConfig ecfg;
+      ecfg.threads = threads;
+      ecfg.max_batch = 8;
+      ecfg.model = ModelConfig::deepseq(cfg.hidden, cfg.iterations);
+      ecfg.pace.hidden_dim = cfg.hidden;
+      InferenceEngine engine(ecfg);
+
+      const RunResult cold = replay(engine, trace);
+      const RunResult warm = replay(engine, trace);
+      const auto stats = engine.cache_stats();
+      const double hit_rate = stats.embeddings.hit_rate();
+
+      if (threads == 1) baseline_cold_qps[bi] = cold.qps;
+      if (threads == 4) best_warm_qps_4t[bi] = warm.qps;
+
+      std::printf("%-8s | %7d | %9.1f %9.2f %9.2f | %9.1f %9.2f %9.2f | %7.0f%%\n",
+                  backend_name(backend), threads, cold.qps,
+                  cold.latency.p50_ms, cold.latency.p99_ms, warm.qps,
+                  warm.latency.p50_ms, warm.latency.p99_ms, 100.0 * hit_rate);
+
+      json.begin_object();
+      json.field("backend", backend_name(backend));
+      json.field("threads", threads);
+      json.field("cold_qps", cold.qps);
+      json.field("cold_p50_ms", cold.latency.p50_ms);
+      json.field("cold_p99_ms", cold.latency.p99_ms);
+      json.field("warm_qps", warm.qps);
+      json.field("warm_p50_ms", warm.latency.p50_ms);
+      json.field("warm_p99_ms", warm.latency.p99_ms);
+      json.field("embedding_hit_rate", hit_rate);
+      json.field("structure_hits", stats.structures.hits);
+      json.field("structure_misses", stats.structures.misses);
+      json.end_object();
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  json.end_array();
+  for (int bi = 0; bi < 2; ++bi) {
+    const double speedup = baseline_cold_qps[bi] > 0
+                               ? best_warm_qps_4t[bi] / baseline_cold_qps[bi]
+                               : 0.0;
+    const char* name = bi == 1 ? "pace" : "deepseq";
+    std::printf("%s: 4-thread warm vs 1-thread cold speedup: %.1fx\n", name,
+                speedup);
+    json.field(std::string(name) + "_warm4_vs_cold1_speedup", speedup);
+  }
+  json.end_object();
+  write_json_file("serving_throughput.json", json.str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Embedding-serving demo: replay an open-loop request trace against the
+// concurrent batched inference runtime (src/runtime/).
+//
+//   serve_embeddings [netlist_dir]
+//
+// With a directory argument (or DEEPSEQ_NETLIST_DIR), every .bench/.aag/.aig
+// file in it becomes servable; without one, a small synthetic fleet of
+// netlists is generated and written to ./serve_demo_netlists first, so the
+// disk-loading path is exercised either way. Serving knobs come from the
+// environment: DEEPSEQ_QPS, DEEPSEQ_THREADS, DEEPSEQ_REQUESTS,
+// DEEPSEQ_BACKEND (deepseq | pace | mixed).
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/env.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+#include "netlist/bench_io.hpp"
+#include "runtime/server_loop.hpp"
+
+using namespace deepseq;
+using namespace deepseq::runtime;
+
+namespace {
+
+std::string ensure_demo_netlists() {
+  const std::string dir = "serve_demo_netlists";
+  std::filesystem::create_directories(dir);
+  Rng rng(2024);
+  for (int i = 0; i < 6; ++i) {
+    GeneratorSpec spec;
+    spec.name = "demo" + std::to_string(i);
+    spec.num_pis = 6 + i;
+    spec.num_ffs = 4 + i;
+    spec.num_gates = 60 + 25 * i;
+    const Circuit c = generate_circuit(spec, rng);
+    write_bench_file(c, dir + "/" + spec.name + ".bench");
+  }
+  return dir;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : env_string("DEEPSEQ_NETLIST_DIR", "");
+  if (dir.empty()) {
+    dir = ensure_demo_netlists();
+    std::printf("no netlist dir given; generated demo set in %s/\n",
+                dir.c_str());
+  }
+
+  const std::vector<LoadedNetlist> netlists = load_netlist_dir(dir);
+  if (netlists.empty()) {
+    std::fprintf(stderr, "no servable netlists in %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("serving %zu netlists from %s:\n", netlists.size(), dir.c_str());
+  for (const LoadedNetlist& n : netlists)
+    std::printf("  %-16s %6zu AIG nodes, %3zu PIs, %3zu FFs\n",
+                n.name.c_str(), n.aig->num_nodes(), n.aig->pis().size(),
+                n.aig->ffs().size());
+
+  ServerConfig cfg = server_config_from_env();
+  char threads[32];
+  if (cfg.engine.threads > 0)
+    std::snprintf(threads, sizeof(threads), "%d", cfg.engine.threads);
+  else
+    std::snprintf(threads, sizeof(threads), "auto");
+  std::printf(
+      "\ntrace: %d requests, %.1f qps offered (Poisson), %s worker "
+      "threads, %.0f%% PACE traffic\n\n",
+      cfg.total_requests, cfg.qps, threads, 100.0 * cfg.pace_fraction);
+
+  const ServerStats stats = run_server_loop(cfg, netlists, /*verbose=*/true);
+  return stats.completed > 0 ? 0 : 1;
+}

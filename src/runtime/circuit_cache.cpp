@@ -1,0 +1,59 @@
+#include "runtime/circuit_cache.hpp"
+
+#include <cstring>
+
+namespace deepseq::runtime {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kDeepSeqCustom:
+      return "deepseq";
+    case Backend::kPace:
+      return "pace";
+  }
+  return "?";
+}
+
+std::uint64_t EmbeddingKey::hash64() const {
+  std::uint64_t h = structure.digest;
+  h = hash_mix(h, exact);
+  h = hash_mix(h, static_cast<std::uint64_t>(backend));
+  h = hash_mix(h, model_fingerprint);
+  h = hash_mix(h, workload_fingerprint);
+  h = hash_mix(h, init_seed);
+  return h;
+}
+
+bool EmbeddingKey::operator==(const EmbeddingKey& o) const {
+  return structure == o.structure && exact == o.exact &&
+         backend == o.backend &&
+         model_fingerprint == o.model_fingerprint &&
+         workload_fingerprint == o.workload_fingerprint &&
+         init_seed == o.init_seed;
+}
+
+std::uint64_t workload_fingerprint(const Workload& w) {
+  std::uint64_t h = hash_mix(0x3019ULL, w.pi_prob.size());
+  for (double p : w.pi_prob) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(p));
+    std::memcpy(&bits, &p, sizeof(bits));
+    h = hash_mix(h, bits);
+  }
+  return hash_mix(h, w.pattern_seed);
+}
+
+CircuitCache::CircuitCache(const CircuitCacheConfig& config)
+    : structures_(config.structure_capacity, config.shards),
+      embeddings_(config.embedding_capacity, config.shards) {}
+
+CircuitCache::Stats CircuitCache::stats() const {
+  Stats s;
+  s.structures = structures_.counters();
+  s.embeddings = embeddings_.counters();
+  s.structure_entries = structures_.size();
+  s.embedding_entries = embeddings_.size();
+  return s;
+}
+
+}  // namespace deepseq::runtime

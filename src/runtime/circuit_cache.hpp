@@ -1,0 +1,248 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/circuit_graph.hpp"
+#include "core/pace.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/structural_hash.hpp"
+#include "nn/tensor.hpp"
+#include "sim/workload.hpp"
+
+namespace deepseq::runtime {
+
+/// Hit/miss/eviction counters of one cache layer. Snapshot via
+/// CircuitCache::stats(); counters are monotonic over the cache lifetime.
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Sharded LRU map from a hashable key to shared_ptr<const Value>. Each
+/// shard is an independent mutex + LRU list + index, so concurrent lookups
+/// of different circuits rarely contend. Key must provide hash64() and
+/// operator== (the full key is stored and compared — the 64-bit hash only
+/// picks the shard/bucket, it is not trusted for identity).
+///
+/// get_or_build() runs the builder OUTSIDE the shard lock: two threads
+/// missing the same key concurrently may both build (last insert wins,
+/// both callers get a usable value). The serving layer coalesces identical
+/// requests into one batch before they reach the cache, which makes that
+/// duplication rare in practice and keeps the lock never held across
+/// expensive work.
+template <typename Key, typename Value>
+class ShardedLruCache {
+ public:
+  ShardedLruCache(std::size_t capacity, std::size_t num_shards = 8)
+      : shards_(std::max<std::size_t>(1, num_shards)) {
+    const std::size_t per_shard =
+        std::max<std::size_t>(1, capacity / shards_.size());
+    for (auto& s : shards_) s.capacity = per_shard;
+  }
+
+  std::shared_ptr<const Value> get(const Key& key) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto range = s.index.equal_range(key.hash64());
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second->first == key) {
+        s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to front
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  void put(const Key& key, std::shared_ptr<const Value> value) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto range = s.index.equal_range(key.hash64());
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second->first == key) {
+        it->second->second = std::move(value);
+        s.lru.splice(s.lru.begin(), s.lru, it->second);
+        return;
+      }
+    }
+    s.lru.emplace_front(key, std::move(value));
+    s.index.emplace(key.hash64(), s.lru.begin());
+    if (s.lru.size() > s.capacity) evict_lru(s);
+  }
+
+  /// get() or build-and-put(); always returns a non-null value (assuming
+  /// the builder returns one).
+  template <typename Builder>
+  std::shared_ptr<const Value> get_or_build(const Key& key,
+                                            Builder&& builder) {
+    if (auto v = get(key)) return v;
+    std::shared_ptr<const Value> built = builder();
+    put(key, built);
+    return built;
+  }
+
+  CacheCounters counters() const {
+    CacheCounters c;
+    c.hits = hits_.load(std::memory_order_relaxed);
+    c.misses = misses_.load(std::memory_order_relaxed);
+    c.evictions = evictions_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.lru.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::size_t capacity = 1;
+    // Front = most recently used. Entries own the full key for exact
+    // comparison; the multimap bucket key is the 64-bit hash.
+    std::list<std::pair<Key, std::shared_ptr<const Value>>> lru;
+    std::unordered_multimap<
+        std::uint64_t,
+        typename std::list<std::pair<Key, std::shared_ptr<const Value>>>::iterator>
+        index;
+  };
+
+  Shard& shard_for(const Key& key) {
+    return shards_[(key.hash64() >> 56) % shards_.size()];
+  }
+
+  void evict_lru(Shard& s) {
+    const auto victim = std::prev(s.lru.end());
+    auto range = s.index.equal_range(victim->first.hash64());
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == victim) {
+        s.index.erase(it);
+        break;
+      }
+    }
+    s.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, evictions_{0};
+};
+
+// ---- circuit-serving cache layers -----------------------------------------
+
+/// Which inference backend an entry belongs to (mirrors the two embedding
+/// paths of core/: the paper's levelized propagation and the PACE encoder).
+enum class Backend { kDeepSeqCustom = 0, kPace = 1 };
+
+const char* backend_name(Backend b);
+
+/// Key of the structure layer: the circuit's content hash PLUS its
+/// creation-order (exact) hash. The exact component is load-bearing for
+/// correctness: cached CircuitGraph/PaceGraph structures and embedding
+/// matrices are indexed by node id, so an isomorphic circuit with permuted
+/// ids must NOT share an entry — its caller would read other nodes' rows.
+/// Byte-identical netlists (same file parsed again — the hot serving case)
+/// produce identical creation orders and still share.
+struct StructureKey {
+  StructuralHash hash;
+  std::uint64_t exact = 0;
+
+  std::uint64_t hash64() const { return hash.digest; }
+  bool operator==(const StructureKey& o) const {
+    return hash == o.hash && exact == o.exact;
+  }
+};
+
+/// Everything derivable from the netlist alone, shared by every request for
+/// the same structure: the parsed/normalized AIG and both backends'
+/// levelized encodings. PaceGraph is built against the engine's PaceConfig
+/// (part of the engine identity, so it does not appear in the key).
+struct CachedStructure {
+  std::shared_ptr<const Circuit> aig;
+  std::shared_ptr<const CircuitGraph> graph;
+  std::shared_ptr<const PaceGraph> pace;
+};
+
+/// Key of the embedding layer: structure + backend + model identity +
+/// workload + init seed — everything the deterministic forward pass
+/// depends on.
+struct EmbeddingKey {
+  StructuralHash structure;
+  std::uint64_t exact = 0;  // see StructureKey::exact
+  Backend backend = Backend::kDeepSeqCustom;
+  std::uint64_t model_fingerprint = 0;
+  std::uint64_t workload_fingerprint = 0;
+  std::uint64_t init_seed = 0;
+
+  std::uint64_t hash64() const;
+  bool operator==(const EmbeddingKey& o) const;
+};
+
+/// Bitwise-exact fingerprint of a workload (PI probabilities + pattern
+/// seed) for embedding-cache keys.
+std::uint64_t workload_fingerprint(const Workload& w);
+
+/// Configuration of the two cache layers.
+struct CircuitCacheConfig {
+  std::size_t structure_capacity = 128;
+  std::size_t embedding_capacity = 1024;
+  std::size_t shards = 8;
+};
+
+/// The serving cache: structures (parse + levelize once per netlist) and
+/// final embeddings (skip the forward pass entirely on repeat requests).
+/// All methods are thread-safe.
+class CircuitCache {
+ public:
+  explicit CircuitCache(const CircuitCacheConfig& config = {});
+
+  std::shared_ptr<const CachedStructure> get_structure(const StructureKey& k) {
+    return structures_.get(k);
+  }
+  template <typename Builder>
+  std::shared_ptr<const CachedStructure> get_or_build_structure(
+      const StructureKey& k, Builder&& b) {
+    return structures_.get_or_build(k, std::forward<Builder>(b));
+  }
+
+  std::shared_ptr<const nn::Tensor> get_embedding(const EmbeddingKey& k) {
+    return embeddings_.get(k);
+  }
+  void put_embedding(const EmbeddingKey& k,
+                     std::shared_ptr<const nn::Tensor> v) {
+    embeddings_.put(k, std::move(v));
+  }
+
+  struct Stats {
+    CacheCounters structures;
+    CacheCounters embeddings;
+    std::size_t structure_entries = 0;
+    std::size_t embedding_entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  ShardedLruCache<StructureKey, CachedStructure> structures_;
+  ShardedLruCache<EmbeddingKey, nn::Tensor> embeddings_;
+};
+
+}  // namespace deepseq::runtime

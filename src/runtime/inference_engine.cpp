@@ -1,0 +1,208 @@
+#include "runtime/inference_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "nn/graph.hpp"
+
+namespace deepseq::runtime {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0,
+                std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+std::uint64_t fingerprint_model(const ModelConfig& m) {
+  std::uint64_t h = hash_mix(0xD5ULL, static_cast<std::uint64_t>(m.aggregator));
+  h = hash_mix(h, static_cast<std::uint64_t>(m.propagation));
+  h = hash_mix(h, static_cast<std::uint64_t>(m.iterations));
+  h = hash_mix(h, static_cast<std::uint64_t>(m.hidden_dim));
+  return hash_mix(h, m.seed);
+}
+
+std::uint64_t fingerprint_pace(const PaceConfig& p) {
+  std::uint64_t h = hash_mix(0xFACEULL, static_cast<std::uint64_t>(p.hidden_dim));
+  h = hash_mix(h, static_cast<std::uint64_t>(p.layers));
+  h = hash_mix(h, static_cast<std::uint64_t>(p.max_ancestors));
+  h = hash_mix(h, static_cast<std::uint64_t>(p.pos_dim));
+  return hash_mix(h, p.seed);
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const EngineConfig& config)
+    : config_(config),
+      model_(config.model),
+      pace_(config.pace),
+      model_fingerprint_(fingerprint_model(config.model)),
+      pace_fingerprint_(fingerprint_pace(config.pace)),
+      cache_(config.cache),
+      pool_(config.threads) {
+  config_.max_batch = std::max(1, config_.max_batch);
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+InferenceEngine::~InferenceEngine() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    stop_ = true;
+  }
+  pending_cv_.notify_all();
+  flusher_.join();
+}
+
+std::future<EmbeddingResult> InferenceEngine::submit(EmbeddingRequest request) {
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->enqueued = std::chrono::steady_clock::now();
+  std::future<EmbeddingResult> future = pending->promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.push_back(std::move(pending));
+    if (static_cast<int>(pending_.size()) >= config_.max_batch) {
+      std::vector<std::unique_ptr<Pending>> batch;
+      batch.swap(pending_);
+      dispatch_batch(std::move(batch));
+    }
+  }
+  return future;
+}
+
+void InferenceEngine::flush() {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  std::vector<std::unique_ptr<Pending>> batch;
+  batch.swap(pending_);
+  if (!batch.empty()) dispatch_batch(std::move(batch));
+}
+
+void InferenceEngine::drain() {
+  flush();
+  pool_.wait_idle();
+}
+
+void InferenceEngine::flusher_loop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      std::max(0.1, config_.flush_interval_ms));
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  while (!stop_) {
+    pending_cv_.wait_for(lock, interval);
+    if (pending_.empty()) continue;
+    const auto now = std::chrono::steady_clock::now();
+    if (now - pending_.front()->enqueued < interval) continue;
+    std::vector<std::unique_ptr<Pending>> batch;
+    batch.swap(pending_);
+    dispatch_batch(std::move(batch));
+  }
+}
+
+// Caller must hold pending_mu_: handing the batch to the pool before the
+// lock is released is what lets drain() (= flush() + wait_idle()) observe
+// every submitted request — a batch can never sit swapped-out but not yet
+// in the pool queue while pending_ looks empty.
+void InferenceEngine::dispatch_batch(
+    std::vector<std::unique_ptr<Pending>> batch) {
+  // Coalesce: group the batch by circuit identity so one worker resolves
+  // each distinct structure (and its hashes) exactly once while distinct
+  // circuits fan out across the pool in parallel.
+  std::map<const Circuit*, std::vector<std::unique_ptr<Pending>>> groups;
+  for (auto& p : batch) groups[p->request.circuit.get()].push_back(std::move(p));
+  for (auto& [circuit, group] : groups) {
+    (void)circuit;
+    auto shared_group = std::make_shared<
+        std::vector<std::unique_ptr<Pending>>>(std::move(group));
+    pool_.submit([this, shared_group] {
+      // One hash computation serves the whole group (same Circuit object).
+      const Circuit& c = *(*shared_group)[0]->request.circuit;
+      const CircuitHashes hashes{structural_hash(c), exact_hash(c)};
+      for (auto& p : *shared_group) {
+        try {
+          p->promise.set_value(process(p->request, p->enqueued, hashes));
+        } catch (...) {
+          p->promise.set_exception(std::current_exception());
+        }
+      }
+    });
+  }
+}
+
+std::shared_ptr<const CachedStructure> InferenceEngine::resolve_structure(
+    const Circuit& circuit, const StructureKey& key, bool* hit) {
+  bool miss = false;
+  auto structure = cache_.get_or_build_structure(key, [&] {
+    miss = true;
+    auto built = std::make_shared<CachedStructure>();
+    built->aig = std::make_shared<Circuit>(circuit);
+    built->graph =
+        std::make_shared<CircuitGraph>(build_circuit_graph(circuit));
+    built->pace = std::make_shared<PaceGraph>(
+        build_pace_graph(circuit, config_.pace));
+    return built;
+  });
+  *hit = !miss;
+  return structure;
+}
+
+EmbeddingResult InferenceEngine::process(
+    const EmbeddingRequest& request,
+    std::chrono::steady_clock::time_point enqueued,
+    const CircuitHashes& hashes) {
+  const auto start = std::chrono::steady_clock::now();
+  EmbeddingResult result;
+  result.backend = request.backend;
+  result.queue_ms = ms_since(enqueued, start);
+
+  result.structure = hashes.structural;
+  const StructureKey skey{hashes.structural, hashes.exact};
+
+  EmbeddingKey ekey;
+  ekey.structure = hashes.structural;
+  ekey.exact = hashes.exact;
+  ekey.backend = request.backend;
+  ekey.model_fingerprint = request.backend == Backend::kPace
+                               ? pace_fingerprint_
+                               : model_fingerprint_;
+  ekey.workload_fingerprint = workload_fingerprint(request.workload);
+  ekey.init_seed = request.init_seed;
+
+  if (config_.cache_embeddings) {
+    if (auto cached = cache_.get_embedding(ekey)) {
+      result.embedding = cached;
+      result.embedding_cache_hit = true;
+      const auto end = std::chrono::steady_clock::now();
+      result.total_ms = ms_since(enqueued, end);
+      return result;
+    }
+  }
+
+  const auto structure =
+      resolve_structure(*request.circuit, skey, &result.structure_cache_hit);
+
+  nn::Graph g(/*grad_enabled=*/false);
+  nn::Var h;
+  if (request.backend == Backend::kPace) {
+    h = pace_.embed(g, *structure->pace, request.workload, request.init_seed);
+  } else {
+    h = model_.embed(g, *structure->graph, request.workload,
+                     request.init_seed);
+  }
+  auto embedding = std::make_shared<const nn::Tensor>(std::move(h->value));
+  if (config_.cache_embeddings) cache_.put_embedding(ekey, embedding);
+
+  result.embedding = std::move(embedding);
+  const auto end = std::chrono::steady_clock::now();
+  result.compute_ms = ms_since(start, end);
+  result.total_ms = ms_since(enqueued, end);
+  return result;
+}
+
+EmbeddingResult InferenceEngine::run_sync(const EmbeddingRequest& request) {
+  const CircuitHashes hashes{structural_hash(*request.circuit),
+                             exact_hash(*request.circuit)};
+  return process(request, std::chrono::steady_clock::now(), hashes);
+}
+
+}  // namespace deepseq::runtime

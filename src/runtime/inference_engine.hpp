@@ -1,0 +1,139 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/pace.hpp"
+#include "runtime/circuit_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace deepseq::runtime {
+
+/// One embedding query: a strict sequential AIG, the workload defining its
+/// PI behaviour, the backend to encode with, and the init seed that makes
+/// the forward pass reproducible (paper convention: non-PI states are
+/// seeded randomly per sample).
+struct EmbeddingRequest {
+  std::shared_ptr<const Circuit> circuit;
+  Workload workload;
+  Backend backend = Backend::kDeepSeqCustom;
+  std::uint64_t init_seed = 1;
+};
+
+/// The fulfilled side of a request. `embedding` is the N x hidden final
+/// node-state matrix h_v^T (DeepSeq backend) or the PACE encoder output —
+/// bit-identical to what a direct single-threaded call to
+/// DeepSeqModel::embed / PaceEncoder::embed produces for the same inputs.
+struct EmbeddingResult {
+  std::shared_ptr<const nn::Tensor> embedding;
+  StructuralHash structure;
+  Backend backend = Backend::kDeepSeqCustom;
+  bool structure_cache_hit = false;
+  bool embedding_cache_hit = false;
+  double queue_ms = 0.0;    // submit -> start of compute
+  double compute_ms = 0.0;  // structure resolve + forward (0 on cache hit)
+  double total_ms = 0.0;    // submit -> fulfillment
+};
+
+struct EngineConfig {
+  /// Worker threads; <= 0 uses hardware concurrency.
+  int threads = 4;
+  /// Coalescing window: a partial batch is dispatched once it reaches this
+  /// many requests...
+  int max_batch = 8;
+  /// ...or once the oldest pending request has waited this long.
+  double flush_interval_ms = 2.0;
+  /// Model presets the engine serves. Both backends are constructed up
+  /// front (deterministically from their seeds) so every request against
+  /// this engine sees identical weights.
+  ModelConfig model = ModelConfig::deepseq(/*hidden=*/32, /*t=*/4);
+  PaceConfig pace;
+  CircuitCacheConfig cache;
+  /// Disable to force a full forward pass per request (reference /
+  /// cold-path measurement); the structure layer stays active.
+  bool cache_embeddings = true;
+};
+
+/// Multi-threaded batched embedding service over the existing core/ models.
+///
+/// submit() never blocks on inference: requests accumulate in a pending
+/// window and are coalesced into batches (grouped by circuit identity so a
+/// batch's structure work — parse-derived AIG, levelization, PACE ancestor
+/// sets — happens once per distinct circuit), then fan out across the
+/// worker pool. Results arrive through futures with per-request latency
+/// breakdowns. All public methods are thread-safe.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(const EngineConfig& config);
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  const EngineConfig& config() const { return config_; }
+
+  /// Enqueue a request; the future is fulfilled by a worker thread (or
+  /// carries the exception the forward pass threw, e.g. on a workload/PI
+  /// size mismatch).
+  std::future<EmbeddingResult> submit(EmbeddingRequest request);
+
+  /// Dispatch the current partial batch immediately.
+  void flush();
+
+  /// flush() + block until every dispatched request has been fulfilled.
+  void drain();
+
+  /// Reference path: compute one request synchronously on the calling
+  /// thread through the same cache and models. Batched and sync results
+  /// for identical inputs are bit-identical.
+  EmbeddingResult run_sync(const EmbeddingRequest& request);
+
+  CircuitCache::Stats cache_stats() const { return cache_.stats(); }
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  struct Pending {
+    EmbeddingRequest request;
+    std::promise<EmbeddingResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Both circuit digests, computed once per coalesced group so the warm
+  /// path does not re-hash per request.
+  struct CircuitHashes {
+    StructuralHash structural;
+    std::uint64_t exact = 0;
+  };
+
+  void flusher_loop();
+  void dispatch_batch(std::vector<std::unique_ptr<Pending>> batch);
+  EmbeddingResult process(const EmbeddingRequest& request,
+                          std::chrono::steady_clock::time_point enqueued,
+                          const CircuitHashes& hashes);
+  std::shared_ptr<const CachedStructure> resolve_structure(
+      const Circuit& circuit, const StructureKey& key, bool* hit);
+
+  EngineConfig config_;
+  DeepSeqModel model_;
+  PaceEncoder pace_;
+  std::uint64_t model_fingerprint_ = 0;
+  std::uint64_t pace_fingerprint_ = 0;
+
+  CircuitCache cache_;
+  ThreadPool pool_;
+
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::vector<std::unique_ptr<Pending>> pending_;
+  bool stop_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace deepseq::runtime

@@ -1,0 +1,196 @@
+#include "runtime/server_loop.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "netlist/aig.hpp"
+#include "netlist/aiger_io.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace deepseq::runtime {
+
+std::vector<LoadedNetlist> load_netlist_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<LoadedNetlist> out;
+  if (!fs::is_directory(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string path = entry.path().string();
+    const std::string ext = entry.path().extension().string();
+    try {
+      Circuit c;
+      if (ext == ".bench") {
+        c = parse_bench_file(path);
+      } else if (ext == ".aag") {
+        c = parse_aiger_file(path);
+      } else if (ext == ".aig") {
+        c = parse_aiger_binary_file(path);
+      } else {
+        continue;
+      }
+      c.validate();
+      if (!c.is_strict_aig()) c = decompose_to_aig(c).aig;
+      LoadedNetlist ln;
+      ln.name = entry.path().stem().string();
+      ln.aig = std::make_shared<const Circuit>(std::move(c));
+      out.push_back(std::move(ln));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[serve] skipping %s: %s\n", path.c_str(),
+                   e.what());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LoadedNetlist& a, const LoadedNetlist& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+ServerConfig server_config_from_env() {
+  ServerConfig cfg;
+  cfg.qps = env_double("DEEPSEQ_QPS", cfg.qps);
+  cfg.engine.threads =
+      static_cast<int>(env_int("DEEPSEQ_THREADS", cfg.engine.threads));
+  cfg.total_requests =
+      static_cast<int>(env_int("DEEPSEQ_REQUESTS", cfg.total_requests));
+  const std::string backend = env_string("DEEPSEQ_BACKEND", "deepseq");
+  if (backend == "pace") {
+    cfg.pace_fraction = 1.0;
+  } else if (backend == "mixed") {
+    cfg.pace_fraction = 0.5;
+  } else {
+    cfg.pace_fraction = 0.0;
+  }
+  return cfg;
+}
+
+LatencySummary summarize_latencies(std::vector<double> total_ms) {
+  LatencySummary s;
+  if (total_ms.empty()) return s;
+  std::sort(total_ms.begin(), total_ms.end());
+  const auto rank = [&](double p) {
+    const std::size_t n = total_ms.size();
+    const std::size_t idx = std::min(
+        n - 1, static_cast<std::size_t>(std::ceil(p * n)) -
+                   (p > 0.0 ? 1 : 0));
+    return total_ms[idx];
+  };
+  double sum = 0.0;
+  for (double v : total_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(total_ms.size());
+  s.p50_ms = rank(0.50);
+  s.p90_ms = rank(0.90);
+  s.p99_ms = rank(0.99);
+  s.max_ms = total_ms.back();
+  return s;
+}
+
+ServerStats run_server_loop(const ServerConfig& config,
+                            const std::vector<LoadedNetlist>& netlists,
+                            bool verbose) {
+  ServerStats stats;
+  stats.offered_qps = config.qps;
+  if (netlists.empty() || config.total_requests <= 0) return stats;
+
+  InferenceEngine engine(config.engine);
+  Rng rng(config.seed);
+
+  // Per-netlist workload pool: the trace cycles through a bounded set so
+  // repeated (circuit, workload) pairs occur — the cacheable traffic a real
+  // serving deployment sees for hot designs.
+  const int wl_count = std::max(1, config.workloads_per_netlist);
+  std::vector<std::vector<Workload>> workloads(netlists.size());
+  for (std::size_t i = 0; i < netlists.size(); ++i)
+    for (int k = 0; k < wl_count; ++k)
+      workloads[i].push_back(random_workload(*netlists[i].aig, rng));
+
+  // Draw the open-loop arrival schedule up front.
+  const double mean_gap_s = 1.0 / std::max(1e-6, config.qps);
+  std::vector<double> arrival_s(
+      static_cast<std::size_t>(config.total_requests));
+  double t = 0.0;
+  for (double& a : arrival_s) {
+    const double gap = config.poisson
+                           ? -mean_gap_s * std::log(1.0 - rng.uniform())
+                           : mean_gap_s;
+    t += gap;
+    a = t;
+  }
+
+  std::vector<std::future<EmbeddingResult>> futures;
+  futures.reserve(arrival_s.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < arrival_s.size(); ++i) {
+    const auto due =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(arrival_s[i]));
+    std::this_thread::sleep_until(due);  // open loop: never waits on replies
+
+    EmbeddingRequest req;
+    const std::size_t n = rng.uniform_index(netlists.size());
+    req.circuit = netlists[n].aig;
+    req.workload = workloads[n][rng.uniform_index(
+        static_cast<std::uint64_t>(wl_count))];
+    req.backend = rng.uniform() < config.pace_fraction ? Backend::kPace
+                                                       : Backend::kDeepSeqCustom;
+    req.init_seed = 7;  // fixed: embeddings for equal inputs are cacheable
+    futures.push_back(engine.submit(std::move(req)));
+  }
+  engine.drain();
+
+  std::vector<double> total_ms;
+  total_ms.reserve(futures.size());
+  for (auto& f : futures) {
+    try {
+      const EmbeddingResult r = f.get();
+      total_ms.push_back(r.total_ms);
+      ++stats.completed;
+    } catch (const std::exception& e) {
+      ++stats.failed;
+      if (verbose) std::fprintf(stderr, "[serve] request failed: %s\n", e.what());
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  stats.wall_seconds = std::chrono::duration<double>(end - start).count();
+  stats.achieved_qps = stats.wall_seconds > 0.0
+                           ? static_cast<double>(stats.completed) /
+                                 stats.wall_seconds
+                           : 0.0;
+  stats.latency = summarize_latencies(std::move(total_ms));
+  stats.cache = engine.cache_stats();
+
+  if (verbose) {
+    std::printf(
+        "[serve] %zu/%zu ok, wall %.2fs, offered %.1f qps, achieved %.1f "
+        "qps\n",
+        stats.completed, stats.completed + stats.failed, stats.wall_seconds,
+        stats.offered_qps, stats.achieved_qps);
+    std::printf(
+        "[serve] latency ms: mean %.2f p50 %.2f p90 %.2f p99 %.2f max "
+        "%.2f\n",
+        stats.latency.mean_ms, stats.latency.p50_ms, stats.latency.p90_ms,
+        stats.latency.p99_ms, stats.latency.max_ms);
+    std::printf(
+        "[serve] cache: structures %llu/%llu hits (%zu entries), embeddings "
+        "%llu/%llu hits (%zu entries), %llu evictions\n",
+        static_cast<unsigned long long>(stats.cache.structures.hits),
+        static_cast<unsigned long long>(stats.cache.structures.hits +
+                                        stats.cache.structures.misses),
+        stats.cache.structure_entries,
+        static_cast<unsigned long long>(stats.cache.embeddings.hits),
+        static_cast<unsigned long long>(stats.cache.embeddings.hits +
+                                        stats.cache.embeddings.misses),
+        stats.cache.embedding_entries,
+        static_cast<unsigned long long>(stats.cache.embeddings.evictions +
+                                        stats.cache.structures.evictions));
+  }
+  return stats;
+}
+
+}  // namespace deepseq::runtime

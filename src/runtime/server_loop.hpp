@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/inference_engine.hpp"
+
+namespace deepseq::runtime {
+
+/// A netlist loaded for serving: parsed from disk (or synthesized), already
+/// normalized to the strict sequential AIG the models consume.
+struct LoadedNetlist {
+  std::string name;
+  std::shared_ptr<const Circuit> aig;
+};
+
+/// Load every .bench / .aag (ASCII AIGER) / .aig (binary AIGER) file in
+/// `dir`, decomposing generic gate types to AND/NOT where needed (paper
+/// §V-A2). Unreadable or structurally invalid files are skipped with a
+/// note on stderr; the result is sorted by name for reproducible traces.
+std::vector<LoadedNetlist> load_netlist_dir(const std::string& dir);
+
+/// Request-replay configuration. The trace is OPEN-LOOP: arrival times are
+/// drawn up front from the offered rate (Poisson by default) and requests
+/// are submitted at those times regardless of completion — the standard
+/// way to expose queueing delay that closed-loop (wait-for-reply) drivers
+/// hide.
+struct ServerConfig {
+  double qps = 50.0;
+  int total_requests = 200;
+  /// Poisson (exponential inter-arrival) vs uniform spacing.
+  bool poisson = true;
+  /// Fraction of requests served by the PACE backend (rest DeepSeq-custom);
+  /// 0 and 1 pin all traffic to one path.
+  double pace_fraction = 0.0;
+  /// Distinct workloads per netlist cycled through by the trace. Small
+  /// values make repeat (cacheable) requests common, mimicking hot
+  /// circuits; large values approximate an all-cold stream.
+  int workloads_per_netlist = 4;
+  std::uint64_t seed = 1;
+  EngineConfig engine;
+};
+
+/// Read serving knobs from the environment (common/env):
+///   DEEPSEQ_QPS       offered rate              (default 50)
+///   DEEPSEQ_THREADS   engine worker threads     (default 4)
+///   DEEPSEQ_REQUESTS  trace length              (default 200)
+///   DEEPSEQ_BACKEND   deepseq | pace | mixed    (default deepseq)
+ServerConfig server_config_from_env();
+
+struct LatencySummary {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Percentiles over a sample of latencies (nearest-rank); empty input
+/// yields zeros.
+LatencySummary summarize_latencies(std::vector<double> total_ms);
+
+struct ServerStats {
+  std::size_t completed = 0;
+  std::size_t failed = 0;  // requests whose future carried an exception
+  double wall_seconds = 0.0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  LatencySummary latency;
+  CircuitCache::Stats cache;
+};
+
+/// Replay the trace against a fresh InferenceEngine built from
+/// `config.engine` and return aggregate stats.
+ServerStats run_server_loop(const ServerConfig& config,
+                            const std::vector<LoadedNetlist>& netlists,
+                            bool verbose = false);
+
+}  // namespace deepseq::runtime

@@ -1,0 +1,61 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace deepseq::runtime {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+    ++completed_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace deepseq::runtime

@@ -1,0 +1,230 @@
+#include "runtime/inference_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+#include "netlist/topology.hpp"
+#include "nn/graph.hpp"
+
+namespace deepseq::runtime {
+namespace {
+
+EngineConfig small_engine(int threads, int max_batch = 4) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.max_batch = max_batch;
+  cfg.model = ModelConfig::deepseq(/*hidden=*/12, /*t=*/2);
+  cfg.pace.hidden_dim = 12;
+  cfg.pace.layers = 2;
+  return cfg;
+}
+
+std::shared_ptr<const Circuit> shared_aig(std::uint64_t seed) {
+  Rng rng(seed);
+  GeneratorSpec spec;
+  spec.num_pis = 5;
+  spec.num_ffs = 4;
+  spec.num_gates = 60;
+  for (int t = 0; t < kNumGateTypes; ++t) spec.gate_weights[t] = 0.0;
+  spec.gate_weights[static_cast<int>(GateType::kAnd)] = 4.0;
+  spec.gate_weights[static_cast<int>(GateType::kNot)] = 2.0;
+  return std::make_shared<const Circuit>(generate_circuit(spec, rng));
+}
+
+bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(InferenceEngine, BatchedMatchesSequentialBitIdentical) {
+  const EngineConfig cfg = small_engine(/*threads=*/4);
+
+  // Reference models built from the same presets: identical weights by
+  // construction (deterministic seeds).
+  const DeepSeqModel ref_model(cfg.model);
+  const PaceEncoder ref_pace(cfg.pace);
+
+  std::vector<std::shared_ptr<const Circuit>> circuits = {
+      shared_aig(1), shared_aig(2),
+      std::make_shared<const Circuit>(decompose_to_aig(iscas89_s27()).aig)};
+
+  InferenceEngine engine(cfg);
+  std::vector<EmbeddingRequest> requests;
+  Rng rng(99);
+  for (int i = 0; i < 24; ++i) {
+    EmbeddingRequest r;
+    r.circuit = circuits[i % circuits.size()];
+    r.workload = random_workload(*r.circuit, rng);
+    r.backend = (i % 2 == 0) ? Backend::kDeepSeqCustom : Backend::kPace;
+    r.init_seed = 1000 + static_cast<std::uint64_t>(i);
+    requests.push_back(std::move(r));
+  }
+
+  std::vector<std::future<EmbeddingResult>> futures;
+  for (const auto& r : requests) futures.push_back(engine.submit(r));
+  engine.drain();
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const EmbeddingResult got = futures[i].get();
+    const EmbeddingRequest& r = requests[i];
+    nn::Graph g(false);
+    nn::Tensor want;
+    if (r.backend == Backend::kPace) {
+      const PaceGraph pg = build_pace_graph(*r.circuit, cfg.pace);
+      want = ref_pace.embed(g, pg, r.workload, r.init_seed)->value;
+    } else {
+      const CircuitGraph cg = build_circuit_graph(*r.circuit);
+      want = ref_model.embed(g, cg, r.workload, r.init_seed)->value;
+    }
+    ASSERT_NE(got.embedding, nullptr) << "request " << i;
+    EXPECT_TRUE(bit_identical(*got.embedding, want)) << "request " << i;
+  }
+}
+
+TEST(InferenceEngine, RunSyncMatchesSubmit) {
+  const EngineConfig cfg = small_engine(2);
+  InferenceEngine a(cfg), b(cfg);
+  auto circuit = shared_aig(5);
+  Rng rng(7);
+  EmbeddingRequest r;
+  r.circuit = circuit;
+  r.workload = random_workload(*circuit, rng);
+  r.init_seed = 42;
+
+  auto f = a.submit(r);
+  a.flush();
+  const EmbeddingResult via_pool = f.get();
+  const EmbeddingResult via_sync = b.run_sync(r);
+  EXPECT_TRUE(bit_identical(*via_pool.embedding, *via_sync.embedding));
+}
+
+TEST(InferenceEngine, RepeatRequestHitsEmbeddingCache) {
+  InferenceEngine engine(small_engine(2));
+  auto circuit = shared_aig(6);
+  Rng rng(8);
+  EmbeddingRequest r;
+  r.circuit = circuit;
+  r.workload = random_workload(*circuit, rng);
+  r.init_seed = 3;
+
+  const EmbeddingResult first = engine.run_sync(r);
+  EXPECT_FALSE(first.embedding_cache_hit);
+  const EmbeddingResult second = engine.run_sync(r);
+  EXPECT_TRUE(second.embedding_cache_hit);
+  EXPECT_EQ(first.embedding.get(), second.embedding.get());  // shared entry
+  EXPECT_GE(engine.cache_stats().embeddings.hits, 1u);
+}
+
+TEST(InferenceEngine, StructureSharedAcrossWorkloads) {
+  InferenceEngine engine(small_engine(2));
+  auto circuit = shared_aig(7);
+  Rng rng(9);
+  for (int i = 0; i < 4; ++i) {
+    EmbeddingRequest r;
+    r.circuit = circuit;
+    r.workload = random_workload(*circuit, rng);  // distinct workloads
+    r.init_seed = static_cast<std::uint64_t>(i);
+    (void)engine.run_sync(r);
+  }
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.structures.misses, 1u);  // built once
+  EXPECT_EQ(stats.structures.hits, 3u);
+  EXPECT_EQ(stats.embeddings.hits, 0u);  // all-new workloads: no reuse
+}
+
+/// Rebuild `c` with reversed per-level gate creation order: isomorphic
+/// (same structural hash) but different node ids.
+Circuit renumber(const Circuit& c) {
+  Circuit out(c.name());
+  std::vector<NodeId> map(c.num_nodes(), kNullNode);
+  for (NodeId pi : c.pis()) map[pi] = out.add_pi();
+  for (NodeId ff : c.ffs()) map[ff] = out.add_ff();
+  for (const auto& level : comb_levelize(c).by_level) {
+    for (auto it = level.rbegin(); it != level.rend(); ++it) {
+      const NodeId v = *it;
+      if (map[v] != kNullNode) continue;
+      std::vector<NodeId> fanins;
+      for (int i = 0; i < c.num_fanins(v); ++i)
+        fanins.push_back(map[c.fanin(v, i)]);
+      map[v] = out.add_gate(c.type(v), fanins);
+    }
+  }
+  for (std::size_t k = 0; k < c.ffs().size(); ++k)
+    out.set_fanin(out.ffs()[k], 0, map[c.fanin(c.ffs()[k], 0)]);
+  for (NodeId po : c.pos()) out.add_po(map[po]);
+  return out;
+}
+
+TEST(InferenceEngine, IsomorphicRenumberedCircuitGetsItsOwnEmbedding) {
+  const EngineConfig cfg = small_engine(2);
+  InferenceEngine engine(cfg);
+  auto a = shared_aig(20);
+  auto b = std::make_shared<const Circuit>(renumber(*a));
+  ASSERT_EQ(structural_hash(*a), structural_hash(*b));
+  ASSERT_NE(exact_hash(*a), exact_hash(*b));
+
+  Rng rng(21);
+  Workload w = random_workload(*a, rng);
+  EmbeddingRequest ra{a, w, Backend::kDeepSeqCustom, 5};
+  EmbeddingRequest rb{b, w, Backend::kDeepSeqCustom, 5};
+
+  (void)engine.run_sync(ra);  // warms the cache with a's node-indexed rows
+  const EmbeddingResult got_b = engine.run_sync(rb);
+  EXPECT_FALSE(got_b.embedding_cache_hit);  // must NOT reuse a's entry
+
+  const DeepSeqModel ref(cfg.model);
+  nn::Graph g(false);
+  const nn::Tensor want =
+      ref.embed(g, build_circuit_graph(*b), w, 5)->value;
+  EXPECT_TRUE(bit_identical(*got_b.embedding, want));
+}
+
+TEST(InferenceEngine, PartialBatchFlushedByTimer) {
+  EngineConfig cfg = small_engine(2, /*max_batch=*/64);
+  cfg.flush_interval_ms = 1.0;
+  InferenceEngine engine(cfg);
+  auto circuit = shared_aig(8);
+  Rng rng(10);
+  EmbeddingRequest r;
+  r.circuit = circuit;
+  r.workload = random_workload(*circuit, rng);
+
+  auto f = engine.submit(r);  // far below max_batch; no explicit flush
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_NE(f.get().embedding, nullptr);
+}
+
+TEST(InferenceEngine, WorkloadMismatchSurfacesThroughFuture) {
+  InferenceEngine engine(small_engine(2));
+  EmbeddingRequest r;
+  r.circuit = shared_aig(11);
+  r.workload.pi_prob = {0.5};  // wrong PI count
+  auto f = engine.submit(std::move(r));
+  engine.flush();
+  EXPECT_THROW(f.get(), Error);
+}
+
+TEST(InferenceEngine, LatencyBreakdownIsPopulated) {
+  InferenceEngine engine(small_engine(1));
+  auto circuit = shared_aig(12);
+  Rng rng(13);
+  EmbeddingRequest r;
+  r.circuit = circuit;
+  r.workload = random_workload(*circuit, rng);
+  auto f = engine.submit(r);
+  engine.drain();
+  const EmbeddingResult res = f.get();
+  EXPECT_GT(res.compute_ms, 0.0);
+  EXPECT_GE(res.total_ms, res.compute_ms);
+  EXPECT_GE(res.queue_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace deepseq::runtime

@@ -1,0 +1,101 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace deepseq::runtime {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.completed(), 100u);
+}
+
+TEST(ThreadPool, SingleThreadPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i)
+    pool.submit([&order, i] { order.push_back(i); });
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WaitIdleCoversTasksSubmittedFromTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &count] {
+      ++count;
+      pool.submit([&count] { ++count; });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, SubmitWithResultDeliversValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit_with_result([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitWithResultTransportsExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit_with_result(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsFallsBackToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPool, StressManyProducersManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  {
+    ThreadPool producers(4);
+    for (int p = 0; p < 4; ++p) {
+      producers.submit([&pool, &sum, p] {
+        for (int i = 0; i < 500; ++i) {
+          const long long v = 1000LL * p + i;
+          pool.submit([&sum, v] { sum += v; });
+        }
+      });
+    }
+    producers.wait_idle();
+  }
+  pool.wait_idle();
+  long long expect = 0;
+  for (int p = 0; p < 4; ++p)
+    for (int i = 0; i < 500; ++i) expect += 1000LL * p + i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.wait_idle();
+  pool.wait_idle();
+  EXPECT_EQ(pool.completed(), 0u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) pool.submit([&count] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace deepseq::runtime
