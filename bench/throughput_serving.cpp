@@ -1,24 +1,29 @@
-// Serving throughput of the concurrent batched inference runtime
-// (src/runtime/): requests/sec and p50/p99 latency vs worker-thread count
-// (1/2/4/8) and cache temperature, for both embedding backends — the
-// paper's levelized DeepSeq propagation and the PACE-style parallel
-// encoder (§VI). Each configuration replays the same closed-burst trace
-// twice against one engine: the first pass is all-cold (every structure
-// levelized, every forward pass computed), the second is warm (the
+// Serving throughput of the unified deepseq::api surface: requests/sec and
+// p50/p99 latency vs worker-thread count (1/2/4/8) and cache temperature,
+// for every backend registered in the BackendRegistry (the paper's
+// levelized DeepSeq propagation and the PACE-style parallel encoder out of
+// the box). Each configuration replays the same closed-burst trace twice
+// against one Session: the first pass is all-cold (every structure
+// prepared, every forward pass computed), the second is warm (the
 // structural-hash-keyed cache serves repeats). Emits a table and a JSON
-// document (serving_throughput.json) for cross-commit tracking.
+// document (serving_throughput.json) — including queue_ms vs compute_ms
+// percentile breakdowns, so queueing delay and forward-pass cost are
+// separable — for cross-commit tracking.
 //
 // Knobs: DEEPSEQ_SERVE_REQUESTS (trace length), DEEPSEQ_SERVE_CIRCUITS,
+// DEEPSEQ_SERVE_THREADS (cap the thread sweep, e.g. 2 for CI smoke runs),
 // DEEPSEQ_FULL=1 for paper-scale model presets.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "api/registry.hpp"
+#include "api/session.hpp"
 #include "bench_util.hpp"
 #include "common/env.hpp"
 #include "common/timer.hpp"
 #include "dataset/generator.hpp"
-#include "runtime/inference_engine.hpp"
 #include "runtime/server_loop.hpp"
 
 using namespace deepseq;
@@ -31,39 +36,58 @@ struct RunResult {
   double wall_s = 0.0;
   double qps = 0.0;
   LatencySummary latency;
+  LatencySummary queue;
+  LatencySummary compute;
 };
 
 /// Submit the whole trace as fast as possible (closed burst) and drain:
 /// wall time measures pipeline throughput, per-request futures measure
 /// latency under that load.
-RunResult replay(InferenceEngine& engine,
-                 const std::vector<EmbeddingRequest>& trace) {
-  std::vector<std::future<EmbeddingResult>> futures;
+RunResult replay(api::Session& session,
+                 const std::vector<api::TaskRequest>& trace) {
+  std::vector<std::future<api::TaskResult>> futures;
   futures.reserve(trace.size());
   WallTimer t;
-  for (const auto& r : trace) futures.push_back(engine.submit(r));
-  engine.drain();
+  for (const auto& r : trace) futures.push_back(session.submit(r));
+  session.drain();
   RunResult out;
   out.wall_s = t.seconds();
-  std::vector<double> total_ms;
+  std::vector<double> total_ms, queue_ms, compute_ms;
   total_ms.reserve(futures.size());
-  for (auto& f : futures) total_ms.push_back(f.get().total_ms);
+  queue_ms.reserve(futures.size());
+  compute_ms.reserve(futures.size());
+  for (auto& f : futures) {
+    const api::TaskResult r = f.get();
+    total_ms.push_back(r.total_ms);
+    queue_ms.push_back(r.queue_ms);
+    compute_ms.push_back(r.compute_ms);
+  }
   out.qps = out.wall_s > 0 ? static_cast<double>(trace.size()) / out.wall_s : 0;
   out.latency = summarize_latencies(std::move(total_ms));
+  out.queue = summarize_latencies(std::move(queue_ms));
+  out.compute = summarize_latencies(std::move(compute_ms));
   return out;
+}
+
+void json_latency(JsonWriter& json, const std::string& prefix,
+                  const LatencySummary& s) {
+  json.field(prefix + "_p50_ms", s.p50_ms);
+  json.field(prefix + "_p99_ms", s.p99_ms);
 }
 
 }  // namespace
 
 int main() {
   const BenchConfig cfg = BenchConfig::from_env();
-  print_banner("SERVING", "batched inference runtime throughput (src/runtime)",
+  print_banner("SERVING", "batched inference via the deepseq::api Session",
                cfg);
 
   const int num_requests =
       static_cast<int>(env_int("DEEPSEQ_SERVE_REQUESTS", cfg.full ? 512 : 96));
   const int num_circuits =
       static_cast<int>(env_int("DEEPSEQ_SERVE_CIRCUITS", 6));
+  const int max_threads =
+      static_cast<int>(env_int("DEEPSEQ_SERVE_THREADS", 8));
   const int workloads_per_circuit = 4;
 
   // Servable fleet: AIG-only generated netlists of increasing size.
@@ -86,8 +110,16 @@ int main() {
     for (int k = 0; k < workloads_per_circuit; ++k)
       workloads[i].push_back(random_workload(*circuits[i], rng));
 
-  std::printf("trace: %d requests over %d circuits x %d workloads\n\n",
+  // Every registered backend gets the same sweep — plugging a new backend
+  // into the registry automatically adds its rows here.
+  const std::vector<std::string> backends =
+      api::BackendRegistry::global().names();
+
+  std::printf("trace: %d requests over %d circuits x %d workloads\n",
               num_requests, num_circuits, workloads_per_circuit);
+  std::printf("backends:");
+  for (const std::string& b : backends) std::printf(" %s", b.c_str());
+  std::printf("\n\n");
 
   JsonWriter json;
   json.begin_object();
@@ -96,58 +128,68 @@ int main() {
   json.field("circuits", num_circuits);
   json.begin_array("rows");
 
-  double baseline_cold_qps[2] = {0.0, 0.0};  // per backend, threads == 1
-  double best_warm_qps_4t[2] = {0.0, 0.0};
+  std::vector<double> baseline_cold_qps(backends.size(), 0.0);
+  std::vector<double> best_warm_qps(backends.size(), 0.0);
 
-  for (const Backend backend : {Backend::kDeepSeqCustom, Backend::kPace}) {
-    const int bi = backend == Backend::kPace ? 1 : 0;
+  std::vector<int> thread_sweep;
+  for (const int t : {1, 2, 4, 8})
+    if (t <= max_threads) thread_sweep.push_back(t);
+  if (thread_sweep.empty()) thread_sweep.push_back(1);
+  const int speedup_threads = thread_sweep.back();
+
+  for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+    const std::string& backend = backends[bi];
     std::printf("%-8s | %7s | %9s %9s %9s | %9s %9s %9s | %8s\n",
                 "backend", "threads", "cold q/s", "p50 ms", "p99 ms",
                 "warm q/s", "p50 ms", "p99 ms", "hit rate");
     std::printf("%.*s\n", 98, std::string(98, '-').c_str());
-    for (const int threads : {1, 2, 4, 8}) {
+    for (const int threads : thread_sweep) {
       // Deterministic trace shared by every configuration.
       Rng trace_rng(4242);
-      std::vector<EmbeddingRequest> trace;
+      std::vector<api::TaskRequest> trace;
       for (int i = 0; i < num_requests; ++i) {
-        EmbeddingRequest r;
+        api::TaskRequest r;
         const std::size_t c = trace_rng.uniform_index(circuits.size());
         r.circuit = circuits[c];
         r.workload = workloads[c][trace_rng.uniform_index(workloads_per_circuit)];
+        r.task = api::TaskKind::kEmbedding;
         r.backend = backend;
         r.init_seed = 7;
         trace.push_back(std::move(r));
       }
 
-      EngineConfig ecfg;
-      ecfg.threads = threads;
-      ecfg.max_batch = 8;
-      ecfg.model = ModelConfig::deepseq(cfg.hidden, cfg.iterations);
-      ecfg.pace.hidden_dim = cfg.hidden;
-      InferenceEngine engine(ecfg);
+      api::SessionConfig scfg;
+      scfg.backend = backend;
+      scfg.engine.threads = threads;
+      scfg.engine.max_batch = 8;
+      scfg.backends.model = ModelConfig::deepseq(cfg.hidden, cfg.iterations);
+      scfg.backends.pace.hidden_dim = cfg.hidden;
+      api::Session session(scfg);
 
-      const RunResult cold = replay(engine, trace);
-      const RunResult warm = replay(engine, trace);
-      const auto stats = engine.cache_stats();
+      const RunResult cold = replay(session, trace);
+      const RunResult warm = replay(session, trace);
+      const auto stats = session.cache_stats();
       const double hit_rate = stats.embeddings.hit_rate();
 
       if (threads == 1) baseline_cold_qps[bi] = cold.qps;
-      if (threads == 4) best_warm_qps_4t[bi] = warm.qps;
+      if (threads == speedup_threads) best_warm_qps[bi] = warm.qps;
 
       std::printf("%-8s | %7d | %9.1f %9.2f %9.2f | %9.1f %9.2f %9.2f | %7.0f%%\n",
-                  backend_name(backend), threads, cold.qps,
+                  backend.c_str(), threads, cold.qps,
                   cold.latency.p50_ms, cold.latency.p99_ms, warm.qps,
                   warm.latency.p50_ms, warm.latency.p99_ms, 100.0 * hit_rate);
 
       json.begin_object();
-      json.field("backend", backend_name(backend));
+      json.field("backend", backend);
       json.field("threads", threads);
       json.field("cold_qps", cold.qps);
-      json.field("cold_p50_ms", cold.latency.p50_ms);
-      json.field("cold_p99_ms", cold.latency.p99_ms);
+      json_latency(json, "cold", cold.latency);
+      json_latency(json, "cold_queue", cold.queue);
+      json_latency(json, "cold_compute", cold.compute);
       json.field("warm_qps", warm.qps);
-      json.field("warm_p50_ms", warm.latency.p50_ms);
-      json.field("warm_p99_ms", warm.latency.p99_ms);
+      json_latency(json, "warm", warm.latency);
+      json_latency(json, "warm_queue", warm.queue);
+      json_latency(json, "warm_compute", warm.compute);
       json.field("embedding_hit_rate", hit_rate);
       json.field("structure_hits", stats.structures.hits);
       json.field("structure_misses", stats.structures.misses);
@@ -158,14 +200,13 @@ int main() {
   }
 
   json.end_array();
-  for (int bi = 0; bi < 2; ++bi) {
+  for (std::size_t bi = 0; bi < backends.size(); ++bi) {
     const double speedup = baseline_cold_qps[bi] > 0
-                               ? best_warm_qps_4t[bi] / baseline_cold_qps[bi]
+                               ? best_warm_qps[bi] / baseline_cold_qps[bi]
                                : 0.0;
-    const char* name = bi == 1 ? "pace" : "deepseq";
-    std::printf("%s: 4-thread warm vs 1-thread cold speedup: %.1fx\n", name,
-                speedup);
-    json.field(std::string(name) + "_warm4_vs_cold1_speedup", speedup);
+    std::printf("%s: %d-thread warm vs 1-thread cold speedup: %.1fx\n",
+                backends[bi].c_str(), speedup_threads, speedup);
+    json.field(backends[bi] + "_warm_vs_cold1_speedup", speedup);
   }
   json.end_object();
   write_json_file("serving_throughput.json", json.str());

@@ -8,9 +8,11 @@
 // netlists is generated and written to ./serve_demo_netlists first, so the
 // disk-loading path is exercised either way. Serving knobs come from the
 // environment: DEEPSEQ_QPS, DEEPSEQ_THREADS, DEEPSEQ_REQUESTS,
-// DEEPSEQ_BACKEND (deepseq | pace | mixed).
+// DEEPSEQ_BACKEND (any registered backend name, or a comma-separated list
+// for mixed traffic; unknown names abort listing the registry).
 
 #include <cstdio>
+#include <exception>
 #include <filesystem>
 
 #include "common/env.hpp"
@@ -42,7 +44,7 @@ std::string ensure_demo_netlists() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   std::string dir = argc > 1 ? argv[1] : env_string("DEEPSEQ_NETLIST_DIR", "");
   if (dir.empty()) {
     dir = ensure_demo_netlists();
@@ -63,15 +65,23 @@ int main(int argc, char** argv) {
 
   ServerConfig cfg = server_config_from_env();
   char threads[32];
-  if (cfg.engine.threads > 0)
-    std::snprintf(threads, sizeof(threads), "%d", cfg.engine.threads);
+  if (cfg.session.engine.threads > 0)
+    std::snprintf(threads, sizeof(threads), "%d", cfg.session.engine.threads);
   else
     std::snprintf(threads, sizeof(threads), "auto");
+  std::string backends;
+  for (const std::string& b : cfg.backends)
+    backends += (backends.empty() ? "" : ",") + b;
   std::printf(
       "\ntrace: %d requests, %.1f qps offered (Poisson), %s worker "
-      "threads, %.0f%% PACE traffic\n\n",
-      cfg.total_requests, cfg.qps, threads, 100.0 * cfg.pace_fraction);
+      "threads, backend(s): %s\n\n",
+      cfg.total_requests, cfg.qps, threads, backends.c_str());
 
   const ServerStats stats = run_server_loop(cfg, netlists, /*verbose=*/true);
   return stats.completed > 0 ? 0 : 1;
+} catch (const std::exception& e) {
+  // e.g. an unknown DEEPSEQ_BACKEND — the registry fails fast and lists
+  // the registered names.
+  std::fprintf(stderr, "serve_embeddings: %s\n", e.what());
+  return 1;
 }

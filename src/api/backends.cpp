@@ -1,0 +1,107 @@
+#include "api/backends.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "netlist/structural_hash.hpp"
+#include "nn/graph.hpp"
+
+namespace deepseq::api {
+
+Regression EmbeddingBackend::regress(const nn::Tensor&) const {
+  throw Error("backend '" + info().name + "' does not support regress heads");
+}
+
+ReliabilityEstimate EmbeddingBackend::reliability(
+    const BackendState&, const Workload&, const std::vector<NodeId>&,
+    std::uint64_t) const {
+  throw Error("backend '" + info().name +
+              "' does not support the reliability task");
+}
+
+std::uint64_t deepseq_fingerprint(const ModelConfig& m) {
+  std::uint64_t h = hash_mix(0xD5ULL, static_cast<std::uint64_t>(m.aggregator));
+  h = hash_mix(h, static_cast<std::uint64_t>(m.propagation));
+  h = hash_mix(h, static_cast<std::uint64_t>(m.iterations));
+  h = hash_mix(h, static_cast<std::uint64_t>(m.hidden_dim));
+  return hash_mix(h, m.seed);
+}
+
+std::uint64_t pace_fingerprint(const PaceConfig& p) {
+  std::uint64_t h = hash_mix(0xFACEULL, static_cast<std::uint64_t>(p.hidden_dim));
+  h = hash_mix(h, static_cast<std::uint64_t>(p.layers));
+  h = hash_mix(h, static_cast<std::uint64_t>(p.max_ancestors));
+  h = hash_mix(h, static_cast<std::uint64_t>(p.pos_dim));
+  return hash_mix(h, p.seed);
+}
+
+// ---- DeepSeqBackend --------------------------------------------------------
+
+DeepSeqBackend::DeepSeqBackend(const ModelConfig& config)
+    : model_(config), reliability_model_(model_) {
+  info_.name = "deepseq";
+  info_.hidden_dim = config.hidden_dim;
+  info_.fingerprint = deepseq_fingerprint(config);
+  info_.supports_regress = true;
+  info_.supports_reliability = true;
+}
+
+std::shared_ptr<const BackendState> DeepSeqBackend::prepare(
+    const Circuit& aig) const {
+  auto state = std::make_shared<DeepSeqState>();
+  state->graph = build_circuit_graph(aig);
+  state->pos.assign(aig.pos().begin(), aig.pos().end());
+  return state;
+}
+
+nn::Tensor DeepSeqBackend::embed(const BackendState& state, const Workload& w,
+                                 std::uint64_t init_seed) const {
+  const auto& s = static_cast<const DeepSeqState&>(state);
+  nn::Graph g(/*grad_enabled=*/false);
+  return std::move(model_.embed(g, s.graph, w, init_seed)->value);
+}
+
+Regression DeepSeqBackend::regress(const nn::Tensor& embedding) const {
+  nn::Graph g(/*grad_enabled=*/false);
+  const auto out = model_.regress(g, g.constant(embedding));
+  Regression r;
+  r.tr = std::move(out.tr->value);
+  r.lg = std::move(out.lg->value);
+  return r;
+}
+
+ReliabilityEstimate DeepSeqBackend::reliability(
+    const BackendState& state, const Workload& w,
+    const std::vector<NodeId>& pos, std::uint64_t init_seed) const {
+  const auto& s = static_cast<const DeepSeqState&>(state);
+  auto est = reliability_model_.estimate(s.graph, w,
+                                         pos.empty() ? s.pos : pos, init_seed);
+  ReliabilityEstimate out;
+  out.node_reliability = std::move(est.node_reliability);
+  out.circuit_reliability = est.circuit_reliability;
+  return out;
+}
+
+// ---- PaceBackend -----------------------------------------------------------
+
+PaceBackend::PaceBackend(const PaceConfig& config) : encoder_(config) {
+  info_.name = "pace";
+  info_.hidden_dim = config.hidden_dim;
+  info_.fingerprint = pace_fingerprint(config);
+}
+
+std::shared_ptr<const BackendState> PaceBackend::prepare(
+    const Circuit& aig) const {
+  auto state = std::make_shared<PaceState>();
+  state->graph = build_pace_graph(aig, encoder_.config());
+  return state;
+}
+
+nn::Tensor PaceBackend::embed(const BackendState& state, const Workload& w,
+                              std::uint64_t init_seed) const {
+  const auto& s = static_cast<const PaceState&>(state);
+  nn::Graph g(/*grad_enabled=*/false);
+  return std::move(encoder_.embed(g, s.graph, w, init_seed)->value);
+}
+
+}  // namespace deepseq::api

@@ -1,0 +1,81 @@
+#include "api/registry.hpp"
+
+#include <utility>
+
+#include "api/backends.hpp"
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace deepseq::api {
+
+void BackendRegistry::register_backend(const std::string& name,
+                                       Factory factory) {
+  if (name.empty()) throw Error("BackendRegistry: empty backend name");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!factories_.emplace(name, std::move(factory)).second)
+    throw Error("BackendRegistry: backend '" + name + "' already registered");
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+std::string BackendRegistry::unknown_message(const std::string& name) const {
+  std::string msg = "unknown backend '" + name + "'; registered:";
+  for (const auto& [known, factory] : factories_) msg += " " + known;
+  return msg;
+}
+
+std::unique_ptr<EmbeddingBackend> BackendRegistry::create(
+    const std::string& name, const BackendOptions& options) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) throw Error(unknown_message(name));
+    factory = it->second;
+  }
+  auto backend = factory(options);
+  if (!backend)
+    throw Error("BackendRegistry: factory for '" + name + "' returned null");
+  return backend;
+}
+
+std::string BackendRegistry::resolve(const std::string& requested,
+                                     const std::string& fallback) const {
+  const std::string& name = requested.empty() ? fallback : requested;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (factories_.find(name) == factories_.end())
+    throw Error(unknown_message(name));
+  return name;
+}
+
+BackendRegistry& BackendRegistry::global() {
+  static BackendRegistry* registry = [] {
+    auto* r = new BackendRegistry();
+    r->register_backend("deepseq", [](const BackendOptions& o) {
+      return std::make_unique<DeepSeqBackend>(o.model);
+    });
+    r->register_backend("pace", [](const BackendOptions& o) {
+      return std::make_unique<PaceBackend>(o.pace);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+std::string backend_from_env(const BackendRegistry& registry,
+                             const std::string& fallback) {
+  return registry.resolve(env_string("DEEPSEQ_BACKEND", ""), fallback);
+}
+
+}  // namespace deepseq::api

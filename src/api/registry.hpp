@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/backend.hpp"
+#include "core/model.hpp"
+#include "core/pace.hpp"
+
+namespace deepseq::api {
+
+/// Construction presets handed to every backend factory. A factory reads
+/// the slice it cares about ("deepseq" reads `model`, "pace" reads `pace`);
+/// new backends can extend this struct or close over their own options at
+/// registration time.
+struct BackendOptions {
+  ModelConfig model = ModelConfig::deepseq(/*hidden=*/32, /*t=*/4);
+  PaceConfig pace;
+};
+
+/// String-keyed factory registry: the extensibility point that replaces the
+/// old hardcoded `Backend` enum. Backends are resolved by name — from code,
+/// from DEEPSEQ_BACKEND, from CLI flags — and new ones (quantized, distilled,
+/// onnx-exported, ...) plug in with one register_backend() call, no serving
+/// layer changes. All methods are thread-safe.
+class BackendRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<EmbeddingBackend>(const BackendOptions&)>;
+
+  /// Register a factory under `name`. Throws Error on a duplicate name.
+  void register_backend(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted — for CLIs, benches and error messages.
+  std::vector<std::string> names() const;
+
+  /// Instantiate the backend registered under `name`. Unknown names throw
+  /// an Error that lists every registered name (fail fast — no silent
+  /// fallback to a default).
+  std::unique_ptr<EmbeddingBackend> create(const std::string& name,
+                                           const BackendOptions& options) const;
+
+  /// Validate a requested name: empty resolves to `fallback`, a registered
+  /// name resolves to itself, anything else throws the create() error.
+  std::string resolve(const std::string& requested,
+                      const std::string& fallback) const;
+
+  /// The process-wide registry, pre-populated with the built-in "deepseq"
+  /// and "pace" backends.
+  static BackendRegistry& global();
+
+ private:
+  std::string unknown_message(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Resolve DEEPSEQ_BACKEND against `registry` (empty/unset -> `fallback`;
+/// unknown -> Error listing the registered names).
+std::string backend_from_env(const BackendRegistry& registry,
+                             const std::string& fallback = "deepseq");
+
+}  // namespace deepseq::api

@@ -1,0 +1,187 @@
+#include "api/session.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "power/pipeline.hpp"
+
+namespace deepseq::api {
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point t0,
+                  std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Which parts of the embedding pipeline a task consumes.
+bool task_needs_embedding(TaskKind k) {
+  switch (k) {
+    case TaskKind::kEmbedding:
+    case TaskKind::kLogicProb:
+    case TaskKind::kTransitionProb:
+    case TaskKind::kPower:
+      return true;
+    case TaskKind::kReliability:
+    case TaskKind::kTestability:
+      return false;
+  }
+  return true;
+}
+
+bool task_needs_state(TaskKind k) { return k == TaskKind::kReliability; }
+
+bool task_needs_regress(TaskKind k) {
+  return k == TaskKind::kLogicProb || k == TaskKind::kTransitionProb ||
+         k == TaskKind::kPower;
+}
+
+}  // namespace
+
+const char* task_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::kEmbedding: return "embedding";
+    case TaskKind::kLogicProb: return "logic-prob";
+    case TaskKind::kTransitionProb: return "transition-prob";
+    case TaskKind::kPower: return "power";
+    case TaskKind::kReliability: return "reliability";
+    case TaskKind::kTestability: return "testability";
+  }
+  return "?";
+}
+
+Session::Session(const SessionConfig& config, BackendRegistry& registry)
+    : config_(config), registry_(registry), engine_(config.engine) {
+  // Fail fast on a misconfigured default and have it ready before the first
+  // request (backend construction builds model weights — not something to
+  // pay inside a latency-sensitive first submit).
+  config_.backend = registry_.resolve(config_.backend, "deepseq");
+  (void)backend(config_.backend);
+}
+
+const EmbeddingBackend& Session::backend(const std::string& name) {
+  const std::string& key = name.empty() ? config_.backend : name;
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    const auto it = backends_.find(key);
+    if (it != backends_.end()) return *it->second;
+  }
+  // Construct outside the lock: building a backend means building model
+  // weights, and holding backends_mu_ through that would stall every
+  // concurrent submit (including ones for already-built backends). If two
+  // threads race, both build deterministically identical backends and the
+  // first insert wins.
+  auto created = registry_.create(key, config_.backends);
+  std::lock_guard<std::mutex> lock(backends_mu_);
+  return *backends_.emplace(key, std::move(created)).first->second;
+}
+
+runtime::EmbeddingRequest Session::to_engine_request(
+    const TaskRequest& request, const EmbeddingBackend& be) const {
+  if (!request.circuit)
+    throw Error("Session: request without a circuit");
+  if (task_needs_regress(request.task) && !be.info().supports_regress)
+    throw Error(std::string("task '") + task_name(request.task) +
+                "' needs regress heads, which backend '" + be.info().name +
+                "' does not provide");
+  if (request.task == TaskKind::kReliability && !be.info().supports_reliability)
+    throw Error(std::string("backend '") + be.info().name +
+                "' does not support the reliability task");
+  runtime::EmbeddingRequest er;
+  er.circuit = request.circuit;
+  er.workload = request.workload;
+  er.backend = &be;
+  er.init_seed = request.init_seed;
+  er.want_embedding = task_needs_embedding(request.task);
+  er.want_state = task_needs_state(request.task);
+  return er;
+}
+
+TaskResult Session::finish(const TaskRequest& request,
+                           const EmbeddingBackend& be,
+                           runtime::EmbeddingResult&& er) const {
+  const auto head_start = std::chrono::steady_clock::now();
+  TaskResult result;
+  result.task = request.task;
+  result.backend = be.info().name;
+  result.structure = er.structure;
+  result.structure_cache_hit = er.structure_cache_hit;
+  result.embedding_cache_hit = er.embedding_cache_hit;
+  result.queue_ms = er.queue_ms;
+
+  switch (request.task) {
+    case TaskKind::kEmbedding: {
+      result.output = EmbeddingOutput{std::move(er.embedding)};
+      break;
+    }
+    case TaskKind::kLogicProb: {
+      Regression reg = be.regress(*er.embedding);
+      result.output = LogicProbOutput{
+          std::make_shared<const nn::Tensor>(std::move(reg.lg))};
+      break;
+    }
+    case TaskKind::kTransitionProb: {
+      Regression reg = be.regress(*er.embedding);
+      result.output = TransitionProbOutput{
+          std::make_shared<const nn::Tensor>(std::move(reg.tr))};
+      break;
+    }
+    case TaskKind::kPower: {
+      const Regression reg = be.regress(*er.embedding);
+      PowerOutput out;
+      const std::size_t n = request.circuit->num_nodes();
+      out.logic1.resize(n);
+      out.toggle_rate.resize(n);
+      for (std::size_t v = 0; v < n; ++v) {
+        const int row = static_cast<int>(v);
+        out.logic1[v] = reg.lg.at(row, 0);
+        out.toggle_rate[v] = reg.tr.at(row, 0) + reg.tr.at(row, 1);
+      }
+      out.report = power_from_activity(*request.circuit, out.logic1,
+                                       out.toggle_rate,
+                                       config_.power_duration);
+      result.output = std::move(out);
+      break;
+    }
+    case TaskKind::kReliability: {
+      ReliabilityEstimate est = be.reliability(*er.state, request.workload,
+                                               /*pos=*/{}, request.init_seed);
+      result.output = ReliabilityOutput{est.circuit_reliability,
+                                        std::move(est.node_reliability)};
+      break;
+    }
+    case TaskKind::kTestability: {
+      result.output =
+          TestabilityOutput{compute_scoap(*request.circuit, config_.scoap)};
+      break;
+    }
+  }
+
+  const double head_ms =
+      ms_between(head_start, std::chrono::steady_clock::now());
+  result.compute_ms = er.compute_ms + head_ms;
+  result.total_ms = er.total_ms + head_ms;
+  return result;
+}
+
+std::future<TaskResult> Session::submit(TaskRequest request) {
+  const EmbeddingBackend& be = backend(request.backend);
+  runtime::EmbeddingRequest er = to_engine_request(request, be);
+  return engine_.submit_then(
+      std::move(er),
+      [this, request = std::move(request),
+       &be](runtime::EmbeddingResult&& result) {
+        return finish(request, be, std::move(result));
+      });
+}
+
+TaskResult Session::run_sync(const TaskRequest& request) {
+  const EmbeddingBackend& be = backend(request.backend);
+  return finish(request, be, engine_.run_sync(to_engine_request(request, be)));
+}
+
+void Session::flush() { engine_.flush(); }
+
+void Session::drain() { engine_.drain(); }
+
+}  // namespace deepseq::api

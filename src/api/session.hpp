@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/backend.hpp"
+#include "api/registry.hpp"
+#include "netlist/scoap.hpp"
+#include "power/power_analyzer.hpp"
+#include "runtime/inference_engine.hpp"
+
+namespace deepseq::api {
+
+/// The downstream tasks DeepSeq embeddings feed (paper §V: logic/transition
+/// probability, power, reliability; netlist testability rides on the same
+/// serving surface via SCOAP).
+enum class TaskKind {
+  kEmbedding,
+  kLogicProb,
+  kTransitionProb,
+  kPower,
+  kReliability,
+  kTestability,
+};
+
+const char* task_name(TaskKind k);
+
+/// One typed query against a Session: which circuit, under which workload,
+/// which task, served by which backend (registry name; empty = the
+/// session's default backend).
+struct TaskRequest {
+  std::shared_ptr<const Circuit> circuit;  // strict sequential AIG
+  Workload workload;
+  TaskKind task = TaskKind::kEmbedding;
+  std::string backend;
+  std::uint64_t init_seed = 1;
+};
+
+// ---- per-task typed results ------------------------------------------------
+
+struct EmbeddingOutput {
+  std::shared_ptr<const nn::Tensor> embedding;  // N x hidden
+};
+
+struct LogicProbOutput {
+  std::shared_ptr<const nn::Tensor> prob;  // N x 1: P(node = 1)
+};
+
+struct TransitionProbOutput {
+  std::shared_ptr<const nn::Tensor> prob;  // N x 2: P(0->1), P(1->0)
+};
+
+struct PowerOutput {
+  PowerReport report;               // via the src/power analyzer (SAIF path)
+  std::vector<double> logic1;       // model-predicted per-node P(=1)
+  std::vector<double> toggle_rate;  // model-predicted per-node toggles/cycle
+};
+
+struct ReliabilityOutput {
+  double circuit_reliability = 1.0;        // averaged over POs
+  std::vector<double> node_reliability;    // per node
+};
+
+struct TestabilityOutput {
+  ScoapMeasures scoap;  // via netlist/scoap
+};
+
+using TaskOutput =
+    std::variant<EmbeddingOutput, LogicProbOutput, TransitionProbOutput,
+                 PowerOutput, ReliabilityOutput, TestabilityOutput>;
+
+struct TaskResult {
+  TaskKind task = TaskKind::kEmbedding;
+  std::string backend;  // registry name that served the request
+  TaskOutput output;
+  StructuralHash structure;
+  bool structure_cache_hit = false;
+  bool embedding_cache_hit = false;
+  double queue_ms = 0.0;
+  double compute_ms = 0.0;  // embed/structure resolve + task head
+  double total_ms = 0.0;
+
+  /// Typed access: `result.as<PowerOutput>()`. Throws
+  /// std::bad_variant_access on a task/type mismatch.
+  template <typename T>
+  const T& as() const {
+    return std::get<T>(output);
+  }
+};
+
+struct SessionConfig {
+  /// Default backend (registry name) for requests that leave
+  /// TaskRequest::backend empty. Resolved at construction — unknown names
+  /// throw listing the registered ones.
+  std::string backend = "deepseq";
+  /// Construction presets handed to backend factories.
+  BackendOptions backends;
+  /// Scheduler knobs (threads, batch window, cache capacities).
+  runtime::EngineConfig engine;
+  /// SAIF duration (cycles) power predictions are reported over.
+  long long power_duration = 10000;
+  ScoapOptions scoap;
+};
+
+/// The public serving surface: one Session owns the backend instances (all
+/// created through the registry), the batched scheduler and its caches, and
+/// serves every TaskKind through one submit/run_sync pair. All task kinds
+/// against the same circuit share one cached structure resolve, and
+/// embedding-consuming tasks (logic/transition probability, power) share
+/// one cached forward pass. All public methods are thread-safe.
+class Session {
+ public:
+  explicit Session(const SessionConfig& config = {},
+                   BackendRegistry& registry = BackendRegistry::global());
+
+  const SessionConfig& config() const { return config_; }
+
+  /// Enqueue a task; the future is fulfilled by a worker thread after the
+  /// coalesced batch it joins is processed. Unknown backend names and
+  /// unsupported task/backend combinations throw here (fail fast), compute
+  /// errors surface through the future.
+  std::future<TaskResult> submit(TaskRequest request);
+
+  /// Dispatch any partial batch immediately.
+  void flush();
+
+  /// flush() + block until every submitted task is fulfilled.
+  void drain();
+
+  /// Reference path: compute one task synchronously on the calling thread
+  /// through the same cache and backends. Bit-identical to submit().
+  TaskResult run_sync(const TaskRequest& request);
+
+  /// The session's instance of a backend (empty name = session default).
+  /// Lazily created through the registry on first use.
+  const EmbeddingBackend& backend(const std::string& name = "");
+
+  /// Registry names available to this session, sorted.
+  std::vector<std::string> backend_names() const { return registry_.names(); }
+
+  runtime::CircuitCache::Stats cache_stats() const {
+    return engine_.cache_stats();
+  }
+  int num_threads() const { return engine_.num_threads(); }
+
+ private:
+  runtime::EmbeddingRequest to_engine_request(const TaskRequest& request,
+                                              const EmbeddingBackend& be) const;
+  TaskResult finish(const TaskRequest& request, const EmbeddingBackend& be,
+                    runtime::EmbeddingResult&& er) const;
+
+  SessionConfig config_;
+  BackendRegistry& registry_;
+  mutable std::mutex backends_mu_;
+  // Owns the backend instances; destroyed AFTER engine_ (declared before
+  // it), so in-flight worker references stay valid through engine teardown.
+  std::map<std::string, std::unique_ptr<EmbeddingBackend>> backends_;
+  runtime::InferenceEngine engine_;
+};
+
+}  // namespace deepseq::api

@@ -1,15 +1,29 @@
 #include "common/env.hpp"
 
+#include <cctype>
 #include <cstdlib>
 
 namespace deepseq {
+namespace {
+
+/// True when everything from `p` on is whitespace: a parse is only accepted
+/// if it consumed the whole value (modulo trailing whitespace), so knobs
+/// like DEEPSEQ_QPS=1e2abc or DEEPSEQ_THREADS=8x fall back instead of
+/// silently truncating to a number the operator never asked for.
+bool only_trailing_whitespace(const char* p) {
+  for (; *p != '\0'; ++p)
+    if (!std::isspace(static_cast<unsigned char>(*p))) return false;
+  return true;
+}
+
+}  // namespace
 
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const long long parsed = std::strtoll(v, &end, 10);
-  if (end == v) return fallback;
+  if (end == v || !only_trailing_whitespace(end)) return fallback;
   return parsed;
 }
 
@@ -18,7 +32,7 @@ double env_double(const char* name, double fallback) {
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(v, &end);
-  if (end == v) return fallback;
+  if (end == v || !only_trailing_whitespace(end)) return fallback;
   return parsed;
 }
 

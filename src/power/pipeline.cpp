@@ -57,6 +57,22 @@ double power_via_saif(const Circuit& netlist, const SaifDocument& doc,
 
 }  // namespace
 
+PowerReport power_from_activity(const Circuit& netlist,
+                                const std::vector<double>& logic1,
+                                const std::vector<double>& toggle_rate,
+                                long long duration,
+                                const std::string& saif_path) {
+  if (logic1.size() != netlist.num_nodes() ||
+      toggle_rate.size() != netlist.num_nodes())
+    throw Error("power_from_activity: activity vectors must have one entry "
+                "per node");
+  const SaifDocument doc = make_saif(netlist, logic1, toggle_rate, duration,
+                                     netlist.name().empty() ? "design"
+                                                            : netlist.name());
+  if (!saif_path.empty()) write_saif_file(doc, saif_path);
+  return analyze_power(netlist, doc);
+}
+
 const char* finetune_dist_name(FinetuneDist d) {
   switch (d) {
     case FinetuneDist::kUniform: return "uniform";

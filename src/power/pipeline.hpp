@@ -107,4 +107,18 @@ Workload map_workload_to_aig(const Circuit& generic,
                              const std::vector<NodeId>& node_map,
                              const Circuit& aig, const Workload& w);
 
+/// Power from per-node activity via the pipeline's shared artifact path: a
+/// SAIF document over the netlist's node names (logic-1 duty + toggles over
+/// `duration` cycles) analyzed by the src/power analyzer — exactly how every
+/// method inside PowerPipeline is scored. `logic1`/`toggle_rate` are indexed
+/// by NodeId (rate in toggles/cycle) and may come from simulation or from
+/// model predictions (the serving layer's power task feeds DeepSeq regress
+/// outputs through here). When `saif_path` is non-empty the SAIF file is
+/// also written there.
+PowerReport power_from_activity(const Circuit& netlist,
+                                const std::vector<double>& logic1,
+                                const std::vector<double>& toggle_rate,
+                                long long duration,
+                                const std::string& saif_path = "");
+
 }  // namespace deepseq

@@ -4,21 +4,10 @@
 
 namespace deepseq::runtime {
 
-const char* backend_name(Backend b) {
-  switch (b) {
-    case Backend::kDeepSeqCustom:
-      return "deepseq";
-    case Backend::kPace:
-      return "pace";
-  }
-  return "?";
-}
-
 std::uint64_t EmbeddingKey::hash64() const {
   std::uint64_t h = structure.digest;
   h = hash_mix(h, exact);
-  h = hash_mix(h, static_cast<std::uint64_t>(backend));
-  h = hash_mix(h, model_fingerprint);
+  h = hash_mix(h, backend_fingerprint);
   h = hash_mix(h, workload_fingerprint);
   h = hash_mix(h, init_seed);
   return h;
@@ -26,8 +15,7 @@ std::uint64_t EmbeddingKey::hash64() const {
 
 bool EmbeddingKey::operator==(const EmbeddingKey& o) const {
   return structure == o.structure && exact == o.exact &&
-         backend == o.backend &&
-         model_fingerprint == o.model_fingerprint &&
+         backend_fingerprint == o.backend_fingerprint &&
          workload_fingerprint == o.workload_fingerprint &&
          init_seed == o.init_seed;
 }

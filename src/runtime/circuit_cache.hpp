@@ -10,8 +10,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/circuit_graph.hpp"
-#include "core/pace.hpp"
+#include "api/backend.hpp"
 #include "netlist/circuit.hpp"
 #include "netlist/structural_hash.hpp"
 #include "nn/tensor.hpp"
@@ -149,47 +148,33 @@ class ShardedLruCache {
 
 // ---- circuit-serving cache layers -----------------------------------------
 
-/// Which inference backend an entry belongs to (mirrors the two embedding
-/// paths of core/: the paper's levelized propagation and the PACE encoder).
-enum class Backend { kDeepSeqCustom = 0, kPace = 1 };
-
-const char* backend_name(Backend b);
-
 /// Key of the structure layer: the circuit's content hash PLUS its
-/// creation-order (exact) hash. The exact component is load-bearing for
-/// correctness: cached CircuitGraph/PaceGraph structures and embedding
-/// matrices are indexed by node id, so an isomorphic circuit with permuted
-/// ids must NOT share an entry — its caller would read other nodes' rows.
-/// Byte-identical netlists (same file parsed again — the hot serving case)
-/// produce identical creation orders and still share.
+/// creation-order (exact) hash PLUS the backend fingerprint the state was
+/// prepared by. The exact component is load-bearing for correctness:
+/// cached backend states and embedding matrices are indexed by node id, so
+/// an isomorphic circuit with permuted ids must NOT share an entry — its
+/// caller would read other nodes' rows. Byte-identical netlists (same file
+/// parsed again — the hot serving case) produce identical creation orders
+/// and still share. The backend fingerprint keeps differently-configured
+/// backends' states (levelized schedules vs ancestor sets, different
+/// hyper-parameters) apart.
 struct StructureKey {
   StructuralHash hash;
   std::uint64_t exact = 0;
+  std::uint64_t backend = 0;  // api::BackendInfo::fingerprint
 
-  std::uint64_t hash64() const { return hash.digest; }
+  std::uint64_t hash64() const { return hash_mix(hash.digest, backend); }
   bool operator==(const StructureKey& o) const {
-    return hash == o.hash && exact == o.exact;
+    return hash == o.hash && exact == o.exact && backend == o.backend;
   }
 };
 
-/// Everything derivable from the netlist alone, shared by every request for
-/// the same structure: the parsed/normalized AIG and both backends'
-/// levelized encodings. PaceGraph is built against the engine's PaceConfig
-/// (part of the engine identity, so it does not appear in the key).
-struct CachedStructure {
-  std::shared_ptr<const Circuit> aig;
-  std::shared_ptr<const CircuitGraph> graph;
-  std::shared_ptr<const PaceGraph> pace;
-};
-
-/// Key of the embedding layer: structure + backend + model identity +
-/// workload + init seed — everything the deterministic forward pass
-/// depends on.
+/// Key of the embedding layer: structure + backend identity + workload +
+/// init seed — everything the deterministic forward pass depends on.
 struct EmbeddingKey {
   StructuralHash structure;
   std::uint64_t exact = 0;  // see StructureKey::exact
-  Backend backend = Backend::kDeepSeqCustom;
-  std::uint64_t model_fingerprint = 0;
+  std::uint64_t backend_fingerprint = 0;
   std::uint64_t workload_fingerprint = 0;
   std::uint64_t init_seed = 0;
 
@@ -208,18 +193,19 @@ struct CircuitCacheConfig {
   std::size_t shards = 8;
 };
 
-/// The serving cache: structures (parse + levelize once per netlist) and
-/// final embeddings (skip the forward pass entirely on repeat requests).
-/// All methods are thread-safe.
+/// The serving cache: per-backend structure states (prepare once per
+/// netlist) and final embeddings (skip the forward pass entirely on repeat
+/// requests). All methods are thread-safe.
 class CircuitCache {
  public:
   explicit CircuitCache(const CircuitCacheConfig& config = {});
 
-  std::shared_ptr<const CachedStructure> get_structure(const StructureKey& k) {
+  std::shared_ptr<const api::BackendState> get_structure(
+      const StructureKey& k) {
     return structures_.get(k);
   }
   template <typename Builder>
-  std::shared_ptr<const CachedStructure> get_or_build_structure(
+  std::shared_ptr<const api::BackendState> get_or_build_structure(
       const StructureKey& k, Builder&& b) {
     return structures_.get_or_build(k, std::forward<Builder>(b));
   }
@@ -241,7 +227,7 @@ class CircuitCache {
   Stats stats() const;
 
  private:
-  ShardedLruCache<StructureKey, CachedStructure> structures_;
+  ShardedLruCache<StructureKey, api::BackendState> structures_;
   ShardedLruCache<EmbeddingKey, nn::Tensor> embeddings_;
 };
 

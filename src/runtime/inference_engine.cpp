@@ -4,7 +4,7 @@
 #include <map>
 #include <utility>
 
-#include "nn/graph.hpp"
+#include "common/error.hpp"
 
 namespace deepseq::runtime {
 namespace {
@@ -14,32 +14,10 @@ double ms_since(std::chrono::steady_clock::time_point t0,
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
-std::uint64_t fingerprint_model(const ModelConfig& m) {
-  std::uint64_t h = hash_mix(0xD5ULL, static_cast<std::uint64_t>(m.aggregator));
-  h = hash_mix(h, static_cast<std::uint64_t>(m.propagation));
-  h = hash_mix(h, static_cast<std::uint64_t>(m.iterations));
-  h = hash_mix(h, static_cast<std::uint64_t>(m.hidden_dim));
-  return hash_mix(h, m.seed);
-}
-
-std::uint64_t fingerprint_pace(const PaceConfig& p) {
-  std::uint64_t h = hash_mix(0xFACEULL, static_cast<std::uint64_t>(p.hidden_dim));
-  h = hash_mix(h, static_cast<std::uint64_t>(p.layers));
-  h = hash_mix(h, static_cast<std::uint64_t>(p.max_ancestors));
-  h = hash_mix(h, static_cast<std::uint64_t>(p.pos_dim));
-  return hash_mix(h, p.seed);
-}
-
 }  // namespace
 
 InferenceEngine::InferenceEngine(const EngineConfig& config)
-    : config_(config),
-      model_(config.model),
-      pace_(config.pace),
-      model_fingerprint_(fingerprint_model(config.model)),
-      pace_fingerprint_(fingerprint_pace(config.pace)),
-      cache_(config.cache),
-      pool_(config.threads) {
+    : config_(config), cache_(config.cache), pool_(config.threads) {
   config_.max_batch = std::max(1, config_.max_batch);
   flusher_ = std::thread([this] { flusher_loop(); });
 }
@@ -54,22 +32,20 @@ InferenceEngine::~InferenceEngine() {
   flusher_.join();
 }
 
-std::future<EmbeddingResult> InferenceEngine::submit(EmbeddingRequest request) {
-  auto pending = std::make_unique<Pending>();
-  pending->request = std::move(request);
+void InferenceEngine::enqueue(std::unique_ptr<Pending> pending) {
+  // Fail fast on the calling thread: a null circuit would otherwise crash
+  // a worker inside the batch's hash computation, before any future could
+  // carry the error.
+  if (pending->request.circuit == nullptr)
+    throw Error("InferenceEngine: request without a circuit");
   pending->enqueued = std::chrono::steady_clock::now();
-  std::future<EmbeddingResult> future = pending->promise.get_future();
-
-  {
-    std::lock_guard<std::mutex> lock(pending_mu_);
-    pending_.push_back(std::move(pending));
-    if (static_cast<int>(pending_.size()) >= config_.max_batch) {
-      std::vector<std::unique_ptr<Pending>> batch;
-      batch.swap(pending_);
-      dispatch_batch(std::move(batch));
-    }
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_.push_back(std::move(pending));
+  if (static_cast<int>(pending_.size()) >= config_.max_batch) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    batch.swap(pending_);
+    dispatch_batch(std::move(batch));
   }
-  return future;
 }
 
 void InferenceEngine::flush() {
@@ -120,27 +96,22 @@ void InferenceEngine::dispatch_batch(
       const CircuitHashes hashes{structural_hash(c), exact_hash(c)};
       for (auto& p : *shared_group) {
         try {
-          p->promise.set_value(process(p->request, p->enqueued, hashes));
+          p->deliver(process(p->request, p->enqueued, hashes));
         } catch (...) {
-          p->promise.set_exception(std::current_exception());
+          p->fail(std::current_exception());
         }
       }
     });
   }
 }
 
-std::shared_ptr<const CachedStructure> InferenceEngine::resolve_structure(
-    const Circuit& circuit, const StructureKey& key, bool* hit) {
+std::shared_ptr<const api::BackendState> InferenceEngine::resolve_structure(
+    const api::EmbeddingBackend& backend, const Circuit& circuit,
+    const StructureKey& key, bool* hit) {
   bool miss = false;
   auto structure = cache_.get_or_build_structure(key, [&] {
     miss = true;
-    auto built = std::make_shared<CachedStructure>();
-    built->aig = std::make_shared<Circuit>(circuit);
-    built->graph =
-        std::make_shared<CircuitGraph>(build_circuit_graph(circuit));
-    built->pace = std::make_shared<PaceGraph>(
-        build_pace_graph(circuit, config_.pace));
-    return built;
+    return backend.prepare(circuit);
   });
   *hit = !miss;
   return structure;
@@ -150,49 +121,55 @@ EmbeddingResult InferenceEngine::process(
     const EmbeddingRequest& request,
     std::chrono::steady_clock::time_point enqueued,
     const CircuitHashes& hashes) {
+  if (request.backend == nullptr)
+    throw Error("InferenceEngine: request without a backend");
+  const api::EmbeddingBackend& backend = *request.backend;
+  const std::uint64_t fingerprint = backend.info().fingerprint;
+
   const auto start = std::chrono::steady_clock::now();
   EmbeddingResult result;
   result.backend = request.backend;
   result.queue_ms = ms_since(enqueued, start);
 
   result.structure = hashes.structural;
-  const StructureKey skey{hashes.structural, hashes.exact};
+  const StructureKey skey{hashes.structural, hashes.exact, fingerprint};
 
   EmbeddingKey ekey;
   ekey.structure = hashes.structural;
   ekey.exact = hashes.exact;
-  ekey.backend = request.backend;
-  ekey.model_fingerprint = request.backend == Backend::kPace
-                               ? pace_fingerprint_
-                               : model_fingerprint_;
+  ekey.backend_fingerprint = fingerprint;
   ekey.workload_fingerprint = workload_fingerprint(request.workload);
   ekey.init_seed = request.init_seed;
 
-  if (config_.cache_embeddings) {
-    if (auto cached = cache_.get_embedding(ekey)) {
-      result.embedding = cached;
-      result.embedding_cache_hit = true;
-      const auto end = std::chrono::steady_clock::now();
-      result.total_ms = ms_since(enqueued, end);
-      return result;
+  const auto finish_cached = [&](std::shared_ptr<const nn::Tensor> cached) {
+    result.embedding = std::move(cached);
+    result.embedding_cache_hit = true;
+    if (request.want_state)
+      result.state = resolve_structure(backend, *request.circuit, skey,
+                                       &result.structure_cache_hit);
+    result.total_ms = ms_since(enqueued, std::chrono::steady_clock::now());
+    return result;
+  };
+
+  if (request.want_embedding && config_.cache_embeddings) {
+    if (auto cached = cache_.get_embedding(ekey)) return finish_cached(cached);
+  }
+
+  // Requests wanting neither the forward pass nor the state (e.g. the
+  // testability task, which reads the circuit alone) skip prepare entirely.
+  if (request.want_embedding || request.want_state) {
+    const auto structure = resolve_structure(backend, *request.circuit, skey,
+                                             &result.structure_cache_hit);
+    if (request.want_state) result.state = structure;
+
+    if (request.want_embedding) {
+      auto embedding = std::make_shared<const nn::Tensor>(
+          backend.embed(*structure, request.workload, request.init_seed));
+      if (config_.cache_embeddings) cache_.put_embedding(ekey, embedding);
+      result.embedding = std::move(embedding);
     }
   }
 
-  const auto structure =
-      resolve_structure(*request.circuit, skey, &result.structure_cache_hit);
-
-  nn::Graph g(/*grad_enabled=*/false);
-  nn::Var h;
-  if (request.backend == Backend::kPace) {
-    h = pace_.embed(g, *structure->pace, request.workload, request.init_seed);
-  } else {
-    h = model_.embed(g, *structure->graph, request.workload,
-                     request.init_seed);
-  }
-  auto embedding = std::make_shared<const nn::Tensor>(std::move(h->value));
-  if (config_.cache_embeddings) cache_.put_embedding(ekey, embedding);
-
-  result.embedding = std::move(embedding);
   const auto end = std::chrono::steady_clock::now();
   result.compute_ms = ms_since(start, end);
   result.total_ms = ms_since(enqueued, end);
@@ -200,6 +177,8 @@ EmbeddingResult InferenceEngine::process(
 }
 
 EmbeddingResult InferenceEngine::run_sync(const EmbeddingRequest& request) {
+  if (request.circuit == nullptr)
+    throw Error("InferenceEngine: request without a circuit");
   const CircuitHashes hashes{structural_hash(*request.circuit),
                              exact_hash(*request.circuit)};
   return process(request, std::chrono::steady_clock::now(), hashes);

@@ -3,38 +3,50 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
-#include "core/model.hpp"
-#include "core/pace.hpp"
+#include "api/backend.hpp"
 #include "runtime/circuit_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace deepseq::runtime {
 
 /// One embedding query: a strict sequential AIG, the workload defining its
-/// PI behaviour, the backend to encode with, and the init seed that makes
+/// PI behaviour, the backend to encode with (non-owning — the caller, e.g.
+/// api::Session, keeps it alive past drain()), and the init seed that makes
 /// the forward pass reproducible (paper convention: non-PI states are
 /// seeded randomly per sample).
 struct EmbeddingRequest {
   std::shared_ptr<const Circuit> circuit;
   Workload workload;
-  Backend backend = Backend::kDeepSeqCustom;
+  const api::EmbeddingBackend* backend = nullptr;
   std::uint64_t init_seed = 1;
+  /// Compute the N x hidden forward pass (disable for tasks that only need
+  /// the prepared structure, e.g. reliability / testability readouts).
+  bool want_embedding = true;
+  /// Resolve + return the backend structure state even when the embedding
+  /// is served from cache (tasks that read the structure set this).
+  bool want_state = false;
 };
 
 /// The fulfilled side of a request. `embedding` is the N x hidden final
-/// node-state matrix h_v^T (DeepSeq backend) or the PACE encoder output —
-/// bit-identical to what a direct single-threaded call to
-/// DeepSeqModel::embed / PaceEncoder::embed produces for the same inputs.
+/// node-state matrix h_v^T — bit-identical to what a direct
+/// single-threaded call to the backend's embed() produces for the same
+/// inputs. `state` is the backend's prepared structure when the request
+/// asked for it (want_state, or any computed forward pass).
 struct EmbeddingResult {
   std::shared_ptr<const nn::Tensor> embedding;
+  std::shared_ptr<const api::BackendState> state;
   StructuralHash structure;
-  Backend backend = Backend::kDeepSeqCustom;
+  const api::EmbeddingBackend* backend = nullptr;
   bool structure_cache_hit = false;
   bool embedding_cache_hit = false;
   double queue_ms = 0.0;    // submit -> start of compute
@@ -50,25 +62,24 @@ struct EngineConfig {
   int max_batch = 8;
   /// ...or once the oldest pending request has waited this long.
   double flush_interval_ms = 2.0;
-  /// Model presets the engine serves. Both backends are constructed up
-  /// front (deterministically from their seeds) so every request against
-  /// this engine sees identical weights.
-  ModelConfig model = ModelConfig::deepseq(/*hidden=*/32, /*t=*/4);
-  PaceConfig pace;
   CircuitCacheConfig cache;
   /// Disable to force a full forward pass per request (reference /
   /// cold-path measurement); the structure layer stays active.
   bool cache_embeddings = true;
 };
 
-/// Multi-threaded batched embedding service over the existing core/ models.
+/// Multi-threaded batched scheduler over pluggable api::EmbeddingBackend
+/// implementations. The engine owns no models: every request names the
+/// backend that serves it, and cache entries are keyed by the backend's
+/// deterministic fingerprint — the public serving surface is api::Session.
 ///
 /// submit() never blocks on inference: requests accumulate in a pending
 /// window and are coalesced into batches (grouped by circuit identity so a
-/// batch's structure work — parse-derived AIG, levelization, PACE ancestor
-/// sets — happens once per distinct circuit), then fan out across the
-/// worker pool. Results arrive through futures with per-request latency
-/// breakdowns. All public methods are thread-safe.
+/// batch's structure work — the backend's prepare() — happens once per
+/// distinct circuit), then fan out across the worker pool. Results arrive
+/// through futures with per-request latency breakdowns; submit_then()
+/// additionally runs a caller-supplied completion (e.g. a task head) on the
+/// worker thread. All public methods are thread-safe.
 class InferenceEngine {
  public:
   explicit InferenceEngine(const EngineConfig& config);
@@ -82,7 +93,37 @@ class InferenceEngine {
   /// Enqueue a request; the future is fulfilled by a worker thread (or
   /// carries the exception the forward pass threw, e.g. on a workload/PI
   /// size mismatch).
-  std::future<EmbeddingResult> submit(EmbeddingRequest request);
+  std::future<EmbeddingResult> submit(EmbeddingRequest request) {
+    return submit_then(std::move(request),
+                       [](EmbeddingResult&& r) { return std::move(r); });
+  }
+
+  /// Enqueue a request plus a completion that maps the EmbeddingResult to
+  /// the caller's result type on the worker thread (the api layer's task
+  /// heads). Exceptions from the forward pass or the completion both land
+  /// in the returned future.
+  template <typename F>
+  auto submit_then(EmbeddingRequest request, F post)
+      -> std::future<std::invoke_result_t<F&, EmbeddingResult&&>> {
+    using R = std::invoke_result_t<F&, EmbeddingResult&&>;
+    auto promise = std::make_shared<std::promise<R>>();
+    std::future<R> future = promise->get_future();
+    auto pending = std::make_unique<Pending>();
+    pending->request = std::move(request);
+    pending->deliver = [promise, post = std::move(post)](
+                           EmbeddingResult&& result) mutable {
+      try {
+        promise->set_value(post(std::move(result)));
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    };
+    pending->fail = [promise](std::exception_ptr e) {
+      promise->set_exception(std::move(e));
+    };
+    enqueue(std::move(pending));
+    return future;
+  }
 
   /// Dispatch the current partial batch immediately.
   void flush();
@@ -91,8 +132,8 @@ class InferenceEngine {
   void drain();
 
   /// Reference path: compute one request synchronously on the calling
-  /// thread through the same cache and models. Batched and sync results
-  /// for identical inputs are bit-identical.
+  /// thread through the same cache. Batched and sync results for identical
+  /// inputs are bit-identical.
   EmbeddingResult run_sync(const EmbeddingRequest& request);
 
   CircuitCache::Stats cache_stats() const { return cache_.stats(); }
@@ -101,8 +142,9 @@ class InferenceEngine {
  private:
   struct Pending {
     EmbeddingRequest request;
-    std::promise<EmbeddingResult> promise;
     std::chrono::steady_clock::time_point enqueued;
+    std::function<void(EmbeddingResult&&)> deliver;
+    std::function<void(std::exception_ptr)> fail;
   };
 
   /// Both circuit digests, computed once per coalesced group so the warm
@@ -112,20 +154,17 @@ class InferenceEngine {
     std::uint64_t exact = 0;
   };
 
+  void enqueue(std::unique_ptr<Pending> pending);
   void flusher_loop();
   void dispatch_batch(std::vector<std::unique_ptr<Pending>> batch);
   EmbeddingResult process(const EmbeddingRequest& request,
                           std::chrono::steady_clock::time_point enqueued,
                           const CircuitHashes& hashes);
-  std::shared_ptr<const CachedStructure> resolve_structure(
-      const Circuit& circuit, const StructureKey& key, bool* hit);
+  std::shared_ptr<const api::BackendState> resolve_structure(
+      const api::EmbeddingBackend& backend, const Circuit& circuit,
+      const StructureKey& key, bool* hit);
 
   EngineConfig config_;
-  DeepSeqModel model_;
-  PaceEncoder pace_;
-  std::uint64_t model_fingerprint_ = 0;
-  std::uint64_t pace_fingerprint_ = 0;
-
   CircuitCache cache_;
   ThreadPool pool_;
 

@@ -9,6 +9,7 @@
 
 #include "common/env.hpp"
 #include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "netlist/aig.hpp"
 #include "netlist/aiger_io.hpp"
 #include "netlist/bench_io.hpp"
@@ -55,18 +56,26 @@ std::vector<LoadedNetlist> load_netlist_dir(const std::string& dir) {
 ServerConfig server_config_from_env() {
   ServerConfig cfg;
   cfg.qps = env_double("DEEPSEQ_QPS", cfg.qps);
-  cfg.engine.threads =
-      static_cast<int>(env_int("DEEPSEQ_THREADS", cfg.engine.threads));
+  cfg.session.engine.threads = static_cast<int>(
+      env_int("DEEPSEQ_THREADS", cfg.session.engine.threads));
   cfg.total_requests =
       static_cast<int>(env_int("DEEPSEQ_REQUESTS", cfg.total_requests));
-  const std::string backend = env_string("DEEPSEQ_BACKEND", "deepseq");
-  if (backend == "pace") {
-    cfg.pace_fraction = 1.0;
-  } else if (backend == "mixed") {
-    cfg.pace_fraction = 0.5;
-  } else {
-    cfg.pace_fraction = 0.0;
+
+  // Resolve the requested backend(s) against the registry: every name must
+  // be registered; unknown names throw listing the alternatives instead of
+  // silently serving the default.
+  const auto& registry = api::BackendRegistry::global();
+  const std::string requested = env_string("DEEPSEQ_BACKEND", "");
+  if (!requested.empty()) {
+    cfg.backends.clear();
+    for (const std::string& name : split(requested, ',')) {
+      const std::string trimmed{trim(name)};
+      if (trimmed.empty()) continue;
+      cfg.backends.push_back(registry.resolve(trimmed, "deepseq"));
+    }
   }
+  if (cfg.backends.empty()) cfg.backends = {"deepseq"};
+  cfg.session.backend = cfg.backends.front();
   return cfg;
 }
 
@@ -98,7 +107,7 @@ ServerStats run_server_loop(const ServerConfig& config,
   stats.offered_qps = config.qps;
   if (netlists.empty() || config.total_requests <= 0) return stats;
 
-  InferenceEngine engine(config.engine);
+  api::Session session(config.session);
   Rng rng(config.seed);
 
   // Per-netlist workload pool: the trace cycles through a bounded set so
@@ -109,6 +118,9 @@ ServerStats run_server_loop(const ServerConfig& config,
   for (std::size_t i = 0; i < netlists.size(); ++i)
     for (int k = 0; k < wl_count; ++k)
       workloads[i].push_back(random_workload(*netlists[i].aig, rng));
+
+  std::vector<std::string> backends = config.backends;
+  if (backends.empty()) backends.push_back(config.session.backend);
 
   // Draw the open-loop arrival schedule up front.
   const double mean_gap_s = 1.0 / std::max(1e-6, config.qps);
@@ -123,7 +135,7 @@ ServerStats run_server_loop(const ServerConfig& config,
     a = t;
   }
 
-  std::vector<std::future<EmbeddingResult>> futures;
+  std::vector<std::future<api::TaskResult>> futures;
   futures.reserve(arrival_s.size());
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < arrival_s.size(); ++i) {
@@ -132,24 +144,28 @@ ServerStats run_server_loop(const ServerConfig& config,
                     std::chrono::duration<double>(arrival_s[i]));
     std::this_thread::sleep_until(due);  // open loop: never waits on replies
 
-    EmbeddingRequest req;
+    api::TaskRequest req;
     const std::size_t n = rng.uniform_index(netlists.size());
     req.circuit = netlists[n].aig;
     req.workload = workloads[n][rng.uniform_index(
         static_cast<std::uint64_t>(wl_count))];
-    req.backend = rng.uniform() < config.pace_fraction ? Backend::kPace
-                                                       : Backend::kDeepSeqCustom;
+    req.task = api::TaskKind::kEmbedding;
+    req.backend = backends[rng.uniform_index(backends.size())];
     req.init_seed = 7;  // fixed: embeddings for equal inputs are cacheable
-    futures.push_back(engine.submit(std::move(req)));
+    futures.push_back(session.submit(std::move(req)));
   }
-  engine.drain();
+  session.drain();
 
-  std::vector<double> total_ms;
+  std::vector<double> total_ms, queue_ms, compute_ms;
   total_ms.reserve(futures.size());
+  queue_ms.reserve(futures.size());
+  compute_ms.reserve(futures.size());
   for (auto& f : futures) {
     try {
-      const EmbeddingResult r = f.get();
+      const api::TaskResult r = f.get();
       total_ms.push_back(r.total_ms);
+      queue_ms.push_back(r.queue_ms);
+      compute_ms.push_back(r.compute_ms);
       ++stats.completed;
     } catch (const std::exception& e) {
       ++stats.failed;
@@ -163,7 +179,9 @@ ServerStats run_server_loop(const ServerConfig& config,
                                  stats.wall_seconds
                            : 0.0;
   stats.latency = summarize_latencies(std::move(total_ms));
-  stats.cache = engine.cache_stats();
+  stats.queue = summarize_latencies(std::move(queue_ms));
+  stats.compute = summarize_latencies(std::move(compute_ms));
+  stats.cache = session.cache_stats();
 
   if (verbose) {
     std::printf(
@@ -172,10 +190,20 @@ ServerStats run_server_loop(const ServerConfig& config,
         stats.completed, stats.completed + stats.failed, stats.wall_seconds,
         stats.offered_qps, stats.achieved_qps);
     std::printf(
-        "[serve] latency ms: mean %.2f p50 %.2f p90 %.2f p99 %.2f max "
+        "[serve] total ms:   mean %.2f p50 %.2f p90 %.2f p99 %.2f max "
         "%.2f\n",
         stats.latency.mean_ms, stats.latency.p50_ms, stats.latency.p90_ms,
         stats.latency.p99_ms, stats.latency.max_ms);
+    std::printf(
+        "[serve] queue ms:   mean %.2f p50 %.2f p90 %.2f p99 %.2f max "
+        "%.2f\n",
+        stats.queue.mean_ms, stats.queue.p50_ms, stats.queue.p90_ms,
+        stats.queue.p99_ms, stats.queue.max_ms);
+    std::printf(
+        "[serve] compute ms: mean %.2f p50 %.2f p90 %.2f p99 %.2f max "
+        "%.2f\n",
+        stats.compute.mean_ms, stats.compute.p50_ms, stats.compute.p90_ms,
+        stats.compute.p99_ms, stats.compute.max_ms);
     std::printf(
         "[serve] cache: structures %llu/%llu hits (%zu entries), embeddings "
         "%llu/%llu hits (%zu entries), %llu evictions\n",

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "runtime/inference_engine.hpp"
+#include "api/session.hpp"
 
 namespace deepseq::runtime {
 
@@ -32,22 +32,26 @@ struct ServerConfig {
   int total_requests = 200;
   /// Poisson (exponential inter-arrival) vs uniform spacing.
   bool poisson = true;
-  /// Fraction of requests served by the PACE backend (rest DeepSeq-custom);
-  /// 0 and 1 pin all traffic to one path.
-  double pace_fraction = 0.0;
+  /// Backends (registry names) traffic is spread over uniformly at random;
+  /// a single entry pins all traffic to one backend. Every name must be
+  /// registered — server_config_from_env() validates against the registry.
+  std::vector<std::string> backends = {"deepseq"};
   /// Distinct workloads per netlist cycled through by the trace. Small
   /// values make repeat (cacheable) requests common, mimicking hot
   /// circuits; large values approximate an all-cold stream.
   int workloads_per_netlist = 4;
   std::uint64_t seed = 1;
-  EngineConfig engine;
+  api::SessionConfig session;
 };
 
 /// Read serving knobs from the environment (common/env):
-///   DEEPSEQ_QPS       offered rate              (default 50)
-///   DEEPSEQ_THREADS   engine worker threads     (default 4)
-///   DEEPSEQ_REQUESTS  trace length              (default 200)
-///   DEEPSEQ_BACKEND   deepseq | pace | mixed    (default deepseq)
+///   DEEPSEQ_QPS       offered rate                          (default 50)
+///   DEEPSEQ_THREADS   session worker threads                (default 4)
+///   DEEPSEQ_REQUESTS  trace length                          (default 200)
+///   DEEPSEQ_BACKEND   registry name, or a comma-separated list for mixed
+///                     traffic (default deepseq)
+/// DEEPSEQ_BACKEND is resolved against the BackendRegistry: unknown names
+/// fail fast with an Error listing every registered backend.
 ServerConfig server_config_from_env();
 
 struct LatencySummary {
@@ -68,12 +72,16 @@ struct ServerStats {
   double wall_seconds = 0.0;
   double offered_qps = 0.0;
   double achieved_qps = 0.0;
-  LatencySummary latency;
-  CircuitCache::Stats cache;
+  LatencySummary latency;  // submit -> fulfillment (total_ms)
+  /// Breakdown of the same requests: time spent waiting for a worker vs in
+  /// the forward pass — separates queueing delay from compute cost.
+  LatencySummary queue;    // queue_ms
+  LatencySummary compute;  // compute_ms
+  runtime::CircuitCache::Stats cache;
 };
 
-/// Replay the trace against a fresh InferenceEngine built from
-/// `config.engine` and return aggregate stats.
+/// Replay the trace against a fresh api::Session built from
+/// `config.session` and return aggregate stats.
 ServerStats run_server_loop(const ServerConfig& config,
                             const std::vector<LoadedNetlist>& netlists,
                             bool verbose = false);

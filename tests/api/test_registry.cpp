@@ -1,0 +1,133 @@
+#include "api/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "api/backends.hpp"
+#include "common/error.hpp"
+
+namespace deepseq::api {
+namespace {
+
+/// Minimal third-party backend for registration tests.
+struct StubState final : BackendState {};
+
+class StubBackend final : public EmbeddingBackend {
+ public:
+  explicit StubBackend(int hidden) {
+    info_.name = "stub";
+    info_.hidden_dim = hidden;
+    info_.fingerprint = 0x57;
+  }
+  const BackendInfo& info() const override { return info_; }
+  std::shared_ptr<const BackendState> prepare(const Circuit&) const override {
+    return std::make_shared<StubState>();
+  }
+  nn::Tensor embed(const BackendState&, const Workload&,
+                   std::uint64_t) const override {
+    return nn::Tensor(1, info_.hidden_dim);
+  }
+
+ private:
+  BackendInfo info_;
+};
+
+TEST(BackendRegistry, GlobalHasBuiltinsRegistered) {
+  auto& reg = BackendRegistry::global();
+  EXPECT_TRUE(reg.contains("deepseq"));
+  EXPECT_TRUE(reg.contains("pace"));
+  const auto names = reg.names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_NE(std::find(names.begin(), names.end(), "deepseq"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "pace"), names.end());
+}
+
+TEST(BackendRegistry, CreateBuildsConfiguredBackends) {
+  BackendOptions opts;
+  opts.model = ModelConfig::deepseq(/*hidden=*/8, /*t=*/2);
+  opts.pace.hidden_dim = 8;
+  opts.pace.layers = 2;
+
+  auto deepseq = BackendRegistry::global().create("deepseq", opts);
+  ASSERT_NE(deepseq, nullptr);
+  EXPECT_EQ(deepseq->info().name, "deepseq");
+  EXPECT_EQ(deepseq->info().hidden_dim, 8);
+  EXPECT_TRUE(deepseq->info().supports_regress);
+  EXPECT_TRUE(deepseq->info().supports_reliability);
+
+  auto pace = BackendRegistry::global().create("pace", opts);
+  ASSERT_NE(pace, nullptr);
+  EXPECT_EQ(pace->info().name, "pace");
+  EXPECT_FALSE(pace->info().supports_regress);
+  EXPECT_FALSE(pace->info().supports_reliability);
+
+  // Distinct architectures never share cache identity.
+  EXPECT_NE(deepseq->info().fingerprint, pace->info().fingerprint);
+  // The fingerprint is deterministic: same options, same identity.
+  auto again = BackendRegistry::global().create("deepseq", opts);
+  EXPECT_EQ(deepseq->info().fingerprint, again->info().fingerprint);
+  // ...and configuration-sensitive.
+  opts.model = ModelConfig::deepseq(/*hidden=*/16, /*t=*/2);
+  auto wider = BackendRegistry::global().create("deepseq", opts);
+  EXPECT_NE(deepseq->info().fingerprint, wider->info().fingerprint);
+}
+
+TEST(BackendRegistry, UnknownNameFailsFastListingRegistered) {
+  try {
+    (void)BackendRegistry::global().create("no-such-backend", {});
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-backend"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("deepseq"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pace"), std::string::npos) << msg;
+  }
+}
+
+TEST(BackendRegistry, ResolveHandlesEmptyKnownAndUnknown) {
+  auto& reg = BackendRegistry::global();
+  EXPECT_EQ(reg.resolve("", "deepseq"), "deepseq");
+  EXPECT_EQ(reg.resolve("pace", "deepseq"), "pace");
+  EXPECT_THROW((void)reg.resolve("typo", "deepseq"), Error);
+}
+
+TEST(BackendRegistry, CustomBackendsPlugIn) {
+  BackendRegistry reg;
+  reg.register_backend("stub", [](const BackendOptions& o) {
+    return std::make_unique<StubBackend>(o.model.hidden_dim);
+  });
+  EXPECT_TRUE(reg.contains("stub"));
+  EXPECT_FALSE(reg.contains("deepseq"));  // independent of the global one
+
+  BackendOptions opts;
+  opts.model.hidden_dim = 5;
+  auto b = reg.create("stub", opts);
+  EXPECT_EQ(b->info().hidden_dim, 5);
+
+  // Unsupported capabilities throw rather than mis-serve.
+  EXPECT_THROW((void)b->regress(nn::Tensor(1, 5)), Error);
+  EXPECT_THROW((void)b->reliability(StubState{}, Workload{}, {}, 1), Error);
+
+  // Duplicate names are a registration bug, not a silent overwrite.
+  EXPECT_THROW(
+      reg.register_backend(
+          "stub", [](const BackendOptions&) -> std::unique_ptr<EmbeddingBackend> {
+            return nullptr;
+          }),
+      Error);
+}
+
+TEST(BackendRegistry, BackendFromEnvResolvesAndValidates) {
+  ::unsetenv("DEEPSEQ_BACKEND");
+  EXPECT_EQ(backend_from_env(BackendRegistry::global()), "deepseq");
+  ::setenv("DEEPSEQ_BACKEND", "pace", 1);
+  EXPECT_EQ(backend_from_env(BackendRegistry::global()), "pace");
+  ::setenv("DEEPSEQ_BACKEND", "onnx-not-registered", 1);
+  EXPECT_THROW((void)backend_from_env(BackendRegistry::global()), Error);
+  ::unsetenv("DEEPSEQ_BACKEND");
+}
+
+}  // namespace
+}  // namespace deepseq::api

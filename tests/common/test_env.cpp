@@ -25,6 +25,39 @@ TEST(Env, UnparsableFallsBack) {
   ::unsetenv("DEEPSEQ_TEST_KNOB");
 }
 
+TEST(Env, TrailingGarbageFallsBack) {
+  // A prefix that parses must not be accepted when followed by garbage:
+  // "8x" is a typo'd knob, not a request for 8.
+  ::setenv("DEEPSEQ_TEST_KNOB", "8x", 1);
+  EXPECT_EQ(env_int("DEEPSEQ_TEST_KNOB", 3), 3);
+  ::setenv("DEEPSEQ_TEST_KNOB", "12 7", 1);
+  EXPECT_EQ(env_int("DEEPSEQ_TEST_KNOB", 3), 3);
+  ::setenv("DEEPSEQ_TEST_KNOB", "1e2abc", 1);
+  EXPECT_DOUBLE_EQ(env_double("DEEPSEQ_TEST_KNOB", 2.5), 2.5);
+  ::setenv("DEEPSEQ_TEST_KNOB", "3.5qps", 1);
+  EXPECT_DOUBLE_EQ(env_double("DEEPSEQ_TEST_KNOB", 2.5), 2.5);
+  ::unsetenv("DEEPSEQ_TEST_KNOB");
+}
+
+TEST(Env, TrailingWhitespaceIsAccepted) {
+  ::setenv("DEEPSEQ_TEST_KNOB", "8 ", 1);
+  EXPECT_EQ(env_int("DEEPSEQ_TEST_KNOB", 3), 8);
+  ::setenv("DEEPSEQ_TEST_KNOB", " 1e2 \t\n", 1);
+  EXPECT_DOUBLE_EQ(env_double("DEEPSEQ_TEST_KNOB", 2.5), 100.0);
+  ::setenv("DEEPSEQ_TEST_KNOB", " \t ", 1);  // whitespace only: no number
+  EXPECT_EQ(env_int("DEEPSEQ_TEST_KNOB", 3), 3);
+  EXPECT_DOUBLE_EQ(env_double("DEEPSEQ_TEST_KNOB", 2.5), 2.5);
+  ::unsetenv("DEEPSEQ_TEST_KNOB");
+}
+
+TEST(Env, NegativeAndFractionalValuesStillParse) {
+  ::setenv("DEEPSEQ_TEST_KNOB", "-4", 1);
+  EXPECT_EQ(env_int("DEEPSEQ_TEST_KNOB", 3), -4);
+  ::setenv("DEEPSEQ_TEST_KNOB", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("DEEPSEQ_TEST_KNOB", 1.0), 0.25);
+  ::unsetenv("DEEPSEQ_TEST_KNOB");
+}
+
 TEST(Env, ReadsString) {
   ::setenv("DEEPSEQ_TEST_KNOB", "value", 1);
   EXPECT_EQ(env_string("DEEPSEQ_TEST_KNOB", "d"), "value");

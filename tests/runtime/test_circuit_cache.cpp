@@ -194,6 +194,12 @@ TEST(ShardedLruCache, ConcurrentHitsReturnConsistentValues) {
 
 // ---- circuit cache facade --------------------------------------------------
 
+/// Minimal backend state for cache-facade tests (the real serving layer
+/// stores api::DeepSeqState / api::PaceState here).
+struct TestState final : api::BackendState {
+  int tag = 0;
+};
+
 TEST(CircuitCache, IdenticalCircuitSharesPermutedDoesNot) {
   CircuitCache cache;
   const Circuit a = random_aig(3);
@@ -203,18 +209,23 @@ TEST(CircuitCache, IdenticalCircuitSharesPermutedDoesNot) {
   // would be wrong for it, so it must get its own entry.
   const Circuit b = permute_node_ids(a, 17);
 
-  const StructureKey key_a{structural_hash(a), exact_hash(a)};
-  const StructureKey key_a2{structural_hash(a2), exact_hash(a2)};
-  const StructureKey key_b{structural_hash(b), exact_hash(b)};
+  const std::uint64_t backend_fp = 0xB1;
+  const StructureKey key_a{structural_hash(a), exact_hash(a), backend_fp};
+  const StructureKey key_a2{structural_hash(a2), exact_hash(a2), backend_fp};
+  const StructureKey key_b{structural_hash(b), exact_hash(b), backend_fp};
   EXPECT_EQ(key_a, key_a2);
   EXPECT_EQ(key_a.hash, key_b.hash);  // structural identity matches...
   EXPECT_FALSE(key_a == key_b);       // ...but the exact digest differs
+  // A differently-configured backend never shares state entries.
+  StructureKey key_other_backend = key_a;
+  key_other_backend.backend = 0xB2;
+  EXPECT_FALSE(key_a == key_other_backend);
 
   int builds = 0;
   auto builder = [&] {
     ++builds;
-    auto s = std::make_shared<CachedStructure>();
-    s->graph = std::make_shared<CircuitGraph>(build_circuit_graph(a));
+    auto s = std::make_shared<TestState>();
+    s->tag = builds;
     return s;
   };
   auto s1 = cache.get_or_build_structure(key_a, builder);
@@ -232,7 +243,7 @@ TEST(CircuitCache, EmbeddingLayerKeyedByAllInputs) {
   const StructuralHash h = structural_hash(random_aig(4));
   EmbeddingKey base;
   base.structure = h;
-  base.model_fingerprint = 11;
+  base.backend_fingerprint = 11;
   base.workload_fingerprint = 22;
   base.init_seed = 33;
   cache.put_embedding(base, std::make_shared<nn::Tensor>(2, 2));
@@ -242,7 +253,7 @@ TEST(CircuitCache, EmbeddingLayerKeyedByAllInputs) {
   other.init_seed = 34;
   EXPECT_EQ(cache.get_embedding(other), nullptr);
   other = base;
-  other.backend = Backend::kPace;
+  other.backend_fingerprint = 12;  // different backend identity
   EXPECT_EQ(cache.get_embedding(other), nullptr);
   other = base;
   other.workload_fingerprint = 23;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "api/backends.hpp"
 #include "common/error.hpp"
 #include "dataset/embedded.hpp"
 #include "dataset/generator.hpp"
@@ -16,15 +17,28 @@
 namespace deepseq::runtime {
 namespace {
 
+ModelConfig small_model() { return ModelConfig::deepseq(/*hidden=*/12, /*t=*/2); }
+
+PaceConfig small_pace() {
+  PaceConfig cfg;
+  cfg.hidden_dim = 12;
+  cfg.layers = 2;
+  return cfg;
+}
+
 EngineConfig small_engine(int threads, int max_batch = 4) {
   EngineConfig cfg;
   cfg.threads = threads;
   cfg.max_batch = max_batch;
-  cfg.model = ModelConfig::deepseq(/*hidden=*/12, /*t=*/2);
-  cfg.pace.hidden_dim = 12;
-  cfg.pace.layers = 2;
   return cfg;
 }
+
+/// Backend pair shared by a test: the engine is only a scheduler now, so
+/// tests own the backend instances the requests point at.
+struct Backends {
+  api::DeepSeqBackend deepseq{small_model()};
+  api::PaceBackend pace{small_pace()};
+};
 
 std::shared_ptr<const Circuit> shared_aig(std::uint64_t seed) {
   Rng rng(seed);
@@ -44,25 +58,27 @@ bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
 }
 
 TEST(InferenceEngine, BatchedMatchesSequentialBitIdentical) {
-  const EngineConfig cfg = small_engine(/*threads=*/4);
+  Backends backends;
 
   // Reference models built from the same presets: identical weights by
   // construction (deterministic seeds).
-  const DeepSeqModel ref_model(cfg.model);
-  const PaceEncoder ref_pace(cfg.pace);
+  const DeepSeqModel ref_model(small_model());
+  const PaceEncoder ref_pace(small_pace());
 
   std::vector<std::shared_ptr<const Circuit>> circuits = {
       shared_aig(1), shared_aig(2),
       std::make_shared<const Circuit>(decompose_to_aig(iscas89_s27()).aig)};
 
-  InferenceEngine engine(cfg);
+  InferenceEngine engine(small_engine(/*threads=*/4));
   std::vector<EmbeddingRequest> requests;
   Rng rng(99);
   for (int i = 0; i < 24; ++i) {
     EmbeddingRequest r;
     r.circuit = circuits[i % circuits.size()];
     r.workload = random_workload(*r.circuit, rng);
-    r.backend = (i % 2 == 0) ? Backend::kDeepSeqCustom : Backend::kPace;
+    r.backend = (i % 2 == 0)
+                    ? static_cast<const api::EmbeddingBackend*>(&backends.deepseq)
+                    : &backends.pace;
     r.init_seed = 1000 + static_cast<std::uint64_t>(i);
     requests.push_back(std::move(r));
   }
@@ -76,8 +92,8 @@ TEST(InferenceEngine, BatchedMatchesSequentialBitIdentical) {
     const EmbeddingRequest& r = requests[i];
     nn::Graph g(false);
     nn::Tensor want;
-    if (r.backend == Backend::kPace) {
-      const PaceGraph pg = build_pace_graph(*r.circuit, cfg.pace);
+    if (r.backend == &backends.pace) {
+      const PaceGraph pg = build_pace_graph(*r.circuit, small_pace());
       want = ref_pace.embed(g, pg, r.workload, r.init_seed)->value;
     } else {
       const CircuitGraph cg = build_circuit_graph(*r.circuit);
@@ -89,13 +105,14 @@ TEST(InferenceEngine, BatchedMatchesSequentialBitIdentical) {
 }
 
 TEST(InferenceEngine, RunSyncMatchesSubmit) {
-  const EngineConfig cfg = small_engine(2);
-  InferenceEngine a(cfg), b(cfg);
+  Backends backends;
+  InferenceEngine a(small_engine(2)), b(small_engine(2));
   auto circuit = shared_aig(5);
   Rng rng(7);
   EmbeddingRequest r;
   r.circuit = circuit;
   r.workload = random_workload(*circuit, rng);
+  r.backend = &backends.deepseq;
   r.init_seed = 42;
 
   auto f = a.submit(r);
@@ -105,13 +122,38 @@ TEST(InferenceEngine, RunSyncMatchesSubmit) {
   EXPECT_TRUE(bit_identical(*via_pool.embedding, *via_sync.embedding));
 }
 
+TEST(InferenceEngine, SubmitThenRunsCompletionOnWorker) {
+  Backends backends;
+  InferenceEngine engine(small_engine(2));
+  auto circuit = shared_aig(5);
+  Rng rng(7);
+  EmbeddingRequest r;
+  r.circuit = circuit;
+  r.workload = random_workload(*circuit, rng);
+  r.backend = &backends.deepseq;
+
+  auto f = engine.submit_then(r, [](EmbeddingResult&& er) {
+    return er.embedding->rows();  // mapped result type
+  });
+  engine.drain();
+  EXPECT_EQ(f.get(), static_cast<int>(circuit->num_nodes()));
+
+  // A throwing completion surfaces through the future.
+  auto g = engine.submit_then(
+      std::move(r), [](EmbeddingResult&&) -> int { throw Error("head"); });
+  engine.drain();
+  EXPECT_THROW(g.get(), Error);
+}
+
 TEST(InferenceEngine, RepeatRequestHitsEmbeddingCache) {
+  Backends backends;
   InferenceEngine engine(small_engine(2));
   auto circuit = shared_aig(6);
   Rng rng(8);
   EmbeddingRequest r;
   r.circuit = circuit;
   r.workload = random_workload(*circuit, rng);
+  r.backend = &backends.deepseq;
   r.init_seed = 3;
 
   const EmbeddingResult first = engine.run_sync(r);
@@ -122,7 +164,32 @@ TEST(InferenceEngine, RepeatRequestHitsEmbeddingCache) {
   EXPECT_GE(engine.cache_stats().embeddings.hits, 1u);
 }
 
+TEST(InferenceEngine, BackendsDoNotShareCacheEntries) {
+  // Same circuit + workload + seed through two different backends: the
+  // fingerprints differ, so each gets its own structure and embedding
+  // entries (no cross-backend aliasing).
+  Backends backends;
+  ASSERT_NE(backends.deepseq.info().fingerprint,
+            backends.pace.info().fingerprint);
+  InferenceEngine engine(small_engine(2));
+  auto circuit = shared_aig(14);
+  Rng rng(15);
+  EmbeddingRequest r;
+  r.circuit = circuit;
+  r.workload = random_workload(*circuit, rng);
+  r.backend = &backends.deepseq;
+
+  const EmbeddingResult via_deepseq = engine.run_sync(r);
+  r.backend = &backends.pace;
+  const EmbeddingResult via_pace = engine.run_sync(r);
+  EXPECT_FALSE(via_pace.embedding_cache_hit);
+  EXPECT_FALSE(via_pace.structure_cache_hit);
+  EXPECT_FALSE(bit_identical(*via_deepseq.embedding, *via_pace.embedding));
+  EXPECT_EQ(engine.cache_stats().structures.misses, 2u);
+}
+
 TEST(InferenceEngine, StructureSharedAcrossWorkloads) {
+  Backends backends;
   InferenceEngine engine(small_engine(2));
   auto circuit = shared_aig(7);
   Rng rng(9);
@@ -130,6 +197,7 @@ TEST(InferenceEngine, StructureSharedAcrossWorkloads) {
     EmbeddingRequest r;
     r.circuit = circuit;
     r.workload = random_workload(*circuit, rng);  // distinct workloads
+    r.backend = &backends.deepseq;
     r.init_seed = static_cast<std::uint64_t>(i);
     (void)engine.run_sync(r);
   }
@@ -137,6 +205,27 @@ TEST(InferenceEngine, StructureSharedAcrossWorkloads) {
   EXPECT_EQ(stats.structures.misses, 1u);  // built once
   EXPECT_EQ(stats.structures.hits, 3u);
   EXPECT_EQ(stats.embeddings.hits, 0u);  // all-new workloads: no reuse
+}
+
+TEST(InferenceEngine, StateOnlyRequestSkipsForwardPass) {
+  Backends backends;
+  InferenceEngine engine(small_engine(1));
+  auto circuit = shared_aig(16);
+  Rng rng(17);
+  EmbeddingRequest r;
+  r.circuit = circuit;
+  r.workload = random_workload(*circuit, rng);
+  r.backend = &backends.deepseq;
+  r.want_embedding = false;
+  r.want_state = true;
+
+  const EmbeddingResult res = engine.run_sync(r);
+  EXPECT_EQ(res.embedding, nullptr);
+  ASSERT_NE(res.state, nullptr);
+  const auto* state = dynamic_cast<const api::DeepSeqState*>(res.state.get());
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->graph.num_nodes, static_cast<int>(circuit->num_nodes()));
+  EXPECT_EQ(engine.cache_stats().embeddings.misses, 0u);  // never consulted
 }
 
 /// Rebuild `c` with reversed per-level gate creation order: isomorphic
@@ -163,8 +252,8 @@ Circuit renumber(const Circuit& c) {
 }
 
 TEST(InferenceEngine, IsomorphicRenumberedCircuitGetsItsOwnEmbedding) {
-  const EngineConfig cfg = small_engine(2);
-  InferenceEngine engine(cfg);
+  Backends backends;
+  InferenceEngine engine(small_engine(2));
   auto a = shared_aig(20);
   auto b = std::make_shared<const Circuit>(renumber(*a));
   ASSERT_EQ(structural_hash(*a), structural_hash(*b));
@@ -172,14 +261,14 @@ TEST(InferenceEngine, IsomorphicRenumberedCircuitGetsItsOwnEmbedding) {
 
   Rng rng(21);
   Workload w = random_workload(*a, rng);
-  EmbeddingRequest ra{a, w, Backend::kDeepSeqCustom, 5};
-  EmbeddingRequest rb{b, w, Backend::kDeepSeqCustom, 5};
+  EmbeddingRequest ra{a, w, &backends.deepseq, 5};
+  EmbeddingRequest rb{b, w, &backends.deepseq, 5};
 
   (void)engine.run_sync(ra);  // warms the cache with a's node-indexed rows
   const EmbeddingResult got_b = engine.run_sync(rb);
   EXPECT_FALSE(got_b.embedding_cache_hit);  // must NOT reuse a's entry
 
-  const DeepSeqModel ref(cfg.model);
+  const DeepSeqModel ref(small_model());
   nn::Graph g(false);
   const nn::Tensor want =
       ref.embed(g, build_circuit_graph(*b), w, 5)->value;
@@ -187,6 +276,7 @@ TEST(InferenceEngine, IsomorphicRenumberedCircuitGetsItsOwnEmbedding) {
 }
 
 TEST(InferenceEngine, PartialBatchFlushedByTimer) {
+  Backends backends;
   EngineConfig cfg = small_engine(2, /*max_batch=*/64);
   cfg.flush_interval_ms = 1.0;
   InferenceEngine engine(cfg);
@@ -195,6 +285,7 @@ TEST(InferenceEngine, PartialBatchFlushedByTimer) {
   EmbeddingRequest r;
   r.circuit = circuit;
   r.workload = random_workload(*circuit, rng);
+  r.backend = &backends.deepseq;
 
   auto f = engine.submit(r);  // far below max_batch; no explicit flush
   ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
@@ -202,22 +293,46 @@ TEST(InferenceEngine, PartialBatchFlushedByTimer) {
 }
 
 TEST(InferenceEngine, WorkloadMismatchSurfacesThroughFuture) {
+  Backends backends;
   InferenceEngine engine(small_engine(2));
   EmbeddingRequest r;
   r.circuit = shared_aig(11);
   r.workload.pi_prob = {0.5};  // wrong PI count
+  r.backend = &backends.deepseq;
   auto f = engine.submit(std::move(r));
   engine.flush();
   EXPECT_THROW(f.get(), Error);
 }
 
+TEST(InferenceEngine, MissingBackendSurfacesThroughFuture) {
+  InferenceEngine engine(small_engine(1));
+  EmbeddingRequest r;
+  r.circuit = shared_aig(11);
+  Rng rng(12);
+  r.workload = random_workload(*r.circuit, rng);
+  auto f = engine.submit(std::move(r));  // backend left null
+  engine.flush();
+  EXPECT_THROW(f.get(), Error);
+}
+
+TEST(InferenceEngine, MissingCircuitFailsFastOnSubmit) {
+  Backends backends;
+  InferenceEngine engine(small_engine(1));
+  EmbeddingRequest r;
+  r.backend = &backends.deepseq;  // circuit left null
+  EXPECT_THROW((void)engine.submit(r), Error);
+  EXPECT_THROW((void)engine.run_sync(r), Error);
+}
+
 TEST(InferenceEngine, LatencyBreakdownIsPopulated) {
+  Backends backends;
   InferenceEngine engine(small_engine(1));
   auto circuit = shared_aig(12);
   Rng rng(13);
   EmbeddingRequest r;
   r.circuit = circuit;
   r.workload = random_workload(*circuit, rng);
+  r.backend = &backends.deepseq;
   auto f = engine.submit(r);
   engine.drain();
   const EmbeddingResult res = f.get();
