@@ -1,106 +1,229 @@
-// Microbenchmarks of the GNN propagation: forward (inference) and
-// forward+backward (training) passes across circuit sizes, and the
-// customized-vs-baseline schedule cost.
+// Single-circuit propagation microbenchmark across the Table IV designs and
+// nn-executor thread counts: the intra-level parallelism lever this layer
+// exists for. For every design the bench times DeepSeqModel::embed under
+// DEEPSEQ_NN_THREADS-equivalent executors (1 = the sequential path), checks
+// parallel embeddings bit-identical to sequential, and — for the largest
+// design — verifies gradient bit-identity in grad mode and records
+// per-level (per planner flush) timing.
+//
+// Emits a table and micro_propagation.json (bench_util::JsonWriter) with a
+// `threads` dimension so the perf trajectory of the record/plan/execute
+// stack is machine-readable across commits. Note the speedup column only
+// means something on a multi-core host: `hardware_concurrency` is part of
+// the JSON so a 1-core CI box reporting ~1.0x is self-explaining.
+//
+// Knobs: DEEPSEQ_PROP_THREADS (max thread sweep, default 4),
+// DEEPSEQ_PROP_REPS (timing repetitions, default 3), DEEPSEQ_FULL=1 for
+// paper-scale designs and model.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "bench_util.hpp"
+#include "common/env.hpp"
+#include "common/timer.hpp"
 #include "core/model.hpp"
-#include "dataset/generator.hpp"
+#include "dataset/test_designs.hpp"
 #include "netlist/aig.hpp"
+#include "nn/executor.hpp"
+#include "nn/gradcheck.hpp"
+#include "runtime/thread_pool.hpp"
+
+using namespace deepseq;
+using namespace deepseq::bench;
 
 namespace {
 
-using namespace deepseq;
-
-struct Fixture {
+struct Design {
+  std::string name;
   Circuit aig;
   CircuitGraph graph;
   Workload workload;
-
-  explicit Fixture(int gates) {
-    Rng rng(11);
-    GeneratorSpec spec;
-    spec.num_gates = gates;
-    spec.num_ffs = gates / 12;
-    spec.num_pis = 16;
-    const Circuit generic = generate_circuit(spec, rng);
-    aig = optimize_aig(decompose_to_aig(generic).aig).circuit;
-    graph = build_circuit_graph(aig);
-    workload = random_workload(aig, rng);
-  }
+  int levels = 0;
 };
 
-Fixture& fixture(int gates) {
-  static Fixture small(120);
-  static Fixture large(2000);
-  return gates <= 120 ? small : large;
+bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
 }
 
-void BM_InferenceCustomProp(benchmark::State& state) {
-  Fixture& f = fixture(static_cast<int>(state.range(0)));
-  const DeepSeqModel model(ModelConfig::deepseq(32, 4));
-  for (auto _ : state) {
-    nn::Graph g(false);
-    const auto out = model.forward(g, f.graph, f.workload, 1);
-    benchmark::DoNotOptimize(out.lg->value.data());
+double time_embed(const DeepSeqModel& model, const Design& d,
+                  nn::Executor& exec, int reps, nn::Tensor* out,
+                  nn::ExecStats* stats = nullptr) {
+  nn::ExecutorScope scope(exec);
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const bool trace = stats != nullptr && rep == 0;
+    nn::ExecStats local;
+    WallTimer t;
+    nn::Graph g(/*grad_enabled=*/false);
+    nn::Var e;
+    if (trace) {
+      nn::ExecTraceScope ts(local);
+      e = model.embed(g, d.graph, d.workload, 7);
+    } else {
+      e = model.embed(g, d.graph, d.workload, 7);
+    }
+    best = std::min(best, t.millis());
+    if (trace) *stats = std::move(local);
+    if (rep == 0 && out != nullptr) *out = e->value;
   }
-  state.counters["nodes"] = static_cast<double>(f.graph.num_nodes);
+  return best;
 }
-BENCHMARK(BM_InferenceCustomProp)->Arg(120)->Arg(2000)->Unit(benchmark::kMillisecond);
-
-void BM_InferenceBaselineProp(benchmark::State& state) {
-  Fixture& f = fixture(static_cast<int>(state.range(0)));
-  const DeepSeqModel model(
-      ModelConfig::dag_rec_gnn(AggregatorKind::kAttention, 32, 4));
-  for (auto _ : state) {
-    nn::Graph g(false);
-    const auto out = model.forward(g, f.graph, f.workload, 1);
-    benchmark::DoNotOptimize(out.lg->value.data());
-  }
-}
-BENCHMARK(BM_InferenceBaselineProp)->Arg(120)->Arg(2000)->Unit(benchmark::kMillisecond);
-
-void BM_TrainStep(benchmark::State& state) {
-  Fixture& f = fixture(static_cast<int>(state.range(0)));
-  const DeepSeqModel model(ModelConfig::deepseq(32, 4));
-  const nn::Tensor target_tr(f.graph.num_nodes, 2);
-  const nn::Tensor target_lg(f.graph.num_nodes, 1);
-  for (auto _ : state) {
-    nn::Graph g(true);
-    const auto out = model.forward(g, f.graph, f.workload, 1);
-    const auto loss =
-        g.add(g.l1_loss(out.tr, target_tr), g.l1_loss(out.lg, target_lg));
-    g.backward(loss);
-    benchmark::DoNotOptimize(loss->value.at(0, 0));
-    for (const auto& [name, p] : model.params())
-      if (p->has_grad()) p->grad.zero();
-  }
-}
-BENCHMARK(BM_TrainStep)->Arg(120)->Arg(2000)->Unit(benchmark::kMillisecond);
-
-void BM_GraphConstruction(benchmark::State& state) {
-  Fixture& f = fixture(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    const CircuitGraph g = build_circuit_graph(f.aig);
-    benchmark::DoNotOptimize(g.num_nodes);
-  }
-}
-BENCHMARK(BM_GraphConstruction)->Arg(120)->Arg(2000)->Unit(benchmark::kMillisecond);
-
-void BM_IterationScaling(benchmark::State& state) {
-  // Cost is linear in T — the levelized sequential bottleneck the paper's
-  // §VI discusses.
-  Fixture& f = fixture(120);
-  const DeepSeqModel model(
-      ModelConfig::deepseq(32, static_cast<int>(state.range(0))));
-  for (auto _ : state) {
-    nn::Graph g(false);
-    const auto out = model.forward(g, f.graph, f.workload, 1);
-    benchmark::DoNotOptimize(out.lg->value.data());
-  }
-}
-BENCHMARK(BM_IterationScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const BenchConfig cfg = BenchConfig::from_env();
+  print_banner("PROPAGATION",
+               "single-circuit embed vs nn-executor threads (record/plan/"
+               "execute)",
+               cfg);
+
+  const int max_threads = static_cast<int>(env_int("DEEPSEQ_PROP_THREADS", 4));
+  const int reps = static_cast<int>(env_int("DEEPSEQ_PROP_REPS", 3));
+  std::vector<int> sweep{1};
+  for (const int t : {2, 4, 8})
+    if (t <= max_threads) sweep.push_back(t);
+
+  std::vector<Design> designs;
+  for (TestDesign& td :
+       build_all_test_designs(default_design_scale(), cfg.eval_seed)) {
+    Design d;
+    d.name = td.name;
+    d.aig = optimize_aig(decompose_to_aig(td.netlist).aig).circuit;
+    d.graph = build_circuit_graph(d.aig);
+    Rng rng(cfg.eval_seed);
+    d.workload = random_workload(d.aig, rng);
+    d.levels = static_cast<int>(d.graph.comb_forward.size());
+    designs.push_back(std::move(d));
+  }
+  std::size_t largest = 0;
+  for (std::size_t i = 1; i < designs.size(); ++i)
+    if (designs[i].aig.num_nodes() > designs[largest].aig.num_nodes())
+      largest = i;
+
+  const DeepSeqModel model(ModelConfig::deepseq(cfg.hidden, cfg.iterations));
+  runtime::ThreadPool pool(sweep.back());
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "micro_propagation");
+  json.field("hidden", cfg.hidden);
+  json.field("iterations", cfg.iterations);
+  json.field("hardware_concurrency",
+             static_cast<int>(std::thread::hardware_concurrency()));
+  json.field("largest_design", designs[largest].name);
+  json.begin_array("rows");
+
+  std::printf("%-10s | %6s %6s | %7s | %10s | %8s | %5s\n", "design", "nodes",
+              "levels", "threads", "embed ms", "speedup", "biteq");
+  std::printf("%.*s\n", 70, std::string(70, '-').c_str());
+
+  double largest_best_speedup = 0.0;
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const Design& d = designs[i];
+    nn::Tensor reference;
+    double seq_ms = 0.0;
+    for (const int threads : sweep) {
+      nn::Executor exec(&pool, threads);
+      nn::Tensor embedding;
+      const double ms = time_embed(model, d, exec, reps, &embedding);
+      const bool identical =
+          threads == 1 ? true : bit_identical(reference, embedding);
+      if (threads == 1) {
+        reference = std::move(embedding);
+        seq_ms = ms;
+      }
+      const double speedup = ms > 0.0 ? seq_ms / ms : 0.0;
+      if (i == largest && threads > 1)
+        largest_best_speedup = std::max(largest_best_speedup, speedup);
+      std::printf("%-10s | %6zu %6d | %7d | %10.2f | %7.2fx | %5s\n",
+                  d.name.c_str(), d.aig.num_nodes(), d.levels, threads, ms,
+                  speedup, identical ? "yes" : "NO");
+      json.begin_object();
+      json.field("design", d.name);
+      json.field("nodes", static_cast<std::uint64_t>(d.aig.num_nodes()));
+      json.field("levels", d.levels);
+      json.field("threads", threads);
+      json.field("embed_ms", ms);
+      json.field("speedup_vs_1t", speedup);
+      json.field("bit_identical", identical);
+      json.end_object();
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+  json.end_array();  // rows
+
+  // Per-level (per planner flush) timing of the largest design, sequential
+  // vs widest executor — the machine-readable shape of where time goes.
+  {
+    const Design& d = designs[largest];
+    for (const int threads : {1, sweep.back()}) {
+      nn::Executor exec(&pool, threads);
+      nn::ExecStats stats;
+      time_embed(model, d, exec, 1, nullptr, &stats);
+      json.key("levels_" + std::to_string(threads) + "t");
+      json.begin_object();
+      json.field("flushes", stats.flushes);
+      json.field("waves", stats.waves);
+      json.field("chunks", stats.chunks);
+      json.field("parallel_waves", stats.parallel_waves);
+      json.begin_array("flush_ms");
+      for (const double ms : stats.flush_ms) json.value(ms);
+      json.end_array();
+      json.end_object();
+      if (threads == 1)
+        std::printf("%s per-level trace: %d flushes, %d waves, %d chunks\n",
+                    d.name.c_str(), stats.flushes, stats.waves, stats.chunks);
+    }
+  }
+
+  // Grad-mode parity on the largest design: loss and every parameter
+  // gradient bit-identical between sequential and parallel backward.
+  {
+    const Design& d = designs[largest];
+    const nn::Tensor target_lg(d.graph.num_nodes, 1);
+    const auto params = model.params();
+    auto run = [&](nn::Executor& exec, std::vector<nn::Tensor>& grads) {
+      nn::ExecutorScope scope(exec);
+      for (const auto& [name, p] : params) {
+        (void)name;
+        if (p->has_grad()) p->grad.zero();
+      }
+      nn::Graph g(/*grad_enabled=*/true);
+      const auto out = model.forward(g, d.graph, d.workload, 7);
+      const nn::Var loss = g.l1_loss(out.lg, target_lg);
+      g.backward(loss);
+      grads.clear();
+      for (const auto& [name, p] : params) {
+        (void)name;
+        grads.push_back(p->has_grad()
+                            ? p->grad
+                            : nn::Tensor(p->value.rows(), p->value.cols()));
+      }
+      return loss->value.at(0, 0);
+    };
+    nn::Executor seq;
+    nn::Executor par(&pool, sweep.back());
+    std::vector<nn::Tensor> g_seq, g_par;
+    const float loss_seq = run(seq, g_seq);
+    const float loss_par = run(par, g_par);
+    bool grads_identical = loss_seq == loss_par && g_seq.size() == g_par.size();
+    for (std::size_t k = 0; grads_identical && k < g_seq.size(); ++k)
+      grads_identical = bit_identical(g_seq[k], g_par[k]);
+    std::printf("grad-mode parity on %s at %d threads: %s\n", d.name.c_str(),
+                sweep.back(), grads_identical ? "bit-identical" : "DIVERGED");
+    json.field("grad_bit_identical", grads_identical);
+  }
+
+  json.field("largest_speedup_at_max_threads", largest_best_speedup);
+  json.end_object();
+  write_json_file("micro_propagation.json", json.str());
+  return 0;
+}

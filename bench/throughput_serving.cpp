@@ -182,6 +182,7 @@ int main() {
       json.begin_object();
       json.field("backend", backend);
       json.field("threads", threads);
+      json.field("nn_threads", session.nn_threads());
       json.field("cold_qps", cold.qps);
       json_latency(json, "cold", cold.latency);
       json_latency(json, "cold_queue", cold.queue);
@@ -193,6 +194,7 @@ int main() {
       json.field("embedding_hit_rate", hit_rate);
       json.field("structure_hits", stats.structures.hits);
       json.field("structure_misses", stats.structures.misses);
+      json.field("regression_hits", stats.regressions.hits);
       json.end_object();
       std::fflush(stdout);
     }

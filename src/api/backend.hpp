@@ -34,6 +34,11 @@ struct BackendInfo {
   bool supports_regress = false;
   /// reliability() works (model-only circuit reliability readout).
   bool supports_reliability = false;
+  /// embed() runs through the nn record/plan/execute pipeline: a single
+  /// forward pass scales across the engine's shared worker pool
+  /// (DEEPSEQ_NN_THREADS / EngineConfig::nn_threads), bit-identical to the
+  /// sequential path.
+  bool threaded_embed = false;
 };
 
 /// Per-node probability heads over an embedding matrix.

@@ -44,6 +44,7 @@ DeepSeqBackend::DeepSeqBackend(const ModelConfig& config)
   info_.fingerprint = deepseq_fingerprint(config);
   info_.supports_regress = true;
   info_.supports_reliability = true;
+  info_.threaded_embed = true;
 }
 
 std::shared_ptr<const BackendState> DeepSeqBackend::prepare(
@@ -88,6 +89,7 @@ PaceBackend::PaceBackend(const PaceConfig& config) : encoder_(config) {
   info_.name = "pace";
   info_.hidden_dim = config.hidden_dim;
   info_.fingerprint = pace_fingerprint(config);
+  info_.threaded_embed = true;  // graph ops go through the same executor
 }
 
 std::shared_ptr<const BackendState> PaceBackend::prepare(

@@ -99,7 +99,7 @@ runtime::EmbeddingRequest Session::to_engine_request(
 
 TaskResult Session::finish(const TaskRequest& request,
                            const EmbeddingBackend& be,
-                           runtime::EmbeddingResult&& er) const {
+                           runtime::EmbeddingResult&& er) {
   const auto head_start = std::chrono::steady_clock::now();
   TaskResult result;
   result.task = request.task;
@@ -109,33 +109,41 @@ TaskResult Session::finish(const TaskRequest& request,
   result.embedding_cache_hit = er.embedding_cache_hit;
   result.queue_ms = er.queue_ms;
 
+  // Probability heads are cached under the request's EmbeddingKey, beside
+  // the embedding itself: the shared_ptr aliasing below hands out views into
+  // the cached Regression without copying.
+  const auto regression = [&]() {
+    return engine_.regress_cached(er.key, be, *er.embedding,
+                                  &result.regression_cache_hit);
+  };
+
   switch (request.task) {
     case TaskKind::kEmbedding: {
       result.output = EmbeddingOutput{std::move(er.embedding)};
       break;
     }
     case TaskKind::kLogicProb: {
-      Regression reg = be.regress(*er.embedding);
-      result.output = LogicProbOutput{
-          std::make_shared<const nn::Tensor>(std::move(reg.lg))};
+      auto reg = regression();
+      result.output =
+          LogicProbOutput{std::shared_ptr<const nn::Tensor>(reg, &reg->lg)};
       break;
     }
     case TaskKind::kTransitionProb: {
-      Regression reg = be.regress(*er.embedding);
-      result.output = TransitionProbOutput{
-          std::make_shared<const nn::Tensor>(std::move(reg.tr))};
+      auto reg = regression();
+      result.output =
+          TransitionProbOutput{std::shared_ptr<const nn::Tensor>(reg, &reg->tr)};
       break;
     }
     case TaskKind::kPower: {
-      const Regression reg = be.regress(*er.embedding);
+      const auto reg = regression();
       PowerOutput out;
       const std::size_t n = request.circuit->num_nodes();
       out.logic1.resize(n);
       out.toggle_rate.resize(n);
       for (std::size_t v = 0; v < n; ++v) {
         const int row = static_cast<int>(v);
-        out.logic1[v] = reg.lg.at(row, 0);
-        out.toggle_rate[v] = reg.tr.at(row, 0) + reg.tr.at(row, 1);
+        out.logic1[v] = reg->lg.at(row, 0);
+        out.toggle_rate[v] = reg->tr.at(row, 0) + reg->tr.at(row, 1);
       }
       out.report = power_from_activity(*request.circuit, out.logic1,
                                        out.toggle_rate,

@@ -82,6 +82,10 @@ struct TaskResult {
   StructuralHash structure;
   bool structure_cache_hit = false;
   bool embedding_cache_hit = false;
+  /// Regression-head outputs served from the cache (same EmbeddingKey as
+  /// the embedding): warm logic/transition-prob/power requests skip the
+  /// two-head MLP forward entirely.
+  bool regression_cache_hit = false;
   double queue_ms = 0.0;
   double compute_ms = 0.0;  // embed/structure resolve + task head
   double total_ms = 0.0;
@@ -148,12 +152,15 @@ class Session {
     return engine_.cache_stats();
   }
   int num_threads() const { return engine_.num_threads(); }
+  /// Intra-circuit nn-executor threads (shared pool; EngineConfig::nn_threads
+  /// / DEEPSEQ_NN_THREADS).
+  int nn_threads() const { return engine_.nn_threads(); }
 
  private:
   runtime::EmbeddingRequest to_engine_request(const TaskRequest& request,
                                               const EmbeddingBackend& be) const;
   TaskResult finish(const TaskRequest& request, const EmbeddingBackend& be,
-                    runtime::EmbeddingResult&& er) const;
+                    runtime::EmbeddingResult&& er);
 
   SessionConfig config_;
   BackendRegistry& registry_;

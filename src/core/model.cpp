@@ -1,5 +1,7 @@
 #include "core/model.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "nn/serialize.hpp"
 
@@ -96,10 +98,15 @@ Tensor initial_states(const CircuitGraph& graph, const Workload& w, int dim,
 }
 
 /// Run one batched level update: gather operands, aggregate, GRU-combine,
-/// and repoint the updated nodes' states at the fresh level matrix.
+/// and repoint the updated nodes' states at the fresh level matrix. The
+/// whole level is recorded under one BatchScope, so the planner sees its op
+/// DAG at once: independent ops (the three gathers, the GRU gate matmuls)
+/// land in shared waves and large kernels split into row chunks across the
+/// executor's threads.
 void run_level(Graph& g, const LevelBatch& batch, const Aggregator& agg,
                const nn::GruCell& gru, const Var& features,
                std::vector<RowRef>& state) {
+  nn::BatchScope level_scope(g);
   const int num_targets = static_cast<int>(batch.targets.size());
   std::vector<RowRef> target_refs, edge_target_refs, source_refs, feat_refs;
   target_refs.reserve(batch.targets.size());
@@ -128,6 +135,31 @@ void run_level(Graph& g, const LevelBatch& batch, const Aggregator& agg,
 
 }  // namespace
 
+namespace {
+
+/// Levels recorded per planner flush. Grouping levels amortizes the
+/// executor's helper-enlisting cost over many waves and keeps its workers
+/// spinning hot through the narrow levels of deep circuits, while bounding
+/// how many unexecuted intermediates a no-grad pass holds at once. The
+/// planner sees the cross-level dependencies, so grouping never reorders
+/// computation.
+constexpr int kLevelsPerFlush = 32;
+
+/// Run one direction sweep (all levels) in level groups.
+void run_sweep(Graph& g, const std::vector<LevelBatch>& levels,
+               const Aggregator& agg, const nn::GruCell& gru,
+               const Var& features, std::vector<RowRef>& state) {
+  std::size_t i = 0;
+  while (i < levels.size()) {
+    nn::BatchScope group(g);
+    const std::size_t end =
+        std::min(levels.size(), i + static_cast<std::size_t>(kLevelsPerFlush));
+    for (; i < end; ++i) run_level(g, levels[i], agg, gru, features, state);
+  }
+}
+
+}  // namespace
+
 Var DeepSeqModel::propagate(Graph& g, const CircuitGraph& graph,
                             const Workload& w, std::uint64_t init_seed) const {
   const Var features = g.constant(graph.features);
@@ -142,10 +174,8 @@ Var DeepSeqModel::propagate(Graph& g, const CircuitGraph& graph,
   const auto& rev = custom ? graph.comb_reverse : graph.baseline_reverse;
 
   for (int t = 0; t < config_.iterations; ++t) {
-    for (const auto& batch : fwd)
-      run_level(g, batch, agg_fwd_, gru_fwd_, features, state);
-    for (const auto& batch : rev)
-      run_level(g, batch, agg_rev_, gru_rev_, features, state);
+    run_sweep(g, fwd, agg_fwd_, gru_fwd_, features, state);
+    run_sweep(g, rev, agg_rev_, gru_rev_, features, state);
     if (custom) {
       // Step 4 (Fig. 2): FFs take their D predecessor's representation —
       // the clock edge. Two-phase copy so FF->FF chains shift correctly.

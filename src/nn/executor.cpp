@@ -1,0 +1,818 @@
+#include "nn/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/env.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace deepseq::nn {
+
+namespace {
+
+// Flushes below this summed work estimate run inline: enlisting pool
+// helpers costs a few queue pushes and wakeups, which only pays off for
+// real work.
+constexpr std::uint64_t kMinParallelFlushWork = 65536;
+
+thread_local Executor* g_current_executor = nullptr;
+thread_local ExecStats* g_trace = nullptr;
+
+// ---- forward kernels -------------------------------------------------------
+//
+// Each kernel computes rows [begin, end) of its op's output (columns for the
+// segment reductions; the full output for non-splittable kinds, which the
+// planner always emits as a single {0, 0} chunk). The inner-loop order per
+// output element matches the sequential kernel exactly, so any chunking —
+// including the single full-range chunk of the sequential path — produces
+// bit-identical values.
+
+void fwd_elementwise(const Op& op, int b, int e) {
+  Tensor& out = op.out->value;
+  const int cols = out.cols();
+  const std::size_t off = static_cast<std::size_t>(b) * cols;
+  const std::size_t count = static_cast<std::size_t>(e - b) * cols;
+  float* o = out.data() + off;
+  const float* x = op.inputs[0]->value.data() + off;
+  switch (op.kind) {
+    case OpKind::kAdd: {
+      const float* y = op.inputs[1]->value.data() + off;
+      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] + y[i];
+      break;
+    }
+    case OpKind::kSub: {
+      const float* y = op.inputs[1]->value.data() + off;
+      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] - y[i];
+      break;
+    }
+    case OpKind::kMul: {
+      const float* y = op.inputs[1]->value.data() + off;
+      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] * y[i];
+      break;
+    }
+    case OpKind::kScale:
+      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] * op.scalar;
+      break;
+    case OpKind::kSigmoid:
+      for (std::size_t i = 0; i < count; ++i) o[i] = 1.0f / (1.0f + std::exp(-x[i]));
+      break;
+    case OpKind::kTanh:
+      for (std::size_t i = 0; i < count; ++i) o[i] = std::tanh(x[i]);
+      break;
+    case OpKind::kRelu:
+      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+      break;
+    case OpKind::kOneMinus:
+      for (std::size_t i = 0; i < count; ++i) o[i] = 1.0f - x[i];
+      break;
+    default:
+      break;
+  }
+}
+
+void fwd_add_row(const Op& op, int b, int e) {
+  Tensor& out = op.out->value;
+  const Tensor& a = op.inputs[0]->value;
+  const float* row = op.inputs[1]->value.row(0);
+  const int cols = out.cols();
+  for (int r = b; r < e; ++r) {
+    const float* ar = a.row(r);
+    float* o = out.row(r);
+    for (int c = 0; c < cols; ++c) o[c] = ar[c] + row[c];
+  }
+}
+
+void fwd_matmul(const Op& op, int b, int e) {
+  Tensor& out = op.out->value;  // zero-initialized at record time
+  const Tensor& a = op.inputs[0]->value;
+  const Tensor& bm = op.inputs[1]->value;
+  const int k = a.cols(), n = bm.cols();
+  for (int i = b; i < e; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = bm.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void fwd_mul_col(const Op& op, int b, int e) {
+  Tensor& out = op.out->value;
+  const Tensor& v = op.inputs[0]->value;
+  const Tensor& col = op.inputs[1]->value;
+  for (int r = b; r < e; ++r) {
+    const float a = col.at(r, 0);
+    for (int c = 0; c < out.cols(); ++c) out.at(r, c) = v.at(r, c) * a;
+  }
+}
+
+void fwd_concat_cols(const Op& op, int b, int e) {
+  Tensor& out = op.out->value;
+  int offset = 0;
+  for (const Var& block : op.inputs) {
+    const Tensor& bv = block->value;
+    for (int r = b; r < e; ++r)
+      std::copy(bv.row(r), bv.row(r) + bv.cols(), out.row(r) + offset);
+    offset += bv.cols();
+  }
+}
+
+void fwd_gather(const Op& op, int b, int e) {
+  Tensor& out = op.out->value;
+  const int cols = out.cols();
+  for (int i = b; i < e; ++i) {
+    const RowRef& r = op.refs[static_cast<std::size_t>(i)];
+    std::copy(r.var->value.row(r.row), r.var->value.row(r.row) + cols, out.row(i));
+  }
+}
+
+// Column range [b, e): output rows are scatter targets, columns independent.
+void fwd_segment_sum(const Op& op, int b, int e) {
+  Tensor& out = op.out->value;
+  const Tensor& v = op.inputs[0]->value;
+  for (int row = 0; row < v.rows(); ++row) {
+    float* dst = out.row(op.segment[static_cast<std::size_t>(row)]);
+    const float* src = v.row(row);
+    for (int c = b; c < e; ++c) dst[c] += src[c];
+  }
+}
+
+void fwd_segment_max(Op& op, int b, int e) {
+  Tensor& out = op.out->value;
+  const Tensor& v = op.inputs[0]->value;
+  const int cols = out.cols();
+  for (int row = 0; row < v.rows(); ++row) {
+    const int s = op.segment[static_cast<std::size_t>(row)];
+    const float* src = v.row(row);
+    float* dst = out.row(s);
+    for (int c = b; c < e; ++c) {
+      int& am = op.argmax[static_cast<std::size_t>(s) * cols + c];
+      if (am < 0 || src[c] > dst[c]) {
+        dst[c] = src[c];
+        am = row;
+      }
+    }
+  }
+}
+
+void fwd_segment_softmax(const Op& op) {
+  Tensor& out = op.out->value;
+  const Tensor& scores = op.inputs[0]->value;
+  const int e_count = scores.rows();
+  std::vector<float> seg_max(static_cast<std::size_t>(op.num_segments), -1e30f);
+  for (int e = 0; e < e_count; ++e)
+    seg_max[op.segment[e]] = std::max(seg_max[op.segment[e]], scores.at(e, 0));
+  std::vector<double> seg_sum(static_cast<std::size_t>(op.num_segments), 0.0);
+  for (int e = 0; e < e_count; ++e) {
+    const float x = std::exp(scores.at(e, 0) - seg_max[op.segment[e]]);
+    out.at(e, 0) = x;
+    seg_sum[op.segment[e]] += x;
+  }
+  for (int e = 0; e < e_count; ++e)
+    out.at(e, 0) = static_cast<float>(out.at(e, 0) / seg_sum[op.segment[e]]);
+}
+
+void fwd_l1_loss(Op& op) {
+  const Tensor& pred = op.inputs[0]->value;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    acc += std::fabs(pred.data()[i] - op.attr_a.data()[i]);
+  op.out->value.at(0, 0) =
+      static_cast<float>(acc / static_cast<double>(op.attr_a.size()));
+}
+
+void fwd_l1_loss_weighted(Op& op) {
+  const Tensor& pred = op.inputs[0]->value;
+  double acc = 0.0, wsum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    acc += op.attr_b.data()[i] * std::fabs(pred.data()[i] - op.attr_a.data()[i]);
+    wsum += op.attr_b.data()[i];
+  }
+  if (wsum <= 0.0) wsum = 1.0;
+  op.out->value.at(0, 0) = static_cast<float>(acc / wsum);
+  // The backward kernel divides by float(wsum) exactly as the forward did.
+  op.scalar = static_cast<float>(wsum);
+}
+
+void fwd_softmax_xent(Op& op) {
+  const Tensor& logits = op.inputs[0]->value;
+  const int rows = logits.rows(), cols = logits.cols();
+  op.saved = Tensor(rows, cols);
+  double acc = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    const float* z = logits.row(r);
+    float zmax = z[0];
+    for (int c = 1; c < cols; ++c) zmax = std::max(zmax, z[c]);
+    double denom = 0.0;
+    for (int c = 0; c < cols; ++c) denom += std::exp(static_cast<double>(z[c] - zmax));
+    float* p = op.saved.row(r);
+    for (int c = 0; c < cols; ++c)
+      p[c] = static_cast<float>(std::exp(static_cast<double>(z[c] - zmax)) / denom);
+    acc -= std::log(std::max(static_cast<double>(p[op.segment[r]]), 1e-12));
+  }
+  op.out->value.at(0, 0) = static_cast<float>(acc / rows);
+}
+
+void forward_kernel(const Chunk& chunk) {
+  Op& op = *chunk.op;
+  switch (op.kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kScale:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kRelu:
+    case OpKind::kOneMinus:
+      fwd_elementwise(op, chunk.begin, chunk.end);
+      break;
+    case OpKind::kAddRow: fwd_add_row(op, chunk.begin, chunk.end); break;
+    case OpKind::kMatmul: fwd_matmul(op, chunk.begin, chunk.end); break;
+    case OpKind::kMulCol: fwd_mul_col(op, chunk.begin, chunk.end); break;
+    case OpKind::kConcatCols: fwd_concat_cols(op, chunk.begin, chunk.end); break;
+    case OpKind::kGather: fwd_gather(op, chunk.begin, chunk.end); break;
+    case OpKind::kSegmentSum: fwd_segment_sum(op, chunk.begin, chunk.end); break;
+    case OpKind::kSegmentMax: fwd_segment_max(op, chunk.begin, chunk.end); break;
+    case OpKind::kSegmentSoftmax: fwd_segment_softmax(op); break;
+    case OpKind::kL1Loss: fwd_l1_loss(op); break;
+    case OpKind::kL1LossWeighted: fwd_l1_loss_weighted(op); break;
+    case OpKind::kSoftmaxXent: fwd_softmax_xent(op); break;
+  }
+}
+
+// ---- backward kernels ------------------------------------------------------
+//
+// One op's backward splits into "parts" (one per gradient target, one per
+// block for concat), each with its own parallel extent. Parts are chunkable
+// only where scatter destinations are provably disjoint rows/elements; the
+// rest (gather's row fan-in, segment_softmax's two-pass reduction, add_row's
+// ordered row-vector accumulation) run as one full-range part. Per-element
+// accumulation order always matches the sequential pass.
+
+struct BwPart {
+  int role = 0;
+  int extent = 0;  // 0 = full-range single chunk
+  std::uint64_t work = 0;
+};
+
+std::vector<BwPart> backward_parts(const Op& op) {
+  std::vector<BwPart> parts;
+  const Tensor& out = op.out->value;
+  const auto grad_needed = [&](std::size_t i) {
+    return i < op.inputs.size() && op.inputs[i]->requires_grad;
+  };
+  switch (op.kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+      if (grad_needed(0))
+        parts.push_back({0, out.rows(), static_cast<std::uint64_t>(out.size())});
+      if (grad_needed(1))
+        parts.push_back({1, out.rows(), static_cast<std::uint64_t>(out.size())});
+      break;
+    case OpKind::kScale:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kRelu:
+    case OpKind::kOneMinus:
+      if (grad_needed(0))
+        parts.push_back({0, out.rows(), static_cast<std::uint64_t>(out.size())});
+      break;
+    case OpKind::kAddRow:
+      if (grad_needed(0))
+        parts.push_back({0, out.rows(), static_cast<std::uint64_t>(out.size())});
+      if (grad_needed(1))
+        parts.push_back({1, 0, static_cast<std::uint64_t>(out.size())});
+      break;
+    case OpKind::kMatmul: {
+      const std::uint64_t w = 2ull * static_cast<std::uint64_t>(out.rows()) *
+                              op.inputs[0]->value.cols() * out.cols();
+      if (grad_needed(0)) parts.push_back({0, op.inputs[0]->value.rows(), w});
+      if (grad_needed(1)) parts.push_back({1, op.inputs[1]->value.rows(), w});
+      break;
+    }
+    case OpKind::kMulCol:
+      if (grad_needed(0))
+        parts.push_back({0, out.rows(), static_cast<std::uint64_t>(out.size())});
+      if (grad_needed(1))
+        parts.push_back({1, out.rows(), static_cast<std::uint64_t>(out.size())});
+      break;
+    case OpKind::kConcatCols:
+      for (std::size_t i = 0; i < op.inputs.size(); ++i)
+        if (grad_needed(i))
+          parts.push_back({static_cast<int>(i), out.rows(),
+                           static_cast<std::uint64_t>(op.inputs[i]->value.size())});
+      break;
+    case OpKind::kGather:
+    case OpKind::kSegmentSoftmax:
+      parts.push_back({0, 0, static_cast<std::uint64_t>(out.size())});
+      break;
+    case OpKind::kSegmentSum:
+      if (grad_needed(0))
+        parts.push_back({0, op.inputs[0]->value.rows(),
+                         static_cast<std::uint64_t>(op.inputs[0]->value.size())});
+      break;
+    case OpKind::kSegmentMax:
+      if (grad_needed(0))
+        parts.push_back({0, out.rows(),
+                         static_cast<std::uint64_t>(op.inputs[0]->value.size())});
+      break;
+    case OpKind::kL1Loss:
+    case OpKind::kL1LossWeighted:
+    case OpKind::kSoftmaxXent:
+      if (grad_needed(0))
+        parts.push_back({0, op.inputs[0]->value.rows(),
+                         static_cast<std::uint64_t>(op.inputs[0]->value.size())});
+      break;
+  }
+  return parts;
+}
+
+void run_backward_part(Op& op, int role, int b, int e) {
+  const Tensor& g = op.out->grad;
+  switch (op.kind) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kScale:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kRelu:
+    case OpKind::kOneMinus: {
+      const Var& target = op.inputs[role == 1 ? 1 : 0];
+      Tensor& tg = target->grad;
+      const int cols = op.out->value.cols();
+      const std::size_t off = static_cast<std::size_t>(b) * cols;
+      const std::size_t count = static_cast<std::size_t>(e - b) * cols;
+      float* dst = tg.data() + off;
+      const float* gp = g.data() + off;
+      switch (op.kind) {
+        case OpKind::kAdd:
+          for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i];
+          break;
+        case OpKind::kSub:
+          if (role == 0)
+            for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i];
+          else
+            for (std::size_t i = 0; i < count; ++i) dst[i] -= gp[i];
+          break;
+        case OpKind::kMul: {
+          const float* other = op.inputs[role == 0 ? 1 : 0]->value.data() + off;
+          for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i] * other[i];
+          break;
+        }
+        case OpKind::kScale:
+          for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i] * op.scalar;
+          break;
+        case OpKind::kSigmoid: {
+          const float* y = op.out->value.data() + off;
+          for (std::size_t i = 0; i < count; ++i)
+            dst[i] += gp[i] * y[i] * (1.0f - y[i]);
+          break;
+        }
+        case OpKind::kTanh: {
+          const float* y = op.out->value.data() + off;
+          for (std::size_t i = 0; i < count; ++i)
+            dst[i] += gp[i] * (1.0f - y[i] * y[i]);
+          break;
+        }
+        case OpKind::kRelu: {
+          const float* x = target->value.data() + off;
+          for (std::size_t i = 0; i < count; ++i)
+            if (x[i] > 0.0f) dst[i] += gp[i];
+          break;
+        }
+        case OpKind::kOneMinus:
+          for (std::size_t i = 0; i < count; ++i) dst[i] -= gp[i];
+          break;
+        default:
+          break;
+      }
+      break;
+    }
+    case OpKind::kAddRow: {
+      if (role == 0) {
+        Tensor& tg = op.inputs[0]->grad;
+        const int cols = g.cols();
+        const std::size_t off = static_cast<std::size_t>(b) * cols;
+        const std::size_t count = static_cast<std::size_t>(e - b) * cols;
+        float* dst = tg.data() + off;
+        const float* gp = g.data() + off;
+        for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i];
+      } else {
+        Tensor& tg = op.inputs[1]->grad;  // ordered full-range accumulation
+        for (int r = 0; r < g.rows(); ++r)
+          for (int c = 0; c < g.cols(); ++c) tg.at(0, c) += g.at(r, c);
+      }
+      break;
+    }
+    case OpKind::kMatmul: {
+      const Tensor& a = op.inputs[0]->value;
+      const Tensor& bm = op.inputs[1]->value;
+      if (role == 0) {
+        // dA += G * B^T, rows [b, e) of A; per-element double accumulation
+        // in ascending column order, as matmul_nt_acc does.
+        Tensor& ga = op.inputs[0]->grad;
+        const int k = g.cols(), n = bm.rows();
+        for (int i = b; i < e; ++i) {
+          const float* grow = g.row(i);
+          float* orow = ga.row(i);
+          for (int j = 0; j < n; ++j) {
+            const float* brow = bm.row(j);
+            double acc = 0.0;
+            for (int p = 0; p < k; ++p) acc += grow[p] * brow[p];
+            orow[j] += static_cast<float>(acc);
+          }
+        }
+      } else {
+        // dB += A^T * G, rows [b, e) of B (= columns of A); per-element
+        // accumulation over A's rows in ascending order with the same
+        // zero-skip as matmul_tn_acc.
+        Tensor& gb = op.inputs[1]->grad;
+        const int m = a.rows(), n = g.cols();
+        for (int i = b; i < e; ++i) {
+          float* orow = gb.row(i);
+          for (int p = 0; p < m; ++p) {
+            const float av = a.at(p, i);
+            if (av == 0.0f) continue;
+            const float* grow = g.row(p);
+            for (int j = 0; j < n; ++j) orow[j] += av * grow[j];
+          }
+        }
+      }
+      break;
+    }
+    case OpKind::kMulCol: {
+      if (role == 0) {
+        Tensor& tg = op.inputs[0]->grad;
+        const Tensor& col = op.inputs[1]->value;
+        for (int r = b; r < e; ++r) {
+          const float a = col.at(r, 0);
+          for (int c = 0; c < tg.cols(); ++c) tg.at(r, c) += g.at(r, c) * a;
+        }
+      } else {
+        Tensor& tg = op.inputs[1]->grad;
+        const Tensor& v = op.inputs[0]->value;
+        for (int r = b; r < e; ++r) {
+          double acc = 0.0;
+          for (int c = 0; c < g.cols(); ++c)
+            acc += static_cast<double>(g.at(r, c)) * v.at(r, c);
+          tg.at(r, 0) += static_cast<float>(acc);
+        }
+      }
+      break;
+    }
+    case OpKind::kConcatCols: {
+      int off = 0;
+      for (int i = 0; i < role; ++i) off += op.inputs[i]->value.cols();
+      Tensor& tg = op.inputs[role]->grad;
+      const int bc = op.inputs[role]->value.cols();
+      for (int r = b; r < e; ++r)
+        for (int c = 0; c < bc; ++c) tg.at(r, c) += g.at(r, off + c);
+      break;
+    }
+    case OpKind::kGather: {
+      const int cols = op.out->value.cols();
+      for (std::size_t i = 0; i < op.refs.size(); ++i) {
+        const RowRef& r = op.refs[i];
+        if (!r.var->requires_grad) continue;
+        const float* src = g.row(static_cast<int>(i));
+        float* dst = r.var->ensure_grad().row(r.row);
+        for (int c = 0; c < cols; ++c) dst[c] += src[c];
+      }
+      break;
+    }
+    case OpKind::kSegmentSoftmax: {
+      // ds_e = y_e * (g_e - sum_{e' in seg} g_e' y_e')
+      const Tensor& y = op.out->value;
+      std::vector<double> seg_dot(static_cast<std::size_t>(op.num_segments), 0.0);
+      const int n = y.rows();
+      for (int e2 = 0; e2 < n; ++e2)
+        seg_dot[op.segment[e2]] +=
+            static_cast<double>(g.at(e2, 0)) * y.at(e2, 0);
+      Tensor& tg = op.inputs[0]->grad;
+      for (int e2 = 0; e2 < n; ++e2)
+        tg.at(e2, 0) += y.at(e2, 0) *
+                        (g.at(e2, 0) - static_cast<float>(seg_dot[op.segment[e2]]));
+      break;
+    }
+    case OpKind::kSegmentSum: {
+      Tensor& tg = op.inputs[0]->grad;
+      for (int row = b; row < e; ++row) {
+        const float* src = g.row(op.segment[static_cast<std::size_t>(row)]);
+        float* dst = tg.row(row);
+        for (int c = 0; c < tg.cols(); ++c) dst[c] += src[c];
+      }
+      break;
+    }
+    case OpKind::kSegmentMax: {
+      // Distinct segments own distinct argmax rows, and columns are sliced
+      // per element, so chunking by segment rows scatters disjointly.
+      Tensor& tg = op.inputs[0]->grad;
+      const int cols = op.out->value.cols();
+      for (int s = b; s < e; ++s) {
+        const float* src = g.row(s);
+        for (int c = 0; c < cols; ++c) {
+          const int row = op.argmax[static_cast<std::size_t>(s) * cols + c];
+          if (row >= 0) tg.row(row)[c] += src[c];
+        }
+      }
+      break;
+    }
+    case OpKind::kL1Loss: {
+      Tensor& tg = op.inputs[0]->grad;
+      const Tensor& pred = op.inputs[0]->value;
+      const float s =
+          g.at(0, 0) / static_cast<float>(static_cast<double>(op.attr_a.size()));
+      const int cols = pred.cols();
+      const std::size_t lo = static_cast<std::size_t>(b) * cols;
+      const std::size_t hi = static_cast<std::size_t>(e) * cols;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float d = pred.data()[i] - op.attr_a.data()[i];
+        tg.data()[i] += d > 0.0f ? s : (d < 0.0f ? -s : 0.0f);
+      }
+      break;
+    }
+    case OpKind::kL1LossWeighted: {
+      Tensor& tg = op.inputs[0]->grad;
+      const Tensor& pred = op.inputs[0]->value;
+      const float s = g.at(0, 0) / op.scalar;  // scalar = float(wsum), set by forward
+      const int cols = pred.cols();
+      const std::size_t lo = static_cast<std::size_t>(b) * cols;
+      const std::size_t hi = static_cast<std::size_t>(e) * cols;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float d = pred.data()[i] - op.attr_a.data()[i];
+        tg.data()[i] +=
+            op.attr_b.data()[i] * (d > 0.0f ? s : (d < 0.0f ? -s : 0.0f));
+      }
+      break;
+    }
+    case OpKind::kSoftmaxXent: {
+      Tensor& tg = op.inputs[0]->grad;
+      const float s = g.at(0, 0) / static_cast<float>(op.saved.rows());
+      for (int r = b; r < e; ++r) {
+        const float* p = op.saved.row(r);
+        float* dst = tg.row(r);
+        for (int c = 0; c < op.saved.cols(); ++c)
+          dst[c] += s * (p[c] - (c == op.segment[r] ? 1.0f : 0.0f));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+bool op_inputs_alias(const Op& op) {
+  for (std::size_t i = 0; i < op.inputs.size(); ++i)
+    for (std::size_t j = i + 1; j < op.inputs.size(); ++j)
+      if (op.inputs[i].get() == op.inputs[j].get()) return true;
+  return false;
+}
+
+void ensure_input_grads(const Op& op) {
+  for (const Var& in : op.inputs)
+    if (in->requires_grad) in->ensure_grad();
+}
+
+/// Single chunk dispatch, forward or backward. Backward chunks are gated on
+/// the op's output having received a gradient — deterministic at this
+/// point, because every downstream op ran in an earlier wave.
+void run_chunk(const Chunk& chunk) {
+  Op& op = *chunk.op;
+  switch (chunk.role) {
+    case kRoleForward:
+      forward_kernel(chunk);
+      break;
+    case kRolePrep:
+      if (op.out->has_grad()) ensure_input_grads(op);
+      break;
+    case kRoleAll:
+      if (op.out->has_grad()) {
+        ensure_input_grads(op);
+        for (const BwPart& p : backward_parts(op))
+          run_backward_part(op, p.role, 0, p.extent);
+      }
+      break;
+    default:
+      if (op.out->has_grad())
+        run_backward_part(op, chunk.role, chunk.begin, chunk.end);
+      break;
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+inline void cpu_relax() { __builtin_ia32_pause(); }
+#else
+inline void cpu_relax() {}
+#endif
+
+/// Shared state of one plan execution. The caller and up to threads-1 pool
+/// helpers all drive the same cursor: chunks of the current wave are claimed
+/// from an atomic index, and a spin barrier separates waves (release on the
+/// last chunk's completion count, acquire by every spinner — so wave N+1
+/// reads wave N's tensor writes safely). Helpers stay hot across the whole
+/// plan, which is what makes narrow-level graphs (hundreds of small waves
+/// per flush) profitable to parallelize.
+///
+/// Heap-shared: a helper dequeued after the plan completed finds every claim
+/// exhausted and every barrier satisfied, zips through, and drops its
+/// reference — it never blocks, and it never touches an Op (a chunk can
+/// only be claimed before the caller's final barrier), so the graph may
+/// recycle executed ops as soon as the caller returns.
+struct WaveDriver {
+  Plan plan;
+  std::unique_ptr<std::atomic<int>[]> next;
+  std::unique_ptr<std::atomic<int>[]> done;
+
+  explicit WaveDriver(Plan p)
+      : plan(std::move(p)),
+        next(new std::atomic<int>[plan.waves().size()]),
+        done(new std::atomic<int>[plan.waves().size()]) {
+    for (std::size_t i = 0; i < plan.waves().size(); ++i) {
+      next[i].store(0, std::memory_order_relaxed);
+      done[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void drive(bool caller) {
+    const std::vector<Wave>& waves = plan.waves();
+    const Chunk* chunks = plan.chunks();
+    int idle_waves = 0;
+    for (std::size_t w = 0; w < waves.size(); ++w) {
+      const Chunk* first = chunks + waves[w].first;
+      const int n = static_cast<int>(waves[w].count);
+      bool claimed = false;
+      for (;;) {
+        const int i = next[w].fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        claimed = true;
+        run_chunk(first[i]);
+        done[w].fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (!caller) {
+        // A helper that keeps claiming nothing returns its core to the
+        // pool; the caller finishes regardless. The budget is sized so a
+        // helper survives the runs of single-chunk waves between a
+        // narrow-level plan's fat waves (~10-20), but a long single-chunk
+        // tail (a deep backward chain) releases it quickly instead of
+        // spin/yielding through thousands of barriers.
+        idle_waves = claimed ? 0 : idle_waves + 1;
+        if (idle_waves >= 32) return;
+      }
+      int spins = 0;
+      while (done[w].load(std::memory_order_acquire) < n) {
+        if (++spins > 64) {
+          std::this_thread::yield();
+        } else {
+          cpu_relax();
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+// ---- Executor --------------------------------------------------------------
+
+int nn_threads_from_env(int fallback) {
+  const int t = static_cast<int>(env_int("DEEPSEQ_NN_THREADS", fallback));
+  return t >= 1 ? t : fallback;
+}
+
+Executor::Executor() = default;
+
+Executor::Executor(runtime::ThreadPool* pool, int threads)
+    : pool_(pool), threads_(std::max(1, threads)) {
+  if (threads_ <= 1) pool_ = nullptr;
+}
+
+Executor::~Executor() = default;
+
+Executor& Executor::global() {
+  static Executor* e = [] {
+    const int hw = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    const int threads = nn_threads_from_env(hw);
+    auto* exec = new Executor();
+    if (threads > 1) {
+      exec->owned_pool_ = std::make_unique<runtime::ThreadPool>(threads);
+      exec->pool_ = exec->owned_pool_.get();
+      exec->threads_ = threads;
+    }
+    return exec;
+  }();
+  return *e;
+}
+
+Executor& Executor::current() {
+  return g_current_executor != nullptr ? *g_current_executor : global();
+}
+
+void Executor::run_waves(Plan plan) {
+  if (plan.empty()) return;
+  const std::uint32_t max_chunks = plan.max_wave_chunks();
+  if (threads_ <= 1 || pool_ == nullptr || max_chunks <= 1 ||
+      plan.total_work() < kMinParallelFlushWork) {
+    const Chunk* chunks = plan.chunks();
+    for (const Wave& w : plan.waves())
+      for (std::uint32_t i = 0; i < w.count; ++i) run_chunk(chunks[w.first + i]);
+    return;
+  }
+  auto driver = std::make_shared<WaveDriver>(std::move(plan));
+  const int helpers =
+      std::min(threads_ - 1, static_cast<int>(max_chunks) - 1);
+  for (int h = 0; h < helpers; ++h)
+    pool_->submit([driver] { driver->drive(false); });
+  // The caller participates and returns only after the last wave's barrier.
+  driver->drive(true);
+}
+
+void Executor::run(Plan plan) {
+  if (g_trace == nullptr) {
+    run_waves(std::move(plan));
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  g_trace->flushes += 1;
+  g_trace->waves += static_cast<int>(plan.waves().size());
+  for (const Wave& w : plan.waves())
+    g_trace->chunks += static_cast<int>(w.count);
+  if (threads_ > 1 && pool_ != nullptr &&
+      plan.total_work() >= kMinParallelFlushWork)
+    for (const Wave& w : plan.waves())
+      if (w.count > 1) g_trace->parallel_waves += 1;
+  run_waves(std::move(plan));
+  g_trace->flush_ms.push_back(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+}
+
+void Executor::run_backward(const std::vector<Op*>& ops) {
+  Plan plan;
+  plan.reserve(ops.size(), ops.size());
+  std::vector<int> part_chunks;
+  for (Op* op : ops) {
+    const std::vector<BwPart> parts = backward_parts(*op);
+    if (parts.empty()) continue;
+    std::uint64_t total = 0;
+    for (const BwPart& p : parts) total += p.work;
+
+    // Chunk the parts (shared splitting rule with the forward planner);
+    // aliased operands keep the sequential scatter order.
+    const bool chunkable = !op_inputs_alias(*op) && threads_ > 1;
+    int split_chunks = 0;
+    part_chunks.clear();
+    if (chunkable)
+      for (const BwPart& p : parts) {
+        part_chunks.push_back(chunk_count(p.work, p.extent, threads_));
+        split_chunks += part_chunks.back();
+      }
+    if (!chunkable || split_chunks <= 1) {
+      // Single-chunk op (or aliasing): prep + every part in one sequential
+      // chunk, no extra barrier.
+      plan.add_wave().work = total;
+      plan.add_chunk(Chunk{op, 0, 0, kRoleAll});
+      continue;
+    }
+    // Allocate input grads in a wave of their own, before any scatter runs.
+    plan.add_wave().work = 1;
+    plan.add_chunk(Chunk{op, 0, 0, kRolePrep});
+    plan.add_wave().work = total;
+    for (std::size_t k = 0; k < parts.size(); ++k) {
+      const BwPart& p = parts[k];
+      const int nchunks = part_chunks[k];
+      const int base = p.extent / nchunks, rem = p.extent % nchunks;
+      int begin = 0;
+      for (int i = 0; i < nchunks; ++i) {
+        const int len = base + (i < rem ? 1 : 0);
+        plan.add_chunk(Chunk{op, begin, begin + len, p.role});
+        begin += len;
+      }
+    }
+  }
+  run_waves(std::move(plan));
+}
+
+// ---- scopes ----------------------------------------------------------------
+
+ExecutorScope::ExecutorScope(Executor& e) : prev_(g_current_executor) {
+  g_current_executor = &e;
+}
+
+ExecutorScope::~ExecutorScope() { g_current_executor = prev_; }
+
+ExecTraceScope::ExecTraceScope(ExecStats& stats) : prev_(g_trace) {
+  g_trace = &stats;
+}
+
+ExecTraceScope::~ExecTraceScope() { g_trace = prev_; }
+
+}  // namespace deepseq::nn

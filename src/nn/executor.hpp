@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/plan.hpp"
+
+namespace deepseq::runtime {
+class ThreadPool;
+}
+
+namespace deepseq::nn {
+
+/// Resolve the DEEPSEQ_NN_THREADS knob (strict env_int): the explicit value
+/// when set, else `fallback` (the shared pool's size, or hardware
+/// concurrency for the process-global executor). 1 selects the sequential
+/// path; values < 1 fall back too.
+int nn_threads_from_env(int fallback);
+
+/// Per-flush execution counters, collected when an ExecTraceScope is active
+/// on the calling thread (benches use this for per-level timing).
+struct ExecStats {
+  int flushes = 0;
+  int waves = 0;
+  int chunks = 0;
+  int parallel_waves = 0;  // waves dispatched to the pool (vs run inline)
+  std::vector<double> flush_ms;  // one entry per Graph::flush, in call order
+};
+
+/// The execute layer: runs a Plan's waves — and taped ops' backward kernels
+/// — over a shared runtime::ThreadPool. The calling thread always
+/// participates in a wave (it drains the same chunk queue the pool helpers
+/// do), so executors may safely share the pool that is running their caller:
+/// a saturated pool degrades to inline execution instead of deadlocking.
+///
+/// Results are bit-identical to sequential execution at any thread count:
+/// every output element is produced by exactly one chunk with the same
+/// inner-loop order as the single-chunk kernel, and backward kernels are
+/// chunked only where gradient scatter targets are provably disjoint
+/// (aliased operands fall back to the sequential order).
+class Executor {
+ public:
+  /// Sequential executor (the DEEPSEQ_NN_THREADS=1 path).
+  Executor();
+  /// Run waves with up to `threads` workers on `pool` (non-owning; must
+  /// outlive the executor). threads <= 1 never touches the pool.
+  Executor(runtime::ThreadPool* pool, int threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  int threads() const { return threads_; }
+  runtime::ThreadPool* pool() const { return pool_; }
+
+  /// Execute a flushed batch: waves in order, chunks of a wave potentially
+  /// in parallel. Fills taped ops' backward byproducts (argmax, saved).
+  /// Takes the plan by value: pool helpers share the wave list and may
+  /// outlive the call.
+  void run(Plan plan);
+
+  /// Run the backward kernels of `ops` (already in reverse topological
+  /// order): each op becomes one or two waves — gradient allocation, then
+  /// scatter chunks where targets are provably disjoint — driven by one
+  /// helper team across the whole sequence. Ops whose output never received
+  /// a gradient are skipped, exactly as in sequential backward.
+  void run_backward(const std::vector<Op*>& ops);
+
+  /// Process-global executor: owns a pool sized by DEEPSEQ_NN_THREADS
+  /// (default: hardware concurrency). DEEPSEQ_NN_THREADS=1 keeps everything
+  /// on the calling thread.
+  static Executor& global();
+
+  /// The executor Graph flushes use on this thread: the innermost active
+  /// ExecutorScope's, or global().
+  static Executor& current();
+
+ private:
+  friend class ExecutorScope;
+
+  /// The shared wave driver: run the plan's waves in order, claiming chunks
+  /// from one atomic queue per wave with spin barriers between waves. The
+  /// caller participates; up to threads-1 pool helpers are enlisted once
+  /// for the whole plan and stay hot across waves.
+  void run_waves(Plan plan);
+
+  runtime::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<runtime::ThreadPool> owned_pool_;
+  int threads_ = 1;
+};
+
+/// RAII thread-local executor override: Graphs flushed on this thread while
+/// the scope is alive use `e` (the serving layer threads its shared worker
+/// pool into the nn layer this way).
+class ExecutorScope {
+ public:
+  explicit ExecutorScope(Executor& e);
+  ~ExecutorScope();
+  ExecutorScope(const ExecutorScope&) = delete;
+  ExecutorScope& operator=(const ExecutorScope&) = delete;
+
+ private:
+  Executor* prev_;
+};
+
+/// RAII per-flush stats collection on the calling thread (benches only).
+class ExecTraceScope {
+ public:
+  explicit ExecTraceScope(ExecStats& stats);
+  ~ExecTraceScope();
+  ExecTraceScope(const ExecTraceScope&) = delete;
+  ExecTraceScope& operator=(const ExecTraceScope&) = delete;
+
+ private:
+  ExecStats* prev_;
+};
+
+}  // namespace deepseq::nn

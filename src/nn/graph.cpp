@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "nn/executor.hpp"
+#include "nn/op.hpp"
+#include "nn/plan.hpp"
 
 namespace deepseq::nn {
 
@@ -27,6 +29,12 @@ bool any_requires_grad(const std::vector<Var>& parents) {
   return false;
 }
 
+void check_same_shape(const Var& a, const Var& b, const char* op) {
+  if (!a->value.same_shape(b->value))
+    throw ShapeError(std::string(op) + ": shape mismatch " +
+                     a->value.shape_string() + " vs " + b->value.shape_string());
+}
+
 }  // namespace
 
 Var make_param(Tensor value) { return new_node(std::move(value), true); }
@@ -34,116 +42,133 @@ Var make_constant(Tensor value) { return new_node(std::move(value), false); }
 
 Var Graph::constant(Tensor value) { return make_constant(std::move(value)); }
 
-Var Graph::record(Tensor value, std::vector<Var> parents,
-                  std::function<void(VarNode&)> backward_fn) {
-  const bool needs = grad_enabled_ && any_requires_grad(parents);
-  Var n = new_node(std::move(value), needs);
+Graph::~Graph() { clear(); }
+
+// The record layer's single registration point: the output node is created
+// with its final shape (zero-filled — kernels that accumulate rely on it),
+// the op joins the pending batch, and the tape additionally retains it when
+// gradients will flow. Outside a BatchScope the batch is flushed
+// immediately, preserving eager `var->value` semantics for every caller.
+Var Graph::record(Tensor out, std::shared_ptr<Op> op) {
+  const bool needs = grad_enabled_ && any_requires_grad(op->inputs);
+  Var n = new_node(std::move(out), needs);
+  op->out = n;
+  pending_.push_back(op);
   if (needs) {
-    n->parents = std::move(parents);
-    n->backward_fn = std::move(backward_fn);
-    tape_.push_back(n);
+    n->producer = op.get();
+    tape_.push_back(std::move(op));
   }
+  if (batch_depth_ == 0) flush();
   return n;
 }
 
+void Graph::flush() {
+  if (pending_.empty()) return;
+  Executor& exec = Executor::current();
+  exec.run(Plan::build(pending_, exec.threads()));
+  if (grad_enabled_) {
+    pending_.clear();
+    return;
+  }
+  // Recycle executed ops: release their references immediately (dead
+  // intermediates free as early as they did on the eager tape) but keep the
+  // member vectors' capacity warm for the next record.
+  for (auto& op : pending_) {
+    op->out.reset();
+    op->inputs.clear();
+    op->refs.clear();
+    op->segment.clear();
+    op->argmax.clear();
+    op->num_segments = 0;
+    op->scalar = 0.0f;
+    if (op->attr_a.size() != 0) op->attr_a = Tensor();
+    if (op->attr_b.size() != 0) op->attr_b = Tensor();
+    if (op->saved.size() != 0) op->saved = Tensor();
+    free_ops_.push_back(std::move(op));
+  }
+  pending_.clear();
+}
+
+std::shared_ptr<Op> Graph::acquire_op(OpKind kind) {
+  std::shared_ptr<Op> op;
+  if (free_ops_.empty()) {
+    op = std::make_shared<Op>();
+  } else {
+    op = std::move(free_ops_.back());
+    free_ops_.pop_back();
+  }
+  op->kind = kind;
+  return op;
+}
+
 Var Graph::add(const Var& a, const Var& b) {
-  Tensor v = nn::add(a->value, b->value);
-  return record(std::move(v), {a, b}, [a, b](VarNode& self) {
-    if (a->requires_grad) add_in_place(a->ensure_grad(), self.grad);
-    if (b->requires_grad) add_in_place(b->ensure_grad(), self.grad);
-  });
+  check_same_shape(a, b, "add");
+  auto op = acquire_op(OpKind::kAdd);
+  op->inputs = {a, b};
+  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
 }
 
 Var Graph::sub(const Var& a, const Var& b) {
-  Tensor v = nn::sub(a->value, b->value);
-  return record(std::move(v), {a, b}, [a, b](VarNode& self) {
-    if (a->requires_grad) add_in_place(a->ensure_grad(), self.grad);
-    if (b->requires_grad) {
-      Tensor& g = b->ensure_grad();
-      for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] -= self.grad.data()[i];
-    }
-  });
+  check_same_shape(a, b, "sub");
+  auto op = acquire_op(OpKind::kSub);
+  op->inputs = {a, b};
+  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
 }
 
 Var Graph::mul(const Var& a, const Var& b) {
-  Tensor v = nn::mul(a->value, b->value);
-  return record(std::move(v), {a, b}, [a, b](VarNode& self) {
-    if (a->requires_grad)
-      add_in_place(a->ensure_grad(), nn::mul(self.grad, b->value));
-    if (b->requires_grad)
-      add_in_place(b->ensure_grad(), nn::mul(self.grad, a->value));
-  });
+  check_same_shape(a, b, "mul");
+  auto op = acquire_op(OpKind::kMul);
+  op->inputs = {a, b};
+  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
 }
 
 Var Graph::add_row(const Var& a, const Var& row) {
-  Tensor v = nn::add_row(a->value, row->value);
-  return record(std::move(v), {a, row}, [a, row](VarNode& self) {
-    if (a->requires_grad) add_in_place(a->ensure_grad(), self.grad);
-    if (row->requires_grad) {
-      Tensor& g = row->ensure_grad();
-      for (int r = 0; r < self.grad.rows(); ++r)
-        for (int c = 0; c < self.grad.cols(); ++c) g.at(0, c) += self.grad.at(r, c);
-    }
-  });
+  if (row->value.rows() != 1 || row->value.cols() != a->value.cols())
+    throw ShapeError("add_row: need 1x" + std::to_string(a->value.cols()) +
+                     " row vector, got " + row->value.shape_string());
+  auto op = acquire_op(OpKind::kAddRow);
+  op->inputs = {a, row};
+  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
 }
 
 Var Graph::matmul(const Var& a, const Var& b) {
-  Tensor v = nn::matmul(a->value, b->value);
-  return record(std::move(v), {a, b}, [a, b](VarNode& self) {
-    if (a->requires_grad) matmul_nt_acc(self.grad, b->value, a->ensure_grad());
-    if (b->requires_grad) matmul_tn_acc(a->value, self.grad, b->ensure_grad());
-  });
+  if (a->value.cols() != b->value.rows())
+    throw ShapeError("matmul: inner dimension mismatch " +
+                     a->value.shape_string() + " * " + b->value.shape_string());
+  auto op = acquire_op(OpKind::kMatmul);
+  op->inputs = {a, b};
+  return record(Tensor(a->value.rows(), b->value.cols()), std::move(op));
 }
 
 Var Graph::scale(const Var& a, float s) {
-  Tensor v = nn::scale(a->value, s);
-  return record(std::move(v), {a}, [a, s](VarNode& self) {
-    if (a->requires_grad) add_in_place(a->ensure_grad(), nn::scale(self.grad, s));
-  });
+  auto op = acquire_op(OpKind::kScale);
+  op->inputs = {a};
+  op->scalar = s;
+  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
 }
 
 Var Graph::sigmoid(const Var& a) {
-  Tensor v = nn::sigmoid(a->value);
-  return record(std::move(v), {a}, [a](VarNode& self) {
-    if (!a->requires_grad) return;
-    Tensor& g = a->ensure_grad();
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      const float y = self.value.data()[i];
-      g.data()[i] += self.grad.data()[i] * y * (1.0f - y);
-    }
-  });
+  auto op = acquire_op(OpKind::kSigmoid);
+  op->inputs = {a};
+  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
 }
 
 Var Graph::tanh_(const Var& a) {
-  Tensor v = nn::tanh_t(a->value);
-  return record(std::move(v), {a}, [a](VarNode& self) {
-    if (!a->requires_grad) return;
-    Tensor& g = a->ensure_grad();
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      const float y = self.value.data()[i];
-      g.data()[i] += self.grad.data()[i] * (1.0f - y * y);
-    }
-  });
+  auto op = acquire_op(OpKind::kTanh);
+  op->inputs = {a};
+  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
 }
 
 Var Graph::relu(const Var& a) {
-  Tensor v = nn::relu(a->value);
-  return record(std::move(v), {a}, [a](VarNode& self) {
-    if (!a->requires_grad) return;
-    Tensor& g = a->ensure_grad();
-    for (std::size_t i = 0; i < g.size(); ++i)
-      if (a->value.data()[i] > 0.0f) g.data()[i] += self.grad.data()[i];
-  });
+  auto op = acquire_op(OpKind::kRelu);
+  op->inputs = {a};
+  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
 }
 
 Var Graph::one_minus(const Var& a) {
-  Tensor v(a->value.rows(), a->value.cols());
-  for (std::size_t i = 0; i < v.size(); ++i) v.data()[i] = 1.0f - a->value.data()[i];
-  return record(std::move(v), {a}, [a](VarNode& self) {
-    if (!a->requires_grad) return;
-    Tensor& g = a->ensure_grad();
-    for (std::size_t i = 0; i < g.size(); ++i) g.data()[i] -= self.grad.data()[i];
-  });
+  auto op = acquire_op(OpKind::kOneMinus);
+  op->inputs = {a};
+  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
 }
 
 Var Graph::concat_cols(const std::vector<Var>& blocks) {
@@ -154,149 +179,60 @@ Var Graph::concat_cols(const std::vector<Var>& blocks) {
     if (b->value.rows() != rows) throw ShapeError("concat_cols: row mismatch");
     cols += b->value.cols();
   }
-  Tensor v(rows, cols);
-  int offset = 0;
-  for (const auto& b : blocks) {
-    for (int r = 0; r < rows; ++r)
-      std::copy(b->value.row(r), b->value.row(r) + b->value.cols(),
-                v.row(r) + offset);
-    offset += b->value.cols();
-  }
-  std::vector<Var> parents(blocks.begin(), blocks.end());
-  return record(std::move(v), std::move(parents), [blocks](VarNode& self) {
-    int off = 0;
-    for (const auto& b : blocks) {
-      const int bc = b->value.cols();
-      if (b->requires_grad) {
-        Tensor& g = b->ensure_grad();
-        for (int r = 0; r < g.rows(); ++r)
-          for (int c = 0; c < bc; ++c) g.at(r, c) += self.grad.at(r, off + c);
-      }
-      off += bc;
-    }
-  });
+  auto op = acquire_op(OpKind::kConcatCols);
+  op->inputs = blocks;
+  return record(Tensor(rows, cols), std::move(op));
 }
 
 Var Graph::gather(const std::vector<RowRef>& refs) {
   if (refs.empty()) throw ShapeError("gather: no rows");
   const int cols = refs[0].var->value.cols();
-  Tensor v(static_cast<int>(refs.size()), cols);
-  for (std::size_t e = 0; e < refs.size(); ++e) {
-    const auto& r = refs[e];
+  for (const auto& r : refs) {
     if (r.var->value.cols() != cols) throw ShapeError("gather: column mismatch");
     if (r.row < 0 || r.row >= r.var->value.rows())
       throw ShapeError("gather: row index out of range");
-    std::copy(r.var->value.row(r.row), r.var->value.row(r.row) + cols,
-              v.row(static_cast<int>(e)));
   }
-  // Unique parents.
-  std::vector<Var> parents;
+  auto op = acquire_op(OpKind::kGather);
+  op->refs = refs;
   {
     std::unordered_set<VarNode*> seen;
     for (const auto& r : refs)
-      if (seen.insert(r.var.get()).second) parents.push_back(r.var);
+      if (seen.insert(r.var.get()).second) op->inputs.push_back(r.var);
   }
-  auto refs_copy = refs;
-  return record(std::move(v), std::move(parents),
-                [refs_copy](VarNode& self) {
-                  const int cols = self.value.cols();
-                  for (std::size_t e = 0; e < refs_copy.size(); ++e) {
-                    const auto& r = refs_copy[e];
-                    if (!r.var->requires_grad) continue;
-                    Tensor& g = r.var->ensure_grad();
-                    const float* src = self.grad.row(static_cast<int>(e));
-                    float* dst = g.row(r.row);
-                    for (int c = 0; c < cols; ++c) dst[c] += src[c];
-                  }
-                });
+  return record(Tensor(static_cast<int>(refs.size()), cols), std::move(op));
 }
 
 Var Graph::segment_softmax(const Var& scores, const std::vector<int>& segment,
                            int num_segments) {
   if (scores->value.cols() != 1)
     throw ShapeError("segment_softmax: scores must be E x 1");
-  const int e_count = scores->value.rows();
-  if (static_cast<int>(segment.size()) != e_count)
+  if (static_cast<int>(segment.size()) != scores->value.rows())
     throw ShapeError("segment_softmax: segment size mismatch");
-
-  Tensor v(e_count, 1);
-  {
-    std::vector<float> seg_max(num_segments, -1e30f);
-    for (int e = 0; e < e_count; ++e)
-      seg_max[segment[e]] = std::max(seg_max[segment[e]], scores->value.at(e, 0));
-    std::vector<double> seg_sum(num_segments, 0.0);
-    for (int e = 0; e < e_count; ++e) {
-      const float x = std::exp(scores->value.at(e, 0) - seg_max[segment[e]]);
-      v.at(e, 0) = x;
-      seg_sum[segment[e]] += x;
-    }
-    for (int e = 0; e < e_count; ++e)
-      v.at(e, 0) = static_cast<float>(v.at(e, 0) / seg_sum[segment[e]]);
-  }
-
-  auto seg = segment;
-  return record(std::move(v), {scores}, [scores, seg, num_segments](VarNode& self) {
-    if (!scores->requires_grad) return;
-    // ds_e = y_e * (g_e - sum_{e' in seg} g_e' y_e')
-    std::vector<double> seg_dot(num_segments, 0.0);
-    const int n = self.value.rows();
-    for (int e = 0; e < n; ++e)
-      seg_dot[seg[e]] += static_cast<double>(self.grad.at(e, 0)) * self.value.at(e, 0);
-    Tensor& g = scores->ensure_grad();
-    for (int e = 0; e < n; ++e)
-      g.at(e, 0) += self.value.at(e, 0) *
-                    (self.grad.at(e, 0) - static_cast<float>(seg_dot[seg[e]]));
-  });
+  auto op = acquire_op(OpKind::kSegmentSoftmax);
+  op->inputs = {scores};
+  op->segment = segment;
+  op->num_segments = num_segments;
+  return record(Tensor(scores->value.rows(), 1), std::move(op));
 }
 
 Var Graph::mul_col(const Var& values, const Var& col) {
   if (col->value.cols() != 1 || col->value.rows() != values->value.rows())
     throw ShapeError("mul_col: col must be E x 1 matching values rows");
-  Tensor v(values->value.rows(), values->value.cols());
-  for (int r = 0; r < v.rows(); ++r) {
-    const float a = col->value.at(r, 0);
-    for (int c = 0; c < v.cols(); ++c) v.at(r, c) = values->value.at(r, c) * a;
-  }
-  return record(std::move(v), {values, col}, [values, col](VarNode& self) {
-    if (values->requires_grad) {
-      Tensor& g = values->ensure_grad();
-      for (int r = 0; r < g.rows(); ++r) {
-        const float a = col->value.at(r, 0);
-        for (int c = 0; c < g.cols(); ++c) g.at(r, c) += self.grad.at(r, c) * a;
-      }
-    }
-    if (col->requires_grad) {
-      Tensor& g = col->ensure_grad();
-      for (int r = 0; r < self.grad.rows(); ++r) {
-        double acc = 0.0;
-        for (int c = 0; c < self.grad.cols(); ++c)
-          acc += static_cast<double>(self.grad.at(r, c)) * values->value.at(r, c);
-        g.at(r, 0) += static_cast<float>(acc);
-      }
-    }
-  });
+  auto op = acquire_op(OpKind::kMulCol);
+  op->inputs = {values, col};
+  return record(Tensor(values->value.rows(), values->value.cols()),
+                std::move(op));
 }
 
 Var Graph::segment_sum(const Var& values, const std::vector<int>& segment,
                        int num_segments) {
   if (static_cast<int>(segment.size()) != values->value.rows())
     throw ShapeError("segment_sum: segment size mismatch");
-  Tensor v(num_segments, values->value.cols());
-  for (int e = 0; e < values->value.rows(); ++e) {
-    float* dst = v.row(segment[e]);
-    const float* src = values->value.row(e);
-    for (int c = 0; c < v.cols(); ++c) dst[c] += src[c];
-  }
-  auto seg = segment;
-  return record(std::move(v), {values}, [values, seg](VarNode& self) {
-    if (!values->requires_grad) return;
-    Tensor& g = values->ensure_grad();
-    for (int e = 0; e < g.rows(); ++e) {
-      const float* src = self.grad.row(seg[e]);
-      float* dst = g.row(e);
-      for (int c = 0; c < g.cols(); ++c) dst[c] += src[c];
-    }
-  });
+  auto op = acquire_op(OpKind::kSegmentSum);
+  op->inputs = {values};
+  op->segment = segment;
+  op->num_segments = num_segments;
+  return record(Tensor(num_segments, values->value.cols()), std::move(op));
 }
 
 Var Graph::segment_max(const Var& values, const std::vector<int>& segment,
@@ -304,78 +240,33 @@ Var Graph::segment_max(const Var& values, const std::vector<int>& segment,
   if (static_cast<int>(segment.size()) != values->value.rows())
     throw ShapeError("segment_max: segment size mismatch");
   const int cols = values->value.cols();
-  Tensor v(num_segments, cols);
-  // argmax[s*cols + c] = source row providing segment s's max in column c.
-  std::vector<int> argmax(static_cast<std::size_t>(num_segments) * cols, -1);
-  for (int e = 0; e < values->value.rows(); ++e) {
-    const int s = segment[e];
-    const float* src = values->value.row(e);
-    float* dst = v.row(s);
-    for (int c = 0; c < cols; ++c) {
-      int& am = argmax[static_cast<std::size_t>(s) * cols + c];
-      if (am < 0 || src[c] > dst[c]) {
-        dst[c] = src[c];
-        am = e;
-      }
-    }
-  }
-  return record(std::move(v), {values},
-                [values, argmax, cols](VarNode& self) {
-                  if (!values->requires_grad) return;
-                  Tensor& g = values->ensure_grad();
-                  for (int s = 0; s < self.value.rows(); ++s) {
-                    const float* src = self.grad.row(s);
-                    for (int c = 0; c < cols; ++c) {
-                      const int e = argmax[static_cast<std::size_t>(s) * cols + c];
-                      if (e >= 0) g.row(e)[c] += src[c];
-                    }
-                  }
-                });
+  auto op = acquire_op(OpKind::kSegmentMax);
+  op->inputs = {values};
+  op->segment = segment;
+  op->num_segments = num_segments;
+  op->argmax.assign(static_cast<std::size_t>(num_segments) * cols, -1);
+  return record(Tensor(num_segments, cols), std::move(op));
 }
 
 Var Graph::l1_loss(const Var& pred, const Tensor& target) {
   if (!pred->value.same_shape(target))
     throw ShapeError("l1_loss: prediction/target shape mismatch " +
                      pred->value.shape_string() + " vs " + target.shape_string());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < target.size(); ++i)
-    acc += std::fabs(pred->value.data()[i] - target.data()[i]);
-  const auto n = static_cast<double>(target.size());
-  Tensor v = Tensor::scalar(static_cast<float>(acc / n));
-  Tensor tgt = target;
-  return record(std::move(v), {pred}, [pred, tgt, n](VarNode& self) {
-    if (!pred->requires_grad) return;
-    Tensor& g = pred->ensure_grad();
-    const float s = self.grad.at(0, 0) / static_cast<float>(n);
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      const float d = pred->value.data()[i] - tgt.data()[i];
-      g.data()[i] += d > 0.0f ? s : (d < 0.0f ? -s : 0.0f);
-    }
-  });
+  auto op = acquire_op(OpKind::kL1Loss);
+  op->inputs = {pred};
+  op->attr_a = target;
+  return record(Tensor(1, 1), std::move(op));
 }
 
 Var Graph::l1_loss_weighted(const Var& pred, const Tensor& target,
                             const Tensor& weight) {
   if (!pred->value.same_shape(target) || !pred->value.same_shape(weight))
     throw ShapeError("l1_loss_weighted: shape mismatch");
-  double acc = 0.0, wsum = 0.0;
-  for (std::size_t i = 0; i < target.size(); ++i) {
-    acc += weight.data()[i] * std::fabs(pred->value.data()[i] - target.data()[i]);
-    wsum += weight.data()[i];
-  }
-  if (wsum <= 0.0) wsum = 1.0;
-  Tensor v = Tensor::scalar(static_cast<float>(acc / wsum));
-  Tensor tgt = target, wt = weight;
-  return record(std::move(v), {pred}, [pred, tgt, wt, wsum](VarNode& self) {
-    if (!pred->requires_grad) return;
-    Tensor& g = pred->ensure_grad();
-    const float s = self.grad.at(0, 0) / static_cast<float>(wsum);
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      const float d = pred->value.data()[i] - tgt.data()[i];
-      const float w = wt.data()[i];
-      g.data()[i] += w * (d > 0.0f ? s : (d < 0.0f ? -s : 0.0f));
-    }
-  });
+  auto op = acquire_op(OpKind::kL1LossWeighted);
+  op->inputs = {pred};
+  op->attr_a = target;
+  op->attr_b = weight;
+  return record(Tensor(1, 1), std::move(op));
 }
 
 Var Graph::softmax_cross_entropy(const Var& logits,
@@ -386,42 +277,20 @@ Var Graph::softmax_cross_entropy(const Var& logits,
   for (int r = 0; r < rows; ++r)
     if (labels[r] < 0 || labels[r] >= cols)
       throw ShapeError("softmax_cross_entropy: label out of range");
-  // Cache the softmax for the backward pass: d(loss)/d(logit) is
-  // (softmax - onehot) / B.
-  Tensor soft(rows, cols);
-  double acc = 0.0;
-  for (int r = 0; r < rows; ++r) {
-    const float* z = logits->value.row(r);
-    float zmax = z[0];
-    for (int c = 1; c < cols; ++c) zmax = std::max(zmax, z[c]);
-    double denom = 0.0;
-    for (int c = 0; c < cols; ++c) denom += std::exp(static_cast<double>(z[c] - zmax));
-    float* p = soft.row(r);
-    for (int c = 0; c < cols; ++c)
-      p[c] = static_cast<float>(std::exp(static_cast<double>(z[c] - zmax)) / denom);
-    acc -= std::log(std::max(static_cast<double>(p[labels[r]]), 1e-12));
-  }
-  Tensor v = Tensor::scalar(static_cast<float>(acc / rows));
-  auto lab = labels;
-  return record(std::move(v), {logits}, [logits, soft, lab](VarNode& self) {
-    if (!logits->requires_grad) return;
-    Tensor& g = logits->ensure_grad();
-    const float s = self.grad.at(0, 0) / static_cast<float>(soft.rows());
-    for (int r = 0; r < soft.rows(); ++r) {
-      const float* p = soft.row(r);
-      float* dst = g.row(r);
-      for (int c = 0; c < soft.cols(); ++c)
-        dst[c] += s * (p[c] - (c == lab[r] ? 1.0f : 0.0f));
-    }
-  });
+  auto op = acquire_op(OpKind::kSoftmaxXent);
+  op->inputs = {logits};
+  op->segment = labels;
+  return record(Tensor(1, 1), std::move(op));
 }
 
 void Graph::backward(const Var& root) {
   if (!grad_enabled_) throw Error("Graph::backward: gradients disabled");
+  flush();
   root->ensure_grad().fill(1.0f);
 
-  // Reachable set, then descending creation id = reverse topological order.
-  std::vector<VarNode*> reachable;
+  // Reachable taped ops, then descending output creation id = reverse
+  // topological order (node creation order is a topo order of the DAG).
+  std::vector<Op*> reachable;
   {
     std::unordered_set<VarNode*> seen;
     std::vector<VarNode*> work{root.get()};
@@ -429,23 +298,20 @@ void Graph::backward(const Var& root) {
     while (!work.empty()) {
       VarNode* n = work.back();
       work.pop_back();
-      reachable.push_back(n);
-      for (const auto& p : n->parents)
+      if (n->producer == nullptr) continue;
+      reachable.push_back(n->producer);
+      for (const auto& p : n->producer->inputs)
         if (seen.insert(p.get()).second) work.push_back(p.get());
     }
   }
   std::sort(reachable.begin(), reachable.end(),
-            [](const VarNode* a, const VarNode* b) { return a->id > b->id; });
-  for (VarNode* n : reachable) {
-    if (n->backward_fn && n->has_grad()) n->backward_fn(*n);
-  }
+            [](const Op* a, const Op* b) { return a->out->id > b->out->id; });
+  Executor::current().run_backward(reachable);
 }
 
 void Graph::clear() {
-  for (auto& n : tape_) {
-    n->parents.clear();
-    n->backward_fn = nullptr;
-  }
+  flush();
+  for (auto& op : tape_) op->out->producer = nullptr;
   tape_.clear();
 }
 

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -9,17 +8,28 @@
 
 namespace deepseq::nn {
 
-/// A node in the dynamically built computation graph. `value` is always
-/// present; `grad` is allocated lazily during backward(). Operation nodes
-/// carry a backward function that scatters the node's gradient into its
-/// parents' gradients.
+struct Op;  // op.hpp: the typed operation record built by the record layer
+enum class OpKind : std::uint8_t;
+
+/// A node in the computation graph. `value` is allocated (with its final
+/// shape) as soon as the node is recorded and filled in when the owning
+/// Graph flushes; `grad` is allocated lazily during backward().
 struct VarNode {
   Tensor value;
   Tensor grad;  // empty until needed
   bool requires_grad = false;
-  std::vector<std::shared_ptr<VarNode>> parents;
-  std::function<void(VarNode&)> backward_fn;
+  /// The taped Op computing this node (owned by the Graph's tape); null for
+  /// leaves and in no-grad mode. Graph links live in the ops, whose
+  /// creation-ordered destruction is iterative — nodes never point at each
+  /// other, so deep unrolled chains can't recurse the destructor.
+  Op* producer = nullptr;
   std::uint64_t id = 0;  // creation order: descending id is a reverse topo order
+  /// Planner scratch: the flush epoch this node was last scheduled in and
+  /// its wave index there. Written only for op outputs, only by the thread
+  /// flushing the owning graph; leaves (params, constants) are never
+  /// written, so sharing them across concurrently-flushing graphs is safe.
+  std::uint64_t plan_epoch = 0;
+  int plan_wave = 0;
 
   bool has_grad() const { return grad.rows() == value.rows() && grad.cols() == value.cols() && grad.size() > 0; }
   Tensor& ensure_grad() {
@@ -43,19 +53,30 @@ struct RowRef {
   int row = 0;
 };
 
-/// Dynamic reverse-mode autograd tape. All operations are methods so that
-/// every created node is registered with the tape, which (a) gives backward
-/// a creation-order topological sort and (b) lets clear() break parent links
-/// iteratively, avoiding deep recursive shared_ptr destruction on long
-/// unrolled propagation graphs. Construct with grad_enabled=false for
-/// inference: ops then keep no parents/backwards and intermediates free as
-/// soon as they go out of scope.
+/// Reverse-mode autograd over a record/plan/execute pipeline. Op methods
+/// RECORD typed Op nodes (shape-checked, output tensor preallocated) instead
+/// of computing inline; a flush PLANs the recorded batch into waves of
+/// independent row-range chunks and EXECUTEs them on the shared thread pool
+/// (nn::Executor, DEEPSEQ_NN_THREADS) with results bit-identical to
+/// sequential execution.
+///
+/// Outside a BatchScope every op is flushed as soon as it is recorded, so
+/// `var->value` is always materialized from the caller's point of view —
+/// eager semantics, with large kernels still chunked across the pool. Inside
+/// a BatchScope (the per-level propagation path) ops accumulate and are
+/// planned together on scope exit, exposing intra-level parallelism across
+/// independent ops as well as within them.
+///
+/// The tape gives backward() a creation-order topological sort, and clear()
+/// breaks parent links iteratively to avoid deep recursive shared_ptr
+/// destruction. Construct with grad_enabled=false for inference: executed
+/// ops are discarded and intermediates free as soon as they go out of scope.
 class Graph {
  public:
   explicit Graph(bool grad_enabled = true) : grad_enabled_(grad_enabled) {}
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
-  ~Graph() { clear(); }
+  ~Graph();
 
   bool grad_enabled() const { return grad_enabled_; }
 
@@ -107,19 +128,58 @@ class Graph {
   Var softmax_cross_entropy(const Var& logits, const std::vector<int>& labels);
 
   /// Backpropagate from a scalar (or any) root: seeds d(root)/d(root) = 1.
+  /// Flushes pending ops first; per-op backward kernels run chunked on the
+  /// executor where grad scatter targets are provably disjoint.
   void backward(const Var& root);
 
-  /// Break all graph links recorded on this tape (values stay valid).
+  /// Plan + execute every recorded-but-unexecuted op. A no-op when nothing
+  /// is pending; called automatically per op outside a BatchScope and on
+  /// BatchScope exit.
+  void flush();
+
+  /// Flush, then break all graph links recorded on this tape (values stay
+  /// valid).
   void clear();
 
   std::size_t tape_size() const { return tape_.size(); }
 
  private:
-  Var record(Tensor value, std::vector<Var> parents,
-             std::function<void(VarNode&)> backward_fn);
+  friend class BatchScope;
+
+  /// Allocate the output node for `op`, register it with the pending batch
+  /// (and the tape when gradients are required), and flush unless inside a
+  /// BatchScope.
+  Var record(Tensor out, std::shared_ptr<Op> op);
+
+  /// A fresh (or recycled) Op to record into. No-grad graphs return
+  /// executed ops to a free list on flush, so steady-state inference
+  /// re-records into warm Op objects whose member vectors keep their
+  /// capacity — near-zero allocation per op.
+  std::shared_ptr<Op> acquire_op(OpKind kind);
 
   bool grad_enabled_;
-  std::vector<Var> tape_;
+  int batch_depth_ = 0;
+  std::vector<std::shared_ptr<Op>> pending_;  // recorded, not yet executed
+  std::vector<std::shared_ptr<Op>> tape_;     // retained for backward()
+  std::vector<std::shared_ptr<Op>> free_ops_;  // no-grad recycling pool
+};
+
+/// RAII deferred-execution region: ops recorded on `g` while the scope is
+/// alive are planned and executed together when the outermost scope exits —
+/// the unit the propagation loop hands to the planner (one level at a
+/// time). Values of Vars recorded inside are not readable until the scope
+/// closes.
+class BatchScope {
+ public:
+  explicit BatchScope(Graph& g) : g_(g) { ++g_.batch_depth_; }
+  ~BatchScope() {
+    if (--g_.batch_depth_ == 0) g_.flush();
+  }
+  BatchScope(const BatchScope&) = delete;
+  BatchScope& operator=(const BatchScope&) = delete;
+
+ private:
+  Graph& g_;
 };
 
 }  // namespace deepseq::nn

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "nn/tensor.hpp"
+
+namespace deepseq::nn {
+
+/// Operation kinds of the record layer. Every Graph op method builds one Op;
+/// the Plan levels a flushed batch into waves and the Executor runs the
+/// per-kind kernels (forward and backward) over row/column chunks.
+enum class OpKind : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kAddRow,
+  kMatmul,
+  kScale,
+  kSigmoid,
+  kTanh,
+  kRelu,
+  kOneMinus,
+  kConcatCols,
+  kGather,
+  kSegmentSoftmax,
+  kMulCol,
+  kSegmentSum,
+  kSegmentMax,
+  kL1Loss,
+  kL1LossWeighted,
+  kSoftmaxXent,
+};
+
+const char* op_name(OpKind k);
+
+/// One recorded operation: output node, ordered operands, and the kernel
+/// arguments the executor needs. Ops double as the autograd tape entries:
+/// forward-pass byproducts the backward kernels consume (`argmax`, `saved`)
+/// are filled in during execution, before any backward runs.
+struct Op {
+  OpKind kind = OpKind::kAdd;
+  Var out;
+  /// Ordered operands. For kGather these are the unique referenced Vars
+  /// (the per-row fan-out lives in `refs`).
+  std::vector<Var> inputs;
+
+  float scalar = 0.0f;       // kScale factor
+  std::vector<int> segment;  // segment ops: row -> segment; kSoftmaxXent: labels
+  int num_segments = 0;
+  std::vector<RowRef> refs;  // kGather source rows
+  Tensor attr_a;             // loss target
+  Tensor attr_b;             // loss weight
+  std::vector<int> argmax;   // kSegmentMax: argmax rows, filled by forward
+  Tensor saved;              // kSoftmaxXent: softmax cached for backward
+};
+
+}  // namespace deepseq::nn

@@ -1,0 +1,193 @@
+#include "nn/plan.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace deepseq::nn {
+
+const char* op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kAddRow: return "add_row";
+    case OpKind::kMatmul: return "matmul";
+    case OpKind::kScale: return "scale";
+    case OpKind::kSigmoid: return "sigmoid";
+    case OpKind::kTanh: return "tanh";
+    case OpKind::kRelu: return "relu";
+    case OpKind::kOneMinus: return "one_minus";
+    case OpKind::kConcatCols: return "concat_cols";
+    case OpKind::kGather: return "gather";
+    case OpKind::kSegmentSoftmax: return "segment_softmax";
+    case OpKind::kMulCol: return "mul_col";
+    case OpKind::kSegmentSum: return "segment_sum";
+    case OpKind::kSegmentMax: return "segment_max";
+    case OpKind::kL1Loss: return "l1_loss";
+    case OpKind::kL1LossWeighted: return "l1_loss_weighted";
+    case OpKind::kSoftmaxXent: return "softmax_cross_entropy";
+  }
+  return "?";
+}
+
+std::uint64_t op_work(const Op& op) {
+  const Tensor& out = op.out->value;
+  switch (op.kind) {
+    case OpKind::kMatmul:
+      return 2ull * static_cast<std::uint64_t>(out.rows()) *
+             static_cast<std::uint64_t>(op.inputs[0]->value.cols()) * out.cols();
+    case OpKind::kSegmentSum:
+    case OpKind::kSegmentMax:
+    case OpKind::kL1Loss:
+    case OpKind::kL1LossWeighted:
+    case OpKind::kSegmentSoftmax:
+      return static_cast<std::uint64_t>(op.inputs[0]->value.size());
+    case OpKind::kSoftmaxXent:
+      // exp-heavy: weight the per-element cost up so it counts as real work.
+      return 8ull * static_cast<std::uint64_t>(op.inputs[0]->value.size());
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+      return 4ull * static_cast<std::uint64_t>(out.size());
+    default:
+      return static_cast<std::uint64_t>(out.size());
+  }
+}
+
+int op_parallel_extent(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kSegmentSum:
+    case OpKind::kSegmentMax:
+      return op.out->value.cols();
+    case OpKind::kSegmentSoftmax:
+    case OpKind::kL1Loss:
+    case OpKind::kL1LossWeighted:
+    case OpKind::kSoftmaxXent:
+      return 0;  // scalar reduction / ordered accumulation: one chunk
+    default:
+      return op.out->value.rows();
+  }
+}
+
+int chunk_count(std::uint64_t work, int extent, int threads) {
+  if (threads <= 1 || extent <= 1) return 1;
+  const int cap = std::min(threads, extent);
+  return std::max(1, static_cast<int>(std::min<std::uint64_t>(
+                         work / kSplitWork, static_cast<std::uint64_t>(cap))));
+}
+
+namespace {
+
+void emit_chunks(Plan& plan, Op* op, int extent, int chunks) {
+  if (extent <= 0) {
+    plan.add_chunk(Chunk{op, 0, 0, kRoleForward});  // full-range kernel
+    return;
+  }
+  const int base = extent / chunks, rem = extent % chunks;
+  int begin = 0;
+  for (int i = 0; i < chunks; ++i) {
+    const int len = base + (i < rem ? 1 : 0);
+    plan.add_chunk(Chunk{op, begin, begin + len, kRoleForward});
+    begin += len;
+  }
+}
+
+}  // namespace
+
+std::uint64_t Plan::total_work() const {
+  std::uint64_t total = 0;
+  for (const Wave& w : waves_) total += w.work;
+  return total;
+}
+
+std::uint32_t Plan::max_wave_chunks() const {
+  std::uint32_t m = 0;
+  for (const Wave& w : waves_) m = std::max(m, w.count);
+  return m;
+}
+
+void Plan::reserve(std::size_t waves, std::size_t chunks) {
+  waves_.reserve(waves);
+  chunks_.reserve(chunks);
+}
+
+Plan Plan::build(const std::vector<std::shared_ptr<Op>>& ops, int threads) {
+  Plan plan;
+  if (ops.empty()) return plan;
+  if (ops.size() == 1) {  // eager fast path: no leveling needed
+    Op* op = ops[0].get();
+    const int extent = op_parallel_extent(*op);
+    const std::uint64_t work = op_work(*op);
+    plan.add_wave().work = work;
+    emit_chunks(plan, op, extent, chunk_count(work, extent, threads));
+    return plan;
+  }
+
+  // Ops arrive in creation order, so every in-batch producer precedes its
+  // consumers; one forward scan levels the DAG. Wave indices live in the
+  // nodes themselves, tagged with a fresh epoch per build — a node whose
+  // epoch doesn't match was materialized before this batch (a wave-0 input).
+  static std::atomic<std::uint64_t> g_epoch{0};
+  const std::uint64_t epoch = g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Pass 1: wave index + chunk count per op; per-wave chunk totals.
+  struct Placement {
+    int wave, extent, chunks;
+  };
+  std::vector<Placement> placed;
+  placed.reserve(ops.size());
+  std::vector<std::uint32_t> wave_chunks;  // chunks per wave
+  std::vector<std::uint64_t> wave_work;
+  for (const auto& op : ops) {
+    int level = 0;
+    for (const Var& in : op->inputs)
+      if (in->plan_epoch == epoch) level = std::max(level, in->plan_wave + 1);
+    op->out->plan_epoch = epoch;
+    op->out->plan_wave = level;
+    const std::uint64_t work = op_work(*op);
+    const int extent = op_parallel_extent(*op);
+    const int chunks = chunk_count(work, extent, threads);
+    placed.push_back(Placement{level, extent, chunks});
+    if (static_cast<std::size_t>(level) >= wave_chunks.size()) {
+      wave_chunks.resize(static_cast<std::size_t>(level) + 1, 0);
+      wave_work.resize(static_cast<std::size_t>(level) + 1, 0);
+    }
+    wave_chunks[static_cast<std::size_t>(level)] +=
+        static_cast<std::uint32_t>(chunks);
+    wave_work[static_cast<std::size_t>(level)] += work;
+  }
+
+  // Pass 2: lay chunks out flat, grouped by wave.
+  std::size_t total_chunks = 0;
+  for (const std::uint32_t c : wave_chunks) total_chunks += c;
+  plan.reserve(wave_chunks.size(), total_chunks);
+  std::vector<std::uint32_t> cursor(wave_chunks.size());
+  {
+    std::uint32_t offset = 0;
+    for (std::size_t w = 0; w < wave_chunks.size(); ++w) {
+      cursor[w] = offset;
+      plan.waves_.push_back(Wave{offset, wave_chunks[w], wave_work[w]});
+      offset += wave_chunks[w];
+    }
+    plan.chunks_.resize(total_chunks);
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    Op* op = ops[i].get();
+    const Placement& p = placed[i];
+    std::uint32_t at = cursor[static_cast<std::size_t>(p.wave)];
+    if (p.extent <= 0) {
+      plan.chunks_[at++] = Chunk{op, 0, 0, kRoleForward};
+    } else {
+      const int base = p.extent / p.chunks, rem = p.extent % p.chunks;
+      int begin = 0;
+      for (int c = 0; c < p.chunks; ++c) {
+        const int len = base + (c < rem ? 1 : 0);
+        plan.chunks_[at++] = Chunk{op, begin, begin + len, kRoleForward};
+        begin += len;
+      }
+    }
+    cursor[static_cast<std::size_t>(p.wave)] = at;
+  }
+  return plan;
+}
+
+}  // namespace deepseq::nn

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/op.hpp"
+
+namespace deepseq::nn {
+
+/// One slice of an op's kernel: a row range for row-parallel kernels
+/// (matmul, gather, elementwise, ...), a column range for the segment
+/// reductions (whose output rows are scatter targets but whose columns are
+/// independent). Chunks of a wave write disjoint output regions, so they can
+/// run on different threads with bit-identical results: every output element
+/// is produced by exactly one chunk using the same inner-loop order as the
+/// sequential kernel. Non-splittable kernels (segment_softmax, the scalar
+/// losses) are emitted as a single full-range chunk.
+///
+/// `role` selects the kernel: kRoleForward for the forward pass; backward
+/// waves (built by Executor::run_backward) use kRolePrep / kRoleAll /
+/// part indices >= 0 (one part per gradient target of the op).
+struct Chunk {
+  Op* op = nullptr;
+  int begin = 0;
+  int end = 0;
+  int role = -1;
+};
+
+inline constexpr int kRoleForward = -1;
+/// Backward: allocate the op's input gradients (runs alone, before parts).
+inline constexpr int kRolePrep = -2;
+/// Backward: prep + every part at full range, sequentially (single-chunk ops
+/// and aliased operands, which must keep the sequential scatter order).
+inline constexpr int kRoleAll = -3;
+
+/// A wave of mutually independent chunks: no chunk's op consumes another
+/// same-wave op's output, so the executor may run them in any order or
+/// concurrently. Chunks are stored flat in the owning Plan; a Wave is the
+/// [first, first + count) view plus the wave's summed scalar-op estimate
+/// (used only to decide whether dispatching to the pool beats inline).
+struct Wave {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  std::uint64_t work = 0;
+};
+
+/// Estimated scalar operations of one op's forward kernel. Drives chunk
+/// sizing and the inline/parallel decision only — never affects results.
+std::uint64_t op_work(const Op& op);
+
+/// Extent of the op's parallel axis (output rows, or columns for the
+/// segment reductions); 0 when the kernel must run as one chunk.
+int op_parallel_extent(const Op& op);
+
+/// Minimum estimated work per additional chunk: kernels below this run as a
+/// single chunk, and one chunk is added per multiple of it (capped by the
+/// executor's thread count). Deterministic in the op alone, so a given
+/// (batch, thread-count) pair always produces the same chunk boundaries.
+inline constexpr std::uint64_t kSplitWork = 8192;
+
+/// The shared splitting rule (forward planning and backward parts): chunks
+/// for a kernel of `work` estimated scalar ops over `extent` rows.
+int chunk_count(std::uint64_t work, int extent, int threads);
+
+/// The plan layer: a wave-ordered chunk schedule. build() topologically
+/// levels a flushed batch of recorded ops into waves of independent ops and
+/// splits large row-parallel kernels into row-range chunks sized for
+/// `threads` workers; Executor::run_backward assembles backward plans
+/// through the same container (one or two waves per taped op).
+class Plan {
+ public:
+  static Plan build(const std::vector<std::shared_ptr<Op>>& ops, int threads);
+
+  bool empty() const { return chunks_.empty(); }
+  const std::vector<Wave>& waves() const { return waves_; }
+  const Chunk* chunks() const { return chunks_.data(); }
+
+  std::uint64_t total_work() const;
+  std::uint32_t max_wave_chunks() const;
+
+  // ---- assembly (build() and the backward planner) -------------------------
+  void reserve(std::size_t waves, std::size_t chunks);
+  Wave& add_wave() {
+    waves_.push_back(Wave{static_cast<std::uint32_t>(chunks_.size()), 0, 0});
+    return waves_.back();
+  }
+  void add_chunk(const Chunk& c) {
+    chunks_.push_back(c);
+    ++waves_.back().count;
+  }
+
+ private:
+  std::vector<Chunk> chunks_;
+  std::vector<Wave> waves_;
+};
+
+}  // namespace deepseq::nn

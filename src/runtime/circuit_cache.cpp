@@ -33,14 +33,17 @@ std::uint64_t workload_fingerprint(const Workload& w) {
 
 CircuitCache::CircuitCache(const CircuitCacheConfig& config)
     : structures_(config.structure_capacity, config.shards),
-      embeddings_(config.embedding_capacity, config.shards) {}
+      embeddings_(config.embedding_capacity, config.shards),
+      regressions_(config.regression_capacity, config.shards) {}
 
 CircuitCache::Stats CircuitCache::stats() const {
   Stats s;
   s.structures = structures_.counters();
   s.embeddings = embeddings_.counters();
+  s.regressions = regressions_.counters();
   s.structure_entries = structures_.size();
   s.embedding_entries = embeddings_.size();
+  s.regression_entries = regressions_.size();
   return s;
 }
 

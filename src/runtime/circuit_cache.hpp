@@ -186,16 +186,19 @@ struct EmbeddingKey {
 /// seed) for embedding-cache keys.
 std::uint64_t workload_fingerprint(const Workload& w);
 
-/// Configuration of the two cache layers.
+/// Configuration of the three cache layers.
 struct CircuitCacheConfig {
   std::size_t structure_capacity = 128;
   std::size_t embedding_capacity = 1024;
+  std::size_t regression_capacity = 1024;
   std::size_t shards = 8;
 };
 
 /// The serving cache: per-backend structure states (prepare once per
-/// netlist) and final embeddings (skip the forward pass entirely on repeat
-/// requests). All methods are thread-safe.
+/// netlist), final embeddings (skip the forward pass entirely on repeat
+/// requests), and regression-head outputs keyed by the same EmbeddingKey
+/// (warm multi-task logic/transition-probability/power traffic skips the
+/// two-head MLP forward as well). All methods are thread-safe.
 class CircuitCache {
  public:
   explicit CircuitCache(const CircuitCacheConfig& config = {});
@@ -218,17 +221,29 @@ class CircuitCache {
     embeddings_.put(k, std::move(v));
   }
 
+  std::shared_ptr<const api::Regression> get_regression(const EmbeddingKey& k) {
+    return regressions_.get(k);
+  }
+  template <typename Builder>
+  std::shared_ptr<const api::Regression> get_or_build_regression(
+      const EmbeddingKey& k, Builder&& b) {
+    return regressions_.get_or_build(k, std::forward<Builder>(b));
+  }
+
   struct Stats {
     CacheCounters structures;
     CacheCounters embeddings;
+    CacheCounters regressions;
     std::size_t structure_entries = 0;
     std::size_t embedding_entries = 0;
+    std::size_t regression_entries = 0;
   };
   Stats stats() const;
 
  private:
   ShardedLruCache<StructureKey, api::BackendState> structures_;
   ShardedLruCache<EmbeddingKey, nn::Tensor> embeddings_;
+  ShardedLruCache<EmbeddingKey, api::Regression> regressions_;
 };
 
 }  // namespace deepseq::runtime

@@ -17,7 +17,13 @@ double ms_since(std::chrono::steady_clock::time_point t0,
 }  // namespace
 
 InferenceEngine::InferenceEngine(const EngineConfig& config)
-    : config_(config), cache_(config.cache), pool_(config.threads) {
+    : config_(config),
+      cache_(config.cache),
+      pool_(config.threads),
+      nn_exec_(&pool_,
+               config.nn_threads > 0
+                   ? config.nn_threads
+                   : nn::nn_threads_from_env(pool_.num_threads())) {
   config_.max_batch = std::max(1, config_.max_batch);
   flusher_ = std::thread([this] { flusher_loop(); });
 }
@@ -91,6 +97,10 @@ void InferenceEngine::dispatch_batch(
     auto shared_group = std::make_shared<
         std::vector<std::unique_ptr<Pending>>>(std::move(group));
     pool_.submit([this, shared_group] {
+      // Forward passes (and completion hooks, e.g. the api layer's task
+      // heads) run under the engine's intra-circuit executor: large kernels
+      // fan out over the same pool this worker came from.
+      nn::ExecutorScope nn_scope(nn_exec_);
       // One hash computation serves the whole group (same Circuit object).
       const Circuit& c = *(*shared_group)[0]->request.circuit;
       const CircuitHashes hashes{structural_hash(c), exact_hash(c)};
@@ -140,6 +150,7 @@ EmbeddingResult InferenceEngine::process(
   ekey.backend_fingerprint = fingerprint;
   ekey.workload_fingerprint = workload_fingerprint(request.workload);
   ekey.init_seed = request.init_seed;
+  result.key = ekey;
 
   const auto finish_cached = [&](std::shared_ptr<const nn::Tensor> cached) {
     result.embedding = std::move(cached);
@@ -179,9 +190,28 @@ EmbeddingResult InferenceEngine::process(
 EmbeddingResult InferenceEngine::run_sync(const EmbeddingRequest& request) {
   if (request.circuit == nullptr)
     throw Error("InferenceEngine: request without a circuit");
+  nn::ExecutorScope nn_scope(nn_exec_);
   const CircuitHashes hashes{structural_hash(*request.circuit),
                              exact_hash(*request.circuit)};
   return process(request, std::chrono::steady_clock::now(), hashes);
+}
+
+std::shared_ptr<const api::Regression> InferenceEngine::regress_cached(
+    const EmbeddingKey& key, const api::EmbeddingBackend& backend,
+    const nn::Tensor& embedding, bool* cache_hit) {
+  nn::ExecutorScope nn_scope(nn_exec_);
+  if (!config_.cache_embeddings) {
+    // Reference / cold-path mode: no derived caching either.
+    if (cache_hit != nullptr) *cache_hit = false;
+    return std::make_shared<const api::Regression>(backend.regress(embedding));
+  }
+  bool miss = false;
+  auto reg = cache_.get_or_build_regression(key, [&] {
+    miss = true;
+    return std::make_shared<const api::Regression>(backend.regress(embedding));
+  });
+  if (cache_hit != nullptr) *cache_hit = !miss;
+  return reg;
 }
 
 }  // namespace deepseq::runtime

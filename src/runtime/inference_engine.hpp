@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "api/backend.hpp"
+#include "nn/executor.hpp"
 #include "runtime/circuit_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -46,6 +47,9 @@ struct EmbeddingResult {
   std::shared_ptr<const nn::Tensor> embedding;
   std::shared_ptr<const api::BackendState> state;
   StructuralHash structure;
+  /// The full embedding-layer cache key of this request: task heads reuse it
+  /// to cache their own derived outputs (InferenceEngine::regress_cached).
+  EmbeddingKey key;
   const api::EmbeddingBackend* backend = nullptr;
   bool structure_cache_hit = false;
   bool embedding_cache_hit = false;
@@ -57,6 +61,11 @@ struct EmbeddingResult {
 struct EngineConfig {
   /// Worker threads; <= 0 uses hardware concurrency.
   int threads = 4;
+  /// Intra-circuit parallelism: threads the nn executor may use for one
+  /// forward pass, drawn from the SAME worker pool (no second pool). 0
+  /// resolves DEEPSEQ_NN_THREADS (default: the pool size); 1 keeps every
+  /// forward pass sequential on its worker.
+  int nn_threads = 0;
   /// Coalescing window: a partial batch is dispatched once it reaches this
   /// many requests...
   int max_batch = 8;
@@ -136,8 +145,19 @@ class InferenceEngine {
   /// inputs are bit-identical.
   EmbeddingResult run_sync(const EmbeddingRequest& request);
 
+  /// Regression-head outputs for an embedding, cached beside the embedding
+  /// under the same EmbeddingKey: warm multi-task probability/power traffic
+  /// skips the two-head MLP forward. Falls through to a direct (uncached)
+  /// regress when embedding caching is disabled. Runs on the engine's nn
+  /// executor either way.
+  std::shared_ptr<const api::Regression> regress_cached(
+      const EmbeddingKey& key, const api::EmbeddingBackend& backend,
+      const nn::Tensor& embedding, bool* cache_hit = nullptr);
+
   CircuitCache::Stats cache_stats() const { return cache_.stats(); }
   int num_threads() const { return pool_.num_threads(); }
+  /// Intra-circuit executor threads (the resolved nn_threads knob).
+  int nn_threads() const { return nn_exec_.threads(); }
 
  private:
   struct Pending {
@@ -167,6 +187,9 @@ class InferenceEngine {
   EngineConfig config_;
   CircuitCache cache_;
   ThreadPool pool_;
+  /// The intra-circuit executor, sharing pool_ (declared after it, so
+  /// helpers never outlive their pool).
+  nn::Executor nn_exec_;
 
   std::mutex pending_mu_;
   std::condition_variable pending_cv_;

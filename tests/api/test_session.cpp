@@ -289,5 +289,43 @@ TEST(Session, ResultCarriesTaskMetadata) {
   EXPECT_THROW((void)res.as<PowerOutput>(), std::bad_variant_access);
 }
 
+TEST(Session, WarmProbabilityTrafficSkipsRegressionHeads) {
+  Session session(small_session());
+  const auto circuit = shared_aig(17);
+  const TaskRequest req = make_request(circuit, TaskKind::kLogicProb);
+
+  const TaskResult cold = session.run_sync(req);
+  EXPECT_FALSE(cold.regression_cache_hit);
+
+  // Same circuit + workload + seed: embedding AND regression heads both
+  // served from cache, outputs bit-identical to the cold pass.
+  const TaskResult warm = session.run_sync(req);
+  EXPECT_TRUE(warm.embedding_cache_hit);
+  EXPECT_TRUE(warm.regression_cache_hit);
+  EXPECT_TRUE(bit_identical(*cold.as<LogicProbOutput>().prob,
+                            *warm.as<LogicProbOutput>().prob));
+
+  // The transition-prob task shares the same cached Regression entry.
+  const TaskResult tr =
+      session.run_sync(make_request(circuit, TaskKind::kTransitionProb));
+  EXPECT_TRUE(tr.regression_cache_hit);
+
+  const auto stats = session.cache_stats();
+  EXPECT_GE(stats.regressions.hits, 2u);
+
+  // A different workload misses both layers.
+  const TaskResult other = session.run_sync(
+      make_request(circuit, TaskKind::kLogicProb, /*workload_seed=*/21));
+  EXPECT_FALSE(other.embedding_cache_hit);
+  EXPECT_FALSE(other.regression_cache_hit);
+}
+
+TEST(Session, BackendsReportThreadedEmbedCapability) {
+  Session session(small_session());
+  EXPECT_TRUE(session.backend("deepseq").info().threaded_embed);
+  EXPECT_TRUE(session.backend("pace").info().threaded_embed);
+  EXPECT_GE(session.num_threads(), 1);
+}
+
 }  // namespace
 }  // namespace deepseq::api

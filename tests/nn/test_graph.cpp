@@ -228,7 +228,7 @@ TEST(Graph, ClearBreaksLinksButKeepsValues) {
   g.clear();
   EXPECT_EQ(g.tape_size(), 0u);
   EXPECT_FLOAT_EQ(y->value.at(0, 0), 2.0f);
-  EXPECT_TRUE(y->parents.empty());
+  EXPECT_EQ(y->producer, nullptr);
 }
 
 TEST(Graph, DeepChainDoesNotOverflowStackOnDestruction) {

@@ -263,6 +263,39 @@ TEST(CircuitCache, EmbeddingLayerKeyedByAllInputs) {
   EXPECT_EQ(cache.get_embedding(other), nullptr);
 }
 
+TEST(CircuitCache, RegressionLayerSharesEmbeddingKey) {
+  CircuitCache cache;
+  EmbeddingKey key;
+  key.structure = structural_hash(random_aig(5));
+  key.backend_fingerprint = 7;
+  key.workload_fingerprint = 9;
+  key.init_seed = 3;
+
+  EXPECT_EQ(cache.get_regression(key), nullptr);
+  int builds = 0;
+  auto build = [&] {
+    ++builds;
+    auto reg = std::make_shared<api::Regression>();
+    reg->tr = nn::Tensor(4, 2);
+    reg->lg = nn::Tensor(4, 1);
+    return reg;
+  };
+  auto first = cache.get_or_build_regression(key, build);
+  auto second = cache.get_or_build_regression(key, build);
+  EXPECT_EQ(builds, 1);  // warm hit skips the head forward
+  EXPECT_EQ(first.get(), second.get());
+
+  // Any embedding-key component change misses (new workload, seed, ...).
+  EmbeddingKey other = key;
+  other.init_seed = 4;
+  EXPECT_EQ(cache.get_regression(other), nullptr);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.regressions.hits, 1u);
+  EXPECT_EQ(stats.regressions.misses, 3u);  // initial get + build + other
+  EXPECT_EQ(stats.regression_entries, 1u);
+}
+
 TEST(WorkloadFingerprint, DiscriminatesProbabilitiesAndSeed) {
   Workload a;
   a.pi_prob = {0.25, 0.5};
