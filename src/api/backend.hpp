@@ -29,6 +29,11 @@ struct BackendInfo {
   std::string name;
   int hidden_dim = 0;
   std::uint64_t fingerprint = 0;
+  /// Weight provenance: "seed" for architecture-default initialization, or
+  /// "artifact:<hex content hash>" when the backend was built from (or
+  /// hot-reloaded with) a model artifact — see BackendOptions::artifact and
+  /// Session::reload_weights.
+  std::string weights = "seed";
   /// Probability heads available: regress() works, so the logic-prob,
   /// transition-prob and power tasks can be served by this backend.
   bool supports_regress = false;

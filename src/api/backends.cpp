@@ -1,12 +1,32 @@
 #include "api/backends.hpp"
 
+#include <cinttypes>
+#include <cstdio>
 #include <utility>
 
+#include "artifact/model_io.hpp"
 #include "common/error.hpp"
 #include "netlist/structural_hash.hpp"
 #include "nn/graph.hpp"
 
 namespace deepseq::api {
+namespace {
+
+DeepSeqModel deepseq_model_from_artifact(const artifact::Artifact& a) {
+  artifact::require_kind(a, artifact::kKindDeepSeq);
+  DeepSeqModel model(a.manifest.model);
+  artifact::apply(a, model);
+  return model;
+}
+
+PaceEncoder pace_encoder_from_artifact(const artifact::Artifact& a) {
+  artifact::require_kind(a, artifact::kKindPace);
+  PaceEncoder encoder(a.manifest.pace);
+  artifact::apply(a, encoder);
+  return encoder;
+}
+
+}  // namespace
 
 Regression EmbeddingBackend::regress(const nn::Tensor&) const {
   throw Error("backend '" + info().name + "' does not support regress heads");
@@ -20,19 +40,23 @@ ReliabilityEstimate EmbeddingBackend::reliability(
 }
 
 std::uint64_t deepseq_fingerprint(const ModelConfig& m) {
-  std::uint64_t h = hash_mix(0xD5ULL, static_cast<std::uint64_t>(m.aggregator));
-  h = hash_mix(h, static_cast<std::uint64_t>(m.propagation));
-  h = hash_mix(h, static_cast<std::uint64_t>(m.iterations));
-  h = hash_mix(h, static_cast<std::uint64_t>(m.hidden_dim));
-  return hash_mix(h, m.seed);
+  return mix_config(0xD5ULL, m);
 }
 
 std::uint64_t pace_fingerprint(const PaceConfig& p) {
-  std::uint64_t h = hash_mix(0xFACEULL, static_cast<std::uint64_t>(p.hidden_dim));
-  h = hash_mix(h, static_cast<std::uint64_t>(p.layers));
-  h = hash_mix(h, static_cast<std::uint64_t>(p.max_ancestors));
-  h = hash_mix(h, static_cast<std::uint64_t>(p.pos_dim));
-  return hash_mix(h, p.seed);
+  return mix_config(0xFACEULL, p);
+}
+
+std::uint64_t artifact_fingerprint(std::uint64_t content_hash) {
+  // A distinct domain tag keeps artifact-built identities disjoint from the
+  // seed-built config fingerprints above.
+  return hash_mix(0xA2717ULL, content_hash);
+}
+
+std::string artifact_weights_label(std::uint64_t content_hash) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "artifact:%016" PRIx64, content_hash);
+  return buf;
 }
 
 // ---- DeepSeqBackend --------------------------------------------------------
@@ -42,6 +66,23 @@ DeepSeqBackend::DeepSeqBackend(const ModelConfig& config)
   info_.name = "deepseq";
   info_.hidden_dim = config.hidden_dim;
   info_.fingerprint = deepseq_fingerprint(config);
+  info_.supports_regress = true;
+  info_.supports_reliability = true;
+  info_.threaded_embed = true;
+}
+
+DeepSeqBackend::DeepSeqBackend(const artifact::Artifact& a)
+    : model_(deepseq_model_from_artifact(a)), reliability_model_(model_) {
+  // reliability_model_ forked the artifact backbone above; when the
+  // artifact bundles a tuned error head, load it too (otherwise the head
+  // keeps its deterministic seed initialization, as in the config ctor).
+  if (a.has_section(artifact::kSectionReliability))
+    artifact::apply(a, reliability_model_);
+  const std::uint64_t content_hash = a.content_hash();
+  info_.name = "deepseq";
+  info_.hidden_dim = model_.config().hidden_dim;
+  info_.fingerprint = artifact_fingerprint(content_hash);
+  info_.weights = artifact_weights_label(content_hash);
   info_.supports_regress = true;
   info_.supports_reliability = true;
   info_.threaded_embed = true;
@@ -90,6 +131,16 @@ PaceBackend::PaceBackend(const PaceConfig& config) : encoder_(config) {
   info_.hidden_dim = config.hidden_dim;
   info_.fingerprint = pace_fingerprint(config);
   info_.threaded_embed = true;  // graph ops go through the same executor
+}
+
+PaceBackend::PaceBackend(const artifact::Artifact& a)
+    : encoder_(pace_encoder_from_artifact(a)) {
+  const std::uint64_t content_hash = a.content_hash();
+  info_.name = "pace";
+  info_.hidden_dim = encoder_.config().hidden_dim;
+  info_.fingerprint = artifact_fingerprint(content_hash);
+  info_.weights = artifact_weights_label(content_hash);
+  info_.threaded_embed = true;
 }
 
 std::shared_ptr<const BackendState> PaceBackend::prepare(

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "api/backend.hpp"
+#include "artifact/artifact.hpp"
 #include "core/circuit_graph.hpp"
 #include "core/model.hpp"
 #include "core/pace.hpp"
@@ -25,6 +26,13 @@ struct DeepSeqState final : BackendState {
 class DeepSeqBackend final : public EmbeddingBackend {
  public:
   explicit DeepSeqBackend(const ModelConfig& config);
+  /// Build from tuned weights: the architecture comes from the artifact's
+  /// manifest snapshot, backbone + regression (and the reliability error
+  /// head, when the artifact bundles one) from its sections, and the
+  /// fingerprint from the artifact content hash — so caches can never serve
+  /// one weight-set's embeddings or regressions for another. Fail-fast
+  /// Error on a non-"deepseq" artifact kind.
+  explicit DeepSeqBackend(const artifact::Artifact& a);
 
   const BackendInfo& info() const override { return info_; }
   std::shared_ptr<const BackendState> prepare(const Circuit& aig) const override;
@@ -54,6 +62,8 @@ struct PaceState final : BackendState {
 class PaceBackend final : public EmbeddingBackend {
  public:
   explicit PaceBackend(const PaceConfig& config);
+  /// Build from a kind="pace" artifact (see DeepSeqBackend's artifact ctor).
+  explicit PaceBackend(const artifact::Artifact& a);
 
   const BackendInfo& info() const override { return info_; }
   std::shared_ptr<const BackendState> prepare(const Circuit& aig) const override;
@@ -71,5 +81,13 @@ class PaceBackend final : public EmbeddingBackend {
 /// the adapters and anything that needs cache-key parity with them).
 std::uint64_t deepseq_fingerprint(const ModelConfig& m);
 std::uint64_t pace_fingerprint(const PaceConfig& p);
+
+/// Fingerprint of an artifact-built backend, derived from the artifact
+/// content hash (which already covers kind, config and every weight bit).
+std::uint64_t artifact_fingerprint(std::uint64_t content_hash);
+
+/// BackendInfo::weights label of an artifact-built backend
+/// ("artifact:<16-hex content hash>").
+std::string artifact_weights_label(std::uint64_t content_hash);
 
 }  // namespace deepseq::api

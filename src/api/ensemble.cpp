@@ -1,0 +1,62 @@
+#include "api/ensemble.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "netlist/structural_hash.hpp"
+
+namespace deepseq::api {
+
+std::uint64_t ensemble_fingerprint(std::uint64_t base_fingerprint, int k) {
+  return hash_mix(hash_mix(0xE25EULL, base_fingerprint),
+                  static_cast<std::uint64_t>(k));
+}
+
+std::uint64_t EnsembleBackend::realization_seed(std::uint64_t init_seed,
+                                                int r) {
+  return hash_mix(init_seed, static_cast<std::uint64_t>(r) + 1);
+}
+
+EnsembleBackend::EnsembleBackend(std::unique_ptr<EmbeddingBackend> base, int k)
+    : base_(std::move(base)), k_(k) {
+  if (base_ == nullptr) throw Error("EnsembleBackend: null base backend");
+  if (k_ < 1)
+    throw Error("EnsembleBackend: need at least 1 realization, got " +
+                std::to_string(k_));
+  info_ = base_->info();  // hidden_dim, weights provenance, capabilities
+  info_.name = "ensemble";
+  info_.fingerprint = ensemble_fingerprint(base_->info().fingerprint, k_);
+  info_.supports_reliability = false;
+}
+
+std::shared_ptr<const BackendState> EnsembleBackend::prepare(
+    const Circuit& aig) const {
+  return base_->prepare(aig);
+}
+
+nn::Tensor EnsembleBackend::embed(const BackendState& state, const Workload& w,
+                                  std::uint64_t init_seed) const {
+  nn::Tensor out = base_->embed(state, w, realization_seed(init_seed, 0));
+  if (k_ == 1) return out;
+  // Accumulate in double so the mean is independent of summation noise
+  // across realizations; the realization order is fixed, so results are
+  // deterministic either way.
+  std::vector<double> acc(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) acc[i] = out.data()[i];
+  for (int r = 1; r < k_; ++r) {
+    const nn::Tensor t = base_->embed(state, w, realization_seed(init_seed, r));
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += t.data()[i];
+  }
+  const double inv_k = 1.0 / static_cast<double>(k_);
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    out.data()[i] = static_cast<float>(acc[i] * inv_k);
+  return out;
+}
+
+Regression EnsembleBackend::regress(const nn::Tensor& embedding) const {
+  return base_->regress(embedding);
+}
+
+}  // namespace deepseq::api

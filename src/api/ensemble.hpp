@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "api/backend.hpp"
+
+namespace deepseq::api {
+
+/// Server-side h0 ensemble over a base backend (the ROADMAP backend idea):
+/// one embed() averages the base backend's embeddings over K deterministic
+/// init-seed realizations, smoothing the per-sample random initialization
+/// of non-PI states (paper §III-B) without any client-side fan-out.
+/// Registered as "ensemble" over the deepseq model — built from the same
+/// BackendOptions as the base, including an optional tuned artifact.
+///
+/// Capabilities: regress delegates to the base (the averaged embedding runs
+/// through the same probability heads); the reliability readout is not
+/// offered (it is defined on single realizations). The fingerprint mixes K
+/// into the base fingerprint, so every (weights, K) combination caches
+/// separately and can never share entries with the base backend itself.
+class EnsembleBackend final : public EmbeddingBackend {
+ public:
+  /// Throws Error on a null base or k < 1.
+  EnsembleBackend(std::unique_ptr<EmbeddingBackend> base, int k);
+
+  const BackendInfo& info() const override { return info_; }
+  std::shared_ptr<const BackendState> prepare(const Circuit& aig) const override;
+  nn::Tensor embed(const BackendState& state, const Workload& w,
+                   std::uint64_t init_seed) const override;
+  Regression regress(const nn::Tensor& embedding) const override;
+
+  int realizations() const { return k_; }
+  const EmbeddingBackend& base() const { return *base_; }
+
+  /// Seed the base backend embeds realization `r` of a request with —
+  /// deterministic and documented so callers can reproduce single members.
+  static std::uint64_t realization_seed(std::uint64_t init_seed, int r);
+
+ private:
+  std::unique_ptr<EmbeddingBackend> base_;
+  int k_ = 1;
+  BackendInfo info_;
+};
+
+/// Fingerprint of an ensemble of `k` realizations over a base backend.
+std::uint64_t ensemble_fingerprint(std::uint64_t base_fingerprint, int k);
+
+}  // namespace deepseq::api

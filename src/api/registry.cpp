@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "api/backends.hpp"
+#include "api/ensemble.hpp"
+#include "artifact/artifact.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
 
@@ -63,10 +65,17 @@ BackendRegistry& BackendRegistry::global() {
   static BackendRegistry* registry = [] {
     auto* r = new BackendRegistry();
     r->register_backend("deepseq", [](const BackendOptions& o) {
-      return std::make_unique<DeepSeqBackend>(o.model);
+      return o.artifact ? std::make_unique<DeepSeqBackend>(*o.artifact)
+                        : std::make_unique<DeepSeqBackend>(o.model);
     });
     r->register_backend("pace", [](const BackendOptions& o) {
-      return std::make_unique<PaceBackend>(o.pace);
+      return o.artifact ? std::make_unique<PaceBackend>(*o.artifact)
+                        : std::make_unique<PaceBackend>(o.pace);
+    });
+    r->register_backend("ensemble", [](const BackendOptions& o) {
+      auto base = o.artifact ? std::make_unique<DeepSeqBackend>(*o.artifact)
+                             : std::make_unique<DeepSeqBackend>(o.model);
+      return std::make_unique<EnsembleBackend>(std::move(base), o.ensemble_k);
     });
     return r;
   }();
@@ -76,6 +85,22 @@ BackendRegistry& BackendRegistry::global() {
 std::string backend_from_env(const BackendRegistry& registry,
                              const std::string& fallback) {
   return registry.resolve(env_string("DEEPSEQ_BACKEND", ""), fallback);
+}
+
+std::shared_ptr<const artifact::Artifact> artifact_from_env() {
+  const std::string path = env_string("DEEPSEQ_ARTIFACT", "");
+  if (path.empty()) return nullptr;
+  try {
+    return std::make_shared<const artifact::Artifact>(
+        artifact::load_artifact(path));
+  } catch (const Error& e) {
+    throw Error(std::string("DEEPSEQ_ARTIFACT: ") + e.what());
+  }
+}
+
+BackendOptions options_from_env(BackendOptions base) {
+  if (auto a = artifact_from_env()) base.artifact = std::move(a);
+  return base;
 }
 
 }  // namespace deepseq::api

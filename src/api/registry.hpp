@@ -11,6 +11,10 @@
 #include "core/model.hpp"
 #include "core/pace.hpp"
 
+namespace deepseq::artifact {
+class Artifact;
+}
+
 namespace deepseq::api {
 
 /// Construction presets handed to every backend factory. A factory reads
@@ -20,6 +24,17 @@ namespace deepseq::api {
 struct BackendOptions {
   ModelConfig model = ModelConfig::deepseq(/*hidden=*/32, /*t=*/4);
   PaceConfig pace;
+  /// Optional tuned weights (the trainer-to-Session pipeline): when set,
+  /// the built-in factories ignore the config presets above, rebuild the
+  /// model from the artifact's manifest snapshot + weight sections, and
+  /// derive the backend fingerprint from the artifact content hash — so a
+  /// tuned backend can never share cache entries with a seed-built one.
+  /// The artifact kind must match the backend ("deepseq" and "ensemble"
+  /// read deepseq artifacts, "pace" reads pace ones); create() fails fast
+  /// naming both kinds otherwise.
+  std::shared_ptr<const artifact::Artifact> artifact;
+  /// "ensemble" backend: h0 realizations averaged per request.
+  int ensemble_k = 4;
 };
 
 /// String-keyed factory registry: the extensibility point that replaces the
@@ -51,8 +66,8 @@ class BackendRegistry {
   std::string resolve(const std::string& requested,
                       const std::string& fallback) const;
 
-  /// The process-wide registry, pre-populated with the built-in "deepseq"
-  /// and "pace" backends.
+  /// The process-wide registry, pre-populated with the built-in "deepseq",
+  /// "pace" and "ensemble" backends.
   static BackendRegistry& global();
 
  private:
@@ -66,5 +81,18 @@ class BackendRegistry {
 /// unknown -> Error listing the registered names).
 std::string backend_from_env(const BackendRegistry& registry,
                              const std::string& fallback = "deepseq");
+
+/// Load the artifact DEEPSEQ_ARTIFACT points at; nullptr when the variable
+/// is unset or empty. Same fail-fast contract as DEEPSEQ_BACKEND: a
+/// nonexistent path, truncated file or corrupt content throws an Error
+/// naming the variable, the path and what was found — never a silent
+/// fallback to seed weights. (A kind mismatch against the chosen backend
+/// surfaces later, at BackendRegistry::create.)
+std::shared_ptr<const artifact::Artifact> artifact_from_env();
+
+/// `base` with DEEPSEQ_ARTIFACT resolved into `artifact` (unchanged when
+/// the variable is unset) — the one-liner for examples/benches/CLIs that
+/// want the full env-configured serving surface.
+BackendOptions options_from_env(BackendOptions base = {});
 
 }  // namespace deepseq::api

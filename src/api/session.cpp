@@ -60,20 +60,68 @@ Session::Session(const SessionConfig& config, BackendRegistry& registry)
 }
 
 const EmbeddingBackend& Session::backend(const std::string& name) {
+  return *backend_handle(name);
+}
+
+std::shared_ptr<const EmbeddingBackend> Session::backend_handle(
+    const std::string& name) {
   const std::string& key = name.empty() ? config_.backend : name;
   {
     std::lock_guard<std::mutex> lock(backends_mu_);
     const auto it = backends_.find(key);
-    if (it != backends_.end()) return *it->second;
+    if (it != backends_.end()) return it->second;
   }
   // Construct outside the lock: building a backend means building model
   // weights, and holding backends_mu_ through that would stall every
   // concurrent submit (including ones for already-built backends). If two
   // threads race, both build deterministically identical backends and the
   // first insert wins.
-  auto created = registry_.create(key, config_.backends);
+  std::shared_ptr<EmbeddingBackend> created =
+      registry_.create(key, config_.backends);
   std::lock_guard<std::mutex> lock(backends_mu_);
-  return *backends_.emplace(key, std::move(created)).first->second;
+  return backends_.emplace(key, std::move(created)).first->second;
+}
+
+std::uint64_t Session::reload_weights(
+    std::shared_ptr<const artifact::Artifact> artifact,
+    const std::string& name) {
+  if (artifact == nullptr)
+    throw Error("Session::reload_weights: null artifact");
+  const std::string key = name.empty() ? config_.backend : name;
+  // Build the replacement through the same registry path as construction,
+  // so kind/architecture mismatches fail here, before anything is swapped.
+  BackendOptions options = config_.backends;
+  options.artifact = std::move(artifact);
+  // One push at a time: without this, two concurrent reloads could both
+  // pass the no-op guard and swap in arbitrary order, leaving one caller
+  // holding a "new serving fingerprint" that is not actually live.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  std::shared_ptr<EmbeddingBackend> replacement =
+      registry_.create(key, options);
+  const std::uint64_t fingerprint = replacement->info().fingerprint;
+  // A push that does not change the serving fingerprint cannot be told
+  // apart from a factory that ignored BackendOptions::artifact (a custom
+  // registration that never reads it) — fail fast instead of reporting a
+  // successful push that served nothing new. Only an already-built
+  // instance can be "live"; a never-served name has nothing to compare.
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    const auto it = backends_.find(key);
+    if (it != backends_.end() &&
+        it->second->info().fingerprint == fingerprint)
+      throw Error("Session::reload_weights: rebuilding '" + key +
+                  "' from the artifact did not change the serving "
+                  "fingerprint — either these exact weights are already "
+                  "live, or the '" + key +
+                  "' factory ignores BackendOptions::artifact");
+  }
+  // Let already-submitted batches finish on the weights they were submitted
+  // against (each in-flight completion owns a handle on its instance, so
+  // the swap below can never pull weights out from under a forward pass).
+  engine_.drain();
+  std::lock_guard<std::mutex> lock(backends_mu_);
+  backends_[key] = std::move(replacement);
+  return fingerprint;
 }
 
 runtime::EmbeddingRequest Session::to_engine_request(
@@ -173,19 +221,24 @@ TaskResult Session::finish(const TaskRequest& request,
 }
 
 std::future<TaskResult> Session::submit(TaskRequest request) {
-  const EmbeddingBackend& be = backend(request.backend);
-  runtime::EmbeddingRequest er = to_engine_request(request, be);
+  // The completion owns the handle: the instance this task was submitted
+  // against stays alive (and its weights untouched) through the forward
+  // pass and task head even if reload_weights swaps the name meanwhile.
+  std::shared_ptr<const EmbeddingBackend> be = backend_handle(request.backend);
+  runtime::EmbeddingRequest er = to_engine_request(request, *be);
   return engine_.submit_then(
       std::move(er),
       [this, request = std::move(request),
-       &be](runtime::EmbeddingResult&& result) {
-        return finish(request, be, std::move(result));
+       be = std::move(be)](runtime::EmbeddingResult&& result) {
+        return finish(request, *be, std::move(result));
       });
 }
 
 TaskResult Session::run_sync(const TaskRequest& request) {
-  const EmbeddingBackend& be = backend(request.backend);
-  return finish(request, be, engine_.run_sync(to_engine_request(request, be)));
+  const std::shared_ptr<const EmbeddingBackend> be =
+      backend_handle(request.backend);
+  return finish(request, *be,
+                engine_.run_sync(to_engine_request(request, *be)));
 }
 
 void Session::flush() { engine_.flush(); }

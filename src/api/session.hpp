@@ -141,9 +141,34 @@ class Session {
   /// through the same cache and backends. Bit-identical to submit().
   TaskResult run_sync(const TaskRequest& request);
 
+  /// Zero-downtime weight push: build a replacement backend instance from
+  /// the artifact through the registry (same name, the session's options
+  /// with the artifact swapped in), drain the in-flight batches, then
+  /// atomically swap the serving instance. Tasks submitted before the swap
+  /// complete on the weights they were submitted against — their results
+  /// and cache entries stay keyed by the old fingerprint, nothing is
+  /// dropped — and every later submit is served by the new weights under
+  /// the artifact-derived fingerprint (returned). Empty name = the session
+  /// default backend; a kind/architecture mismatch — or a push that leaves
+  /// the fingerprint unchanged (weights already live, or a custom factory
+  /// that ignores BackendOptions::artifact) — throws before anything is
+  /// swapped.
+  std::uint64_t reload_weights(
+      std::shared_ptr<const artifact::Artifact> artifact,
+      const std::string& name = "");
+
   /// The session's instance of a backend (empty name = session default).
-  /// Lazily created through the registry on first use.
+  /// Lazily created through the registry on first use. The reference names
+  /// the instance serving at call time and is INVALIDATED by a
+  /// reload_weights of the same name (the swap drops the session's
+  /// ownership of the replaced instance); callers that may outlive a
+  /// reload must hold backend_handle() instead.
   const EmbeddingBackend& backend(const std::string& name = "");
+
+  /// Owning handle on the instance currently serving `name` (empty name =
+  /// session default) — survives reload_weights swaps.
+  std::shared_ptr<const EmbeddingBackend> backend_handle(
+      const std::string& name = "");
 
   /// Registry names available to this session, sorted.
   std::vector<std::string> backend_names() const { return registry_.names(); }
@@ -164,10 +189,16 @@ class Session {
 
   SessionConfig config_;
   BackendRegistry& registry_;
+  /// Serializes reload_weights pushes (held across build/guard/drain/swap;
+  /// always acquired before backends_mu_).
+  std::mutex reload_mu_;
   mutable std::mutex backends_mu_;
-  // Owns the backend instances; destroyed AFTER engine_ (declared before
-  // it), so in-flight worker references stay valid through engine teardown.
-  std::map<std::string, std::unique_ptr<EmbeddingBackend>> backends_;
+  // The instances currently serving each name. Shared ownership is what
+  // makes reload_weights safe: in-flight completions hold their own
+  // handle, so a replaced instance stays alive until its last task
+  // finishes. Destroyed AFTER engine_ (declared before it), so worker
+  // references stay valid through engine teardown.
+  std::map<std::string, std::shared_ptr<EmbeddingBackend>> backends_;
   runtime::InferenceEngine engine_;
 };
 

@@ -1,0 +1,323 @@
+#include "artifact/artifact.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "netlist/structural_hash.hpp"
+#include "nn/serialize.hpp"
+
+namespace deepseq::artifact {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41515344;      // "DSQA" little-endian
+constexpr std::uint64_t kTrailer = 0x21444E454151ULL;  // end-of-file marker
+constexpr std::uint32_t kMaxNameLen = 1 << 16;
+constexpr std::uint32_t kMaxCount = 1 << 20;
+
+// ---- content hashing -------------------------------------------------------
+
+std::uint64_t hash_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    h = hash_mix(h, chunk);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = hash_mix(h, tail | (static_cast<std::uint64_t>(n) << 56));
+  }
+  return h;
+}
+
+std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
+  h = hash_mix(h, s.size());
+  return hash_bytes(h, s.data(), s.size());
+}
+
+// ---- binary I/O helpers ----------------------------------------------------
+
+template <typename T>
+void write_pod(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Reader that fails fast with the offending path and field on truncation.
+struct Reader {
+  std::istream& in;
+  const std::string& path;
+
+  void fail(const std::string& what) const {
+    throw Error("load_artifact: " + what + " in " + path);
+  }
+
+  template <typename T>
+  T pod(const char* field) {
+    T v{};
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in) fail(std::string("truncated file (reading ") + field + ")");
+    return v;
+  }
+
+  std::string str(const char* field, std::uint32_t max_len = kMaxNameLen) {
+    const auto len = pod<std::uint32_t>(field);
+    if (len > max_len)
+      fail(std::string("corrupt length for ") + field + " (" +
+           std::to_string(len) + " bytes)");
+    std::string s(len, '\0');
+    in.read(s.data(), len);
+    if (!in) fail(std::string("truncated file (reading ") + field + ")");
+    return s;
+  }
+};
+
+}  // namespace
+
+// ---- Section / Artifact ----------------------------------------------------
+
+const nn::Tensor* Section::find(const std::string& tensor_name) const {
+  const auto it = std::lower_bound(
+      tensors.begin(), tensors.end(), tensor_name,
+      [](const auto& entry, const std::string& n) { return entry.first < n; });
+  if (it == tensors.end() || it->first != tensor_name) return nullptr;
+  return &it->second;
+}
+
+void Artifact::add_section(const std::string& name,
+                           const nn::NamedParams& params) {
+  std::vector<std::pair<std::string, nn::Tensor>> tensors;
+  tensors.reserve(params.size());
+  for (const auto& [pname, var] : params) tensors.emplace_back(pname, var->value);
+  add_section(name, std::move(tensors));
+}
+
+void Artifact::add_section(
+    const std::string& name,
+    std::vector<std::pair<std::string, nn::Tensor>> tensors) {
+  if (has_section(name))
+    throw Error("Artifact: duplicate section '" + name + "'");
+  Section s;
+  s.name = name;
+  s.tensors = std::move(tensors);
+  std::sort(s.tensors.begin(), s.tensors.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < s.tensors.size(); ++i)
+    if (s.tensors[i - 1].first == s.tensors[i].first)
+      throw Error("Artifact: duplicate tensor '" + s.tensors[i].first +
+                  "' in section '" + name + "'");
+  const auto pos = std::lower_bound(
+      sections_.begin(), sections_.end(), name,
+      [](const Section& sec, const std::string& n) { return sec.name < n; });
+  sections_.insert(pos, std::move(s));
+}
+
+bool Artifact::has_section(const std::string& name) const {
+  return std::any_of(sections_.begin(), sections_.end(),
+                     [&](const Section& s) { return s.name == name; });
+}
+
+const Section& Artifact::section(const std::string& name) const {
+  for (const Section& s : sections_)
+    if (s.name == name) return s;
+  std::string msg = "Artifact: no section '" + name + "'; present:";
+  for (const Section& s : sections_) msg += " " + s.name;
+  if (sections_.empty()) msg += " (none)";
+  throw Error(msg);
+}
+
+void Artifact::apply_section(const std::string& name,
+                             const nn::NamedParams& params) const {
+  const Section& s = section(name);
+  for (const auto& [pname, var] : params) {
+    const nn::Tensor* t = s.find(pname);
+    if (t == nullptr)
+      throw Error("Artifact: parameter '" + pname + "' missing from section '" +
+                  name + "'");
+    if (!t->same_shape(var->value))
+      throw Error("Artifact: shape mismatch for '" + pname + "' in section '" +
+                  name + "': artifact has " + t->shape_string() +
+                  ", model expects " + var->value.shape_string());
+    var->value = *t;
+  }
+}
+
+void Artifact::set_metadata(const std::string& key, const std::string& value) {
+  auto& md = manifest.metadata;
+  const auto it = std::lower_bound(
+      md.begin(), md.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it != md.end() && it->first == key)
+    it->second = value;
+  else
+    md.insert(it, {key, value});
+}
+
+const std::string* Artifact::find_metadata(const std::string& key) const {
+  for (const auto& [k, v] : manifest.metadata)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::uint64_t Artifact::content_hash() const {
+  std::uint64_t h = hash_string(0xD5A47ULL, manifest.backend_kind);
+  h = mix_config(h, manifest.model);  // core/{model,pace}.hpp — the same
+  h = mix_config(h, manifest.pace);   // field lists the fingerprints use
+  h = hash_mix(h, sections_.size());
+  for (const Section& s : sections_) {
+    h = hash_string(h, s.name);
+    h = hash_mix(h, s.tensors.size());
+    for (const auto& [name, t] : s.tensors) {
+      h = hash_string(h, name);
+      h = hash_mix(h, static_cast<std::uint64_t>(t.rows()));
+      h = hash_mix(h, static_cast<std::uint64_t>(t.cols()));
+      h = hash_bytes(h, t.data(), t.size() * sizeof(float));
+    }
+  }
+  return h;
+}
+
+// ---- save / load -----------------------------------------------------------
+
+void save_artifact(const std::string& path, Artifact& a) {
+  // Enforce the reader's length limits up front: anything save_artifact
+  // accepts must load back (never a saved-but-unloadable artifact).
+  const auto check_len = [&](const std::string& s, std::uint32_t max,
+                             const char* what) {
+    if (s.size() > max)
+      throw Error(std::string("save_artifact: ") + what + " exceeds " +
+                  std::to_string(max) + " bytes (" + std::to_string(s.size()) +
+                  ") for " + path);
+  };
+  check_len(a.manifest.backend_kind, kMaxNameLen, "backend kind");
+  for (const auto& [k, v] : a.manifest.metadata) {
+    check_len(k, kMaxNameLen, "metadata key");
+    check_len(v, kMaxCount, "metadata value");
+  }
+  for (const Section& s : a.sections()) {
+    check_len(s.name, kMaxNameLen, "section name");
+    for (const auto& [name, t] : s.tensors) {
+      (void)t;
+      check_len(name, kMaxNameLen, "tensor name");
+    }
+  }
+
+  a.manifest.format_version = kFormatVersion;
+  a.manifest.content_hash = a.content_hash();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("save_artifact: cannot open " + path);
+  write_pod(out, kMagic);
+  write_pod(out, kFormatVersion);
+  write_pod(out, a.manifest.content_hash);
+  write_string(out, a.manifest.backend_kind);
+
+  const ModelConfig& m = a.manifest.model;
+  write_pod(out, static_cast<std::uint32_t>(m.aggregator));
+  write_pod(out, static_cast<std::uint32_t>(m.propagation));
+  write_pod(out, static_cast<std::int32_t>(m.iterations));
+  write_pod(out, static_cast<std::int32_t>(m.hidden_dim));
+  write_pod(out, m.seed);
+
+  const PaceConfig& p = a.manifest.pace;
+  write_pod(out, static_cast<std::int32_t>(p.hidden_dim));
+  write_pod(out, static_cast<std::int32_t>(p.layers));
+  write_pod(out, static_cast<std::int32_t>(p.max_ancestors));
+  write_pod(out, static_cast<std::int32_t>(p.pos_dim));
+  write_pod(out, p.seed);
+
+  write_pod(out, static_cast<std::uint32_t>(a.manifest.metadata.size()));
+  for (const auto& [k, v] : a.manifest.metadata) {
+    write_string(out, k);
+    write_string(out, v);
+  }
+
+  // Sections reuse the bare save_params record layout as their payload: one
+  // nn::TensorRecord per tensor, in the artifact's sorted-name order.
+  write_pod(out, static_cast<std::uint32_t>(a.sections().size()));
+  for (const Section& s : a.sections()) {
+    write_string(out, s.name);
+    write_pod(out, static_cast<std::uint32_t>(s.tensors.size()));
+    for (const auto& [name, t] : s.tensors) nn::write_tensor_record(out, name, t);
+  }
+  write_pod(out, kTrailer);
+  if (!out) throw Error("save_artifact: write failed for " + path);
+}
+
+Artifact load_artifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("load_artifact: cannot open " + path);
+  Reader r{in, path};
+
+  if (r.pod<std::uint32_t>("magic") != kMagic)
+    r.fail("bad magic (not a DeepSeq artifact)");
+  const auto version = r.pod<std::uint32_t>("format version");
+  if (version != kFormatVersion)
+    r.fail("unsupported format version " + std::to_string(version) +
+           " (this build reads version " + std::to_string(kFormatVersion) + ")");
+
+  Artifact a;
+  a.manifest.format_version = version;
+  const auto stored_hash = r.pod<std::uint64_t>("content hash");
+  a.manifest.backend_kind = r.str("backend kind");
+
+  ModelConfig& m = a.manifest.model;
+  m.aggregator = static_cast<AggregatorKind>(r.pod<std::uint32_t>("aggregator"));
+  m.propagation =
+      static_cast<PropagationKind>(r.pod<std::uint32_t>("propagation"));
+  m.iterations = r.pod<std::int32_t>("iterations");
+  m.hidden_dim = r.pod<std::int32_t>("hidden_dim");
+  m.seed = r.pod<std::uint64_t>("model seed");
+
+  PaceConfig& p = a.manifest.pace;
+  p.hidden_dim = r.pod<std::int32_t>("pace hidden_dim");
+  p.layers = r.pod<std::int32_t>("pace layers");
+  p.max_ancestors = r.pod<std::int32_t>("pace max_ancestors");
+  p.pos_dim = r.pod<std::int32_t>("pace pos_dim");
+  p.seed = r.pod<std::uint64_t>("pace seed");
+
+  const auto metadata_count = r.pod<std::uint32_t>("metadata count");
+  if (metadata_count > kMaxCount) r.fail("corrupt metadata count");
+  for (std::uint32_t i = 0; i < metadata_count; ++i) {
+    std::string key = r.str("metadata key");
+    a.manifest.metadata.emplace_back(std::move(key),
+                                     r.str("metadata value", kMaxCount));
+  }
+
+  const auto section_count = r.pod<std::uint32_t>("section count");
+  if (section_count > kMaxCount) r.fail("corrupt section count");
+  for (std::uint32_t si = 0; si < section_count; ++si) {
+    const std::string sname = r.str("section name");
+    const auto tensor_count = r.pod<std::uint32_t>("tensor count");
+    if (tensor_count > kMaxCount) r.fail("corrupt tensor count");
+    std::vector<std::pair<std::string, nn::Tensor>> tensors;
+    tensors.reserve(tensor_count);
+    for (std::uint32_t ti = 0; ti < tensor_count; ++ti) {
+      nn::TensorRecord rec = nn::read_tensor_record(
+          in, "load_artifact: section '" + sname + "' of " + path);
+      tensors.emplace_back(std::move(rec.name), std::move(rec.value));
+    }
+    a.add_section(sname, std::move(tensors));  // sort + dedup checks
+  }
+  if (r.pod<std::uint64_t>("trailer") != kTrailer)
+    r.fail("missing end-of-file marker (truncated or overwritten file)");
+
+  a.manifest.content_hash = a.content_hash();
+  if (a.manifest.content_hash != stored_hash)
+    r.fail("content hash mismatch (file corrupted): stored " +
+           std::to_string(stored_hash) + ", recomputed " +
+           std::to_string(a.manifest.content_hash));
+  return a;
+}
+
+}  // namespace deepseq::artifact

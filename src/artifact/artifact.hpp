@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/pace.hpp"
+#include "nn/modules.hpp"
+#include "nn/tensor.hpp"
+
+namespace deepseq::artifact {
+
+/// Container format revision this build reads and writes. Readers reject any
+/// other version fail-fast (no silent migration); bump on every layout
+/// change. The content hash is independent of the container version, so a
+/// format bump alone never changes a model's serving identity.
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// One named tensor group of an artifact — the unit task heads are stored
+/// at ("backbone", "regression", "reliability", ...). Tensors are kept
+/// sorted by name, which makes serialization byte-deterministic and the
+/// content hash stable across writers.
+struct Section {
+  std::string name;
+  std::vector<std::pair<std::string, nn::Tensor>> tensors;  // sorted by name
+
+  const nn::Tensor* find(const std::string& tensor_name) const;
+};
+
+/// Self-describing header of an artifact: everything a consumer needs to
+/// rebuild the exact serving model without out-of-band knowledge. The config
+/// snapshot matching `backend_kind` ("deepseq" reads `model`, "pace" reads
+/// `pace`) pins the architecture; free-form metadata carries training
+/// provenance (epochs, final loss, ...) and never affects the content hash.
+struct Manifest {
+  std::uint32_t format_version = kFormatVersion;
+  std::string backend_kind;  // "deepseq" | "pace" | a registered backend name
+  ModelConfig model;
+  PaceConfig pace;
+  /// Sorted key/value training provenance ("epochs", "final_loss", ...).
+  std::vector<std::pair<std::string, std::string>> metadata;
+  /// Deterministic digest of the artifact's model content: backend kind,
+  /// the full config snapshots (including init seeds — conservative: two
+  /// snapshots of bit-identical weights taken under different config seeds
+  /// hash apart even though they serve identically), and every section's
+  /// tensor names, shapes and payload bits. Excludes metadata and the
+  /// container version, so re-saving the same artifact with different
+  /// notes keeps the same serving identity. Filled by
+  /// save_artifact/load_artifact; recomputable any time via
+  /// content_hash().
+  std::uint64_t content_hash = 0;
+};
+
+/// A versioned model artifact: the single currency for weights between the
+/// trainer and the serving surface. Produced by Trainer::save_artifact /
+/// artifact::snapshot, consumed by api::BackendOptions::artifact and
+/// api::Session::reload_weights. The artifact content hash keys the serving
+/// caches (api::BackendInfo::fingerprint derives from it), so two artifacts
+/// with different weights can never share cached embeddings or regressions.
+class Artifact {
+ public:
+  Manifest manifest;
+
+  const std::vector<Section>& sections() const { return sections_; }
+
+  /// Add a section holding copies of `params` values, sorted by tensor
+  /// name. Throws Error on a duplicate section or tensor name.
+  void add_section(const std::string& name, const nn::NamedParams& params);
+  /// Same, taking ownership of already-materialized tensors (the loader's
+  /// path — no second copy of the weights).
+  void add_section(const std::string& name,
+                   std::vector<std::pair<std::string, nn::Tensor>> tensors);
+
+  bool has_section(const std::string& name) const;
+  /// Lookup; throws Error naming the sections present when absent.
+  const Section& section(const std::string& name) const;
+
+  /// Assign this section's tensors into `params` (matched by name; shapes
+  /// must agree). Every param must be present in the section — fail-fast
+  /// Error otherwise; extra section tensors are ignored, so a subset of a
+  /// larger bundle can be applied (mirrors nn::load_params semantics).
+  void apply_section(const std::string& name,
+                     const nn::NamedParams& params) const;
+
+  void set_metadata(const std::string& key, const std::string& value);
+  /// nullptr when the key is absent.
+  const std::string* find_metadata(const std::string& key) const;
+
+  /// Recompute the deterministic content digest (see Manifest::content_hash).
+  std::uint64_t content_hash() const;
+
+ private:
+  std::vector<Section> sections_;  // sorted by section name
+};
+
+/// Write `a` to `path`, embedding the recomputed content hash (also stored
+/// into a.manifest.content_hash). Identical artifacts always produce
+/// byte-identical files. Throws Error on I/O failure.
+void save_artifact(const std::string& path, Artifact& a);
+
+/// Read an artifact written by save_artifact. Fail-fast Error on: unopenable
+/// path, bad magic, any format version other than kFormatVersion (the
+/// message names both), truncation at any point, or a stored content hash
+/// that does not match the recomputed one (bit-rot / tampering).
+Artifact load_artifact(const std::string& path);
+
+}  // namespace deepseq::artifact

@@ -1,0 +1,88 @@
+#include "artifact/model_io.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace deepseq::artifact {
+
+namespace {
+
+std::string architecture_string(const ModelConfig& m) {
+  return m.description() + " T=" + std::to_string(m.iterations) +
+         " hidden=" + std::to_string(m.hidden_dim);
+}
+
+/// The architecture-defining fields (seed excluded: two models initialized
+/// from different seeds still share shapes, and the artifact overwrites
+/// every weight anyway).
+void require_same_architecture(const ModelConfig& artifact_cfg,
+                               const ModelConfig& model_cfg) {
+  if (artifact_cfg.aggregator == model_cfg.aggregator &&
+      artifact_cfg.propagation == model_cfg.propagation &&
+      artifact_cfg.iterations == model_cfg.iterations &&
+      artifact_cfg.hidden_dim == model_cfg.hidden_dim)
+    return;
+  throw Error("artifact: architecture mismatch: artifact holds " +
+              architecture_string(artifact_cfg) + ", model is " +
+              architecture_string(model_cfg));
+}
+
+}  // namespace
+
+void require_kind(const Artifact& a, const std::string& expected) {
+  if (a.manifest.backend_kind == expected) return;
+  throw Error("artifact: kind mismatch: file holds '" +
+              a.manifest.backend_kind + "' weights, expected '" + expected +
+              "'");
+}
+
+Artifact snapshot(const DeepSeqModel& model,
+                  const ReliabilityModel* reliability) {
+  Artifact a;
+  a.manifest.backend_kind = kKindDeepSeq;
+  a.manifest.model = model.config();
+  a.add_section(kSectionBackbone, model.backbone_params());
+  a.add_section(kSectionRegression, model.head_params());
+  if (reliability != nullptr)
+    a.add_section(kSectionReliability, reliability->head_params());
+  return a;
+}
+
+Artifact snapshot(const PaceEncoder& encoder) {
+  Artifact a;
+  a.manifest.backend_kind = kKindPace;
+  a.manifest.pace = encoder.config();
+  a.add_section(kSectionEncoder, encoder.params());
+  return a;
+}
+
+void apply(const Artifact& a, DeepSeqModel& model) {
+  require_kind(a, kKindDeepSeq);
+  require_same_architecture(a.manifest.model, model.config());
+  a.apply_section(kSectionBackbone, model.backbone_params());
+  a.apply_section(kSectionRegression, model.head_params());
+}
+
+void apply(const Artifact& a, ReliabilityModel& model) {
+  require_kind(a, kKindDeepSeq);
+  a.apply_section(kSectionReliability, model.head_params());
+}
+
+void apply(const Artifact& a, PaceEncoder& encoder) {
+  require_kind(a, kKindPace);
+  if (a.manifest.pace.hidden_dim != encoder.config().hidden_dim ||
+      a.manifest.pace.layers != encoder.config().layers ||
+      a.manifest.pace.pos_dim != encoder.config().pos_dim)
+    throw Error("artifact: pace architecture mismatch: artifact hidden/layers/"
+                "pos_dim = " +
+                std::to_string(a.manifest.pace.hidden_dim) + "/" +
+                std::to_string(a.manifest.pace.layers) + "/" +
+                std::to_string(a.manifest.pace.pos_dim) + ", encoder = " +
+                std::to_string(encoder.config().hidden_dim) + "/" +
+                std::to_string(encoder.config().layers) + "/" +
+                std::to_string(encoder.config().pos_dim));
+  a.apply_section(kSectionEncoder, encoder.params());
+}
+
+}  // namespace deepseq::artifact

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "artifact/artifact.hpp"
+#include "reliability/reliability_model.hpp"
+
+namespace deepseq::artifact {
+
+// Backend kinds of the built-in models.
+inline constexpr char kKindDeepSeq[] = "deepseq";
+inline constexpr char kKindPace[] = "pace";
+
+// Section names of the "deepseq" kind.
+inline constexpr char kSectionBackbone[] = "backbone";
+inline constexpr char kSectionRegression[] = "regression";
+inline constexpr char kSectionReliability[] = "reliability";
+// The single section of the "pace" kind (its heads are training-internal).
+inline constexpr char kSectionEncoder[] = "encoder";
+
+/// Snapshot a DeepSeqModel into a kind="deepseq" artifact: "backbone"
+/// (aggregators + GRUs) and "regression" (the two probability-head MLPs)
+/// sections plus the ModelConfig. When `reliability` is non-null its error
+/// head is captured as a third "reliability" section, making the artifact a
+/// full serving bundle for the deepseq backend's task surface.
+Artifact snapshot(const DeepSeqModel& model,
+                  const ReliabilityModel* reliability = nullptr);
+
+/// Snapshot a PaceEncoder into a kind="pace" artifact ("encoder" section).
+Artifact snapshot(const PaceEncoder& encoder);
+
+/// Assign a deepseq artifact's backbone + regression weights into `model`.
+/// The model's architecture must match the manifest snapshot (same
+/// aggregator/propagation/iterations/hidden_dim) — fail-fast Error listing
+/// the mismatch otherwise, or on a non-"deepseq" artifact kind.
+void apply(const Artifact& a, DeepSeqModel& model);
+
+/// Assign a deepseq artifact's "reliability" error-head section into
+/// `model` (the backbone is applied separately through the DeepSeqModel
+/// overload). Error when the artifact has no reliability section.
+void apply(const Artifact& a, ReliabilityModel& model);
+
+/// Assign a pace artifact's encoder weights into `encoder`.
+void apply(const Artifact& a, PaceEncoder& encoder);
+
+/// Throw unless the artifact's kind equals `expected`, with a message that
+/// names both (the fail-fast contract of DEEPSEQ_ARTIFACT / BackendOptions).
+void require_kind(const Artifact& a, const std::string& expected);
+
+}  // namespace deepseq::artifact

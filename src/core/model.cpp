@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "netlist/structural_hash.hpp"
 #include "nn/serialize.hpp"
 
 namespace deepseq {
@@ -48,6 +49,14 @@ ModelConfig ModelConfig::dag_rec_gnn(AggregatorKind agg, int hidden, int t) {
   ModelConfig c = dag_conv_gnn(agg, hidden);
   c.iterations = t;
   return c;
+}
+
+std::uint64_t mix_config(std::uint64_t h, const ModelConfig& m) {
+  h = hash_mix(h, static_cast<std::uint64_t>(m.aggregator));
+  h = hash_mix(h, static_cast<std::uint64_t>(m.propagation));
+  h = hash_mix(h, static_cast<std::uint64_t>(m.iterations));
+  h = hash_mix(h, static_cast<std::uint64_t>(m.hidden_dim));
+  return hash_mix(h, m.seed);
 }
 
 std::string ModelConfig::description() const {
@@ -210,6 +219,13 @@ DeepSeqModel::Output DeepSeqModel::forward(Graph& g, const CircuitGraph& graph,
 
 nn::NamedParams DeepSeqModel::params() const {
   nn::NamedParams out = backbone_params();
+  mlp_tr_.collect_params(out);
+  mlp_lg_.collect_params(out);
+  return out;
+}
+
+nn::NamedParams DeepSeqModel::head_params() const {
+  nn::NamedParams out;
   mlp_tr_.collect_params(out);
   mlp_lg_.collect_params(out);
   return out;

@@ -41,6 +41,12 @@ struct ModelConfig {
   std::string description() const;
 };
 
+/// Mix every output-affecting ModelConfig field into `h` — the single field
+/// enumeration behind api::deepseq_fingerprint AND the artifact content
+/// hash, so the two cache identities can never silently drift when a field
+/// is added here.
+std::uint64_t mix_config(std::uint64_t h, const ModelConfig& m);
+
 /// The DeepSeq model (and, via ModelConfig, its baselines): initial states
 /// from the workload (PIs pinned to their logic-1 probability in every
 /// dimension, paper §III-B), T rounds of forward + reverse message passing
@@ -73,6 +79,8 @@ class DeepSeqModel {
   nn::NamedParams params() const;
   /// Backbone = everything except the task MLPs (for fine-tuning heads).
   nn::NamedParams backbone_params() const;
+  /// The two regression heads alone (the "regression" artifact section).
+  nn::NamedParams head_params() const;
 
   void save(const std::string& path) const;
   void load(const std::string& path);

@@ -5,10 +5,19 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "netlist/structural_hash.hpp"
 #include "netlist/topology.hpp"
 #include "nn/adam.hpp"
 
 namespace deepseq {
+
+std::uint64_t mix_config(std::uint64_t h, const PaceConfig& p) {
+  h = hash_mix(h, static_cast<std::uint64_t>(p.hidden_dim));
+  h = hash_mix(h, static_cast<std::uint64_t>(p.layers));
+  h = hash_mix(h, static_cast<std::uint64_t>(p.max_ancestors));
+  h = hash_mix(h, static_cast<std::uint64_t>(p.pos_dim));
+  return hash_mix(h, p.seed);
+}
 
 using nn::Graph;
 using nn::RowRef;

@@ -36,6 +36,10 @@ struct PaceConfig {
   std::uint64_t seed = 424242;
 };
 
+/// Mix every output-affecting PaceConfig field into `h` (see the
+/// ModelConfig overload in core/model.hpp for why this lives here).
+std::uint64_t mix_config(std::uint64_t h, const PaceConfig& p);
+
 /// Precomputed attention structure of one circuit: flattened (target,
 /// source) pairs with a segment map, plus node features that include the
 /// positional encoding.

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <numeric>
 
+#include "artifact/model_io.hpp"
+
 namespace deepseq {
 
 using nn::Graph;
@@ -92,8 +94,23 @@ std::vector<EpochStats> Trainer::fit(const std::vector<TrainSample>& train,
       std::fflush(stdout);
     }
     history.push_back(stats);
+    ++epochs_completed_;
+    last_mean_loss_ = stats.mean_loss;
   }
   return history;
+}
+
+std::uint64_t Trainer::save_artifact(const std::string& path) const {
+  artifact::Artifact a = artifact::snapshot(model_);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", last_mean_loss_);
+  a.set_metadata("epochs", std::to_string(epochs_completed_));
+  a.set_metadata("final_loss", buf);
+  std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(options_.lr));
+  a.set_metadata("lr", buf);
+  a.set_metadata("trainer", "deepseq::Trainer");
+  artifact::save_artifact(path, a);
+  return a.manifest.content_hash;
 }
 
 Predictions predict(const DeepSeqModel& model, const TrainSample& sample) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/model.hpp"
@@ -58,10 +60,24 @@ class Trainer {
 
   const TrainOptions& options() const { return options_; }
 
+  /// Snapshot the trained model as a versioned artifact at `path` (the
+  /// trainer-to-Session currency: load it through
+  /// api::BackendOptions::artifact / DEEPSEQ_ARTIFACT, or hot-push it with
+  /// api::Session::reload_weights). Training provenance — epochs completed
+  /// across fit() calls, final mean loss, learning rate — is embedded as
+  /// manifest metadata. Returns the artifact content hash, the digest
+  /// serving fingerprints derive from.
+  std::uint64_t save_artifact(const std::string& path) const;
+
+  /// Epochs completed across every fit() call on this trainer.
+  int epochs_completed() const { return epochs_completed_; }
+
  private:
   DeepSeqModel& model_;
   TrainOptions options_;
   nn::Adam adam_;
+  int epochs_completed_ = 0;
+  double last_mean_loss_ = 0.0;
 };
 
 /// Average prediction error of `model` over `samples` (inference mode).

@@ -1,8 +1,10 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <unordered_map>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -10,26 +12,76 @@ namespace deepseq::nn {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x44535130;  // "DSQ0"
+constexpr std::uint32_t kMaxNameLen = 1 << 16;
+constexpr std::uint32_t kMaxDim = 1 << 24;
+// Element cap (2^28 floats = 1 GiB) so a corrupt 8-byte shape header fails
+// fast instead of attempting a petabyte allocation.
+constexpr std::uint64_t kMaxElements = 1ULL << 28;
+}  // namespace
+
+void write_tensor_record(std::ostream& out, const std::string& name,
+                         const Tensor& value) {
+  // Mirror the reader's bounds so anything written can be read back —
+  // never a saved-but-"corrupt" file.
+  if (name.size() > kMaxNameLen)
+    throw Error("write_tensor_record: name exceeds " +
+                std::to_string(kMaxNameLen) + " bytes: '" +
+                name.substr(0, 64) + "...'");
+  if (value.rows() > static_cast<int>(kMaxDim) ||
+      value.cols() > static_cast<int>(kMaxDim) ||
+      static_cast<std::uint64_t>(value.size()) > kMaxElements)
+    throw Error("write_tensor_record: tensor '" + name + "' shape " +
+                value.shape_string() + " exceeds the format's " +
+                std::to_string(kMaxElements) + "-element bound");
+  const auto len = static_cast<std::uint32_t>(name.size());
+  const auto rows = static_cast<std::uint32_t>(value.rows());
+  const auto cols = static_cast<std::uint32_t>(value.cols());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(name.data(), len);
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(value.data()),
+            static_cast<std::streamsize>(value.size() * sizeof(float)));
+}
+
+TensorRecord read_tensor_record(std::istream& in, const std::string& context) {
+  std::uint32_t len = 0, rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (!in || len > kMaxNameLen) throw Error(context + ": corrupt entry");
+  TensorRecord rec;
+  rec.name.assign(len, '\0');
+  in.read(rec.name.data(), len);
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in) throw Error(context + ": truncated file");
+  if (rows > kMaxDim || cols > kMaxDim ||
+      static_cast<std::uint64_t>(rows) * cols > kMaxElements)
+    throw Error(context + ": corrupt shape for '" + rec.name + "'");
+  rec.value = Tensor(static_cast<int>(rows), static_cast<int>(cols));
+  in.read(reinterpret_cast<char*>(rec.value.data()),
+          static_cast<std::streamsize>(rec.value.size() * sizeof(float)));
+  if (!in) throw Error(context + ": truncated file");
+  return rec;
 }
 
 void save_params(const std::string& path, const NamedParams& params) {
+  // Sorted-name order makes the file a pure function of the weight values:
+  // two models with identical parameters produce byte-identical files no
+  // matter what order their modules collected them in.
+  std::vector<const std::pair<std::string, Var>*> order;
+  order.reserve(params.size());
+  for (const auto& entry : params) order.push_back(&entry);
+  std::sort(order.begin(), order.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
   std::ofstream out(path, std::ios::binary);
   if (!out) throw Error("save_params: cannot open " + path);
   const std::uint32_t magic = kMagic;
   const auto count = static_cast<std::uint32_t>(params.size());
   out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& [name, p] : params) {
-    const auto len = static_cast<std::uint32_t>(name.size());
-    const std::uint32_t rows = static_cast<std::uint32_t>(p->value.rows());
-    const std::uint32_t cols = static_cast<std::uint32_t>(p->value.cols());
-    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    out.write(name.data(), len);
-    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
-  }
+  for (const auto* entry : order)
+    write_tensor_record(out, entry->first, entry->second->value);
   if (!out) throw Error("save_params: write failed for " + path);
 }
 
@@ -43,18 +95,8 @@ void load_params(const std::string& path, const NamedParams& params) {
 
   std::unordered_map<std::string, Tensor> loaded;
   for (std::uint32_t k = 0; k < count; ++k) {
-    std::uint32_t len = 0, rows = 0, cols = 0;
-    in.read(reinterpret_cast<char*>(&len), sizeof(len));
-    if (!in || len > 4096) throw Error("load_params: corrupt entry");
-    std::string name(len, '\0');
-    in.read(name.data(), len);
-    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-    Tensor t(static_cast<int>(rows), static_cast<int>(cols));
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.size() * sizeof(float)));
-    if (!in) throw Error("load_params: truncated file");
-    loaded.emplace(std::move(name), std::move(t));
+    TensorRecord rec = read_tensor_record(in, "load_params");
+    loaded.emplace(std::move(rec.name), std::move(rec.value));
   }
 
   for (const auto& [name, p] : params) {

@@ -1,14 +1,34 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "nn/modules.hpp"
 
 namespace deepseq::nn {
 
-/// Save named parameters to a simple binary format (magic, count, then
-/// name/rows/cols/float data per entry). Used to persist pre-trained
-/// DeepSeq weights between the pre-training and fine-tuning stages.
+/// One raw on-disk tensor record, the low-level unit of every weight file:
+/// u32 name length, name bytes, u32 rows, u32 cols, row-major float payload.
+/// save_params writes a header plus one record per parameter; the versioned
+/// artifact container (src/artifact) embeds the same records per section.
+struct TensorRecord {
+  std::string name;
+  Tensor value;
+};
+
+void write_tensor_record(std::ostream& out, const std::string& name,
+                         const Tensor& value);
+
+/// Read one record; throws Error prefixed with `context` on truncation or a
+/// corrupt length/shape field.
+TensorRecord read_tensor_record(std::istream& in, const std::string& context);
+
+/// Save named parameters to a simple binary format (magic, count, then one
+/// TensorRecord per entry). Entries are written in sorted-name order
+/// regardless of the collection order `params` arrives in, so identical
+/// weights always produce byte-identical files (and stable artifact content
+/// hashes downstream). Used to persist pre-trained DeepSeq weights between
+/// the pre-training and fine-tuning stages.
 void save_params(const std::string& path, const NamedParams& params);
 
 /// Load parameters saved with save_params into matching Vars (matched by

@@ -92,4 +92,10 @@ nn::NamedParams ReliabilityModel::params() const {
   return out;
 }
 
+nn::NamedParams ReliabilityModel::head_params() const {
+  nn::NamedParams out;
+  err_head_.collect_params(out);
+  return out;
+}
+
 }  // namespace deepseq

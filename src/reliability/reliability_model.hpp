@@ -51,6 +51,8 @@ class ReliabilityModel {
                     std::uint64_t init_seed) const;
 
   nn::NamedParams params() const;
+  /// The error head alone (the "reliability" artifact section).
+  nn::NamedParams head_params() const;
 
  private:
   DeepSeqModel backbone_;

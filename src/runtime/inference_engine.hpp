@@ -21,10 +21,13 @@
 namespace deepseq::runtime {
 
 /// One embedding query: a strict sequential AIG, the workload defining its
-/// PI behaviour, the backend to encode with (non-owning — the caller, e.g.
-/// api::Session, keeps it alive past drain()), and the init seed that makes
-/// the forward pass reproducible (paper convention: non-PI states are
-/// seeded randomly per sample).
+/// PI behaviour, the backend to encode with (non-owning — the caller keeps
+/// the instance alive until the request is fulfilled; api::Session does so
+/// by capturing an owning handle in its submit_then completion, which is
+/// what lets it hot-swap backends under reload_weights without touching
+/// in-flight work), and the init seed that makes the forward pass
+/// reproducible (paper convention: non-PI states are seeded randomly per
+/// sample).
 struct EmbeddingRequest {
   std::shared_ptr<const Circuit> circuit;
   Workload workload;

@@ -1,0 +1,422 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/backends.hpp"
+#include "api/ensemble.hpp"
+#include "api/registry.hpp"
+#include "api/session.hpp"
+#include "artifact/model_io.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/trainer.hpp"
+#include "dataset/embedded.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/aig.hpp"
+#include "nn/graph.hpp"
+
+namespace deepseq::api {
+namespace {
+
+ModelConfig small_model() { return ModelConfig::deepseq(/*hidden=*/8, /*t=*/2); }
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::shared_ptr<const Circuit> shared_aig(std::uint64_t seed) {
+  Rng rng(seed);
+  GeneratorSpec spec;
+  spec.num_pis = 5;
+  spec.num_ffs = 3;
+  spec.num_gates = 40;
+  for (int t = 0; t < kNumGateTypes; ++t) spec.gate_weights[t] = 0.0;
+  spec.gate_weights[static_cast<int>(GateType::kAnd)] = 4.0;
+  spec.gate_weights[static_cast<int>(GateType::kNot)] = 2.0;
+  return std::make_shared<const Circuit>(generate_circuit(spec, rng));
+}
+
+bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TaskRequest make_request(std::shared_ptr<const Circuit> circuit, TaskKind task,
+                         std::uint64_t workload_seed = 9,
+                         std::uint64_t init_seed = 7) {
+  Rng rng(workload_seed);
+  TaskRequest req;
+  req.workload = random_workload(*circuit, rng);
+  req.circuit = std::move(circuit);
+  req.task = task;
+  req.init_seed = init_seed;
+  return req;
+}
+
+/// Fine-tune a small model briefly on s27 and return it (deterministic).
+DeepSeqModel tuned_model(int epochs = 2) {
+  DeepSeqModel model(small_model());
+  Rng rng(5);
+  const Circuit aig = decompose_to_aig(iscas89_s27()).aig;
+  std::vector<TrainSample> train;
+  for (int k = 0; k < 2; ++k) {
+    Workload w = random_workload(aig, rng);
+    ActivityOptions opt;
+    opt.num_cycles = 200;
+    train.push_back(make_sample("s27_" + std::to_string(k), aig, std::move(w),
+                                opt, rng.next_u64()));
+  }
+  TrainOptions opt;
+  opt.epochs = epochs;
+  opt.lr = 5e-3f;
+  Trainer trainer(model, opt);
+  trainer.fit(train);
+  return model;
+}
+
+/// Save `model` as an artifact and load it back (the full disk round trip
+/// a production weight push takes).
+std::shared_ptr<const artifact::Artifact> artifact_for(
+    const DeepSeqModel& model, const std::string& name) {
+  artifact::Artifact a = artifact::snapshot(model);
+  const std::string path = tmp_path(name);
+  artifact::save_artifact(path, a);
+  return std::make_shared<const artifact::Artifact>(
+      artifact::load_artifact(path));
+}
+
+// ---- acceptance: trainer -> artifact -> Session, bit-identical -------------
+
+TEST(ArtifactServing, TunedHeadsServeBitIdenticalThroughSession) {
+  const DeepSeqModel tuned = tuned_model();
+  const auto art = artifact_for(tuned, "tuned.dsqa");
+
+  SessionConfig cfg;
+  cfg.engine.threads = 2;
+  cfg.backends.model = small_model();
+  cfg.backends.artifact = art;
+  Session session(cfg);
+
+  // The artifact-built backend advertises its provenance + derived identity.
+  const BackendInfo& info = session.backend().info();
+  EXPECT_EQ(info.weights, artifact_weights_label(art->manifest.content_hash));
+  EXPECT_EQ(info.fingerprint, artifact_fingerprint(art->manifest.content_hash));
+  EXPECT_NE(info.fingerprint, deepseq_fingerprint(small_model()));
+
+  const auto circuit = shared_aig(1);
+  const TaskRequest lg_req = make_request(circuit, TaskKind::kLogicProb);
+  const TaskResult lg = session.run_sync(lg_req);
+  const TaskResult tr =
+      session.run_sync(make_request(circuit, TaskKind::kTransitionProb));
+  const TaskResult emb =
+      session.run_sync(make_request(circuit, TaskKind::kEmbedding));
+
+  // Reference: invoke the tuned DeepSeqModel directly.
+  nn::Graph g(false);
+  const auto want_emb = tuned.embed(g, build_circuit_graph(*circuit),
+                                    lg_req.workload, lg_req.init_seed);
+  const auto want = tuned.regress(g, want_emb);
+  EXPECT_TRUE(bit_identical(*emb.as<EmbeddingOutput>().embedding,
+                            want_emb->value));
+  EXPECT_TRUE(bit_identical(*lg.as<LogicProbOutput>().prob, want.lg->value));
+  EXPECT_TRUE(bit_identical(*tr.as<TransitionProbOutput>().prob,
+                            want.tr->value));
+}
+
+TEST(ArtifactServing, TrainerSaveArtifactEmbedsProvenance) {
+  DeepSeqModel model(small_model());
+  Rng rng(5);
+  const Circuit aig = decompose_to_aig(iscas89_s27()).aig;
+  ActivityOptions sim;
+  sim.num_cycles = 100;
+  Workload w = random_workload(aig, rng);
+  const std::vector<TrainSample> train = {
+      make_sample("s27", aig, std::move(w), sim, 3)};
+  TrainOptions opt;
+  opt.epochs = 2;
+  Trainer trainer(model, opt);
+  trainer.fit(train);
+
+  const std::string path = tmp_path("trainer.dsqa");
+  const std::uint64_t hash = trainer.save_artifact(path);
+  const artifact::Artifact a = artifact::load_artifact(path);
+  EXPECT_EQ(a.manifest.content_hash, hash);
+  ASSERT_NE(a.find_metadata("epochs"), nullptr);
+  EXPECT_EQ(*a.find_metadata("epochs"), "2");
+  EXPECT_NE(a.find_metadata("final_loss"), nullptr);
+  EXPECT_NE(a.find_metadata("lr"), nullptr);
+
+  // The artifact holds the trained weights, not the init: rebuilding from
+  // it matches the live model's predictions bit-exactly.
+  DeepSeqModel rebuilt(a.manifest.model);
+  artifact::apply(a, rebuilt);
+  const auto circuit = shared_aig(2);
+  Rng wrng(11);
+  const Workload wl = random_workload(*circuit, wrng);
+  nn::Graph g1(false), g2(false);
+  const auto got =
+      rebuilt.forward(g1, build_circuit_graph(*circuit), wl, 7);
+  const auto ref = model.forward(g2, build_circuit_graph(*circuit), wl, 7);
+  EXPECT_TRUE(bit_identical(got.lg->value, ref.lg->value));
+  EXPECT_TRUE(bit_identical(got.tr->value, ref.tr->value));
+}
+
+// ---- hot reload -------------------------------------------------------------
+
+TEST(ArtifactServing, ReloadWeightsSwapsFingerprintAndResultsWithoutDrops) {
+  SessionConfig cfg;
+  cfg.engine.threads = 2;
+  cfg.backends.model = small_model();
+  Session session(cfg);
+
+  const std::uint64_t seed_fingerprint = session.backend().info().fingerprint;
+  EXPECT_EQ(session.backend().info().weights, "seed");
+
+  // In-flight load across several circuits, submitted before the push.
+  std::vector<std::shared_ptr<const Circuit>> circuits;
+  std::vector<std::future<TaskResult>> inflight;
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    circuits.push_back(shared_aig(s));
+    inflight.push_back(
+        session.submit(make_request(circuits.back(), TaskKind::kLogicProb, s)));
+  }
+
+  const DeepSeqModel tuned = tuned_model();
+  const auto art = artifact_for(tuned, "reload.dsqa");
+  const std::uint64_t new_fingerprint = session.reload_weights(art);
+
+  EXPECT_NE(new_fingerprint, seed_fingerprint);
+  EXPECT_EQ(new_fingerprint, artifact_fingerprint(art->manifest.content_hash));
+  EXPECT_EQ(session.backend().info().fingerprint, new_fingerprint);
+  EXPECT_EQ(session.backend().info().weights,
+            artifact_weights_label(art->manifest.content_hash));
+
+  // Nothing submitted before the push was dropped, and each result is the
+  // OLD weights' output (the weights it was submitted against).
+  const DeepSeqModel untuned(small_model());
+  for (std::size_t i = 0; i < inflight.size(); ++i) {
+    const TaskResult r = inflight[i].get();
+    const TaskRequest ref_req =
+        make_request(circuits[i], TaskKind::kLogicProb, i + 1);
+    nn::Graph g(false);
+    const auto want = untuned.regress(
+        g, untuned.embed(g, build_circuit_graph(*circuits[i]),
+                         ref_req.workload, ref_req.init_seed));
+    EXPECT_TRUE(bit_identical(*r.as<LogicProbOutput>().prob, want.lg->value))
+        << "in-flight task " << i;
+  }
+
+  // Subsequent submits serve the tuned weights.
+  const TaskRequest req = make_request(circuits[0], TaskKind::kLogicProb, 1);
+  const TaskResult after = session.run_sync(req);
+  nn::Graph g(false);
+  const auto want = tuned.regress(
+      g, tuned.embed(g, build_circuit_graph(*circuits[0]), req.workload,
+                     req.init_seed));
+  EXPECT_TRUE(bit_identical(*after.as<LogicProbOutput>().prob, want.lg->value));
+  EXPECT_FALSE(after.embedding_cache_hit);  // new fingerprint = new cache keys
+
+  // Re-pushing the already-live artifact is indistinguishable from a
+  // factory ignoring it — both fail fast with the fingerprint unchanged.
+  EXPECT_THROW((void)session.reload_weights(art), Error);
+  EXPECT_EQ(session.backend().info().fingerprint, new_fingerprint);
+
+  // Reload errors leave the serving instance untouched.
+  PaceConfig pc;
+  pc.hidden_dim = 8;
+  pc.layers = 1;
+  auto wrong_kind = std::make_shared<const artifact::Artifact>(
+      artifact::snapshot(PaceEncoder(pc)));
+  EXPECT_THROW((void)session.reload_weights(wrong_kind), Error);
+  EXPECT_EQ(session.backend().info().fingerprint, new_fingerprint);
+  EXPECT_THROW((void)session.reload_weights(nullptr), Error);
+}
+
+// ---- cache isolation --------------------------------------------------------
+
+TEST(ArtifactServing, DifferentArtifactsNeverShareCacheEntries) {
+  // Two artifact weight-sets with identical architecture, served through
+  // ONE session (one shared CircuitCache): every layer must key them apart.
+  ModelConfig cfg_a = small_model();
+  ModelConfig cfg_b = small_model();
+  cfg_b.seed = 31337;  // same shapes, different weights
+  const auto art_a = artifact_for(DeepSeqModel(cfg_a), "iso_a.dsqa");
+  const auto art_b = artifact_for(DeepSeqModel(cfg_b), "iso_b.dsqa");
+  ASSERT_NE(art_a->manifest.content_hash, art_b->manifest.content_hash);
+
+  BackendRegistry registry;
+  registry.register_backend("tuned-a", [art_a](const BackendOptions&) {
+    return std::make_unique<DeepSeqBackend>(*art_a);
+  });
+  registry.register_backend("tuned-b", [art_b](const BackendOptions&) {
+    return std::make_unique<DeepSeqBackend>(*art_b);
+  });
+
+  SessionConfig cfg;
+  cfg.backend = "tuned-a";
+  cfg.engine.threads = 2;
+  Session session(cfg, registry);
+
+  const auto circuit = shared_aig(3);
+  TaskRequest req = make_request(circuit, TaskKind::kLogicProb);
+  req.backend = "tuned-a";
+  const TaskResult ra = session.run_sync(req);
+  req.backend = "tuned-b";
+  const TaskResult rb = session.run_sync(req);
+
+  // Same circuit, workload and seed — but different weights: nothing may be
+  // served across the two backends from any cache layer.
+  auto stats = session.cache_stats();
+  EXPECT_EQ(stats.structures.misses, 2u);
+  EXPECT_EQ(stats.embeddings.misses, 2u);
+  EXPECT_EQ(stats.embeddings.hits, 0u);
+  EXPECT_EQ(stats.regressions.misses, 2u);
+  EXPECT_EQ(stats.regressions.hits, 0u);
+  EXPECT_FALSE(bit_identical(*ra.as<LogicProbOutput>().prob,
+                             *rb.as<LogicProbOutput>().prob));
+
+  // Sanity: the SAME artifact does share (warm path still works).
+  req.backend = "tuned-a";
+  const TaskResult warm = session.run_sync(req);
+  EXPECT_TRUE(warm.embedding_cache_hit);
+  EXPECT_TRUE(warm.regression_cache_hit);
+  EXPECT_TRUE(bit_identical(*ra.as<LogicProbOutput>().prob,
+                            *warm.as<LogicProbOutput>().prob));
+  stats = session.cache_stats();
+  EXPECT_EQ(stats.embeddings.misses, 2u);  // unchanged
+}
+
+// ---- ensemble backend -------------------------------------------------------
+
+TEST(EnsembleBackend, FingerprintDerivesFromBaseAndK) {
+  BackendOptions opts;
+  opts.model = small_model();
+  opts.ensemble_k = 3;
+  auto& reg = BackendRegistry::global();
+  ASSERT_TRUE(reg.contains("ensemble"));
+  auto base = reg.create("deepseq", opts);
+  auto ens3 = reg.create("ensemble", opts);
+  opts.ensemble_k = 5;
+  auto ens5 = reg.create("ensemble", opts);
+
+  EXPECT_EQ(ens3->info().name, "ensemble");
+  EXPECT_EQ(ens3->info().fingerprint,
+            ensemble_fingerprint(base->info().fingerprint, 3));
+  EXPECT_NE(ens3->info().fingerprint, base->info().fingerprint);
+  EXPECT_NE(ens3->info().fingerprint, ens5->info().fingerprint);
+  EXPECT_TRUE(ens3->info().supports_regress);
+  EXPECT_FALSE(ens3->info().supports_reliability);
+  EXPECT_THROW(EnsembleBackend(nullptr, 2), Error);
+  EXPECT_THROW(EnsembleBackend(reg.create("deepseq", opts), 0), Error);
+}
+
+TEST(EnsembleBackend, EmbeddingIsMeanOverRealizations) {
+  BackendOptions opts;
+  opts.model = small_model();
+  opts.ensemble_k = 3;
+  auto& reg = BackendRegistry::global();
+  auto base = reg.create("deepseq", opts);
+  auto ens = reg.create("ensemble", opts);
+
+  const auto circuit = shared_aig(4);
+  Rng rng(9);
+  const Workload w = random_workload(*circuit, rng);
+  const auto state = ens->prepare(*circuit);
+  const nn::Tensor got = ens->embed(*state, w, /*init_seed=*/7);
+
+  // Reference: the documented realization seeds through the base backend,
+  // averaged with the same double accumulation.
+  const auto base_state = base->prepare(*circuit);
+  std::vector<nn::Tensor> members;
+  for (int r = 0; r < 3; ++r)
+    members.push_back(base->embed(
+        *base_state, w, EnsembleBackend::realization_seed(7, r)));
+  nn::Tensor want = members[0];
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    double acc = members[0].data()[i];
+    acc += members[1].data()[i];
+    acc += members[2].data()[i];
+    want.data()[i] = static_cast<float>(acc / 3.0);
+  }
+  EXPECT_TRUE(bit_identical(got, want));
+  // Members are genuinely distinct realizations.
+  EXPECT_FALSE(bit_identical(members[0], members[1]));
+}
+
+TEST(EnsembleBackend, ServesProbabilityTasksThroughSession) {
+  SessionConfig cfg;
+  cfg.backend = "ensemble";
+  cfg.engine.threads = 2;
+  cfg.backends.model = small_model();
+  cfg.backends.ensemble_k = 2;
+  Session session(cfg);
+  const auto circuit = shared_aig(5);
+  const TaskResult res =
+      session.run_sync(make_request(circuit, TaskKind::kLogicProb));
+  EXPECT_EQ(res.backend, "ensemble");
+  EXPECT_EQ(res.as<LogicProbOutput>().prob->rows(),
+            static_cast<int>(circuit->num_nodes()));
+  // Reliability must fail fast on the ensemble.
+  EXPECT_THROW(
+      (void)session.submit(make_request(circuit, TaskKind::kReliability)),
+      Error);
+}
+
+// ---- DEEPSEQ_ARTIFACT plumbing ---------------------------------------------
+
+TEST(ArtifactEnv, UnsetYieldsNoArtifact) {
+  ::unsetenv("DEEPSEQ_ARTIFACT");
+  EXPECT_EQ(artifact_from_env(), nullptr);
+  EXPECT_EQ(options_from_env().artifact, nullptr);
+}
+
+TEST(ArtifactEnv, NonexistentPathFailsFastNamingVariableAndPath) {
+  ::setenv("DEEPSEQ_ARTIFACT", "/no/such/weights.dsqa", 1);
+  try {
+    (void)artifact_from_env();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("DEEPSEQ_ARTIFACT"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("/no/such/weights.dsqa"), std::string::npos) << msg;
+  }
+  ::unsetenv("DEEPSEQ_ARTIFACT");
+}
+
+TEST(ArtifactEnv, ValidPathLoadsIntoOptionsAndKindMismatchNamesBoth) {
+  PaceConfig pc;
+  pc.hidden_dim = 8;
+  pc.layers = 1;
+  artifact::Artifact pace_art = artifact::snapshot(PaceEncoder(pc));
+  const std::string path = tmp_path("env_pace.dsqa");
+  artifact::save_artifact(path, pace_art);
+
+  ::setenv("DEEPSEQ_ARTIFACT", path.c_str(), 1);
+  const BackendOptions opts = options_from_env();
+  ASSERT_NE(opts.artifact, nullptr);
+  EXPECT_EQ(opts.artifact->manifest.backend_kind, artifact::kKindPace);
+
+  // The matching backend builds...
+  auto pace = BackendRegistry::global().create("pace", opts);
+  EXPECT_EQ(pace->info().fingerprint,
+            artifact_fingerprint(opts.artifact->manifest.content_hash));
+  // ...and a mismatched one fails fast naming both kinds — no silent
+  // fallback to seed weights.
+  try {
+    (void)BackendRegistry::global().create("deepseq", opts);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("pace"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("deepseq"), std::string::npos) << msg;
+  }
+  ::unsetenv("DEEPSEQ_ARTIFACT");
+}
+
+}  // namespace
+}  // namespace deepseq::api

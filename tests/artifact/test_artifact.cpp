@@ -1,0 +1,274 @@
+#include "artifact/artifact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "artifact/model_io.hpp"
+#include "common/error.hpp"
+
+namespace deepseq::artifact {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool same_params(const nn::NamedParams& a, const nn::NamedParams& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].first != b[i].first) return false;
+    const nn::Tensor& ta = a[i].second->value;
+    const nn::Tensor& tb = b[i].second->value;
+    if (!ta.same_shape(tb)) return false;
+    if (std::memcmp(ta.data(), tb.data(), ta.size() * sizeof(float)) != 0)
+      return false;
+  }
+  return true;
+}
+
+// The four ModelConfig presets of Tables II/III, at test scale.
+std::vector<ModelConfig> all_presets() {
+  return {ModelConfig::deepseq(/*hidden=*/8, /*t=*/2),
+          ModelConfig::deepseq_simple_attention(/*hidden=*/8, /*t=*/2),
+          ModelConfig::dag_conv_gnn(AggregatorKind::kConvSum, /*hidden=*/8),
+          ModelConfig::dag_rec_gnn(AggregatorKind::kAttention, /*hidden=*/8,
+                                   /*t=*/2)};
+}
+
+TEST(Artifact, RoundTripAllModelPresets) {
+  int k = 0;
+  for (const ModelConfig& cfg : all_presets()) {
+    const DeepSeqModel original(cfg);
+    Artifact a = snapshot(original);
+    const std::string path = tmp_path("preset" + std::to_string(k++) + ".dsqa");
+    save_artifact(path, a);
+
+    const Artifact loaded = load_artifact(path);
+    EXPECT_EQ(loaded.manifest.backend_kind, kKindDeepSeq);
+    EXPECT_EQ(loaded.manifest.content_hash, a.manifest.content_hash);
+    EXPECT_EQ(loaded.manifest.model.hidden_dim, cfg.hidden_dim);
+    EXPECT_EQ(loaded.manifest.model.iterations, cfg.iterations);
+    EXPECT_EQ(loaded.manifest.model.aggregator, cfg.aggregator);
+    EXPECT_EQ(loaded.manifest.model.propagation, cfg.propagation);
+
+    // Rebuilding from the artifact reproduces every weight bit-exactly.
+    DeepSeqModel rebuilt(loaded.manifest.model);
+    apply(loaded, rebuilt);
+    EXPECT_TRUE(same_params(original.params(), rebuilt.params()))
+        << cfg.description();
+  }
+}
+
+TEST(Artifact, RoundTripPaceEncoder) {
+  PaceConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.layers = 2;
+  const PaceEncoder original(cfg);
+  Artifact a = snapshot(original);
+  const std::string path = tmp_path("pace.dsqa");
+  save_artifact(path, a);
+
+  const Artifact loaded = load_artifact(path);
+  EXPECT_EQ(loaded.manifest.backend_kind, kKindPace);
+  PaceEncoder rebuilt(loaded.manifest.pace);
+  apply(loaded, rebuilt);
+  EXPECT_TRUE(same_params(original.params(), rebuilt.params()));
+}
+
+TEST(Artifact, ReliabilityHeadSectionRoundTrips) {
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  const ReliabilityModel rel(model);
+  Artifact a = snapshot(model, &rel);
+  EXPECT_TRUE(a.has_section(kSectionReliability));
+  const std::string path = tmp_path("rel.dsqa");
+  save_artifact(path, a);
+
+  const Artifact loaded = load_artifact(path);
+  DeepSeqModel rebuilt(loaded.manifest.model);
+  apply(loaded, rebuilt);
+  ReliabilityModel rel_rebuilt(rebuilt);
+  apply(loaded, rel_rebuilt);
+  EXPECT_TRUE(same_params(rel.params(), rel_rebuilt.params()));
+
+  // Without the section, the reliability overload fails fast.
+  Artifact bare = snapshot(model);
+  ReliabilityModel fresh(model);
+  EXPECT_THROW(apply(bare, fresh), Error);
+}
+
+TEST(Artifact, SavesAreByteDeterministic) {
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  Artifact a = snapshot(model);
+  Artifact b = snapshot(model);
+  const std::string pa = tmp_path("det_a.dsqa"), pb = tmp_path("det_b.dsqa");
+  save_artifact(pa, a);
+  save_artifact(pb, b);
+  EXPECT_EQ(read_file(pa), read_file(pb));
+  EXPECT_EQ(a.manifest.content_hash, b.manifest.content_hash);
+}
+
+TEST(Artifact, MetadataDoesNotAffectContentHash) {
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  Artifact plain = snapshot(model);
+  Artifact annotated = snapshot(model);
+  annotated.set_metadata("epochs", "50");
+  annotated.set_metadata("final_loss", "0.123");
+  EXPECT_EQ(plain.content_hash(), annotated.content_hash());
+
+  // ...but different weights always produce a different hash.
+  ModelConfig other = ModelConfig::deepseq(8, 1);
+  other.seed = 999;
+  EXPECT_NE(plain.content_hash(), snapshot(DeepSeqModel(other)).content_hash());
+
+  // Metadata survives the round trip.
+  const std::string path = tmp_path("meta.dsqa");
+  save_artifact(path, annotated);
+  const Artifact loaded = load_artifact(path);
+  ASSERT_NE(loaded.find_metadata("epochs"), nullptr);
+  EXPECT_EQ(*loaded.find_metadata("epochs"), "50");
+  EXPECT_EQ(loaded.find_metadata("absent"), nullptr);
+}
+
+TEST(Artifact, MissingFileFailsFast) {
+  try {
+    (void)load_artifact("/nonexistent/dir/weights.dsqa");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/dir/weights.dsqa"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Artifact, TruncationFailsFastAtEveryPrefix) {
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  Artifact a = snapshot(model);
+  const std::string path = tmp_path("trunc.dsqa");
+  save_artifact(path, a);
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Every proper prefix must be rejected — the trailer marker guarantees
+  // even a truncation landing on a record boundary cannot parse cleanly.
+  const std::string cut = tmp_path("cut.dsqa");
+  for (const double frac : {0.1, 0.5, 0.9, 0.999}) {
+    const auto len = static_cast<std::size_t>(bytes.size() * frac);
+    write_file(cut, bytes.substr(0, len));
+    EXPECT_THROW((void)load_artifact(cut), Error) << "prefix " << len;
+  }
+  write_file(cut, bytes.substr(0, bytes.size() - 1));
+  EXPECT_THROW((void)load_artifact(cut), Error) << "one byte short";
+}
+
+TEST(Artifact, CorruptedPayloadFailsContentHashCheck) {
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  Artifact a = snapshot(model);
+  const std::string path = tmp_path("corrupt.dsqa");
+  save_artifact(path, a);
+  std::string bytes = read_file(path);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one weight bit mid-file
+  write_file(path, bytes);
+  try {
+    (void)load_artifact(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("content hash"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Artifact, WrongFormatVersionFailsFastNamingBoth) {
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  Artifact a = snapshot(model);
+  const std::string path = tmp_path("version.dsqa");
+  save_artifact(path, a);
+  std::string bytes = read_file(path);
+  const std::uint32_t future_version = kFormatVersion + 7;
+  std::memcpy(bytes.data() + 4, &future_version, sizeof(future_version));
+  write_file(path, bytes);
+  try {
+    (void)load_artifact(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(std::to_string(future_version)), std::string::npos) << msg;
+    EXPECT_NE(msg.find(std::to_string(kFormatVersion)), std::string::npos) << msg;
+  }
+}
+
+TEST(Artifact, NotAnArtifactFailsFast) {
+  const std::string path = tmp_path("garbage.dsqa");
+  write_file(path, "definitely not a weights file, but long enough to read");
+  EXPECT_THROW((void)load_artifact(path), Error);
+}
+
+TEST(Artifact, KindMismatchNamesBothKinds) {
+  PaceConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.layers = 1;
+  Artifact pace_artifact = snapshot(PaceEncoder(cfg));
+  DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  try {
+    apply(pace_artifact, model);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("pace"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("deepseq"), std::string::npos) << msg;
+  }
+}
+
+TEST(Artifact, ArchitectureMismatchFailsFast) {
+  const DeepSeqModel narrow(ModelConfig::deepseq(8, 1));
+  Artifact a = snapshot(narrow);
+  DeepSeqModel wider(ModelConfig::deepseq(16, 1));
+  EXPECT_THROW(apply(a, wider), Error);
+  DeepSeqModel deeper(ModelConfig::deepseq(8, 3));
+  EXPECT_THROW(apply(a, deeper), Error);
+  // Same architecture, different init seed: applies fine (every weight is
+  // overwritten anyway).
+  ModelConfig reseeded = ModelConfig::deepseq(8, 1);
+  reseeded.seed = 4242;
+  DeepSeqModel target(reseeded);
+  EXPECT_NO_THROW(apply(a, target));
+  EXPECT_TRUE(same_params(narrow.params(), target.params()));
+}
+
+TEST(Artifact, SectionAndTensorLookupErrors) {
+  const DeepSeqModel model(ModelConfig::deepseq(8, 1));
+  Artifact a = snapshot(model);
+  EXPECT_THROW((void)a.section("no-such-section"), Error);
+  EXPECT_THROW(a.add_section(kSectionBackbone, nn::NamedParams{}),
+               Error);  // duplicate
+
+  // apply_section: a param absent from the section fails fast; extra
+  // section entries are fine (subset application).
+  nn::NamedParams unknown{{"not_a_weight", nn::make_param(nn::Tensor(1, 1))}};
+  EXPECT_THROW(a.apply_section(kSectionBackbone, unknown), Error);
+  const nn::NamedParams backbone = model.backbone_params();
+  nn::NamedParams wrong_shape{
+      {backbone[0].first, nn::make_param(nn::Tensor(1, 1))}};
+  EXPECT_THROW(a.apply_section(kSectionBackbone, wrong_shape), Error);
+  nn::NamedParams subset{backbone[0]};
+  EXPECT_NO_THROW(a.apply_section(kSectionBackbone, subset));
+}
+
+}  // namespace
+}  // namespace deepseq::artifact

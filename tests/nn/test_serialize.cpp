@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include <fstream>
+#include <iterator>
 
 namespace deepseq::nn {
 namespace {
@@ -60,6 +61,29 @@ TEST(Serialize, ShapeMismatchThrows) {
 TEST(Serialize, MissingFileThrows) {
   Var a = make_param(Tensor(1, 1));
   EXPECT_THROW(load_params("/nonexistent/params.bin", {{"a", a}}), Error);
+}
+
+TEST(Serialize, CollectionOrderDoesNotChangeFileBytes) {
+  // Entries are written in sorted-name order, so identical weights always
+  // produce byte-identical files — the determinism the artifact layer's
+  // content hashes stand on.
+  Rng rng(5);
+  Var a = make_param(Tensor::xavier(2, 3, rng));
+  Var b = make_param(Tensor::xavier(3, 1, rng));
+  Var c = make_param(Tensor::xavier(1, 4, rng));
+  const std::string p1 = ::testing::TempDir() + "/order1.bin";
+  const std::string p2 = ::testing::TempDir() + "/order2.bin";
+  save_params(p1, {{"a", a}, {"b", b}, {"c", c}});
+  save_params(p2, {{"c", c}, {"a", a}, {"b", b}});
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string bytes1 = slurp(p1), bytes2 = slurp(p2);
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, bytes2);
 }
 
 TEST(Serialize, CorruptFileThrows) {
