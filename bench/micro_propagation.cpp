@@ -1,22 +1,29 @@
-// Single-circuit propagation microbenchmark across the Table IV designs and
-// nn-executor thread counts: the intra-level parallelism lever this layer
-// exists for. For every design the bench times DeepSeqModel::embed under
-// DEEPSEQ_NN_THREADS-equivalent executors (1 = the sequential path), checks
-// parallel embeddings bit-identical to sequential, and — for the largest
-// design — verifies gradient bit-identity in grad mode and records
-// per-level (per planner flush) timing.
+// Single-circuit propagation microbenchmark across the Table IV designs,
+// nn-executor thread counts and DEEPSEQ_NN_FUSE settings: the chain-fused
+// plan layer this bench exists to track. For every design the bench times
+// DeepSeqModel::embed under DEEPSEQ_NN_THREADS-equivalent executors (1 = the
+// sequential path) with fused and unfused plans, checks every combination
+// bit-identical to sequential, and — for the largest design — verifies
+// gradient bit-identity in grad mode, records per-level (per planner flush)
+// timing, and reports the structural chain statistics: barriers (cut waves),
+// chains, the chain-length histogram, and the fused/unfused barrier ratio.
+// A record-overhead micro reports ns per recorded op.
 //
-// Emits a table and micro_propagation.json (bench_util::JsonWriter) with a
-// `threads` dimension so the perf trajectory of the record/plan/execute
-// stack is machine-readable across commits. Note the speedup column only
-// means something on a multi-core host: `hardware_concurrency` is part of
-// the JSON so a 1-core CI box reporting ~1.0x is self-explaining.
+// Emits a table and micro_propagation.json (bench_util::JsonWriter) with
+// `threads` and `fused` dimensions so the perf trajectory of the
+// record/plan/execute stack is machine-readable across commits. The
+// structural fields (barriers, chains, chain_len_histogram) depend only on
+// the plans, never on host core count — a 1-core CI box verifies the
+// barrier win deterministically; only the speedup column needs a multi-core
+// host (`hardware_concurrency` is part of the JSON so ~1.0x is
+// self-explaining).
 //
 // Knobs: DEEPSEQ_PROP_THREADS (max thread sweep, default 4),
 // DEEPSEQ_PROP_REPS (timing repetitions, default 3), DEEPSEQ_FULL=1 for
 // paper-scale designs and model.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -51,6 +58,8 @@ bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
 }
 
+void set_fuse(bool on) { ::setenv("DEEPSEQ_NN_FUSE", on ? "1" : "0", 1); }
+
 double time_embed(const DeepSeqModel& model, const Design& d,
                   nn::Executor& exec, int reps, nn::Tensor* out,
                   nn::ExecStats* stats = nullptr) {
@@ -75,13 +84,59 @@ double time_embed(const DeepSeqModel& model, const Design& d,
   return best;
 }
 
+void json_exec_stats(JsonWriter& json, const nn::ExecStats& stats) {
+  json.begin_object();
+  json.field("flushes", stats.flushes);
+  json.field("barriers", stats.barriers);
+  json.field("chains", stats.chains);
+  json.field("steps", stats.steps);
+  json.field("fused_ops", stats.fused_ops);
+  json.field("parallel_cuts", stats.parallel_cuts);
+  json.key("chain_len_histogram");
+  json.begin_object();
+  for (int b = 0; b < nn::kChainHistBuckets; ++b)
+    json.field(nn::chain_len_bucket_name(b), stats.chain_len_hist[b]);
+  json.end_object();
+  json.begin_array("flush_ms");
+  for (const double ms : stats.flush_ms) json.value(ms);
+  json.end_array();
+  json.end_object();
+}
+
+/// Record-layer overhead: ns to record (not execute) one small op in a
+/// steady-state no-grad graph — arena-recycled Ops, inline operand storage.
+/// The timer covers only the recording loop; the flush happens on scope
+/// exit, outside it. Best of several reps = warm free-list state.
+double measure_record_ns_per_op() {
+  set_fuse(true);
+  nn::Executor sequential;
+  nn::ExecutorScope scope(sequential);
+  nn::Graph g(/*grad_enabled=*/false);
+  const nn::Var a = nn::make_constant(nn::Tensor::full(8, 8, 0.5f));
+  const nn::Var b = nn::make_constant(nn::Tensor::full(8, 8, 0.25f));
+  constexpr int kOps = 4096;
+  double best_ms = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    nn::BatchScope batch(g);
+    WallTimer t;
+    nn::Var x = g.add(a, b);
+    for (int k = 1; k < kOps; k += 3) {
+      x = g.mul(x, b);
+      x = g.add(x, a);
+      x = g.sigmoid(x);
+    }
+    best_ms = std::min(best_ms, t.millis());
+  }  // scope exit flushes the recorded chain (excluded from the timer)
+  return best_ms * 1e6 / kOps;
+}
+
 }  // namespace
 
 int main() {
   const BenchConfig cfg = BenchConfig::from_env();
   print_banner("PROPAGATION",
-               "single-circuit embed vs nn-executor threads (record/plan/"
-               "execute)",
+               "single-circuit embed vs nn-executor threads and chain fusion "
+               "(record/plan/execute)",
                cfg);
 
   const int max_threads = static_cast<int>(env_int("DEEPSEQ_PROP_THREADS", 4));
@@ -120,9 +175,10 @@ int main() {
   json.field("largest_design", designs[largest].name);
   json.begin_array("rows");
 
-  std::printf("%-10s | %6s %6s | %7s | %10s | %8s | %5s\n", "design", "nodes",
-              "levels", "threads", "embed ms", "speedup", "biteq");
-  std::printf("%.*s\n", 70, std::string(70, '-').c_str());
+  std::printf("%-10s | %6s %6s | %7s %5s | %10s | %8s | %5s\n", "design",
+              "nodes", "levels", "threads", "fused", "embed ms", "speedup",
+              "biteq");
+  std::printf("%.*s\n", 76, std::string(76, '-').c_str());
 
   double largest_best_speedup = 0.0;
   for (std::size_t i = 0; i < designs.size(); ++i) {
@@ -130,58 +186,91 @@ int main() {
     nn::Tensor reference;
     double seq_ms = 0.0;
     for (const int threads : sweep) {
-      nn::Executor exec(&pool, threads);
-      nn::Tensor embedding;
-      const double ms = time_embed(model, d, exec, reps, &embedding);
-      const bool identical =
-          threads == 1 ? true : bit_identical(reference, embedding);
-      if (threads == 1) {
-        reference = std::move(embedding);
-        seq_ms = ms;
+      for (const bool fused : {true, false}) {
+        set_fuse(fused);
+        nn::Executor exec(&pool, threads);
+        nn::Tensor embedding;
+        const double ms = time_embed(model, d, exec, reps, &embedding);
+        const bool is_ref = threads == 1 && fused;
+        const bool identical =
+            is_ref ? true : bit_identical(reference, embedding);
+        if (is_ref) {
+          reference = std::move(embedding);
+          seq_ms = ms;
+        }
+        const double speedup = ms > 0.0 ? seq_ms / ms : 0.0;
+        if (i == largest && threads > 1 && fused)
+          largest_best_speedup = std::max(largest_best_speedup, speedup);
+        std::printf("%-10s | %6zu %6d | %7d %5s | %10.2f | %7.2fx | %5s\n",
+                    d.name.c_str(), d.aig.num_nodes(), d.levels, threads,
+                    fused ? "yes" : "no", ms, speedup,
+                    identical ? "yes" : "NO");
+        json.begin_object();
+        json.field("design", d.name);
+        json.field("nodes", static_cast<std::uint64_t>(d.aig.num_nodes()));
+        json.field("levels", d.levels);
+        json.field("threads", threads);
+        json.field("fused", fused);
+        json.field("embed_ms", ms);
+        json.field("speedup_vs_1t", speedup);
+        json.field("bit_identical", identical);
+        json.end_object();
+        std::fflush(stdout);
       }
-      const double speedup = ms > 0.0 ? seq_ms / ms : 0.0;
-      if (i == largest && threads > 1)
-        largest_best_speedup = std::max(largest_best_speedup, speedup);
-      std::printf("%-10s | %6zu %6d | %7d | %10.2f | %7.2fx | %5s\n",
-                  d.name.c_str(), d.aig.num_nodes(), d.levels, threads, ms,
-                  speedup, identical ? "yes" : "NO");
-      json.begin_object();
-      json.field("design", d.name);
-      json.field("nodes", static_cast<std::uint64_t>(d.aig.num_nodes()));
-      json.field("levels", d.levels);
-      json.field("threads", threads);
-      json.field("embed_ms", ms);
-      json.field("speedup_vs_1t", speedup);
-      json.field("bit_identical", identical);
-      json.end_object();
-      std::fflush(stdout);
     }
   }
   std::printf("\n");
   json.end_array();  // rows
 
-  // Per-level (per planner flush) timing of the largest design, sequential
-  // vs widest executor — the machine-readable shape of where time goes.
+  // Per-level (per planner flush) structure + timing of the largest design:
+  // sequential vs widest executor, fused vs unfused — the machine-readable
+  // shape of where time (and synchronization) goes. The fused/unfused
+  // barrier ratio is the structural win chain fusion exists for.
   {
     const Design& d = designs[largest];
-    for (const int threads : {1, sweep.back()}) {
-      nn::Executor exec(&pool, threads);
+    nn::ExecStats fused_stats, unfused_stats;
+    {
+      set_fuse(true);
+      nn::Executor exec(&pool, 1);
       nn::ExecStats stats;
       time_embed(model, d, exec, 1, nullptr, &stats);
-      json.key("levels_" + std::to_string(threads) + "t");
-      json.begin_object();
-      json.field("flushes", stats.flushes);
-      json.field("waves", stats.waves);
-      json.field("chunks", stats.chunks);
-      json.field("parallel_waves", stats.parallel_waves);
-      json.begin_array("flush_ms");
-      for (const double ms : stats.flush_ms) json.value(ms);
-      json.end_array();
-      json.end_object();
-      if (threads == 1)
-        std::printf("%s per-level trace: %d flushes, %d waves, %d chunks\n",
-                    d.name.c_str(), stats.flushes, stats.waves, stats.chunks);
+      json.key("levels_1t");
+      json_exec_stats(json, stats);
     }
+    {
+      set_fuse(true);
+      nn::Executor exec(&pool, sweep.back());
+      time_embed(model, d, exec, 1, nullptr, &fused_stats);
+      json.key("levels_" + std::to_string(sweep.back()) + "t");
+      json_exec_stats(json, fused_stats);
+    }
+    {
+      set_fuse(false);
+      nn::Executor exec(&pool, sweep.back());
+      time_embed(model, d, exec, 1, nullptr, &unfused_stats);
+      json.key("levels_" + std::to_string(sweep.back()) + "t_unfused");
+      json_exec_stats(json, unfused_stats);
+    }
+    set_fuse(true);
+    const double reduction =
+        fused_stats.barriers > 0
+            ? static_cast<double>(unfused_stats.barriers) /
+                  static_cast<double>(fused_stats.barriers)
+            : 0.0;
+    std::printf(
+        "%s chain structure at %d threads: %d flushes, %d barriers "
+        "(unfused %d, %.1fx fewer), %d chains, %d steps, %d ops fused\n",
+        d.name.c_str(), sweep.back(), fused_stats.flushes,
+        fused_stats.barriers, unfused_stats.barriers, reduction,
+        fused_stats.chains, fused_stats.steps, fused_stats.fused_ops);
+    json.field("barrier_reduction_at_max_threads", reduction);
+  }
+
+  // Record-layer overhead: arena-allocated, inline-operand op recording.
+  {
+    const double ns = measure_record_ns_per_op();
+    std::printf("record overhead: %.0f ns/op\n", ns);
+    json.field("record_ns_per_op", ns);
   }
 
   // Grad-mode parity on the largest design: loss and every parameter

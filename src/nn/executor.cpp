@@ -614,57 +614,62 @@ inline void cpu_relax() {}
 #endif
 
 /// Shared state of one plan execution. The caller and up to threads-1 pool
-/// helpers all drive the same cursor: chunks of the current wave are claimed
-/// from an atomic index, and a spin barrier separates waves (release on the
-/// last chunk's completion count, acquire by every spinner — so wave N+1
-/// reads wave N's tensor writes safely). Helpers stay hot across the whole
-/// plan, which is what makes narrow-level graphs (hundreds of small waves
-/// per flush) profitable to parallelize.
+/// helpers all drive the same cursor: chain tasks of the current cut are
+/// claimed from an atomic index — each claimed chain runs its steps
+/// sequentially end to end on the claiming thread — and a spin barrier
+/// separates cuts (release on the last task's completion count, acquire by
+/// every spinner — so cut N+1 reads cut N's tensor writes safely). Helpers
+/// stay hot across the whole plan; with chain fusion the barrier count per
+/// flush is an order of magnitude below the old per-wave schedule on deep
+/// narrow graphs, so the spinning they do between claims actually buys
+/// concurrency instead of burning it.
 ///
 /// Heap-shared: a helper dequeued after the plan completed finds every claim
 /// exhausted and every barrier satisfied, zips through, and drops its
-/// reference — it never blocks, and it never touches an Op (a chunk can
+/// reference — it never blocks, and it never touches an Op (a task can
 /// only be claimed before the caller's final barrier), so the graph may
 /// recycle executed ops as soon as the caller returns.
-struct WaveDriver {
+struct ChainDriver {
   Plan plan;
   std::unique_ptr<std::atomic<int>[]> next;
   std::unique_ptr<std::atomic<int>[]> done;
 
-  explicit WaveDriver(Plan p)
+  explicit ChainDriver(Plan p)
       : plan(std::move(p)),
-        next(new std::atomic<int>[plan.waves().size()]),
-        done(new std::atomic<int>[plan.waves().size()]) {
-    for (std::size_t i = 0; i < plan.waves().size(); ++i) {
+        next(new std::atomic<int>[plan.cuts().size()]),
+        done(new std::atomic<int>[plan.cuts().size()]) {
+    for (std::size_t i = 0; i < plan.cuts().size(); ++i) {
       next[i].store(0, std::memory_order_relaxed);
       done[i].store(0, std::memory_order_relaxed);
     }
   }
 
   void drive(bool caller) {
-    const std::vector<Wave>& waves = plan.waves();
-    const Chunk* chunks = plan.chunks();
-    int idle_waves = 0;
-    for (std::size_t w = 0; w < waves.size(); ++w) {
-      const Chunk* first = chunks + waves[w].first;
-      const int n = static_cast<int>(waves[w].count);
+    const std::vector<CutWave>& cuts = plan.cuts();
+    const std::vector<ChainTask>& tasks = plan.tasks();
+    const Chunk* steps = plan.steps();
+    int idle_cuts = 0;
+    for (std::size_t w = 0; w < cuts.size(); ++w) {
+      const ChainTask* first = tasks.data() + cuts[w].first_task;
+      const int n = static_cast<int>(cuts[w].task_count);
       bool claimed = false;
       for (;;) {
         const int i = next[w].fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
         claimed = true;
-        run_chunk(first[i]);
+        const ChainTask& t = first[i];
+        for (std::uint32_t s = 0; s < t.count; ++s)
+          run_chunk(steps[t.first + s]);
         done[w].fetch_add(1, std::memory_order_acq_rel);
       }
       if (!caller) {
         // A helper that keeps claiming nothing returns its core to the
         // pool; the caller finishes regardless. The budget is sized so a
-        // helper survives the runs of single-chunk waves between a
-        // narrow-level plan's fat waves (~10-20), but a long single-chunk
-        // tail (a deep backward chain) releases it quickly instead of
-        // spin/yielding through thousands of barriers.
-        idle_waves = claimed ? 0 : idle_waves + 1;
-        if (idle_waves >= 32) return;
+        // helper survives short runs of single-task cuts between a plan's
+        // fat cuts, but a long single-task tail (a deep fused backward
+        // run) releases it quickly instead of spin/yielding through it.
+        idle_cuts = claimed ? 0 : idle_cuts + 1;
+        if (idle_cuts >= 32) return;
       }
       int spins = 0;
       while (done[w].load(std::memory_order_acquire) < n) {
@@ -716,49 +721,60 @@ Executor& Executor::current() {
   return g_current_executor != nullptr ? *g_current_executor : global();
 }
 
-void Executor::run_waves(Plan plan) {
+void Executor::run_plan(Plan plan) {
   if (plan.empty()) return;
-  const std::uint32_t max_chunks = plan.max_wave_chunks();
-  if (threads_ <= 1 || pool_ == nullptr || max_chunks <= 1 ||
+  const std::uint32_t max_tasks = plan.max_cut_tasks();
+  if (threads_ <= 1 || pool_ == nullptr || max_tasks <= 1 ||
       plan.total_work() < kMinParallelFlushWork) {
-    const Chunk* chunks = plan.chunks();
-    for (const Wave& w : plan.waves())
-      for (std::uint32_t i = 0; i < w.count; ++i) run_chunk(chunks[w.first + i]);
+    // Inline: tasks are stored grouped by cut, in cut order, and every
+    // task's steps are in chain order — walking them flat is a valid
+    // topological order and exactly the sequential execution.
+    const Chunk* steps = plan.steps();
+    for (const ChainTask& t : plan.tasks())
+      for (std::uint32_t s = 0; s < t.count; ++s) run_chunk(steps[t.first + s]);
     return;
   }
-  auto driver = std::make_shared<WaveDriver>(std::move(plan));
+  auto driver = std::make_shared<ChainDriver>(std::move(plan));
   const int helpers =
-      std::min(threads_ - 1, static_cast<int>(max_chunks) - 1);
+      std::min(threads_ - 1, static_cast<int>(max_tasks) - 1);
   for (int h = 0; h < helpers; ++h)
     pool_->submit([driver] { driver->drive(false); });
-  // The caller participates and returns only after the last wave's barrier.
+  // The caller participates and returns only after the last cut's barrier.
   driver->drive(true);
 }
 
 void Executor::run(Plan plan) {
   if (g_trace == nullptr) {
-    run_waves(std::move(plan));
+    run_plan(std::move(plan));
     return;
   }
   const auto start = std::chrono::steady_clock::now();
   g_trace->flushes += 1;
-  g_trace->waves += static_cast<int>(plan.waves().size());
-  for (const Wave& w : plan.waves())
-    g_trace->chunks += static_cast<int>(w.count);
+  g_trace->barriers += static_cast<int>(plan.cuts().size());
+  g_trace->chains += static_cast<int>(plan.stats().chains);
+  g_trace->fused_ops += static_cast<int>(plan.stats().fused_ops);
+  g_trace->steps += static_cast<int>(plan.step_count());
+  for (int b = 0; b < kChainHistBuckets; ++b)
+    g_trace->chain_len_hist[b] +=
+        static_cast<int>(plan.stats().chain_len_hist[b]);
   if (threads_ > 1 && pool_ != nullptr &&
       plan.total_work() >= kMinParallelFlushWork)
-    for (const Wave& w : plan.waves())
-      if (w.count > 1) g_trace->parallel_waves += 1;
-  run_waves(std::move(plan));
+    for (const CutWave& c : plan.cuts())
+      if (c.task_count > 1) g_trace->parallel_cuts += 1;
+  run_plan(std::move(plan));
   g_trace->flush_ms.push_back(std::chrono::duration<double, std::milli>(
                                   std::chrono::steady_clock::now() - start)
                                   .count());
 }
 
 void Executor::run_backward(const std::vector<Op*>& ops) {
+  const bool fuse = nn_fuse_from_env();
   Plan plan;
-  plan.reserve(ops.size(), ops.size());
+  plan.reserve(ops.size(), ops.size(), ops.size());
   std::vector<int> part_chunks;
+  // Open fused run of sequential per-op backward steps: consecutive
+  // non-chunkable ops extend it instead of paying a barrier each.
+  bool run_open = false;
   for (Op* op : ops) {
     const std::vector<BwPart> parts = backward_parts(*op);
     if (parts.empty()) continue;
@@ -777,28 +793,42 @@ void Executor::run_backward(const std::vector<Op*>& ops) {
       }
     if (!chunkable || split_chunks <= 1) {
       // Single-chunk op (or aliasing): prep + every part in one sequential
-      // chunk, no extra barrier.
-      plan.add_wave().work = total;
-      plan.add_chunk(Chunk{op, 0, 0, kRoleAll});
+      // step. Fused mode chains these steps into one task — the op order
+      // (and thus every scatter's accumulation order) is unchanged, the
+      // run just stops re-synchronizing between ops that were never going
+      // to run concurrently anyway.
+      if (fuse && run_open) {
+        plan.extend_task(Chunk{op, 0, 0, kRoleAll}, total);
+      } else {
+        plan.add_cut();
+        plan.add_task(total);
+        plan.add_step(Chunk{op, 0, 0, kRoleAll});
+        run_open = true;
+      }
       continue;
     }
-    // Allocate input grads in a wave of their own, before any scatter runs.
-    plan.add_wave().work = 1;
-    plan.add_chunk(Chunk{op, 0, 0, kRolePrep});
-    plan.add_wave().work = total;
+    run_open = false;
+    // Allocate input grads in a cut of their own, before any scatter runs.
+    plan.add_cut();
+    plan.add_task(1);
+    plan.add_step(Chunk{op, 0, 0, kRolePrep});
+    plan.add_cut();
     for (std::size_t k = 0; k < parts.size(); ++k) {
       const BwPart& p = parts[k];
       const int nchunks = part_chunks[k];
+      const std::uint64_t share =
+          p.work / static_cast<std::uint64_t>(nchunks);
       const int base = p.extent / nchunks, rem = p.extent % nchunks;
       int begin = 0;
       for (int i = 0; i < nchunks; ++i) {
         const int len = base + (i < rem ? 1 : 0);
-        plan.add_chunk(Chunk{op, begin, begin + len, p.role});
+        plan.add_task(share);
+        plan.add_step(Chunk{op, begin, begin + len, p.role});
         begin += len;
       }
     }
   }
-  run_waves(std::move(plan));
+  run_plan(std::move(plan));
 }
 
 // ---- scopes ----------------------------------------------------------------

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -19,31 +20,39 @@ namespace deepseq::nn {
 int nn_threads_from_env(int fallback);
 
 /// Per-flush execution counters, collected when an ExecTraceScope is active
-/// on the calling thread (benches use this for per-level timing).
+/// on the calling thread (benches and the structural CI gate use this).
+/// `barriers`/`chains`/`chain_len_hist` are structural properties of the
+/// built plans — independent of how many cores actually ran them.
 struct ExecStats {
   int flushes = 0;
-  int waves = 0;
-  int chunks = 0;
-  int parallel_waves = 0;  // waves dispatched to the pool (vs run inline)
+  int barriers = 0;       // cut waves: one synchronization point each
+  int chains = 0;         // chain clusters planned (fused chains + singletons)
+  int steps = 0;          // kernel steps executed
+  int fused_ops = 0;      // ops that rode inside a multi-op chain
+  int parallel_cuts = 0;  // cuts dispatched to the pool with > 1 task
+  std::array<int, kChainHistBuckets> chain_len_hist{};  // chains by length
   std::vector<double> flush_ms;  // one entry per Graph::flush, in call order
 };
 
-/// The execute layer: runs a Plan's waves — and taped ops' backward kernels
-/// — over a shared runtime::ThreadPool. The calling thread always
-/// participates in a wave (it drains the same chunk queue the pool helpers
-/// do), so executors may safely share the pool that is running their caller:
-/// a saturated pool degrades to inline execution instead of deadlocking.
+/// The execute layer: runs a Plan's cut waves of chain tasks — and taped
+/// ops' backward kernels — over a shared runtime::ThreadPool. The calling
+/// thread always participates in a cut (it drains the same task queue the
+/// pool helpers do), so executors may safely share the pool that is running
+/// their caller: a saturated pool degrades to inline execution instead of
+/// deadlocking.
 ///
-/// Results are bit-identical to sequential execution at any thread count:
-/// every output element is produced by exactly one chunk with the same
-/// inner-loop order as the single-chunk kernel, and backward kernels are
+/// Results are bit-identical to sequential execution at any thread count
+/// and either DEEPSEQ_NN_FUSE setting: every output element is produced by
+/// exactly one step with the same inner-loop order as the single-chunk
+/// kernel, chain tasks of one cut write disjoint outputs (distinct ops, or
+/// disjoint row ranges of a row-split chain), and backward kernels are
 /// chunked only where gradient scatter targets are provably disjoint
 /// (aliased operands fall back to the sequential order).
 class Executor {
  public:
   /// Sequential executor (the DEEPSEQ_NN_THREADS=1 path).
   Executor();
-  /// Run waves with up to `threads` workers on `pool` (non-owning; must
+  /// Run plans with up to `threads` workers on `pool` (non-owning; must
   /// outlive the executor). threads <= 1 never touches the pool.
   Executor(runtime::ThreadPool* pool, int threads);
   ~Executor();
@@ -54,17 +63,18 @@ class Executor {
   int threads() const { return threads_; }
   runtime::ThreadPool* pool() const { return pool_; }
 
-  /// Execute a flushed batch: waves in order, chunks of a wave potentially
-  /// in parallel. Fills taped ops' backward byproducts (argmax, saved).
-  /// Takes the plan by value: pool helpers share the wave list and may
-  /// outlive the call.
+  /// Execute a flushed batch: cuts in order, chain tasks of a cut
+  /// potentially in parallel, each task's steps sequentially on one thread.
+  /// Fills taped ops' backward byproducts (argmax, saved). Takes the plan
+  /// by value: pool helpers share the schedule and may outlive the call.
   void run(Plan plan);
 
   /// Run the backward kernels of `ops` (already in reverse topological
-  /// order): each op becomes one or two waves — gradient allocation, then
-  /// scatter chunks where targets are provably disjoint — driven by one
-  /// helper team across the whole sequence. Ops whose output never received
-  /// a gradient are skipped, exactly as in sequential backward.
+  /// order). Chunkable ops (disjoint scatter targets) keep their own
+  /// prep + parts cuts; consecutive non-chunkable ops fuse into one
+  /// sequential chain task — one barrier per run instead of one per op.
+  /// Ops whose output never received a gradient are skipped, exactly as in
+  /// sequential backward.
   void run_backward(const std::vector<Op*>& ops);
 
   /// Process-global executor: owns a pool sized by DEEPSEQ_NN_THREADS
@@ -79,11 +89,11 @@ class Executor {
  private:
   friend class ExecutorScope;
 
-  /// The shared wave driver: run the plan's waves in order, claiming chunks
-  /// from one atomic queue per wave with spin barriers between waves. The
-  /// caller participates; up to threads-1 pool helpers are enlisted once
-  /// for the whole plan and stay hot across waves.
-  void run_waves(Plan plan);
+  /// The shared chain driver: run the plan's cuts in order, claiming chain
+  /// tasks from one atomic queue per cut with spin barriers between cuts.
+  /// The caller participates; up to threads-1 pool helpers are enlisted
+  /// once for the whole plan and stay hot across cuts.
+  void run_plan(Plan plan);
 
   runtime::ThreadPool* pool_ = nullptr;
   std::unique_ptr<runtime::ThreadPool> owned_pool_;

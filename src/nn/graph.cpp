@@ -23,7 +23,7 @@ Var new_node(Tensor value, bool requires_grad) {
   return n;
 }
 
-bool any_requires_grad(const std::vector<Var>& parents) {
+bool any_requires_grad(const InlineInputs& parents) {
   for (const auto& p : parents)
     if (p->requires_grad) return true;
   return false;
@@ -42,6 +42,8 @@ Var make_constant(Tensor value) { return new_node(std::move(value), false); }
 
 Var Graph::constant(Tensor value) { return make_constant(std::move(value)); }
 
+Graph::Graph(bool grad_enabled) : grad_enabled_(grad_enabled) {}
+
 Graph::~Graph() { clear(); }
 
 // The record layer's single registration point: the output node is created
@@ -49,14 +51,14 @@ Graph::~Graph() { clear(); }
 // the op joins the pending batch, and the tape additionally retains it when
 // gradients will flow. Outside a BatchScope the batch is flushed
 // immediately, preserving eager `var->value` semantics for every caller.
-Var Graph::record(Tensor out, std::shared_ptr<Op> op) {
+Var Graph::record(Tensor out, Op* op) {
   const bool needs = grad_enabled_ && any_requires_grad(op->inputs);
   Var n = new_node(std::move(out), needs);
   op->out = n;
   pending_.push_back(op);
   if (needs) {
-    n->producer = op.get();
-    tape_.push_back(std::move(op));
+    n->producer = op;
+    tape_.push_back(op);
   }
   if (batch_depth_ == 0) flush();
   return n;
@@ -65,37 +67,45 @@ Var Graph::record(Tensor out, std::shared_ptr<Op> op) {
 void Graph::flush() {
   if (pending_.empty()) return;
   Executor& exec = Executor::current();
-  exec.run(Plan::build(pending_, exec.threads()));
-  if (grad_enabled_) {
-    pending_.clear();
-    return;
-  }
+  exec.run(Plan::build(pending_, exec.threads(), nn_fuse_from_env()));
   // Recycle executed ops: release their references immediately (dead
   // intermediates free as early as they did on the eager tape) but keep the
-  // member vectors' capacity warm for the next record.
-  for (auto& op : pending_) {
-    op->out.reset();
-    op->inputs.clear();
-    op->refs.clear();
-    op->segment.clear();
-    op->argmax.clear();
-    op->num_segments = 0;
-    op->scalar = 0.0f;
-    if (op->attr_a.size() != 0) op->attr_a = Tensor();
-    if (op->attr_b.size() != 0) op->attr_b = Tensor();
-    if (op->saved.size() != 0) op->saved = Tensor();
-    free_ops_.push_back(std::move(op));
-  }
+  // member vectors' capacity warm for the next record. Taped ops (those
+  // whose output points back at them as producer) must survive for
+  // backward(); everything else — every op of a no-grad graph, and ops of
+  // a grad graph whose inputs all lack requires_grad, like the per-level
+  // feature gathers — returns to the free list now.
+  for (Op* op : pending_)
+    if (op->out->producer != op) recycle(op);
   pending_.clear();
 }
 
-std::shared_ptr<Op> Graph::acquire_op(OpKind kind) {
-  std::shared_ptr<Op> op;
-  if (free_ops_.empty()) {
-    op = std::make_shared<Op>();
-  } else {
-    op = std::move(free_ops_.back());
+void Graph::recycle(Op* op) {
+  op->out.reset();
+  op->inputs.clear();
+  op->refs.clear();
+  op->segment.clear();
+  op->argmax.clear();
+  op->num_segments = 0;
+  op->scalar = 0.0f;
+  if (op->attr_a.size() != 0) op->attr_a = Tensor();
+  if (op->attr_b.size() != 0) op->attr_b = Tensor();
+  if (op->saved.size() != 0) op->saved = Tensor();
+  free_ops_.push_back(op);
+}
+
+Op* Graph::acquire_op(OpKind kind) {
+  constexpr std::size_t kArenaBlock = 64;
+  Op* op;
+  if (!free_ops_.empty()) {
+    op = free_ops_.back();
     free_ops_.pop_back();
+  } else {
+    if (arena_.empty() || arena_used_ == kArenaBlock) {
+      arena_.push_back(std::make_unique<Op[]>(kArenaBlock));
+      arena_used_ = 0;
+    }
+    op = &arena_.back()[arena_used_++];
   }
   op->kind = kind;
   return op;
@@ -105,21 +115,21 @@ Var Graph::add(const Var& a, const Var& b) {
   check_same_shape(a, b, "add");
   auto op = acquire_op(OpKind::kAdd);
   op->inputs = {a, b};
-  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), a->value.cols()), op);
 }
 
 Var Graph::sub(const Var& a, const Var& b) {
   check_same_shape(a, b, "sub");
   auto op = acquire_op(OpKind::kSub);
   op->inputs = {a, b};
-  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), a->value.cols()), op);
 }
 
 Var Graph::mul(const Var& a, const Var& b) {
   check_same_shape(a, b, "mul");
   auto op = acquire_op(OpKind::kMul);
   op->inputs = {a, b};
-  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), a->value.cols()), op);
 }
 
 Var Graph::add_row(const Var& a, const Var& row) {
@@ -128,7 +138,7 @@ Var Graph::add_row(const Var& a, const Var& row) {
                      " row vector, got " + row->value.shape_string());
   auto op = acquire_op(OpKind::kAddRow);
   op->inputs = {a, row};
-  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), a->value.cols()), op);
 }
 
 Var Graph::matmul(const Var& a, const Var& b) {
@@ -137,38 +147,38 @@ Var Graph::matmul(const Var& a, const Var& b) {
                      a->value.shape_string() + " * " + b->value.shape_string());
   auto op = acquire_op(OpKind::kMatmul);
   op->inputs = {a, b};
-  return record(Tensor(a->value.rows(), b->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), b->value.cols()), op);
 }
 
 Var Graph::scale(const Var& a, float s) {
   auto op = acquire_op(OpKind::kScale);
   op->inputs = {a};
   op->scalar = s;
-  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), a->value.cols()), op);
 }
 
 Var Graph::sigmoid(const Var& a) {
   auto op = acquire_op(OpKind::kSigmoid);
   op->inputs = {a};
-  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), a->value.cols()), op);
 }
 
 Var Graph::tanh_(const Var& a) {
   auto op = acquire_op(OpKind::kTanh);
   op->inputs = {a};
-  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), a->value.cols()), op);
 }
 
 Var Graph::relu(const Var& a) {
   auto op = acquire_op(OpKind::kRelu);
   op->inputs = {a};
-  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), a->value.cols()), op);
 }
 
 Var Graph::one_minus(const Var& a) {
   auto op = acquire_op(OpKind::kOneMinus);
   op->inputs = {a};
-  return record(Tensor(a->value.rows(), a->value.cols()), std::move(op));
+  return record(Tensor(a->value.rows(), a->value.cols()), op);
 }
 
 Var Graph::concat_cols(const std::vector<Var>& blocks) {
@@ -180,8 +190,8 @@ Var Graph::concat_cols(const std::vector<Var>& blocks) {
     cols += b->value.cols();
   }
   auto op = acquire_op(OpKind::kConcatCols);
-  op->inputs = blocks;
-  return record(Tensor(rows, cols), std::move(op));
+  op->inputs.assign(blocks);
+  return record(Tensor(rows, cols), op);
 }
 
 Var Graph::gather(const std::vector<RowRef>& refs) {
@@ -199,7 +209,7 @@ Var Graph::gather(const std::vector<RowRef>& refs) {
     for (const auto& r : refs)
       if (seen.insert(r.var.get()).second) op->inputs.push_back(r.var);
   }
-  return record(Tensor(static_cast<int>(refs.size()), cols), std::move(op));
+  return record(Tensor(static_cast<int>(refs.size()), cols), op);
 }
 
 Var Graph::segment_softmax(const Var& scores, const std::vector<int>& segment,
@@ -212,7 +222,7 @@ Var Graph::segment_softmax(const Var& scores, const std::vector<int>& segment,
   op->inputs = {scores};
   op->segment = segment;
   op->num_segments = num_segments;
-  return record(Tensor(scores->value.rows(), 1), std::move(op));
+  return record(Tensor(scores->value.rows(), 1), op);
 }
 
 Var Graph::mul_col(const Var& values, const Var& col) {
@@ -220,8 +230,7 @@ Var Graph::mul_col(const Var& values, const Var& col) {
     throw ShapeError("mul_col: col must be E x 1 matching values rows");
   auto op = acquire_op(OpKind::kMulCol);
   op->inputs = {values, col};
-  return record(Tensor(values->value.rows(), values->value.cols()),
-                std::move(op));
+  return record(Tensor(values->value.rows(), values->value.cols()), op);
 }
 
 Var Graph::segment_sum(const Var& values, const std::vector<int>& segment,
@@ -232,7 +241,7 @@ Var Graph::segment_sum(const Var& values, const std::vector<int>& segment,
   op->inputs = {values};
   op->segment = segment;
   op->num_segments = num_segments;
-  return record(Tensor(num_segments, values->value.cols()), std::move(op));
+  return record(Tensor(num_segments, values->value.cols()), op);
 }
 
 Var Graph::segment_max(const Var& values, const std::vector<int>& segment,
@@ -245,7 +254,7 @@ Var Graph::segment_max(const Var& values, const std::vector<int>& segment,
   op->segment = segment;
   op->num_segments = num_segments;
   op->argmax.assign(static_cast<std::size_t>(num_segments) * cols, -1);
-  return record(Tensor(num_segments, cols), std::move(op));
+  return record(Tensor(num_segments, cols), op);
 }
 
 Var Graph::l1_loss(const Var& pred, const Tensor& target) {
@@ -255,7 +264,7 @@ Var Graph::l1_loss(const Var& pred, const Tensor& target) {
   auto op = acquire_op(OpKind::kL1Loss);
   op->inputs = {pred};
   op->attr_a = target;
-  return record(Tensor(1, 1), std::move(op));
+  return record(Tensor(1, 1), op);
 }
 
 Var Graph::l1_loss_weighted(const Var& pred, const Tensor& target,
@@ -266,7 +275,7 @@ Var Graph::l1_loss_weighted(const Var& pred, const Tensor& target,
   op->inputs = {pred};
   op->attr_a = target;
   op->attr_b = weight;
-  return record(Tensor(1, 1), std::move(op));
+  return record(Tensor(1, 1), op);
 }
 
 Var Graph::softmax_cross_entropy(const Var& logits,
@@ -280,7 +289,7 @@ Var Graph::softmax_cross_entropy(const Var& logits,
   auto op = acquire_op(OpKind::kSoftmaxXent);
   op->inputs = {logits};
   op->segment = labels;
-  return record(Tensor(1, 1), std::move(op));
+  return record(Tensor(1, 1), op);
 }
 
 void Graph::backward(const Var& root) {
@@ -311,7 +320,10 @@ void Graph::backward(const Var& root) {
 
 void Graph::clear() {
   flush();
-  for (auto& op : tape_) op->out->producer = nullptr;
+  for (Op* op : tape_) {
+    op->out->producer = nullptr;
+    recycle(op);
+  }
   tape_.clear();
 }
 

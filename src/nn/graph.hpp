@@ -25,7 +25,8 @@ struct VarNode {
   Op* producer = nullptr;
   std::uint64_t id = 0;  // creation order: descending id is a reverse topo order
   /// Planner scratch: the flush epoch this node was last scheduled in and
-  /// its wave index there. Written only for op outputs, only by the thread
+  /// the producing op's index within that batch (the chain builder's
+  /// producer lookup). Written only for op outputs, only by the thread
   /// flushing the owning graph; leaves (params, constants) are never
   /// written, so sharing them across concurrently-flushing graphs is safe.
   std::uint64_t plan_epoch = 0;
@@ -55,8 +56,10 @@ struct RowRef {
 
 /// Reverse-mode autograd over a record/plan/execute pipeline. Op methods
 /// RECORD typed Op nodes (shape-checked, output tensor preallocated) instead
-/// of computing inline; a flush PLANs the recorded batch into waves of
-/// independent row-range chunks and EXECUTEs them on the shared thread pool
+/// of computing inline; a flush PLANs the recorded batch into chain-fused
+/// cut waves (nn::Plan: maximal single-consumer op chains run sequentially
+/// as one task, barriers only at true fan-in/fan-out cuts; DEEPSEQ_NN_FUSE=0
+/// falls back to per-op waves) and EXECUTEs them on the shared thread pool
 /// (nn::Executor, DEEPSEQ_NN_THREADS) with results bit-identical to
 /// sequential execution.
 ///
@@ -64,8 +67,9 @@ struct RowRef {
 /// `var->value` is always materialized from the caller's point of view —
 /// eager semantics, with large kernels still chunked across the pool. Inside
 /// a BatchScope (the per-level propagation path) ops accumulate and are
-/// planned together on scope exit, exposing intra-level parallelism across
-/// independent ops as well as within them.
+/// planned together on scope exit, exposing parallelism across independent
+/// chains (rows of a level, levels of a flush group) as well as within
+/// large kernels.
 ///
 /// The tape gives backward() a creation-order topological sort, and clear()
 /// breaks parent links iteratively to avoid deep recursive shared_ptr
@@ -73,7 +77,7 @@ struct RowRef {
 /// ops are discarded and intermediates free as soon as they go out of scope.
 class Graph {
  public:
-  explicit Graph(bool grad_enabled = true) : grad_enabled_(grad_enabled) {}
+  explicit Graph(bool grad_enabled = true);
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
   ~Graph();
@@ -149,19 +153,29 @@ class Graph {
   /// Allocate the output node for `op`, register it with the pending batch
   /// (and the tape when gradients are required), and flush unless inside a
   /// BatchScope.
-  Var record(Tensor out, std::shared_ptr<Op> op);
+  Var record(Tensor out, Op* op);
 
-  /// A fresh (or recycled) Op to record into. No-grad graphs return
-  /// executed ops to a free list on flush, so steady-state inference
-  /// re-records into warm Op objects whose member vectors keep their
-  /// capacity — near-zero allocation per op.
-  std::shared_ptr<Op> acquire_op(OpKind kind);
+  /// A fresh (or recycled) Op to record into. Ops live in a Graph-owned
+  /// block arena: no-grad graphs return executed ops to a free list on
+  /// flush (grad graphs on clear()), so steady-state inference re-records
+  /// into warm Op objects whose member vectors keep their capacity —
+  /// near-zero allocation per op, and no per-op control-block churn.
+  Op* acquire_op(OpKind kind);
+
+  /// Release an executed op's references (values stay valid) and return it
+  /// to the free list with warm member-vector capacity.
+  void recycle(Op* op);
 
   bool grad_enabled_;
   int batch_depth_ = 0;
-  std::vector<std::shared_ptr<Op>> pending_;  // recorded, not yet executed
-  std::vector<std::shared_ptr<Op>> tape_;     // retained for backward()
-  std::vector<std::shared_ptr<Op>> free_ops_;  // no-grad recycling pool
+  std::vector<Op*> pending_;   // recorded, not yet executed
+  std::vector<Op*> tape_;      // retained for backward()
+  std::vector<Op*> free_ops_;  // recycling pool
+
+  /// Arena blocks owning every Op this graph ever recorded. Freed with the
+  /// graph; recycled slots are reused in LIFO order (hot in cache).
+  std::vector<std::unique_ptr<Op[]>> arena_;
+  std::size_t arena_used_ = 0;  // slots handed out of arena_.back()
 };
 
 /// RAII deferred-execution region: ops recorded on `g` while the scope is

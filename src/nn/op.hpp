@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "nn/graph.hpp"
@@ -9,8 +10,9 @@
 namespace deepseq::nn {
 
 /// Operation kinds of the record layer. Every Graph op method builds one Op;
-/// the Plan levels a flushed batch into waves and the Executor runs the
-/// per-kind kernels (forward and backward) over row/column chunks.
+/// the Plan fuses a flushed batch into chain tasks separated by cut waves and
+/// the Executor runs the per-kind kernels (forward and backward) over the
+/// chains' steps.
 enum class OpKind : std::uint8_t {
   kAdd,
   kSub,
@@ -35,6 +37,67 @@ enum class OpKind : std::uint8_t {
 
 const char* op_name(OpKind k);
 
+/// Ordered operand list with inline storage for the common case: all but
+/// concat_cols and gather reference at most two Vars, so steady-state
+/// recording never heap-allocates for operands. Past the inline capacity the
+/// whole list moves to a spill vector (elements stay contiguous either way),
+/// whose capacity survives clear() — recycled Ops re-record into warm
+/// storage.
+class InlineInputs {
+ public:
+  static constexpr std::size_t kInline = 2;
+
+  InlineInputs() = default;
+
+  InlineInputs& operator=(std::initializer_list<Var> vs) {
+    clear();
+    for (const Var& v : vs) push_back(v);
+    return *this;
+  }
+
+  void assign(const std::vector<Var>& vs) {
+    clear();
+    for (const Var& v : vs) push_back(v);
+  }
+
+  void push_back(const Var& v) {
+    if (size_ < kInline) {
+      inline_[size_] = v;
+    } else {
+      if (size_ == kInline && spill_.empty()) {
+        spill_.reserve(kInline * 2);
+        for (std::size_t i = 0; i < kInline; ++i)
+          spill_.push_back(std::move(inline_[i]));
+        for (std::size_t i = 0; i < kInline; ++i) inline_[i].reset();
+      }
+      spill_.push_back(v);
+    }
+    ++size_;
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < kInline; ++i) inline_[i].reset();
+    spill_.clear();  // keeps capacity: recycled ops reuse the allocation
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const Var& operator[](std::size_t i) const { return begin()[i]; }
+  Var& operator[](std::size_t i) {
+    return const_cast<Var*>(begin())[i];
+  }
+
+  const Var* begin() const { return size_ <= kInline ? inline_ : spill_.data(); }
+  const Var* end() const { return begin() + size_; }
+
+ private:
+  Var inline_[kInline];
+  std::vector<Var> spill_;
+  std::uint32_t size_ = 0;
+};
+
 /// One recorded operation: output node, ordered operands, and the kernel
 /// arguments the executor needs. Ops double as the autograd tape entries:
 /// forward-pass byproducts the backward kernels consume (`argmax`, `saved`)
@@ -44,7 +107,7 @@ struct Op {
   Var out;
   /// Ordered operands. For kGather these are the unique referenced Vars
   /// (the per-row fan-out lives in `refs`).
-  std::vector<Var> inputs;
+  InlineInputs inputs;
 
   float scalar = 0.0f;       // kScale factor
   std::vector<int> segment;  // segment ops: row -> segment; kSoftmaxXent: labels

@@ -1,24 +1,25 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "nn/op.hpp"
 
 namespace deepseq::nn {
 
-/// One slice of an op's kernel: a row range for row-parallel kernels
-/// (matmul, gather, elementwise, ...), a column range for the segment
-/// reductions (whose output rows are scatter targets but whose columns are
-/// independent). Chunks of a wave write disjoint output regions, so they can
-/// run on different threads with bit-identical results: every output element
-/// is produced by exactly one chunk using the same inner-loop order as the
-/// sequential kernel. Non-splittable kernels (segment_softmax, the scalar
-/// losses) are emitted as a single full-range chunk.
+/// One kernel step: an op plus the slice it covers — a row range for
+/// row-parallel kernels (matmul, gather, elementwise, ...), a column range
+/// for the segment reductions (whose output rows are scatter targets but
+/// whose columns are independent), or the full kernel ({0, 0}) for
+/// non-splittable kinds (segment_softmax, the scalar losses). Steps of
+/// concurrent tasks write disjoint output regions, so they can run on
+/// different threads with bit-identical results: every output element is
+/// produced by exactly one step using the same inner-loop order as the
+/// sequential kernel.
 ///
 /// `role` selects the kernel: kRoleForward for the forward pass; backward
-/// waves (built by Executor::run_backward) use kRolePrep / kRoleAll /
+/// plans (built by Executor::run_backward) use kRolePrep / kRoleAll /
 /// part indices >= 0 (one part per gradient target of the op).
 struct Chunk {
   Op* op = nullptr;
@@ -34,19 +35,31 @@ inline constexpr int kRolePrep = -2;
 /// and aliased operands, which must keep the sequential scatter order).
 inline constexpr int kRoleAll = -3;
 
-/// A wave of mutually independent chunks: no chunk's op consumes another
-/// same-wave op's output, so the executor may run them in any order or
-/// concurrently. Chunks are stored flat in the owning Plan; a Wave is the
-/// [first, first + count) view plus the wave's summed scalar-op estimate
-/// (used only to decide whether dispatching to the pool beats inline).
-struct Wave {
+/// One schedulable unit: a run of steps [first, first + count) in the
+/// owning Plan that a single thread executes sequentially, end to end. A
+/// fused chain of ops becomes one task (or K row-range tasks when the chain
+/// is uniformly row-splittable); an unfused op's chunks become one
+/// single-step task each.
+struct ChainTask {
   std::uint32_t first = 0;
   std::uint32_t count = 0;
   std::uint64_t work = 0;
 };
 
+/// A cut wave: tasks [first_task, first_task + task_count) that are mutually
+/// independent — no task's chain consumes another same-cut task's output —
+/// so the executor may run them in any order or concurrently. One barrier
+/// separates consecutive cuts; cuts exist only at true fan-in/fan-out points
+/// of the contracted chain DAG.
+struct CutWave {
+  std::uint32_t first_task = 0;
+  std::uint32_t task_count = 0;
+  std::uint64_t work = 0;
+};
+
 /// Estimated scalar operations of one op's forward kernel. Drives chunk
-/// sizing and the inline/parallel decision only — never affects results.
+/// sizing, fusion decisions and the inline/parallel decision only — never
+/// affects results.
 std::uint64_t op_work(const Op& op);
 
 /// Extent of the op's parallel axis (output rows, or columns for the
@@ -63,36 +76,81 @@ inline constexpr std::uint64_t kSplitWork = 8192;
 /// for a kernel of `work` estimated scalar ops over `extent` rows.
 int chunk_count(std::uint64_t work, int extent, int threads);
 
-/// The plan layer: a wave-ordered chunk schedule. build() topologically
-/// levels a flushed batch of recorded ops into waves of independent ops and
-/// splits large row-parallel kernels into row-range chunks sized for
-/// `threads` workers; Executor::run_backward assembles backward plans
-/// through the same container (one or two waves per taped op).
+/// DEEPSEQ_NN_FUSE knob (strict env_int): 0 falls back to unfused
+/// one-chunk-task-per-op wave plans (PR 3 behavior) for A/B benching and
+/// bisection; any other value (and unset) enables chain fusion. Read per
+/// flush, so a process can toggle it between runs.
+bool nn_fuse_from_env();
+
+/// Chain-length histogram buckets: 1, 2, 3, 4, 5-8, 9-16, 17-32, 33+.
+inline constexpr int kChainHistBuckets = 8;
+int chain_len_bucket(int len);
+const char* chain_len_bucket_name(int bucket);
+
+/// Structural counters of one built plan, for benches and the CI gate.
+struct PlanStats {
+  std::uint32_t ops = 0;        // ops planned
+  std::uint32_t chains = 0;     // clusters (fused chains + singletons)
+  std::uint32_t fused_ops = 0;  // ops riding inside a multi-op chain
+  std::array<std::uint32_t, kChainHistBuckets> chain_len_hist{};
+};
+
+/// The plan layer: a cut-ordered chain-task schedule. build() runs a
+/// union-find "gather-cut" pass over the recorded op DAG: an op is unioned
+/// into a producer cluster when every escaping edge of that cluster points
+/// at it (which provably keeps the contracted DAG acyclic), either
+/// preserving row-splittability (aligned chains, which emit K row-range
+/// tasks sized for `threads` workers) or sequentially when no parallel
+/// slots are lost. Barriers remain only between cut waves — the true
+/// fan-in/fan-out points. Executor::run_backward assembles backward plans
+/// through the same container.
 class Plan {
  public:
-  static Plan build(const std::vector<std::shared_ptr<Op>>& ops, int threads);
+  static Plan build(const std::vector<Op*>& ops, int threads, bool fuse);
 
-  bool empty() const { return chunks_.empty(); }
-  const std::vector<Wave>& waves() const { return waves_; }
-  const Chunk* chunks() const { return chunks_.data(); }
+  bool empty() const { return steps_.empty(); }
+  const std::vector<CutWave>& cuts() const { return cuts_; }
+  const std::vector<ChainTask>& tasks() const { return tasks_; }
+  const Chunk* steps() const { return steps_.data(); }
+  std::size_t step_count() const { return steps_.size(); }
+
+  /// One barrier per cut wave: the structural quantity chain fusion shrinks.
+  std::size_t barrier_count() const { return cuts_.size(); }
+  const PlanStats& stats() const { return stats_; }
 
   std::uint64_t total_work() const;
-  std::uint32_t max_wave_chunks() const;
+  std::uint32_t max_cut_tasks() const;
 
   // ---- assembly (build() and the backward planner) -------------------------
-  void reserve(std::size_t waves, std::size_t chunks);
-  Wave& add_wave() {
-    waves_.push_back(Wave{static_cast<std::uint32_t>(chunks_.size()), 0, 0});
-    return waves_.back();
+  void reserve(std::size_t cuts, std::size_t tasks, std::size_t steps);
+  CutWave& add_cut() {
+    cuts_.push_back(CutWave{static_cast<std::uint32_t>(tasks_.size()), 0, 0});
+    return cuts_.back();
   }
-  void add_chunk(const Chunk& c) {
-    chunks_.push_back(c);
-    ++waves_.back().count;
+  ChainTask& add_task(std::uint64_t work) {
+    tasks_.push_back(
+        ChainTask{static_cast<std::uint32_t>(steps_.size()), 0, work});
+    ++cuts_.back().task_count;
+    cuts_.back().work += work;
+    return tasks_.back();
+  }
+  void add_step(const Chunk& c) {
+    steps_.push_back(c);
+    ++tasks_.back().count;
+  }
+  /// Append a step to the current task, crediting `work` to it (the
+  /// backward planner grows fused sequential runs this way).
+  void extend_task(const Chunk& c, std::uint64_t work) {
+    add_step(c);
+    tasks_.back().work += work;
+    cuts_.back().work += work;
   }
 
  private:
-  std::vector<Chunk> chunks_;
-  std::vector<Wave> waves_;
+  std::vector<Chunk> steps_;
+  std::vector<ChainTask> tasks_;
+  std::vector<CutWave> cuts_;
+  PlanStats stats_;
 };
 
 }  // namespace deepseq::nn

@@ -7,16 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/model.hpp"
-#include "dataset/generator.hpp"
-#include "netlist/aig.hpp"
 #include "nn/executor.hpp"
 #include "nn/gradcheck.hpp"
 #include "nn/op.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/nn_parity.hpp"
 
 namespace deepseq {
 namespace {
@@ -24,86 +25,23 @@ namespace {
 using nn::Graph;
 using nn::Tensor;
 using nn::Var;
-
-bool bit_identical(const Tensor& a, const Tensor& b) {
-  if (!a.same_shape(b)) return false;
-  if (a.size() == 0) return true;
-  return std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
-}
-
-/// A circuit wide enough that per-level kernels cross the planner's
-/// split-work threshold (so the parallel dispatch path actually runs).
-struct Fixture {
-  Circuit aig;
-  CircuitGraph graph;
-  Workload workload;
-
-  Fixture() {
-    Rng rng(2024);
-    GeneratorSpec spec;
-    spec.num_gates = 600;
-    spec.num_ffs = 40;
-    spec.num_pis = 24;
-    const Circuit generic = generate_circuit(spec, rng);
-    aig = optimize_aig(decompose_to_aig(generic).aig).circuit;
-    graph = build_circuit_graph(aig);
-    workload = random_workload(aig, rng);
-  }
-};
-
-Fixture& fixture() {
-  static Fixture f;
-  return f;
-}
-
-std::vector<ModelConfig> presets() {
-  return {
-      ModelConfig::deepseq(32, 2),
-      ModelConfig::deepseq_simple_attention(32, 2),
-      ModelConfig::dag_conv_gnn(AggregatorKind::kConvSum, 32),
-      ModelConfig::dag_rec_gnn(AggregatorKind::kAttention, 32, 2),
-  };
-}
+using testsupport::GradRun;
+using testsupport::bit_identical;
+using testsupport::parity_fixture;
+using testsupport::parity_presets;
+using testsupport::train_step_with;
 
 Tensor embed_with(const DeepSeqModel& model, nn::Executor& exec) {
   nn::ExecutorScope scope(exec);
   Graph g(/*grad_enabled=*/false);
-  return model.embed(g, fixture().graph, fixture().workload, 7)->value;
-}
-
-struct GradRun {
-  float loss = 0.0f;
-  std::vector<Tensor> grads;  // per params() entry, in order
-};
-
-GradRun train_step_with(const DeepSeqModel& model, nn::Executor& exec) {
-  nn::ExecutorScope scope(exec);
-  const auto params = model.params();
-  for (const auto& [name, p] : params) {
-    (void)name;
-    if (p->has_grad()) p->grad.zero();
-  }
-  Graph g(/*grad_enabled=*/true);
-  const auto out = model.forward(g, fixture().graph, fixture().workload, 7);
-  const Tensor target_tr(fixture().graph.num_nodes, 2);
-  const Tensor target_lg(fixture().graph.num_nodes, 1);
-  const Var loss =
-      g.add(g.l1_loss(out.tr, target_tr), g.l1_loss(out.lg, target_lg));
-  g.backward(loss);
-  GradRun run;
-  run.loss = loss->value.at(0, 0);
-  for (const auto& [name, p] : params) {
-    (void)name;
-    run.grads.push_back(p->has_grad() ? p->grad
-                                      : Tensor(p->value.rows(), p->value.cols()));
-  }
-  return run;
+  return model.embed(g, parity_fixture().graph, parity_fixture().workload, 7)
+      ->value;
 }
 
 TEST(Executor, ParallelEmbedBitIdenticalToSequentialForAllPresets) {
   runtime::ThreadPool pool(4);
   nn::Executor sequential;
-  for (const ModelConfig& config : presets()) {
+  for (const ModelConfig& config : parity_presets()) {
     const DeepSeqModel model(config);
     const Tensor reference = embed_with(model, sequential);
     for (const int threads : {2, 4}) {
@@ -118,7 +56,7 @@ TEST(Executor, ParallelEmbedBitIdenticalToSequentialForAllPresets) {
 TEST(Executor, ParallelBackwardBitIdenticalToSequentialForAllPresets) {
   runtime::ThreadPool pool(4);
   nn::Executor sequential;
-  for (const ModelConfig& config : presets()) {
+  for (const ModelConfig& config : parity_presets()) {
     const DeepSeqModel model(config);
     const GradRun reference = train_step_with(model, sequential);
     for (const int threads : {2, 4}) {
@@ -134,10 +72,16 @@ TEST(Executor, ParallelBackwardBitIdenticalToSequentialForAllPresets) {
   }
 }
 
-TEST(Executor, ParallelWavesActuallyDispatch) {
+TEST(Executor, ParallelCutsActuallyDispatch) {
   // Guard against silently testing the inline path only: at 4 threads the
   // deepseq preset on this fixture must cross the parallel-dispatch
-  // thresholds in at least one wave.
+  // thresholds in at least one cut wave, and chain fusion must actually
+  // fuse ops (multi-op chains) rather than degenerate to one op per task.
+  // Fusion is pinned on explicitly: the CI matrix also runs this suite
+  // under DEEPSEQ_NN_FUSE=0, where unfused plans are the contract.
+  const char* prev_fuse = std::getenv("DEEPSEQ_NN_FUSE");
+  const std::string prev_fuse_value = prev_fuse != nullptr ? prev_fuse : "";
+  ::setenv("DEEPSEQ_NN_FUSE", "1", 1);
   runtime::ThreadPool pool(4);
   nn::Executor parallel(&pool, 4);
   nn::ExecStats stats;
@@ -146,12 +90,20 @@ TEST(Executor, ParallelWavesActuallyDispatch) {
     nn::ExecTraceScope trace(stats);
     const DeepSeqModel model(ModelConfig::deepseq(32, 2));
     Graph g(false);
-    model.embed(g, fixture().graph, fixture().workload, 7);
+    model.embed(g, parity_fixture().graph, parity_fixture().workload, 7);
   }
   EXPECT_GT(stats.flushes, 0);
-  EXPECT_GT(stats.waves, stats.flushes);  // levels plan to multi-wave DAGs
-  EXPECT_GT(stats.parallel_waves, 0);
-  EXPECT_GT(stats.chunks, stats.waves);
+  EXPECT_GT(stats.barriers, stats.flushes);  // levels plan to multi-cut DAGs
+  EXPECT_GT(stats.parallel_cuts, 0);
+  EXPECT_GT(stats.steps, stats.barriers);
+  EXPECT_GT(stats.chains, 0);
+  EXPECT_GT(stats.fused_ops, 0);           // chains longer than one op exist
+  EXPECT_GT(stats.chains, stats.barriers);  // cuts hold more than one chain
+  if (prev_fuse != nullptr) {
+    ::setenv("DEEPSEQ_NN_FUSE", prev_fuse_value.c_str(), 1);
+  } else {
+    ::unsetenv("DEEPSEQ_NN_FUSE");
+  }
 }
 
 TEST(Executor, GradCheckPassesUnderFourThreads) {
@@ -184,9 +136,9 @@ TEST(Executor, GradCheckOnModelLossUnderFourThreads) {
   nn::ExecutorScope scope(parallel);
 
   const DeepSeqModel model(ModelConfig::deepseq(16, 1));
-  const Tensor target_lg(fixture().graph.num_nodes, 1);
+  const Tensor target_lg(parity_fixture().graph.num_nodes, 1);
   auto forward = [&](Graph& g) {
-    const auto out = model.forward(g, fixture().graph, fixture().workload, 3);
+    const auto out = model.forward(g, parity_fixture().graph, parity_fixture().workload, 3);
     return g.l1_loss(out.lg, target_lg);
   };
   // Subset of backbone params keeps the finite-difference sweep fast.
