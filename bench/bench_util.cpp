@@ -299,4 +299,24 @@ void write_json_file(const std::string& path, const std::string& json) {
   std::printf("[bench] wrote %s\n", path.c_str());
 }
 
+void json_summary(JsonWriter& json, const std::string& prefix,
+                  const obs::Summary& s) {
+  json.field(prefix + "_count", s.count);
+  json.field(prefix + "_mean_ms", s.mean);
+  json.field(prefix + "_p50_ms", s.p50);
+  json.field(prefix + "_p90_ms", s.p90);
+  json.field(prefix + "_p99_ms", s.p99);
+  json.field(prefix + "_max_ms", s.max);
+}
+
+void json_histogram(JsonWriter& json, const std::string& prefix,
+                    const obs::HistogramSnapshot& h, double scale) {
+  const obs::Summary s = h.summary(scale);
+  json.field(prefix + "_count", s.count);
+  json.field(prefix + "_mean", s.mean);
+  json.field(prefix + "_p50", s.p50);
+  json.field(prefix + "_p99", s.p99);
+  json.field(prefix + "_max", s.max);
+}
+
 }  // namespace deepseq::bench

@@ -5,6 +5,7 @@
 
 #include "core/trainer.hpp"
 #include "dataset/training_data.hpp"
+#include "obs/metrics.hpp"
 #include "power/grannite.hpp"
 
 namespace deepseq::bench {
@@ -125,5 +126,19 @@ class JsonWriter {
 
 /// Write `json` to `path` (parent dirs created), echoing the path on stdout.
 void write_json_file(const std::string& path, const std::string& json);
+
+/// Emit an obs::Summary as flat `<prefix>_{mean,p50,p90,p99,max}_ms` fields
+/// (plus `<prefix>_count`) — the one JSON shape every bench uses for a
+/// latency digest, backed by the same obs::Histogram percentile math as the
+/// server loop and the metrics export.
+void json_summary(JsonWriter& json, const std::string& prefix,
+                  const obs::Summary& s);
+
+/// Emit a histogram window (typically an obs::delta of the process
+/// registry around a measured region) as `<prefix>_{mean,p50,p99,max}`
+/// fields in the recorded unit times `scale` — queue-depth / batch-size
+/// distributions ride into bench JSON through this.
+void json_histogram(JsonWriter& json, const std::string& prefix,
+                    const obs::HistogramSnapshot& h, double scale = 1.0);
 
 }  // namespace deepseq::bench

@@ -26,6 +26,8 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "dataset/generator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/server_loop.hpp"
 
 using namespace deepseq;
@@ -71,10 +73,19 @@ RunResult replay(api::Session& session,
   return out;
 }
 
-void json_latency(JsonWriter& json, const std::string& prefix,
-                  const LatencySummary& s) {
-  json.field(prefix + "_p50_ms", s.p50_ms);
-  json.field(prefix + "_p99_ms", s.p99_ms);
+/// A named histogram window out of an obs delta (empty snapshot when the
+/// metric never fired in the window).
+obs::HistogramSnapshot window(const obs::Snapshot& s, const std::string& name) {
+  const auto it = s.histograms.find(name);
+  return it == s.histograms.end() ? obs::HistogramSnapshot{} : it->second;
+}
+
+/// Sum every per-kind counter under `prefix` (e.g. "task.submitted.").
+std::uint64_t sum_counters(const obs::Snapshot& s, const std::string& prefix) {
+  std::uint64_t total = 0;
+  for (const auto& [name, v] : s.counters)
+    if (name.rfind(prefix, 0) == 0) total += v;
+  return total;
 }
 
 }  // namespace
@@ -184,8 +195,14 @@ int main() {
       }
       api::Session& session = *session_ptr;
 
+      // Bracket the row with registry snapshots: the delta isolates this
+      // configuration's queue-depth / batch-size distributions on the
+      // process-wide registry.
+      const obs::Snapshot row_base = obs::Registry::global().snapshot();
       const RunResult cold = replay(session, trace);
       const RunResult warm = replay(session, trace);
+      const obs::Snapshot row_obs =
+          obs::delta(obs::Registry::global().snapshot(), row_base);
       const auto stats = session.cache_stats();
       const double hit_rate = stats.embeddings.hit_rate();
 
@@ -194,25 +211,30 @@ int main() {
 
       std::printf("%-8s | %7d | %9.1f %9.2f %9.2f | %9.1f %9.2f %9.2f | %7.0f%%\n",
                   backend.c_str(), threads, cold.qps,
-                  cold.latency.p50_ms, cold.latency.p99_ms, warm.qps,
-                  warm.latency.p50_ms, warm.latency.p99_ms, 100.0 * hit_rate);
+                  cold.latency.p50, cold.latency.p99, warm.qps,
+                  warm.latency.p50, warm.latency.p99, 100.0 * hit_rate);
 
       json.begin_object();
       json.field("backend", backend);
       json.field("threads", threads);
       json.field("nn_threads", session.nn_threads());
       json.field("cold_qps", cold.qps);
-      json_latency(json, "cold", cold.latency);
-      json_latency(json, "cold_queue", cold.queue);
-      json_latency(json, "cold_compute", cold.compute);
+      json_summary(json, "cold", cold.latency);
+      json_summary(json, "cold_queue", cold.queue);
+      json_summary(json, "cold_compute", cold.compute);
       json.field("warm_qps", warm.qps);
-      json_latency(json, "warm", warm.latency);
-      json_latency(json, "warm_queue", warm.queue);
-      json_latency(json, "warm_compute", warm.compute);
+      json_summary(json, "warm", warm.latency);
+      json_summary(json, "warm_queue", warm.queue);
+      json_summary(json, "warm_compute", warm.compute);
       json.field("embedding_hit_rate", hit_rate);
       json.field("structure_hits", stats.structures.hits);
       json.field("structure_misses", stats.structures.misses);
       json.field("regression_hits", stats.regressions.hits);
+      // The engine's own view of this row: how full batches ran and how
+      // deep the pending window got (distributions, not just means).
+      json_histogram(json, "batch_size", window(row_obs, "engine.batch_size"));
+      json_histogram(json, "queue_depth",
+                     window(row_obs, "engine.queue_depth"));
       json.end_object();
       std::fflush(stdout);
     }
@@ -227,7 +249,35 @@ int main() {
                 backends[bi].c_str(), speedup_threads, speedup);
     json.field(backends[bi] + "_warm_vs_cold1_speedup", speedup);
   }
+
+  // Whole-run obs readout: the lifetime registry after every sweep. The
+  // per-kind task counters must balance exactly (submitted == completed +
+  // failed) — a leak here means a request path lost its accounting, so the
+  // bench fails rather than shipping numbers it cannot vouch for.
+  const obs::Snapshot obs_total = obs::Registry::global().snapshot();
+  const std::uint64_t submitted = sum_counters(obs_total, "task.submitted.");
+  const std::uint64_t completed = sum_counters(obs_total, "task.completed.");
+  const std::uint64_t failed = sum_counters(obs_total, "task.failed.");
+  const bool balanced = submitted == completed + failed;
+  json.field("tracing_enabled", obs::tracing_enabled());
+  json.field("tasks_submitted", submitted);
+  json.field("tasks_completed", completed);
+  json.field("tasks_failed", failed);
+  json.field("tasks_balanced", balanced);
+  json.field("obs_metrics", static_cast<std::uint64_t>(
+                                obs_total.counters.size() +
+                                obs_total.gauges.size() +
+                                obs_total.histograms.size()));
   json.end_object();
   write_json_file("serving_throughput.json", json.str());
+  if (!balanced) {
+    std::fprintf(stderr,
+                 "[serving] task counters do not balance: submitted %llu != "
+                 "completed %llu + failed %llu\n",
+                 static_cast<unsigned long long>(submitted),
+                 static_cast<unsigned long long>(completed),
+                 static_cast<unsigned long long>(failed));
+    return 1;
+  }
   return 0;
 }

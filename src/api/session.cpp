@@ -1,9 +1,13 @@
 #include "api/session.hpp"
 
+#include <array>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "power/pipeline.hpp"
 
 namespace deepseq::api {
@@ -12,6 +16,39 @@ namespace {
 double ms_between(std::chrono::steady_clock::time_point t0,
                   std::chrono::steady_clock::time_point t1) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+constexpr int kNumTaskKinds = 6;
+
+/// Per-TaskKind serving metrics on the process-wide registry: submit/
+/// complete/fail counters and total/queue/compute latency histograms
+/// (recorded in ns; names carry the kind, e.g. "task.submitted.power").
+/// Resolved once per process; recording is lock-free.
+struct TaskMetrics {
+  obs::Counter* submitted;
+  obs::Counter* completed;
+  obs::Counter* failed;
+  obs::Histogram* total_ns;
+  obs::Histogram* queue_ns;
+  obs::Histogram* compute_ns;
+};
+
+const TaskMetrics& task_metrics(TaskKind k) {
+  static const std::array<TaskMetrics, kNumTaskKinds> all = [] {
+    std::array<TaskMetrics, kNumTaskKinds> a{};
+    auto& reg = obs::Registry::global();
+    for (int i = 0; i < kNumTaskKinds; ++i) {
+      const std::string kind = task_name(static_cast<TaskKind>(i));
+      a[i] = TaskMetrics{&reg.counter("task.submitted." + kind),
+                         &reg.counter("task.completed." + kind),
+                         &reg.counter("task.failed." + kind),
+                         &reg.histogram("task.total_ns." + kind),
+                         &reg.histogram("task.queue_ns." + kind),
+                         &reg.histogram("task.compute_ns." + kind)};
+    }
+    return a;
+  }();
+  return all[static_cast<int>(k)];
 }
 
 /// Which parts of the embedding pipeline a task consumes.
@@ -57,6 +94,30 @@ Session::Session(const SessionConfig& config, BackendRegistry& registry)
   // pay inside a latency-sensitive first submit).
   config_.backend = registry_.resolve(config_.backend, "deepseq");
   (void)backend(config_.backend);
+  // Tracing: explicit config wins, else the DEEPSEQ_TRACE env knob. The
+  // path is created/truncated NOW so a typo fails construction (the same
+  // fail-fast contract as DEEPSEQ_ARTIFACT), not after a whole run.
+  trace_path_ = config_.trace_path.empty() ? obs::trace_path_from_env()
+                                           : config_.trace_path;
+  if (!trace_path_.empty()) {
+    obs::validate_trace_path(trace_path_);
+    tracing_prev_ = obs::tracing_enabled();
+    obs::set_tracing_enabled(true);
+  }
+}
+
+Session::~Session() {
+  if (trace_path_.empty()) return;
+  // Capture every span of still-in-flight tasks before dumping (engine_ is
+  // destroyed after this body, but its drain is what orders the last
+  // recorded events before the export).
+  engine_.drain();
+  try {
+    obs::write_chrome_trace(trace_path_);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[obs] trace dump failed: %s\n", e.what());
+  }
+  obs::set_tracing_enabled(tracing_prev_);
 }
 
 const EmbeddingBackend& Session::backend(const std::string& name) {
@@ -119,8 +180,22 @@ std::uint64_t Session::reload_weights(
   // against (each in-flight completion owns a handle on its instance, so
   // the swap below can never pull weights out from under a forward pass).
   engine_.drain();
-  std::lock_guard<std::mutex> lock(backends_mu_);
-  backends_[key] = std::move(replacement);
+  {
+    std::lock_guard<std::mutex> lock(backends_mu_);
+    backends_[key] = std::move(replacement);
+  }
+  // Swap events are rare and operationally interesting: always count, and
+  // drop an instant marker into the trace when one is being recorded.
+  obs::Registry::global().counter("session.reload_weights").inc();
+  if (obs::tracing_enabled()) {
+    obs::TraceEvent e;
+    e.name = "reload_weights";
+    e.cat = "session";
+    e.ph = 'i';
+    e.ts_ns = obs::trace_now_ns();
+    e.ctx.backend_fingerprint = fingerprint;
+    obs::TraceSink::global().record(e);
+  }
   return fingerprint;
 }
 
@@ -213,19 +288,78 @@ TaskResult Session::finish(const TaskRequest& request,
     }
   }
 
-  const double head_ms =
-      ms_between(head_start, std::chrono::steady_clock::now());
+  const auto head_end = std::chrono::steady_clock::now();
+  const double head_ms = ms_between(head_start, head_end);
   result.compute_ms = er.compute_ms + head_ms;
   result.total_ms = er.total_ms + head_ms;
+
+  // Completion accounting: counters and latency histograms per kind, plus
+  // the last two spans of the task's trace chain — "head" (this task head)
+  // and the whole-task "task" span (submit -> fulfilled) that ties the
+  // chain together in the Chrome trace.
+  const TaskMetrics& metrics = task_metrics(request.task);
+  metrics.completed->inc();
+  metrics.total_ns->record_ms(result.total_ms);
+  metrics.queue_ns->record_ms(result.queue_ms);
+  metrics.compute_ns->record_ms(result.compute_ms);
+  if (er.trace.kind != nullptr && obs::tracing_enabled()) {
+    obs::TraceEvent head;
+    head.name = "head";
+    head.ts_ns = obs::to_trace_ns(head_start);
+    head.dur_ns = obs::to_trace_ns(head_end) - head.ts_ns;
+    head.ctx = er.trace;
+    head.structure = er.structure.digest;
+    head.arg_name[0] = "regression_cache_hit";
+    head.arg[0] = result.regression_cache_hit ? 1 : 0;
+    obs::TraceSink::global().record(head);
+
+    obs::TraceEvent task;
+    task.name = "task";
+    const std::uint64_t end_ns = obs::to_trace_ns(head_end);
+    const auto total_ns = static_cast<std::uint64_t>(result.total_ms * 1e6);
+    task.ts_ns = end_ns > total_ns ? end_ns - total_ns : 0;
+    task.dur_ns = end_ns - task.ts_ns;
+    task.ctx = er.trace;
+    task.structure = er.structure.digest;
+    task.arg_name[0] = "structure_cache_hit";
+    task.arg[0] = result.structure_cache_hit ? 1 : 0;
+    task.arg_name[1] = "embedding_cache_hit";
+    task.arg[1] = result.embedding_cache_hit ? 1 : 0;
+    obs::TraceSink::global().record(task);
+  }
   return result;
 }
 
 std::future<TaskResult> Session::submit(TaskRequest request) {
-  // The completion owns the handle: the instance this task was submitted
-  // against stays alive (and its weights untouched) through the forward
-  // pass and task head even if reload_weights swaps the name meanwhile.
-  std::shared_ptr<const EmbeddingBackend> be = backend_handle(request.backend);
-  runtime::EmbeddingRequest er = to_engine_request(request, *be);
+  const TaskMetrics& metrics = task_metrics(request.task);
+  metrics.submitted->inc();
+  runtime::EmbeddingRequest er;
+  std::shared_ptr<const EmbeddingBackend> be;
+  try {
+    // The completion owns the handle: the instance this task was submitted
+    // against stays alive (and its weights untouched) through the forward
+    // pass and task head even if reload_weights swaps the name meanwhile.
+    be = backend_handle(request.backend);
+    er = to_engine_request(request, *be);
+  } catch (...) {
+    // Fail-fast rejections (unknown backend, unsupported task/backend
+    // combination) still balance: submitted == completed + failed.
+    metrics.failed->inc();
+    throw;
+  }
+  er.trace.kind = task_name(request.task);
+  er.trace.backend_fingerprint = be->info().fingerprint;
+  if (obs::tracing_enabled()) {
+    // Task ids exist for span attribution only: the global id counter is a
+    // shared cache line, so the untraced hot path never touches it.
+    er.trace.task_id = obs::next_task_id();
+    obs::TraceEvent e;
+    e.name = "submit";
+    e.ph = 'i';
+    e.ts_ns = obs::trace_now_ns();
+    e.ctx = er.trace;
+    obs::TraceSink::global().record(e);
+  }
   return engine_.submit_then(
       std::move(er),
       [this, request = std::move(request),
@@ -235,10 +369,20 @@ std::future<TaskResult> Session::submit(TaskRequest request) {
 }
 
 TaskResult Session::run_sync(const TaskRequest& request) {
-  const std::shared_ptr<const EmbeddingBackend> be =
-      backend_handle(request.backend);
-  return finish(request, *be,
-                engine_.run_sync(to_engine_request(request, *be)));
+  const TaskMetrics& metrics = task_metrics(request.task);
+  metrics.submitted->inc();
+  try {
+    const std::shared_ptr<const EmbeddingBackend> be =
+        backend_handle(request.backend);
+    runtime::EmbeddingRequest er = to_engine_request(request, *be);
+    er.trace.kind = task_name(request.task);
+    er.trace.backend_fingerprint = be->info().fingerprint;
+    if (obs::tracing_enabled()) er.trace.task_id = obs::next_task_id();
+    return finish(request, *be, engine_.run_sync(std::move(er)));
+  } catch (...) {
+    metrics.failed->inc();
+    throw;
+  }
 }
 
 void Session::flush() { engine_.flush(); }

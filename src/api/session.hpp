@@ -110,6 +110,13 @@ struct SessionConfig {
   /// SAIF duration (cycles) power predictions are reported over.
   long long power_duration = 10000;
   ScoapOptions scoap;
+  /// Dump a Chrome trace-event / Perfetto-compatible JSON of every task's
+  /// span chain (submit -> queue -> resolve -> embed -> head) to this path
+  /// on Session destruction. Empty resolves the DEEPSEQ_TRACE environment
+  /// variable (strict: an unwritable path fails Session construction,
+  /// naming the variable and path); empty both ways disables tracing —
+  /// the request path then pays one relaxed atomic load per stage.
+  std::string trace_path;
 };
 
 /// The public serving surface: one Session owns the backend instances (all
@@ -122,6 +129,12 @@ class Session {
  public:
   explicit Session(const SessionConfig& config = {},
                    BackendRegistry& registry = BackendRegistry::global());
+
+  /// Drains in-flight work; when tracing was enabled (trace_path /
+  /// DEEPSEQ_TRACE), writes the Chrome-trace dump and restores the prior
+  /// global tracing state (I/O failures are reported on stderr — a
+  /// destructor never throws).
+  ~Session();
 
   const SessionConfig& config() const { return config_; }
 
@@ -189,6 +202,10 @@ class Session {
 
   SessionConfig config_;
   BackendRegistry& registry_;
+  /// Resolved trace dump path (config or DEEPSEQ_TRACE); empty = tracing
+  /// untouched by this session.
+  std::string trace_path_;
+  bool tracing_prev_ = false;
   /// Serializes reload_weights pushes (held across build/guard/drain/swap;
   /// always acquired before backends_mu_).
   std::mutex reload_mu_;

@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace deepseq::obs {
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint64_t> g_task_id{0};
+
+std::chrono::steady_clock::time_point trace_origin() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return origin;
+}
+
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void append_hex(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"0x%016llx\"",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+void set_tracing_enabled(bool on) {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t next_task_id() {
+  return g_task_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t trace_now_ns() { return to_trace_ns(std::chrono::steady_clock::now()); }
+
+std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp) {
+  const auto d = tp - trace_origin();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  return ns <= 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
+// ---- sink ------------------------------------------------------------------
+
+TraceSink::TraceSink(std::size_t capacity)
+    : slots_(std::max<std::size_t>(1, capacity)) {}
+
+TraceSink& TraceSink::global() {
+  static TraceSink* sink = new TraceSink();  // leaked: see header
+  return *sink;
+}
+
+void TraceSink::record(TraceEvent e) {
+  e.tid = thread_ordinal();
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket % slots_.size()];
+  // Per-slot spinlock: writers only collide on one slot when the ring laps
+  // itself within a claim window; the hold time is a struct copy.
+  while (s.busy.exchange(true, std::memory_order_acquire))
+    std::this_thread::yield();
+  s.ticket = ticket;
+  s.e = e;
+  s.busy.store(false, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<std::pair<std::uint64_t, TraceEvent>> got;
+  got.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    while (s.busy.exchange(true, std::memory_order_acquire))
+      std::this_thread::yield();
+    if (s.ticket != kEmpty) got.emplace_back(s.ticket, s.e);
+    s.busy.store(false, std::memory_order_release);
+  }
+  std::sort(got.begin(), got.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TraceEvent> out;
+  out.reserve(got.size());
+  for (auto& [ticket, e] : got) {
+    (void)ticket;
+    out.push_back(e);
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  for (Slot& s : slots_) {
+    while (s.busy.exchange(true, std::memory_order_acquire))
+      std::this_thread::yield();
+    s.ticket = kEmpty;
+    s.busy.store(false, std::memory_order_release);
+  }
+  next_.store(0, std::memory_order_relaxed);
+}
+
+// ---- chrome export ---------------------------------------------------------
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (e.name == nullptr) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    out += e.name;
+    out += "\",\"cat\":\"";
+    out += e.cat != nullptr ? e.cat : "task";
+    out += "\",\"ph\":\"";
+    out.push_back(e.ph);
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    out += ",\"ts\":";
+    append_us(out, e.ts_ns);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      append_us(out, e.dur_ns);
+    } else if (e.ph == 'i') {
+      out += ",\"s\":\"p\"";  // process-scoped instant
+    }
+    out += ",\"args\":{";
+    bool afirst = true;
+    const auto arg_sep = [&] {
+      if (!afirst) out.push_back(',');
+      afirst = false;
+    };
+    if (e.ctx.task_id != 0) {
+      arg_sep();
+      out += "\"task\":" + std::to_string(e.ctx.task_id);
+    }
+    if (e.ctx.kind != nullptr) {
+      arg_sep();
+      out += "\"kind\":\"";
+      out += e.ctx.kind;
+      out += "\"";
+    }
+    if (e.ctx.backend_fingerprint != 0) {
+      arg_sep();
+      out += "\"backend\":";
+      append_hex(out, e.ctx.backend_fingerprint);
+    }
+    if (e.structure != 0) {
+      arg_sep();
+      out += "\"structure\":";
+      append_hex(out, e.structure);
+    }
+    for (int i = 0; i < 4; ++i) {
+      if (e.arg_name[i] == nullptr) continue;
+      arg_sep();
+      out += "\"";
+      out += e.arg_name[i];
+      out += "\":" + std::to_string(e.arg[i]);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  const std::string doc = chrome_trace_json(TraceSink::global().events());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw Error("write_chrome_trace: cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (!ok) throw Error("write_chrome_trace: short write to '" + path + "'");
+}
+
+std::string trace_path_from_env() { return env_string("DEEPSEQ_TRACE", ""); }
+
+void validate_trace_path(const std::string& path) {
+  // Create/truncate up front so a bad DEEPSEQ_TRACE fails at Session
+  // construction (same fail-fast contract as DEEPSEQ_ARTIFACT), never as a
+  // silently missing dump when the Session is destroyed.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw Error("DEEPSEQ_TRACE: cannot open '" + path + "' for writing");
+  std::fclose(f);
+}
+
+}  // namespace deepseq::obs

@@ -34,7 +34,21 @@ std::uint64_t workload_fingerprint(const Workload& w) {
 CircuitCache::CircuitCache(const CircuitCacheConfig& config)
     : structures_(config.structure_capacity, config.shards),
       embeddings_(config.embedding_capacity, config.shards),
-      regressions_(config.regression_capacity, config.shards) {}
+      regressions_(config.regression_capacity, config.shards) {
+  // Export every layer's hit/miss/eviction stream process-wide (all caches
+  // of a process aggregate under one name — snapshot deltas isolate one
+  // serving run when needed).
+  auto& reg = obs::Registry::global();
+  const auto bind = [&reg](auto& layer, const char* name) {
+    const std::string prefix = std::string("cache.") + name;
+    layer.bind_obs(&reg.counter(prefix + ".hits"),
+                   &reg.counter(prefix + ".misses"),
+                   &reg.counter(prefix + ".evictions"));
+  };
+  bind(structures_, "structures");
+  bind(embeddings_, "embeddings");
+  bind(regressions_, "regressions");
+}
 
 CircuitCache::Stats CircuitCache::stats() const {
   Stats s;

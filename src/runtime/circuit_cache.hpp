@@ -14,6 +14,7 @@
 #include "netlist/circuit.hpp"
 #include "netlist/structural_hash.hpp"
 #include "nn/tensor.hpp"
+#include "obs/metrics.hpp"
 #include "sim/workload.hpp"
 
 namespace deepseq::runtime {
@@ -53,6 +54,16 @@ class ShardedLruCache {
     for (auto& s : shards_) s.capacity = per_shard;
   }
 
+  /// Mirror this cache's hit/miss/eviction counts into obs counters (the
+  /// process-wide metrics export); pass nullptrs to detach. The internal
+  /// counters keep running either way.
+  void bind_obs(obs::Counter* hits, obs::Counter* misses,
+                obs::Counter* evictions) {
+    obs_hits_ = hits;
+    obs_misses_ = misses;
+    obs_evictions_ = evictions;
+  }
+
   std::shared_ptr<const Value> get(const Key& key) {
     Shard& s = shard_for(key);
     std::lock_guard<std::mutex> lock(s.mu);
@@ -61,10 +72,12 @@ class ShardedLruCache {
       if (it->second->first == key) {
         s.lru.splice(s.lru.begin(), s.lru, it->second);  // move to front
         hits_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_hits_ != nullptr) obs_hits_->inc();
         return it->second->second;
       }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_misses_ != nullptr) obs_misses_->inc();
     return nullptr;
   }
 
@@ -140,10 +153,14 @@ class ShardedLruCache {
     }
     s.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (obs_evictions_ != nullptr) obs_evictions_->inc();
   }
 
   std::vector<Shard> shards_;
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, evictions_{0};
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
 };
 
 // ---- circuit-serving cache layers -----------------------------------------

@@ -14,6 +14,37 @@ double ms_since(std::chrono::steady_clock::time_point t0,
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+/// Process-wide scheduler metrics (looked up once; recording is lock-free).
+/// The queue-depth gauge tracks the pending window right now; the
+/// same-named histogram records the depth observed at every enqueue, so a
+/// snapshot delta yields the depth *distribution* a load level produced.
+struct EngineMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Gauge& queue_depth = reg.gauge("engine.queue_depth");
+  obs::Histogram& queue_depth_hist = reg.histogram("engine.queue_depth");
+  obs::Counter& batches = reg.counter("engine.batches");
+  obs::Histogram& batch_size = reg.histogram("engine.batch_size");
+  // Chain-executor work folded out of nn::ExecStats per traced embed.
+  obs::Counter& nn_chains = reg.counter("nn.chains");
+  obs::Counter& nn_barriers = reg.counter("nn.barriers");
+  obs::Counter& nn_steps = reg.counter("nn.steps");
+  static EngineMetrics& get() {
+    static EngineMetrics m;
+    return m;
+  }
+};
+
+obs::TraceEvent make_span(const char* name, std::uint64_t t0, std::uint64_t t1,
+                          const obs::TaskContext& ctx, std::uint64_t structure) {
+  obs::TraceEvent e;
+  e.name = name;
+  e.ts_ns = t0;
+  e.dur_ns = t1 > t0 ? t1 - t0 : 0;
+  e.ctx = ctx;
+  e.structure = structure;
+  return e;
+}
+
 }  // namespace
 
 InferenceEngine::InferenceEngine(const EngineConfig& config)
@@ -47,9 +78,13 @@ void InferenceEngine::enqueue(std::unique_ptr<Pending> pending) {
   pending->enqueued = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(pending_mu_);
   pending_.push_back(std::move(pending));
+  auto& metrics = EngineMetrics::get();
+  metrics.queue_depth.set(static_cast<std::int64_t>(pending_.size()));
+  metrics.queue_depth_hist.record(pending_.size());
   if (static_cast<int>(pending_.size()) >= config_.max_batch) {
     std::vector<std::unique_ptr<Pending>> batch;
     batch.swap(pending_);
+    metrics.queue_depth.set(0);
     dispatch_batch(std::move(batch));
   }
 }
@@ -58,6 +93,7 @@ void InferenceEngine::flush() {
   std::lock_guard<std::mutex> lock(pending_mu_);
   std::vector<std::unique_ptr<Pending>> batch;
   batch.swap(pending_);
+  EngineMetrics::get().queue_depth.set(0);
   if (!batch.empty()) dispatch_batch(std::move(batch));
 }
 
@@ -77,6 +113,7 @@ void InferenceEngine::flusher_loop() {
     if (now - pending_.front()->enqueued < interval) continue;
     std::vector<std::unique_ptr<Pending>> batch;
     batch.swap(pending_);
+    EngineMetrics::get().queue_depth.set(0);
     dispatch_batch(std::move(batch));
   }
 }
@@ -87,6 +124,11 @@ void InferenceEngine::flusher_loop() {
 // in the pool queue while pending_ looks empty.
 void InferenceEngine::dispatch_batch(
     std::vector<std::unique_ptr<Pending>> batch) {
+  {
+    auto& metrics = EngineMetrics::get();
+    metrics.batches.inc();
+    metrics.batch_size.record(batch.size());
+  }
   // Coalesce: group the batch by circuit identity so one worker resolves
   // each distinct structure (and its hashes) exactly once while distinct
   // circuits fan out across the pool in parallel.
@@ -108,6 +150,7 @@ void InferenceEngine::dispatch_batch(
         try {
           p->deliver(process(p->request, p->enqueued, hashes));
         } catch (...) {
+          obs::count_task_failed(p->request.trace.kind);
           p->fail(std::current_exception());
         }
       }
@@ -139,10 +182,21 @@ EmbeddingResult InferenceEngine::process(
   const auto start = std::chrono::steady_clock::now();
   EmbeddingResult result;
   result.backend = request.backend;
+  result.trace = request.trace;
   result.queue_ms = ms_since(enqueued, start);
 
   result.structure = hashes.structural;
   const StructureKey skey{hashes.structural, hashes.exact, fingerprint};
+
+  // Tracing is per-task: only requests carrying a Session-assigned context
+  // record spans (and only while the global switch is on — one relaxed
+  // load on the disabled path, no extra clock reads).
+  const bool tracing = request.trace.kind != nullptr && obs::tracing_enabled();
+  const std::uint64_t digest = hashes.structural.digest;
+  if (tracing)
+    obs::TraceSink::global().record(
+        make_span("queue", obs::to_trace_ns(enqueued), obs::to_trace_ns(start),
+                  request.trace, digest));
 
   EmbeddingKey ekey;
   ekey.structure = hashes.structural;
@@ -152,12 +206,25 @@ EmbeddingResult InferenceEngine::process(
   ekey.init_seed = request.init_seed;
   result.key = ekey;
 
+  // Timed, traced structure resolve ("resolve" span; hit/miss as an arg).
+  const auto traced_resolve = [&] {
+    const std::uint64_t t0 = tracing ? obs::trace_now_ns() : 0;
+    auto structure = resolve_structure(backend, *request.circuit, skey,
+                                       &result.structure_cache_hit);
+    if (tracing) {
+      obs::TraceEvent e = make_span("resolve", t0, obs::trace_now_ns(),
+                                    request.trace, digest);
+      e.arg_name[0] = "cache_hit";
+      e.arg[0] = result.structure_cache_hit ? 1 : 0;
+      obs::TraceSink::global().record(e);
+    }
+    return structure;
+  };
+
   const auto finish_cached = [&](std::shared_ptr<const nn::Tensor> cached) {
     result.embedding = std::move(cached);
     result.embedding_cache_hit = true;
-    if (request.want_state)
-      result.state = resolve_structure(backend, *request.circuit, skey,
-                                       &result.structure_cache_hit);
+    if (request.want_state) result.state = traced_resolve();
     result.total_ms = ms_since(enqueued, std::chrono::steady_clock::now());
     return result;
   };
@@ -169,13 +236,43 @@ EmbeddingResult InferenceEngine::process(
   // Requests wanting neither the forward pass nor the state (e.g. the
   // testability task, which reads the circuit alone) skip prepare entirely.
   if (request.want_embedding || request.want_state) {
-    const auto structure = resolve_structure(backend, *request.circuit, skey,
-                                             &result.structure_cache_hit);
+    const auto structure = traced_resolve();
     if (request.want_state) result.state = structure;
 
     if (request.want_embedding) {
-      auto embedding = std::make_shared<const nn::Tensor>(
-          backend.embed(*structure, request.workload, request.init_seed));
+      // The "embed" span folds the chain executor's work (nn::ExecStats)
+      // into the task trace: flushes, fused chains, barriers, kernel steps.
+      // The per-flush stats collection itself is gated on tracing so the
+      // disabled path stays free of extra clock reads.
+      const std::uint64_t t0 = tracing ? obs::trace_now_ns() : 0;
+      std::shared_ptr<const nn::Tensor> embedding;
+      nn::ExecStats exec_stats;
+      if (tracing) {
+        nn::ExecTraceScope exec_trace(exec_stats);
+        embedding = std::make_shared<const nn::Tensor>(
+            backend.embed(*structure, request.workload, request.init_seed));
+      } else {
+        embedding = std::make_shared<const nn::Tensor>(
+            backend.embed(*structure, request.workload, request.init_seed));
+      }
+      if (tracing) {
+        auto& metrics = EngineMetrics::get();
+        metrics.nn_chains.inc(static_cast<std::uint64_t>(exec_stats.chains));
+        metrics.nn_barriers.inc(
+            static_cast<std::uint64_t>(exec_stats.barriers));
+        metrics.nn_steps.inc(static_cast<std::uint64_t>(exec_stats.steps));
+        obs::TraceEvent e =
+            make_span("embed", t0, obs::trace_now_ns(), request.trace, digest);
+        e.arg_name[0] = "chains";
+        e.arg[0] = exec_stats.chains;
+        e.arg_name[1] = "barriers";
+        e.arg[1] = exec_stats.barriers;
+        e.arg_name[2] = "steps";
+        e.arg[2] = exec_stats.steps;
+        e.arg_name[3] = "flushes";
+        e.arg[3] = exec_stats.flushes;
+        obs::TraceSink::global().record(e);
+      }
       if (config_.cache_embeddings) cache_.put_embedding(ekey, embedding);
       result.embedding = std::move(embedding);
     }

@@ -15,6 +15,8 @@
 
 #include "api/backend.hpp"
 #include "nn/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/circuit_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -39,6 +41,11 @@ struct EmbeddingRequest {
   /// Resolve + return the backend structure state even when the embedding
   /// is served from cache (tasks that read the structure set this).
   bool want_state = false;
+  /// Observability identity (task id / kind / backend fingerprint) the
+  /// request's spans and failure counters are attributed to. api::Session
+  /// fills it in submit()/run_sync(); a default (null-kind) context marks
+  /// an untraced engine-level request — no spans, no task counters.
+  obs::TaskContext trace;
 };
 
 /// The fulfilled side of a request. `embedding` is the N x hidden final
@@ -59,6 +66,9 @@ struct EmbeddingResult {
   double queue_ms = 0.0;    // submit -> start of compute
   double compute_ms = 0.0;  // structure resolve + forward (0 on cache hit)
   double total_ms = 0.0;    // submit -> fulfillment
+  /// The request's observability identity, passed through so task heads
+  /// (api::Session::finish) record their spans under the same task id.
+  obs::TaskContext trace;
 };
 
 struct EngineConfig {
@@ -121,12 +131,16 @@ class InferenceEngine {
     auto promise = std::make_shared<std::promise<R>>();
     std::future<R> future = promise->get_future();
     auto pending = std::make_unique<Pending>();
+    // For failure accounting: the completion (a task head) may throw after
+    // the forward pass succeeded — count that against the task's kind too.
+    const char* kind = request.trace.kind;
     pending->request = std::move(request);
-    pending->deliver = [promise, post = std::move(post)](
-                           EmbeddingResult&& result) mutable {
+    pending->deliver = [promise, post = std::move(post),
+                        kind](EmbeddingResult&& result) mutable {
       try {
         promise->set_value(post(std::move(result)));
       } catch (...) {
+        obs::count_task_failed(kind);
         promise->set_exception(std::current_exception());
       }
     };

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <thread>
 
 #include "common/env.hpp"
@@ -79,25 +81,10 @@ ServerConfig server_config_from_env() {
   return cfg;
 }
 
-LatencySummary summarize_latencies(std::vector<double> total_ms) {
-  LatencySummary s;
-  if (total_ms.empty()) return s;
-  std::sort(total_ms.begin(), total_ms.end());
-  const auto rank = [&](double p) {
-    const std::size_t n = total_ms.size();
-    const std::size_t idx = std::min(
-        n - 1, static_cast<std::size_t>(std::ceil(p * n)) -
-                   (p > 0.0 ? 1 : 0));
-    return total_ms[idx];
-  };
-  double sum = 0.0;
-  for (double v : total_ms) sum += v;
-  s.mean_ms = sum / static_cast<double>(total_ms.size());
-  s.p50_ms = rank(0.50);
-  s.p90_ms = rank(0.90);
-  s.p99_ms = rank(0.99);
-  s.max_ms = total_ms.back();
-  return s;
+LatencySummary summarize_latencies(const std::vector<double>& total_ms) {
+  obs::Histogram hist;
+  for (double v : total_ms) hist.record_ms(v);
+  return hist.summary(1e-6);  // recorded ns -> reported ms
 }
 
 ServerStats run_server_loop(const ServerConfig& config,
@@ -109,6 +96,31 @@ ServerStats run_server_loop(const ServerConfig& config,
 
   api::Session session(config.session);
   Rng rng(config.seed);
+
+  // DEEPSEQ_METRICS=<seconds>: print a per-period obs metrics delta while
+  // the trace replays — the live view of queue depth / batch size / task
+  // counters a long soak needs. One background thread; joined (via the cv)
+  // before the function computes its final stats.
+  const double metrics_period_s = env_double("DEEPSEQ_METRICS", 0.0);
+  std::mutex metrics_mu;
+  std::condition_variable metrics_cv;
+  bool metrics_stop = false;
+  std::thread metrics_printer;
+  if (metrics_period_s > 0.0) {
+    metrics_printer = std::thread([&] {
+      obs::Snapshot prev = obs::Registry::global().snapshot();
+      std::unique_lock<std::mutex> lock(metrics_mu);
+      while (!metrics_cv.wait_for(
+          lock, std::chrono::duration<double>(metrics_period_s),
+          [&] { return metrics_stop; })) {
+        obs::Snapshot now = obs::Registry::global().snapshot();
+        std::printf("[metrics] %s\n",
+                    obs::to_json(obs::delta(now, prev)).c_str());
+        std::fflush(stdout);
+        prev = std::move(now);
+      }
+    });
+  }
 
   // Per-netlist workload pool: the trace cycles through a bounded set so
   // repeated (circuit, workload) pairs occur — the cacheable traffic a real
@@ -155,6 +167,17 @@ ServerStats run_server_loop(const ServerConfig& config,
     futures.push_back(session.submit(std::move(req)));
   }
   session.drain();
+  if (metrics_printer.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu);
+      metrics_stop = true;
+    }
+    metrics_cv.notify_one();
+    metrics_printer.join();
+    // Final window so short runs (shorter than one period) still print.
+    std::printf("[metrics] %s\n", obs::snapshot_json().c_str());
+    std::fflush(stdout);
+  }
 
   std::vector<double> total_ms, queue_ms, compute_ms;
   total_ms.reserve(futures.size());
@@ -178,9 +201,9 @@ ServerStats run_server_loop(const ServerConfig& config,
                            ? static_cast<double>(stats.completed) /
                                  stats.wall_seconds
                            : 0.0;
-  stats.latency = summarize_latencies(std::move(total_ms));
-  stats.queue = summarize_latencies(std::move(queue_ms));
-  stats.compute = summarize_latencies(std::move(compute_ms));
+  stats.latency = summarize_latencies(total_ms);
+  stats.queue = summarize_latencies(queue_ms);
+  stats.compute = summarize_latencies(compute_ms);
   stats.cache = session.cache_stats();
 
   if (verbose) {
@@ -192,18 +215,18 @@ ServerStats run_server_loop(const ServerConfig& config,
     std::printf(
         "[serve] total ms:   mean %.2f p50 %.2f p90 %.2f p99 %.2f max "
         "%.2f\n",
-        stats.latency.mean_ms, stats.latency.p50_ms, stats.latency.p90_ms,
-        stats.latency.p99_ms, stats.latency.max_ms);
+        stats.latency.mean, stats.latency.p50, stats.latency.p90,
+        stats.latency.p99, stats.latency.max);
     std::printf(
         "[serve] queue ms:   mean %.2f p50 %.2f p90 %.2f p99 %.2f max "
         "%.2f\n",
-        stats.queue.mean_ms, stats.queue.p50_ms, stats.queue.p90_ms,
-        stats.queue.p99_ms, stats.queue.max_ms);
+        stats.queue.mean, stats.queue.p50, stats.queue.p90, stats.queue.p99,
+        stats.queue.max);
     std::printf(
         "[serve] compute ms: mean %.2f p50 %.2f p90 %.2f p99 %.2f max "
         "%.2f\n",
-        stats.compute.mean_ms, stats.compute.p50_ms, stats.compute.p90_ms,
-        stats.compute.p99_ms, stats.compute.max_ms);
+        stats.compute.mean, stats.compute.p50, stats.compute.p90,
+        stats.compute.p99, stats.compute.max);
     std::printf(
         "[serve] cache: structures %llu/%llu hits (%zu entries), embeddings "
         "%llu/%llu hits (%zu entries), %llu evictions\n",

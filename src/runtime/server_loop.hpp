@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "api/session.hpp"
+#include "obs/metrics.hpp"
 
 namespace deepseq::runtime {
 
@@ -50,21 +51,22 @@ struct ServerConfig {
 ///   DEEPSEQ_REQUESTS  trace length                          (default 200)
 ///   DEEPSEQ_BACKEND   registry name, or a comma-separated list for mixed
 ///                     traffic (default deepseq)
+///   DEEPSEQ_METRICS   period in seconds: run_server_loop prints an
+///                     obs::snapshot_json() metrics delta at this cadence
+///                     while the trace replays (unset / <= 0 = off)
 /// DEEPSEQ_BACKEND is resolved against the BackendRegistry: unknown names
 /// fail fast with an Error listing every registered backend.
 ServerConfig server_config_from_env();
 
-struct LatencySummary {
-  double mean_ms = 0.0;
-  double p50_ms = 0.0;
-  double p90_ms = 0.0;
-  double p99_ms = 0.0;
-  double max_ms = 0.0;
-};
+/// Latency digests are the obs histogram summary now — one percentile
+/// implementation (obs::Histogram) serves the server loop, the benches and
+/// the metrics export. Fields are in milliseconds here (mean/p50/p90/p99/
+/// max); percentiles are log-bucket estimates within 6.25% of exact.
+using LatencySummary = obs::Summary;
 
-/// Percentiles over a sample of latencies (nearest-rank); empty input
-/// yields zeros.
-LatencySummary summarize_latencies(std::vector<double> total_ms);
+/// Digest a sample of millisecond latencies through an obs::Histogram
+/// (nearest-rank percentile estimates); empty input yields zeros.
+LatencySummary summarize_latencies(const std::vector<double>& total_ms);
 
 struct ServerStats {
   std::size_t completed = 0;

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace deepseq::runtime {
+namespace {
+
+/// Process-wide pool metrics (all ThreadPool instances aggregate): queue
+/// depth is a gauge sampled at every transition, executed tasks a counter.
+/// Looked up once; recording is lock-free.
+struct PoolMetrics {
+  obs::Gauge& queue_depth = obs::Registry::global().gauge("pool.queue_depth");
+  obs::Counter& tasks = obs::Registry::global().counter("pool.tasks");
+  static PoolMetrics& get() {
+    static PoolMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   if (threads <= 0) {
@@ -27,6 +44,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    PoolMetrics::get().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
   work_ready_.notify_one();
 }
@@ -48,9 +66,11 @@ void ThreadPool::worker_loop() {
     if (queue_.empty()) return;  // stop_ set and drained
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
+    PoolMetrics::get().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
     ++in_flight_;
     lock.unlock();
     task();
+    PoolMetrics::get().tasks.inc();
     lock.lock();
     --in_flight_;
     ++completed_;

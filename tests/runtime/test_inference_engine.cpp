@@ -261,8 +261,13 @@ TEST(InferenceEngine, IsomorphicRenumberedCircuitGetsItsOwnEmbedding) {
 
   Rng rng(21);
   Workload w = random_workload(*a, rng);
-  EmbeddingRequest ra{a, w, &backends.deepseq, 5};
-  EmbeddingRequest rb{b, w, &backends.deepseq, 5};
+  EmbeddingRequest ra;
+  ra.circuit = a;
+  ra.workload = w;
+  ra.backend = &backends.deepseq;
+  ra.init_seed = 5;
+  EmbeddingRequest rb = ra;
+  rb.circuit = b;
 
   (void)engine.run_sync(ra);  // warms the cache with a's node-indexed rows
   const EmbeddingResult got_b = engine.run_sync(rb);
