@@ -1,5 +1,7 @@
-// Embedding-serving demo: replay an open-loop request trace against the
-// concurrent batched inference runtime (src/runtime/).
+// Embedding-serving demo: replay an open-loop request trace through the
+// serving tier (src/serve/) — an in-process server on an ephemeral loopback
+// port, requests over the wire, routed across Session shards by structural
+// hash.
 //
 //   serve_embeddings [netlist_dir]
 //
@@ -8,8 +10,9 @@
 // netlists is generated and written to ./serve_demo_netlists first, so the
 // disk-loading path is exercised either way. Serving knobs come from the
 // environment: DEEPSEQ_QPS, DEEPSEQ_THREADS, DEEPSEQ_REQUESTS,
-// DEEPSEQ_BACKEND (any registered backend name, or a comma-separated list
-// for mixed traffic; unknown names abort listing the registry).
+// DEEPSEQ_SHARDS, DEEPSEQ_BACKEND (any registered backend name, or a
+// comma-separated list for mixed traffic; unknown names abort listing the
+// registry).
 
 #include <cstdio>
 #include <exception>

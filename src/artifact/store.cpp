@@ -1,0 +1,184 @@
+#include "artifact/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace deepseq::artifact {
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string hash_hex16(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf, 16);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Store Store::open(const std::string& dir) {
+  if (!fs::is_directory(dir))
+    throw Error("artifact::Store: '" + dir + "' is not a directory");
+  Store store;
+  store.dir_ = dir;
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".dsqa") continue;
+    paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    std::shared_ptr<const Artifact> art;
+    try {
+      // load_artifact re-verifies the stored content hash — a store that
+      // opens serves only bit-exact artifacts.
+      art = std::make_shared<const Artifact>(load_artifact(path));
+    } catch (const std::exception& e) {
+      throw Error("artifact::Store: failed to load '" + path +
+                  "': " + e.what());
+    }
+    StoreEntry se;
+    // Logical name = stem up to the first '@' — "model@1a2b.dsqa" and
+    // "model.dsqa" are two versions of "model", so a push can drop a new
+    // file next to the old one without renaming anything.
+    const std::string stem = fs::path(path).stem().string();
+    se.name = stem.substr(0, stem.find('@'));
+    se.content_hash = art->manifest.content_hash;
+    se.hash_hex = hash_hex16(se.content_hash);
+    se.path = path;
+    se.backend_kind = art->manifest.backend_kind;
+    se.mtime = fs::last_write_time(path);
+    // Identical (name, hash) from two scans of the same file cannot happen
+    // (paths are unique); identical content under two names is two entries.
+    store.entries_.push_back(std::move(se));
+    store.artifacts_.push_back(std::move(art));
+  }
+  // Sort entries (and the parallel artifact column) by (name, hash).
+  std::vector<std::size_t> order(store.entries_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const StoreEntry& ea = store.entries_[a];
+    const StoreEntry& eb = store.entries_[b];
+    return ea.name != eb.name ? ea.name < eb.name
+                              : ea.hash_hex < eb.hash_hex;
+  });
+  std::vector<StoreEntry> entries;
+  std::vector<std::shared_ptr<const Artifact>> artifacts;
+  entries.reserve(order.size());
+  artifacts.reserve(order.size());
+  for (std::size_t i : order) {
+    entries.push_back(std::move(store.entries_[i]));
+    artifacts.push_back(std::move(store.artifacts_[i]));
+  }
+  store.entries_ = std::move(entries);
+  store.artifacts_ = std::move(artifacts);
+  return store;
+}
+
+const StoreEntry& Store::resolve_entry(const std::string& ref) const {
+  std::string name = ref;
+  std::string version = "latest";
+  if (const auto at = ref.find('@'); at != std::string::npos) {
+    name = ref.substr(0, at);
+    version = ref.substr(at + 1);
+  }
+  if (name.empty() || version.empty())
+    throw Error("artifact::Store: malformed ref '" + ref +
+                "' (want name, name@latest or name@<hex hash>)");
+  std::vector<std::size_t> named;
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].name == name) named.push_back(i);
+  if (named.empty()) {
+    std::string known;
+    for (const StoreEntry& e : entries_) {
+      if (!known.empty()) known += ", ";
+      known += e.name + "@" + e.hash_hex;
+    }
+    throw Error("artifact::Store: no artifact named '" + name + "' in '" +
+                dir_ + "'" +
+                (known.empty() ? " (store is empty)" : "; have: " + known));
+  }
+  if (version == "latest") {
+    std::size_t best = named[0];
+    for (std::size_t i : named) {
+      if (entries_[i].mtime > entries_[best].mtime ||
+          (entries_[i].mtime == entries_[best].mtime &&
+           entries_[i].hash_hex > entries_[best].hash_hex))
+        best = i;
+    }
+    return entries_[best];
+  }
+  // Hash (prefix) match — must be unique.
+  std::vector<std::size_t> matches;
+  for (std::size_t i : named)
+    if (entries_[i].hash_hex.rfind(version, 0) == 0) matches.push_back(i);
+  if (matches.size() == 1) return entries_[matches[0]];
+  std::string versions;
+  for (std::size_t i : named) {
+    if (!versions.empty()) versions += ", ";
+    versions += entries_[i].hash_hex;
+  }
+  if (matches.empty())
+    throw Error("artifact::Store: no version of '" + name + "' matches '" +
+                version + "'; have: " + versions);
+  throw Error("artifact::Store: hash prefix '" + version + "' of '" + name +
+              "' is ambiguous; have: " + versions);
+}
+
+std::shared_ptr<const Artifact> Store::resolve(const std::string& ref) const {
+  const StoreEntry& entry = resolve_entry(ref);
+  return artifacts_[static_cast<std::size_t>(&entry - entries_.data())];
+}
+
+std::string Store::manifest_json() const {
+  std::string out = "{\"dir\":\"" + json_escape(dir_) + "\",\"entries\":[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const StoreEntry& e = entries_[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":\"" + json_escape(e.name) + "\",\"hash\":\"" +
+           e.hash_hex + "\",\"kind\":\"" + json_escape(e.backend_kind) +
+           "\",\"path\":\"" + json_escape(e.path) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::shared_ptr<const Store> store_from_env() {
+  const std::string dir = env_string("DEEPSEQ_ARTIFACT_DIR", "");
+  if (dir.empty()) return nullptr;
+  try {
+    return std::make_shared<const Store>(Store::open(dir));
+  } catch (const std::exception& e) {
+    throw Error(std::string("DEEPSEQ_ARTIFACT_DIR: ") + e.what());
+  }
+}
+
+}  // namespace deepseq::artifact

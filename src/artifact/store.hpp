@@ -1,0 +1,75 @@
+#pragma once
+
+// Directory-of-artifacts store (the PR 4 follow-up): a directory of .dsqa
+// files read as a versioned manifest. Every file contributes one entry
+// keyed (name, content hash) — name is the file stem, the hash is the
+// artifact's deterministic content digest — so several versions of one
+// model live side by side and are addressed as "name@<hex hash>" (unique
+// prefixes accepted) or "name@latest". This is the serving tier's reload
+// currency: a fleet pushes weights by dropping a file into the directory
+// and telling every server "reload name@hash".
+//
+// Validation is strict and fail-fast, the DEEPSEQ_ARTIFACT contract: open()
+// loads and hash-verifies EVERY .dsqa file up front, and a single corrupt,
+// truncated or future-versioned file fails the whole open naming the file
+// and the problem — a store that opened successfully serves only verified
+// artifacts.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.hpp"
+
+namespace deepseq::artifact {
+
+struct StoreEntry {
+  std::string name;            // file stem up to the first '@'
+  std::uint64_t content_hash;  // verified content digest
+  std::string hash_hex;        // 16 lowercase hex digits of content_hash
+  std::string path;
+  std::string backend_kind;    // manifest kind ("deepseq", "pace", ...)
+  std::filesystem::file_time_type mtime;  // "latest" tie-breaks on hash
+};
+
+class Store {
+ public:
+  /// Scan `dir` for *.dsqa files, loading and verifying each. Throws Error
+  /// when `dir` is not a directory or any artifact file fails to load
+  /// (naming the file). An empty directory is a valid, empty store.
+  static Store open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// All entries, sorted by (name, hash_hex) — the manifest listing.
+  const std::vector<StoreEntry>& entries() const { return entries_; }
+
+  /// Resolve "name@<hex hash>" (any unambiguous prefix of the 16 hex
+  /// digits), "name@latest", or bare "name" (same as @latest: newest mtime,
+  /// ties broken toward the larger hash so the choice is deterministic).
+  /// Throws Error naming the available versions when nothing (or more than
+  /// one prefix match) fits.
+  const StoreEntry& resolve_entry(const std::string& ref) const;
+
+  /// resolve_entry + the loaded (already verified) artifact.
+  std::shared_ptr<const Artifact> resolve(const std::string& ref) const;
+
+  /// One-line JSON manifest: {"dir":...,"entries":[{"name":...,"hash":...,
+  /// "kind":...},...]} — what a fleet controller lists to pick a push target.
+  std::string manifest_json() const;
+
+ private:
+  std::string dir_;
+  std::vector<StoreEntry> entries_;
+  std::vector<std::shared_ptr<const Artifact>> artifacts_;  // parallel
+};
+
+/// Open the store DEEPSEQ_ARTIFACT_DIR points at; nullptr when the variable
+/// is unset or empty. Same fail-fast contract as DEEPSEQ_ARTIFACT: a
+/// nonexistent directory or any invalid artifact file inside throws an
+/// Error naming the variable and the path — never a silent empty store.
+std::shared_ptr<const Store> store_from_env();
+
+}  // namespace deepseq::artifact

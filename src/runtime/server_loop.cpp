@@ -15,6 +15,8 @@
 #include "netlist/aig.hpp"
 #include "netlist/aiger_io.hpp"
 #include "netlist/bench_io.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace deepseq::runtime {
 
@@ -62,6 +64,7 @@ ServerConfig server_config_from_env() {
       env_int("DEEPSEQ_THREADS", cfg.session.engine.threads));
   cfg.total_requests =
       static_cast<int>(env_int("DEEPSEQ_REQUESTS", cfg.total_requests));
+  cfg.shards = static_cast<int>(env_int("DEEPSEQ_SHARDS", cfg.shards));
 
   // Resolve the requested backend(s) against the registry: every name must
   // be registered; unknown names throw listing the alternatives instead of
@@ -94,7 +97,18 @@ ServerStats run_server_loop(const ServerConfig& config,
   stats.offered_qps = config.qps;
   if (netlists.empty() || config.total_requests <= 0) return stats;
 
-  api::Session session(config.session);
+  // The replay is a genuine client of the serving tier: requests cross a
+  // loopback socket into the shard router, so the trace exercises the one
+  // request path production traffic takes.
+  serve::ServeConfig serve_cfg;
+  serve_cfg.router.shards = std::max(1, config.shards);
+  serve_cfg.router.workers_per_shard =
+      config.workers_per_shard > 0
+          ? config.workers_per_shard
+          : std::max(1, config.session.engine.threads);
+  serve_cfg.router.session = config.session;
+  serve::Server server(serve_cfg);
+  serve::Client client(server.port());
   Rng rng(config.seed);
 
   // DEEPSEQ_METRICS=<seconds>: print a per-period obs metrics delta while
@@ -147,8 +161,10 @@ ServerStats run_server_loop(const ServerConfig& config,
     a = t;
   }
 
-  std::vector<std::future<api::TaskResult>> futures;
+  std::vector<std::future<serve::TaskReply>> futures;
+  std::vector<std::chrono::steady_clock::time_point> sent_at;
   futures.reserve(arrival_s.size());
+  sent_at.reserve(arrival_s.size());
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < arrival_s.size(); ++i) {
     const auto due =
@@ -164,9 +180,38 @@ ServerStats run_server_loop(const ServerConfig& config,
     req.task = api::TaskKind::kEmbedding;
     req.backend = backends[rng.uniform_index(backends.size())];
     req.init_seed = 7;  // fixed: embeddings for equal inputs are cacheable
-    futures.push_back(session.submit(std::move(req)));
+    sent_at.push_back(std::chrono::steady_clock::now());
+    futures.push_back(client.submit(req, config.deadline_ms));
   }
-  session.drain();
+
+  std::vector<double> total_ms, queue_ms, compute_ms;
+  total_ms.reserve(futures.size());
+  queue_ms.reserve(futures.size());
+  compute_ms.reserve(futures.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      const serve::TaskReply reply = futures[i].get();
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - sent_at[i])
+              .count();
+      total_ms.push_back(wall_ms);
+      queue_ms.push_back(std::max(0.0, wall_ms - reply.result.total_ms));
+      compute_ms.push_back(reply.result.compute_ms);
+      ++stats.completed;
+    } catch (const serve::ServeError& e) {
+      if (e.overloaded()) {
+        ++stats.shed;
+      } else {
+        ++stats.failed;
+      }
+      if (verbose)
+        std::fprintf(stderr, "[serve] request rejected: %s\n", e.what());
+    } catch (const std::exception& e) {
+      ++stats.failed;
+      if (verbose) std::fprintf(stderr, "[serve] request failed: %s\n", e.what());
+    }
+  }
   if (metrics_printer.joinable()) {
     {
       std::lock_guard<std::mutex> lock(metrics_mu);
@@ -179,22 +224,6 @@ ServerStats run_server_loop(const ServerConfig& config,
     std::fflush(stdout);
   }
 
-  std::vector<double> total_ms, queue_ms, compute_ms;
-  total_ms.reserve(futures.size());
-  queue_ms.reserve(futures.size());
-  compute_ms.reserve(futures.size());
-  for (auto& f : futures) {
-    try {
-      const api::TaskResult r = f.get();
-      total_ms.push_back(r.total_ms);
-      queue_ms.push_back(r.queue_ms);
-      compute_ms.push_back(r.compute_ms);
-      ++stats.completed;
-    } catch (const std::exception& e) {
-      ++stats.failed;
-      if (verbose) std::fprintf(stderr, "[serve] request failed: %s\n", e.what());
-    }
-  }
   const auto end = std::chrono::steady_clock::now();
   stats.wall_seconds = std::chrono::duration<double>(end - start).count();
   stats.achieved_qps = stats.wall_seconds > 0.0
@@ -204,14 +233,30 @@ ServerStats run_server_loop(const ServerConfig& config,
   stats.latency = summarize_latencies(total_ms);
   stats.queue = summarize_latencies(queue_ms);
   stats.compute = summarize_latencies(compute_ms);
-  stats.cache = session.cache_stats();
+  for (int s = 0; s < server.router().num_shards(); ++s) {
+    const runtime::CircuitCache::Stats shard =
+        server.router().shard_stats(s).cache;
+    auto add = [](CacheCounters& into, const CacheCounters& from) {
+      into.hits += from.hits;
+      into.misses += from.misses;
+      into.evictions += from.evictions;
+    };
+    add(stats.cache.structures, shard.structures);
+    add(stats.cache.embeddings, shard.embeddings);
+    add(stats.cache.regressions, shard.regressions);
+    stats.cache.structure_entries += shard.structure_entries;
+    stats.cache.embedding_entries += shard.embedding_entries;
+    stats.cache.regression_entries += shard.regression_entries;
+  }
 
   if (verbose) {
     std::printf(
-        "[serve] %zu/%zu ok, wall %.2fs, offered %.1f qps, achieved %.1f "
-        "qps\n",
-        stats.completed, stats.completed + stats.failed, stats.wall_seconds,
-        stats.offered_qps, stats.achieved_qps);
+        "[serve] %zu/%zu ok (%zu shed), wall %.2fs, offered %.1f qps, "
+        "achieved %.1f qps, %d shard(s) on 127.0.0.1:%u\n",
+        stats.completed, stats.completed + stats.failed + stats.shed,
+        stats.shed, stats.wall_seconds, stats.offered_qps,
+        stats.achieved_qps, server.router().num_shards(),
+        static_cast<unsigned>(server.port()));
     std::printf(
         "[serve] total ms:   mean %.2f p50 %.2f p90 %.2f p99 %.2f max "
         "%.2f\n",

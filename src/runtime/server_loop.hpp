@@ -27,7 +27,10 @@ std::vector<LoadedNetlist> load_netlist_dir(const std::string& dir);
 /// drawn up front from the offered rate (Poisson by default) and requests
 /// are submitted at those times regardless of completion — the standard
 /// way to expose queueing delay that closed-loop (wait-for-reply) drivers
-/// hide.
+/// hide. The replay runs as a CLIENT of the serving tier: an in-process
+/// serve::Server is stood up on an ephemeral loopback port and every
+/// request goes over the wire, so there is exactly one request path from
+/// trace replay to fleet serving.
 struct ServerConfig {
   double qps = 50.0;
   int total_requests = 200;
@@ -43,12 +46,21 @@ struct ServerConfig {
   int workloads_per_netlist = 4;
   std::uint64_t seed = 1;
   api::SessionConfig session;
+  /// Serving-tier shape behind the loopback port: Session shards requests
+  /// are routed over by structural hash, and worker threads per shard
+  /// (0 = derive from session.engine.threads).
+  int shards = 1;
+  int workers_per_shard = 0;
+  /// Server-side latency budget per request in ms (admission control sheds
+  /// typed kOverloadDeadline past it); 0 = none.
+  std::uint32_t deadline_ms = 0;
 };
 
 /// Read serving knobs from the environment (common/env):
 ///   DEEPSEQ_QPS       offered rate                          (default 50)
 ///   DEEPSEQ_THREADS   session worker threads                (default 4)
 ///   DEEPSEQ_REQUESTS  trace length                          (default 200)
+///   DEEPSEQ_SHARDS    serving-tier Session shards           (default 1)
 ///   DEEPSEQ_BACKEND   registry name, or a comma-separated list for mixed
 ///                     traffic (default deepseq)
 ///   DEEPSEQ_METRICS   period in seconds: run_server_loop prints an
@@ -71,19 +83,25 @@ LatencySummary summarize_latencies(const std::vector<double>& total_ms);
 struct ServerStats {
   std::size_t completed = 0;
   std::size_t failed = 0;  // requests whose future carried an exception
+  /// Requests the serving tier rejected with a typed overload error
+  /// (queue-full / deadline) — admission control working as intended, kept
+  /// separate from `failed`.
+  std::size_t shed = 0;
   double wall_seconds = 0.0;
   double offered_qps = 0.0;
   double achieved_qps = 0.0;
-  LatencySummary latency;  // submit -> fulfillment (total_ms)
-  /// Breakdown of the same requests: time spent waiting for a worker vs in
-  /// the forward pass — separates queueing delay from compute cost.
-  LatencySummary queue;    // queue_ms
-  LatencySummary compute;  // compute_ms
-  runtime::CircuitCache::Stats cache;
+  LatencySummary latency;  // client-observed: submit -> reply
+  /// Breakdown of the same requests: time outside the compute path (wire,
+  /// admission queue, engine queue) vs the forward pass — separates
+  /// queueing delay from compute cost.
+  LatencySummary queue;    // client total minus the session's total_ms
+  LatencySummary compute;  // compute_ms as measured by the serving Session
+  runtime::CircuitCache::Stats cache;  // summed over shards
 };
 
-/// Replay the trace against a fresh api::Session built from
-/// `config.session` and return aggregate stats.
+/// Stand up a serve::Server (ephemeral loopback port, `config.shards`
+/// Session shards built from `config.session`), replay the trace through a
+/// serve::Client over the socket, and return aggregate stats.
 ServerStats run_server_loop(const ServerConfig& config,
                             const std::vector<LoadedNetlist>& netlists,
                             bool verbose = false);

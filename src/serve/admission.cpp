@@ -1,0 +1,213 @@
+#include "serve/admission.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace deepseq::serve {
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-kind admission counters on the process-wide obs registry — the shed
+/// accounting the serving tier's "submitted == completed + failed + shed"
+/// invariant is audited against. Resolved once per process.
+struct AdmissionMetrics {
+  obs::Counter* admitted;
+  obs::Counter* shed;
+};
+
+const AdmissionMetrics& admission_metrics(int kind) {
+  static const std::array<AdmissionMetrics, kNumTaskKinds> all = [] {
+    std::array<AdmissionMetrics, kNumTaskKinds> a{};
+    auto& reg = obs::Registry::global();
+    for (int i = 0; i < kNumTaskKinds; ++i) {
+      const std::string kind_name =
+          api::task_name(static_cast<api::TaskKind>(i));
+      a[static_cast<std::size_t>(i)] =
+          AdmissionMetrics{&reg.counter("serve.admitted." + kind_name),
+                           &reg.counter("serve.shed." + kind_name)};
+    }
+    return a;
+  }();
+  return all[static_cast<std::size_t>(kind)];
+}
+
+obs::Counter& shed_reason_counter(ShedReason r) {
+  static obs::Counter* by_reason[3] = {
+      &obs::Registry::global().counter("serve.shed_reason.queue-full"),
+      &obs::Registry::global().counter("serve.shed_reason.deadline"),
+      &obs::Registry::global().counter("serve.shed_reason.shutdown"),
+  };
+  return *by_reason[static_cast<int>(r)];
+}
+
+}  // namespace
+
+const char* shed_reason_name(ShedReason r) {
+  switch (r) {
+    case ShedReason::kQueueFull: return "queue-full";
+    case ShedReason::kDeadline: return "deadline";
+    case ShedReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+AdmissionQueue::AdmissionQueue(const AdmissionConfig& config)
+    : config_(config),
+      clock_(config.clock ? config.clock
+                          : std::function<std::uint64_t()>(steady_now_ns)) {
+  if (config_.workers < 1)
+    throw Error("AdmissionQueue: workers must be >= 1, got " +
+                std::to_string(config_.workers));
+  ewma_ns_.fill(config_.initial_cost_ns);
+}
+
+std::size_t AdmissionQueue::depth(int kind) const {
+  const std::size_t d = config_.depth[static_cast<std::size_t>(kind)];
+  return d > 0 ? d : config_.default_depth;
+}
+
+std::optional<ShedReason> AdmissionQueue::shed_locked(int kind,
+                                                      ShedReason reason) {
+  counts_.shed[static_cast<std::size_t>(kind)] += 1;
+  counts_.shed_by_reason[static_cast<std::size_t>(reason)] += 1;
+  admission_metrics(kind).shed->inc();
+  shed_reason_counter(reason).inc();
+  return reason;
+}
+
+std::optional<ShedReason> AdmissionQueue::try_push(Job job) {
+  const int kind = job.kind;
+  if (kind < 0 || kind >= kNumTaskKinds)
+    throw Error("AdmissionQueue: bad task kind index " + std::to_string(kind));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return shed_locked(kind, ShedReason::kShutdown);
+  auto& q = queues_[static_cast<std::size_t>(kind)];
+  if (q.size() >= depth(kind))
+    return shed_locked(kind, ShedReason::kQueueFull);
+  const std::uint64_t cost = ewma_ns_[static_cast<std::size_t>(kind)];
+  if (job.deadline_ns != 0) {
+    const std::uint64_t wait =
+        total_queued_cost_ns_ / static_cast<std::uint64_t>(config_.workers);
+    const std::uint64_t now = clock_();
+    // Shed when the job would still be queued at its deadline: the wait
+    // estimate alone must fit the budget (service time is the client's
+    // problem to include in the deadline it picks).
+    if (now + wait > job.deadline_ns)
+      return shed_locked(kind, ShedReason::kDeadline);
+  }
+  counts_.admitted[static_cast<std::size_t>(kind)] += 1;
+  admission_metrics(kind).admitted->inc();
+  q.push_back(std::move(job));
+  queued_cost_[static_cast<std::size_t>(kind)].push_back(cost);
+  total_queued_cost_ns_ += cost;
+  ready_.notify_one();
+  return std::nullopt;
+}
+
+bool AdmissionQueue::pop(Job& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    ready_.wait(lock, [&] {
+      if (shutdown_) return true;
+      for (const auto& q : queues_)
+        if (!q.empty()) return true;
+      return false;
+    });
+    // Highest priority (smallest value) non-empty kind, ties toward the
+    // lower kind index — a deterministic total order.
+    int best = -1;
+    for (int k = 0; k < kNumTaskKinds; ++k) {
+      if (queues_[static_cast<std::size_t>(k)].empty()) continue;
+      if (best < 0 || config_.priority[static_cast<std::size_t>(k)] <
+                          config_.priority[static_cast<std::size_t>(best)])
+        best = k;
+    }
+    if (best < 0) {
+      if (shutdown_) return false;
+      continue;
+    }
+    auto& q = queues_[static_cast<std::size_t>(best)];
+    Job job = std::move(q.front());
+    q.pop_front();
+    auto& costs = queued_cost_[static_cast<std::size_t>(best)];
+    total_queued_cost_ns_ -= costs.front();
+    costs.pop_front();
+    // Pop-side deadline check: a job that expired while queued is shed here
+    // (its shed callback delivers the typed error) and the popper keeps
+    // waiting for live work.
+    if (job.deadline_ns != 0 && clock_() > job.deadline_ns) {
+      // Counters stay monotone (obs mirrors them): `admitted` counts jobs
+      // that passed push-time admission, so a job shed after admission
+      // appears in both admitted and shed — the audited identity is
+      // submitted == completed + failed + shed.
+      shed_locked(best, ShedReason::kDeadline);
+      lock.unlock();
+      if (job.shed) job.shed(ShedReason::kDeadline);
+      lock.lock();
+      continue;
+    }
+    out = std::move(job);
+    return true;
+  }
+}
+
+void AdmissionQueue::shutdown() {
+  std::vector<Job> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      for (int k = 0; k < kNumTaskKinds; ++k) {
+        auto& q = queues_[static_cast<std::size_t>(k)];
+        while (!q.empty()) {
+          shed_locked(k, ShedReason::kShutdown);
+          drained.push_back(std::move(q.front()));
+          q.pop_front();
+        }
+        queued_cost_[static_cast<std::size_t>(k)].clear();
+      }
+      total_queued_cost_ns_ = 0;
+    }
+  }
+  ready_.notify_all();
+  for (Job& job : drained)
+    if (job.shed) job.shed(ShedReason::kShutdown);
+}
+
+void AdmissionQueue::record_service_ns(int kind, std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t& e = ewma_ns_[static_cast<std::size_t>(kind)];
+  e = e == 0 ? ns : (7 * e + ns) / 8;
+}
+
+std::uint64_t AdmissionQueue::estimated_wait_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_queued_cost_ns_ / static_cast<std::uint64_t>(config_.workers);
+}
+
+std::uint64_t AdmissionQueue::service_estimate_ns(int kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_ns_[static_cast<std::size_t>(kind)];
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+AdmissionQueue::Counts AdmissionQueue::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+}  // namespace deepseq::serve

@@ -1,0 +1,141 @@
+#pragma once
+
+// Admission control of the serving tier: bounded per-TaskKind queues with a
+// static priority order, and shed-on-deadline backed by an EWMA service-time
+// model. The contract is "reject typed, never queue unboundedly": a request
+// that cannot be admitted is shed IMMEDIATELY with a typed reason (so the
+// client can back off), and every submitted job ends in exactly one of
+// {completed, failed, shed} — the accounting the obs counters pin.
+//
+// Determinism: all time flows through an injectable clock (AdmissionConfig::
+// clock), so tests drive deadline sheds with a fake clock and exact
+// arithmetic — no sleeps, no wall-clock flakes.
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "api/session.hpp"
+
+namespace deepseq::serve {
+
+/// Why a job was not (or will not be) served. Mapped 1:1 onto the wire's
+/// typed overload errors by the server.
+enum class ShedReason : std::uint8_t {
+  kQueueFull = 0,  // the kind's bounded queue is at capacity
+  kDeadline = 1,   // estimated (or actual) wait exceeds the job's deadline
+  kShutdown = 2,   // queue is draining for shutdown
+};
+
+const char* shed_reason_name(ShedReason r);
+
+constexpr int kNumTaskKinds = 6;
+
+struct AdmissionConfig {
+  /// Per-kind queue capacity; 0 entries fall back to `default_depth`.
+  std::array<std::size_t, kNumTaskKinds> depth{};
+  std::size_t default_depth = 64;
+  /// Serving order across kinds: pop() always takes from the non-empty kind
+  /// with the SMALLEST priority value; ties break toward the lower kind
+  /// index. Defaults (0 everywhere) make pop round over kinds in enum order.
+  std::array<int, kNumTaskKinds> priority{};
+  /// Worker threads draining this queue — the divisor of the queue-wait
+  /// estimate (K workers drain K jobs concurrently).
+  int workers = 1;
+  /// Assumed per-job service time before the first real sample of a kind
+  /// lands in the EWMA (0 = admit everything until measured).
+  std::uint64_t initial_cost_ns = 0;
+  /// Monotonic nanosecond clock; defaults to std::chrono::steady_clock.
+  /// Tests inject a fake to make deadline sheds exact.
+  std::function<std::uint64_t()> clock;
+};
+
+/// One unit of admitted work. `run` executes the task; `shed` is invoked
+/// instead (with the reason) when the job is dropped after admission — the
+/// pop-side deadline check and shutdown drain both route through it, so a
+/// caller-supplied completion always fires exactly once.
+struct Job {
+  int kind = 0;  // api::TaskKind index
+  /// Absolute deadline on the admission clock; 0 = none.
+  std::uint64_t deadline_ns = 0;
+  std::function<void()> run;
+  std::function<void(ShedReason)> shed;
+};
+
+/// Bounded, prioritized, deadline-aware MPMC queue. Thread-safe throughout.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const AdmissionConfig& config);
+
+  /// Admit or shed. Admission applies, in order: (1) shutdown check, (2)
+  /// bounded-depth check on the job's kind, (3) deadline check — the job is
+  /// shed with kDeadline when now + estimated_wait_ns() would exceed its
+  /// deadline. On a shed the job's `shed` callback is NOT invoked (the
+  /// caller still holds the job and reports the typed error itself); the
+  /// reason is returned. nullopt = admitted.
+  std::optional<ShedReason> try_push(Job job);
+
+  /// Block for the highest-priority admitted job. A job whose deadline
+  /// already passed at pop time is shed (its `shed` callback runs with
+  /// kDeadline, counted like a push-side shed) and the wait continues.
+  /// Returns false when the queue is shut down and empty.
+  bool pop(Job& out);
+
+  /// Wake every popper; subsequent try_push calls shed with kShutdown.
+  /// Jobs still queued are shed (their `shed` callbacks run with kShutdown)
+  /// — nothing admitted is silently dropped.
+  void shutdown();
+
+  /// Feed one measured service time into the kind's EWMA (alpha = 1/8).
+  void record_service_ns(int kind, std::uint64_t ns);
+
+  /// Estimated wait of a newly-arriving job: the summed cost estimate of
+  /// everything currently queued, divided by the worker count.
+  std::uint64_t estimated_wait_ns() const;
+
+  /// Current EWMA service-time estimate of one kind (initial_cost_ns until
+  /// the first sample).
+  std::uint64_t service_estimate_ns(int kind) const;
+
+  std::size_t depth(int kind) const;
+  std::size_t size() const;
+
+  /// Monotone admission counters (mirrored 1:1 onto the obs registry as
+  /// serve.admitted.<kind> / serve.shed.<kind> / serve.shed_reason.<r>).
+  /// `admitted` counts jobs that passed push-time admission; a job shed
+  /// AFTER admission (pop-side deadline, shutdown drain) appears in both
+  /// admitted and shed, so the audited identity is
+  ///   submitted == completed + failed + shed
+  /// with `submitted`/`completed`/`failed` kept by the caller.
+  struct Counts {
+    std::array<std::uint64_t, kNumTaskKinds> admitted{};
+    std::array<std::uint64_t, kNumTaskKinds> shed{};
+    std::array<std::uint64_t, 3> shed_by_reason{};  // indexed by ShedReason
+  };
+  Counts counts() const;
+
+  std::uint64_t now_ns() const { return clock_(); }
+
+ private:
+  std::optional<ShedReason> shed_locked(int kind, ShedReason reason);
+
+  AdmissionConfig config_;
+  std::function<std::uint64_t()> clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::array<std::deque<Job>, kNumTaskKinds> queues_;
+  /// Summed service-cost estimate of queued jobs (each job contributes the
+  /// estimate captured at push time, so push/pop bookkeeping is exact).
+  std::array<std::deque<std::uint64_t>, kNumTaskKinds> queued_cost_;
+  std::uint64_t total_queued_cost_ns_ = 0;
+  std::array<std::uint64_t, kNumTaskKinds> ewma_ns_{};
+  bool shutdown_ = false;
+  Counts counts_;
+};
+
+}  // namespace deepseq::serve

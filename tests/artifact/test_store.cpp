@@ -1,0 +1,206 @@
+// artifact::Store tests: a directory of .dsqa files read as a versioned
+// manifest — several versions of one logical name side by side, addressed
+// as name@<hex hash> (unique prefixes), name@latest or bare name — with the
+// strict fail-fast contract: one corrupt file fails the whole open, and
+// DEEPSEQ_ARTIFACT_DIR errors name the variable.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "api/backends.hpp"
+#include "artifact/model_io.hpp"
+#include "artifact/store.hpp"
+#include "common/error.hpp"
+#include "support/json_check.hpp"
+
+namespace deepseq::artifact {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty directory under the test tmpdir.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Save a deepseq snapshot with `hidden` controlling the content (different
+/// architectures => different content hashes, deterministically).
+std::uint64_t save_model(const std::string& path, int hidden) {
+  Artifact a = snapshot(DeepSeqModel(ModelConfig::deepseq(hidden, 2)));
+  save_artifact(path, a);
+  return a.manifest.content_hash;
+}
+
+TEST(ArtifactStore, VersionsOfOneNameLiveSideBySide) {
+  const std::string dir = fresh_dir("store_versions");
+  // Same logical name "model" under two file names: the stem up to the
+  // first '@' is the name, so a push drops "model@<hash>.dsqa" next to the
+  // original without renaming anything.
+  const std::uint64_t h1 = save_model(dir + "/model.dsqa", 8);
+  const std::uint64_t h2 = save_model(dir + "/model@v2.dsqa", 12);
+  ASSERT_NE(h1, h2);
+
+  const Store store = Store::open(dir);
+  ASSERT_EQ(store.entries().size(), 2u);
+  EXPECT_EQ(store.entries()[0].name, "model");
+  EXPECT_EQ(store.entries()[1].name, "model");
+  // Entries are sorted by (name, hash_hex) — a deterministic manifest.
+  EXPECT_LT(store.entries()[0].hash_hex, store.entries()[1].hash_hex);
+  for (const StoreEntry& e : store.entries()) {
+    EXPECT_EQ(e.backend_kind, "deepseq");
+    EXPECT_EQ(e.hash_hex.size(), 16u);
+  }
+}
+
+TEST(ArtifactStore, ResolveByHashPrefixLatestAndBareName) {
+  const std::string dir = fresh_dir("store_resolve");
+  const std::uint64_t h1 = save_model(dir + "/model.dsqa", 8);
+  const std::uint64_t h2 = save_model(dir + "/model@v2.dsqa", 12);
+  // Make "newest" unambiguous even on coarse-mtime filesystems.
+  fs::last_write_time(dir + "/model@v2.dsqa",
+                      fs::last_write_time(dir + "/model.dsqa") +
+                          std::chrono::seconds(5));
+  const Store store = Store::open(dir);
+
+  char full[17];
+  std::snprintf(full, sizeof full, "%016llx",
+                static_cast<unsigned long long>(h1));
+
+  // Full hash and any unique prefix resolve the same entry.
+  EXPECT_EQ(store.resolve_entry("model@" + std::string(full)).content_hash, h1);
+  std::string prefix(full, 1);
+  // Grow the prefix until it distinguishes the two hashes (usually 1 char).
+  char other[17];
+  std::snprintf(other, sizeof other, "%016llx",
+                static_cast<unsigned long long>(h2));
+  std::size_t n = 1;
+  while (std::string(full, n) == std::string(other, n)) ++n;
+  EXPECT_EQ(store.resolve_entry("model@" + std::string(full, n)).content_hash,
+            h1);
+
+  // "@latest" and the bare name pick the newest file (the v2 push).
+  EXPECT_EQ(store.resolve_entry("model@latest").content_hash, h2);
+  EXPECT_EQ(store.resolve_entry("model").content_hash, h2);
+
+  // resolve() hands back the verified artifact itself.
+  const std::shared_ptr<const Artifact> art = store.resolve("model@latest");
+  ASSERT_NE(art, nullptr);
+  EXPECT_EQ(art->manifest.content_hash, h2);
+}
+
+TEST(ArtifactStore, ResolveErrorsNameTheAvailableVersions) {
+  const std::string dir = fresh_dir("store_errors");
+  (void)save_model(dir + "/model.dsqa", 8);
+  (void)save_model(dir + "/model@v2.dsqa", 12);
+  const Store store = Store::open(dir);
+
+  // Unknown name: lists what IS there.
+  try {
+    (void)store.resolve_entry("nonesuch");
+    FAIL() << "unknown name must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("model@"), std::string::npos);
+  }
+  // Hash prefix matching nothing.
+  EXPECT_THROW((void)store.resolve_entry("model@zzzz"), Error);
+  // Malformed refs: empty version, empty name.
+  EXPECT_THROW((void)store.resolve_entry("model@"), Error);
+  EXPECT_THROW((void)store.resolve_entry("@1234"), Error);
+}
+
+TEST(ArtifactStore, EmptyAndMissingDirectories) {
+  const std::string dir = fresh_dir("store_empty");
+  const Store store = Store::open(dir);  // empty store is valid
+  EXPECT_TRUE(store.entries().empty());
+  try {
+    (void)store.resolve_entry("model");
+    FAIL() << "resolve on an empty store must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("store is empty"), std::string::npos);
+  }
+  EXPECT_THROW((void)Store::open(dir + "/missing"), Error);
+}
+
+TEST(ArtifactStore, OneCorruptFileFailsTheWholeOpen) {
+  const std::string dir = fresh_dir("store_corrupt");
+  (void)save_model(dir + "/good.dsqa", 8);
+  {
+    std::ofstream bad(dir + "/bad.dsqa", std::ios::binary);
+    bad << "this is not an artifact";
+  }
+  try {
+    (void)Store::open(dir);
+    FAIL() << "a corrupt artifact must fail the whole open";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad.dsqa"), std::string::npos);
+  }
+
+  // A bit-flipped but well-formed file fails the content-hash re-check too.
+  fs::remove(dir + "/bad.dsqa");
+  const std::string victim = dir + "/good.dsqa";
+  std::fstream f(victim,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(-9, std::ios::end);  // inside the trailing weight payload
+  char byte = 0;
+  f.seekg(-9, std::ios::end);
+  f.get(byte);
+  f.seekp(-9, std::ios::end);
+  f.put(static_cast<char>(byte ^ 0x01));
+  f.close();
+  EXPECT_THROW((void)Store::open(dir), Error);
+}
+
+TEST(ArtifactStore, ManifestJsonIsValidAndListsEveryEntry) {
+  const std::string dir = fresh_dir("store_manifest");
+  (void)save_model(dir + "/alpha.dsqa", 8);
+  (void)save_model(dir + "/beta.dsqa", 12);
+  const Store store = Store::open(dir);
+
+  const std::string json = store.manifest_json();
+  EXPECT_TRUE(testing::valid_json(json)) << json;
+  EXPECT_NE(json.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"deepseq\""), std::string::npos);
+}
+
+TEST(ArtifactStore, StoreFromEnvContract) {
+  // Unset / empty: no store, no error.
+  unsetenv("DEEPSEQ_ARTIFACT_DIR");
+  EXPECT_EQ(store_from_env(), nullptr);
+  setenv("DEEPSEQ_ARTIFACT_DIR", "", 1);
+  EXPECT_EQ(store_from_env(), nullptr);
+
+  // A set but invalid directory fails fast naming the variable — never a
+  // silent empty store.
+  const std::string missing = ::testing::TempDir() + "/env_store_missing";
+  fs::remove_all(missing);
+  setenv("DEEPSEQ_ARTIFACT_DIR", missing.c_str(), 1);
+  try {
+    (void)store_from_env();
+    FAIL() << "missing DEEPSEQ_ARTIFACT_DIR must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("DEEPSEQ_ARTIFACT_DIR"),
+              std::string::npos);
+  }
+
+  // A valid directory opens strictly.
+  const std::string dir = fresh_dir("env_store");
+  (void)save_model(dir + "/model.dsqa", 8);
+  setenv("DEEPSEQ_ARTIFACT_DIR", dir.c_str(), 1);
+  const std::shared_ptr<const Store> store = store_from_env();
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->entries().size(), 1u);
+  unsetenv("DEEPSEQ_ARTIFACT_DIR");
+}
+
+}  // namespace
+}  // namespace deepseq::artifact

@@ -1,0 +1,265 @@
+// Admission-control tests (deterministic — all time flows through an
+// injected fake clock, so deadline sheds are exact arithmetic): bounded
+// queues reject typed under saturation, shed-on-deadline fires on both the
+// push and pop side, priorities give a deterministic serving order, and the
+// obs accounting closes exactly: submitted == completed + failed + shed.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "serve/admission.hpp"
+
+namespace deepseq::serve {
+namespace {
+
+struct FakeClock {
+  std::shared_ptr<std::atomic<std::uint64_t>> now =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+  std::function<std::uint64_t()> fn() const {
+    auto n = now;
+    return [n] { return n->load(); };
+  }
+};
+
+Job noop_job(int kind, std::uint64_t deadline_ns = 0) {
+  Job j;
+  j.kind = kind;
+  j.deadline_ns = deadline_ns;
+  j.run = [] {};
+  return j;
+}
+
+TEST(ServeAdmission, BoundedQueueShedsTypedAtCapacity) {
+  AdmissionConfig cfg;
+  cfg.depth[0] = 2;
+  FakeClock clock;
+  cfg.clock = clock.fn();
+  AdmissionQueue q(cfg);
+
+  EXPECT_EQ(q.try_push(noop_job(0)), std::nullopt);
+  EXPECT_EQ(q.try_push(noop_job(0)), std::nullopt);
+  EXPECT_EQ(q.try_push(noop_job(0)), ShedReason::kQueueFull);
+  // Other kinds have their own bounded queue — kind 0 being full does not
+  // shed kind 1.
+  EXPECT_EQ(q.try_push(noop_job(1)), std::nullopt);
+
+  const AdmissionQueue::Counts counts = q.counts();
+  EXPECT_EQ(counts.admitted[0], 2u);
+  EXPECT_EQ(counts.shed[0], 1u);
+  EXPECT_EQ(counts.admitted[1], 1u);
+  EXPECT_EQ(counts.shed_by_reason[static_cast<int>(ShedReason::kQueueFull)],
+            1u);
+
+  // Popping frees a slot; push is admitted again.
+  Job out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(q.try_push(noop_job(0)), std::nullopt);
+  q.shutdown();
+}
+
+TEST(ServeAdmission, DeadlineShedIsExactArithmetic) {
+  AdmissionConfig cfg;
+  cfg.workers = 2;
+  cfg.initial_cost_ns = 1000;  // each queued job is assumed to cost 1000ns
+  FakeClock clock;
+  clock.now->store(5000);
+  cfg.clock = clock.fn();
+  AdmissionQueue q(cfg);
+
+  // Queue 4 jobs: total queued cost 4000ns over 2 workers = 2000ns wait.
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(q.try_push(noop_job(0)), std::nullopt);
+  EXPECT_EQ(q.estimated_wait_ns(), 2000u);
+
+  // now(5000) + wait(2000) > deadline 6999 -> shed (leaves the queue, and
+  // therefore the wait estimate, untouched); == deadline 7000 -> admitted
+  // (the check is strictly-greater).
+  EXPECT_EQ(q.try_push(noop_job(0, 6999)), ShedReason::kDeadline);
+  EXPECT_EQ(q.try_push(noop_job(0, 7000)), std::nullopt);
+  EXPECT_EQ(q.counts().shed_by_reason[static_cast<int>(ShedReason::kDeadline)],
+            1u);
+  q.shutdown();
+}
+
+TEST(ServeAdmission, PopSideExpiryShedsAndContinues) {
+  AdmissionConfig cfg;
+  FakeClock clock;
+  cfg.clock = clock.fn();
+  AdmissionQueue q(cfg);
+
+  std::vector<ShedReason> shed_reasons;
+  Job expiring = noop_job(0, /*deadline_ns=*/100);
+  expiring.shed = [&](ShedReason r) { shed_reasons.push_back(r); };
+  ASSERT_EQ(q.try_push(std::move(expiring)), std::nullopt);  // admitted at t=0
+
+  bool live_ran = false;
+  Job live = noop_job(0);
+  live.run = [&] { live_ran = true; };
+  ASSERT_EQ(q.try_push(std::move(live)), std::nullopt);
+
+  clock.now->store(101);  // the first job expired while queued
+  Job out;
+  ASSERT_TRUE(q.pop(out));  // skips the expired job, delivers the live one
+  out.run();
+  EXPECT_TRUE(live_ran);
+  ASSERT_EQ(shed_reasons.size(), 1u);
+  EXPECT_EQ(shed_reasons[0], ShedReason::kDeadline);
+
+  // The pop-side shed appears in BOTH admitted and shed — the monotone
+  // accounting the obs identity builds on.
+  const AdmissionQueue::Counts counts = q.counts();
+  EXPECT_EQ(counts.admitted[0], 2u);
+  EXPECT_EQ(counts.shed[0], 1u);
+  q.shutdown();
+}
+
+TEST(ServeAdmission, PriorityOrderIsDeterministic) {
+  AdmissionConfig cfg;
+  cfg.priority = {3, 1, 2, 0, 0, 3};  // kinds 3 and 4 tie at the front
+  FakeClock clock;
+  cfg.clock = clock.fn();
+  AdmissionQueue q(cfg);
+
+  for (int kind : {0, 1, 2, 3, 4, 5})
+    ASSERT_EQ(q.try_push(noop_job(kind)), std::nullopt);
+
+  // Smallest priority value first; ties break toward the lower kind index;
+  // FIFO within a kind.
+  std::vector<int> order;
+  Job out;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    order.push_back(out.kind);
+  }
+  EXPECT_EQ(order, (std::vector<int>{3, 4, 1, 2, 0, 5}));
+  q.shutdown();
+}
+
+TEST(ServeAdmission, ShutdownDrainsTypedAndRejectsLatePushes) {
+  AdmissionConfig cfg;
+  FakeClock clock;
+  cfg.clock = clock.fn();
+  AdmissionQueue q(cfg);
+
+  std::vector<ShedReason> sheds;
+  for (int i = 0; i < 3; ++i) {
+    Job j = noop_job(i);
+    j.shed = [&](ShedReason r) { sheds.push_back(r); };
+    ASSERT_EQ(q.try_push(std::move(j)), std::nullopt);
+  }
+  q.shutdown();
+  ASSERT_EQ(sheds.size(), 3u);
+  for (ShedReason r : sheds) EXPECT_EQ(r, ShedReason::kShutdown);
+
+  Job out;
+  EXPECT_FALSE(q.pop(out));
+  EXPECT_EQ(q.try_push(noop_job(0)), ShedReason::kShutdown);
+  EXPECT_EQ(q.counts().shed_by_reason[static_cast<int>(ShedReason::kShutdown)],
+            4u);
+}
+
+TEST(ServeAdmission, EwmaTracksServiceTimes) {
+  AdmissionConfig cfg;
+  cfg.initial_cost_ns = 0;
+  FakeClock clock;
+  cfg.clock = clock.fn();
+  AdmissionQueue q(cfg);
+
+  EXPECT_EQ(q.service_estimate_ns(0), 0u);
+  q.record_service_ns(0, 8000);  // first sample replaces the zero estimate
+  EXPECT_EQ(q.service_estimate_ns(0), 8000u);
+  q.record_service_ns(0, 16000);  // (7*8000 + 16000) / 8
+  EXPECT_EQ(q.service_estimate_ns(0), 9000u);
+  EXPECT_EQ(q.service_estimate_ns(1), 0u);  // per-kind isolation
+  q.shutdown();
+}
+
+// The audited identity under concurrent saturation: every submission ends
+// in exactly one of {completed, shed}, queue counters and obs registry both
+// close exactly. Producers race workers, so admit/shed splits vary run to
+// run — the identity must hold regardless.
+TEST(ServeAdmission, ObsAccountingClosesUnderSaturation) {
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+
+  AdmissionConfig cfg;
+  cfg.default_depth = 4;
+  cfg.workers = 2;
+  AdmissionQueue q(cfg);
+
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&] {
+      Job job;
+      while (q.pop(job)) job.run();
+    });
+  }
+
+  const int kProducers = 4, kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Job j;
+        j.kind = (p + i) % kNumTaskKinds;
+        j.run = [&] { completed.fetch_add(1); };
+        j.shed = [&](ShedReason) { shed.fetch_add(1); };
+        if (q.try_push(std::move(j))) shed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.shutdown();  // drains the backlog typed; poppers wake and exit
+  for (std::thread& t : workers) t.join();
+
+  const std::uint64_t submitted =
+      static_cast<std::uint64_t>(kProducers) * kPerProducer;
+  EXPECT_EQ(completed.load() + shed.load(), submitted);
+
+  // Queue counters: pushes that were admitted then completed are only in
+  // admitted; post-admission sheds (shutdown drain) are in both.
+  const AdmissionQueue::Counts counts = q.counts();
+  std::uint64_t total_admitted = 0, total_shed = 0;
+  for (int k = 0; k < kNumTaskKinds; ++k) {
+    total_admitted += counts.admitted[k];
+    total_shed += counts.shed[k];
+  }
+  EXPECT_EQ(total_admitted + total_shed, submitted + counts.shed_by_reason[2]);
+  EXPECT_EQ(completed.load(),
+            total_admitted - counts.shed_by_reason[
+                                 static_cast<int>(ShedReason::kShutdown)]);
+
+  // The obs registry mirrors the queue counters 1:1 over the test window.
+  const obs::Snapshot window =
+      obs::delta(obs::Registry::global().snapshot(), before);
+  std::uint64_t obs_admitted = 0, obs_shed = 0;
+  for (const auto& [name, value] : window.counters) {
+    if (name.rfind("serve.admitted.", 0) == 0) obs_admitted += value;
+    if (name.rfind("serve.shed.", 0) == 0) obs_shed += value;
+  }
+  EXPECT_EQ(obs_admitted, total_admitted);
+  EXPECT_EQ(obs_shed, total_shed);
+}
+
+TEST(ServeAdmission, BadKindAndBadWorkerCountThrow) {
+  AdmissionConfig cfg;
+  AdmissionQueue q(cfg);
+  EXPECT_THROW(q.try_push(noop_job(-1)), Error);
+  EXPECT_THROW(q.try_push(noop_job(kNumTaskKinds)), Error);
+  q.shutdown();
+
+  AdmissionConfig bad;
+  bad.workers = 0;
+  EXPECT_THROW(AdmissionQueue{bad}, Error);
+}
+
+}  // namespace
+}  // namespace deepseq::serve
