@@ -142,6 +142,45 @@ void run_level(Graph& g, const LevelBatch& batch, const Aggregator& agg,
     state[batch.targets[i]] = RowRef{h_new, i};
 }
 
+/// Slab-mode level update (inference): node states are rows of one
+/// plan-owned slab, addressed through the current version marker. The three
+/// gathers read slab rows directly — the planner rewrites them to the base
+/// tensor, so they fuse into their consumer chains instead of escaping into
+/// per-level matrices — and the updated rows scatter back in place,
+/// consuming the version. Returns the next version.
+Var run_level_slab(Graph& g, const LevelBatch& batch, const Aggregator& agg,
+                   const nn::GruCell& gru, const Var& features,
+                   const Var& version) {
+  nn::BatchScope level_scope(g);
+  const int num_targets = static_cast<int>(batch.targets.size());
+  std::vector<RowRef> target_refs, edge_target_refs, source_refs, feat_refs;
+  target_refs.reserve(batch.targets.size());
+  feat_refs.reserve(batch.targets.size());
+  for (NodeId v : batch.targets) {
+    target_refs.push_back(RowRef{version, static_cast<int>(v)});
+    feat_refs.push_back(RowRef{features, static_cast<int>(v)});
+  }
+  edge_target_refs.reserve(batch.sources.size());
+  source_refs.reserve(batch.sources.size());
+  for (std::size_t e = 0; e < batch.sources.size(); ++e) {
+    edge_target_refs.push_back(RowRef{
+        version, static_cast<int>(batch.targets[batch.segment[e]])});
+    source_refs.push_back(RowRef{version, static_cast<int>(batch.sources[e])});
+  }
+
+  const Var hv_prev = g.gather(target_refs);
+  const Var hv_prev_edges = g.gather(edge_target_refs);
+  const Var hu = g.gather(source_refs);
+  const Var m = agg.aggregate(g, hv_prev, hv_prev_edges, hu, batch.segment,
+                              num_targets);
+  const Var x = g.concat_cols({m, g.gather(feat_refs)});
+  const Var h_new = gru.apply(g, x, hv_prev);
+  std::vector<int> targets;
+  targets.reserve(batch.targets.size());
+  for (NodeId v : batch.targets) targets.push_back(static_cast<int>(v));
+  return g.scatter_rows(version, h_new, targets);
+}
+
 }  // namespace
 
 namespace {
@@ -171,20 +210,70 @@ void run_sweep(Graph& g, const std::vector<LevelBatch>& levels,
   }
 }
 
+/// Slab-mode sweep: threads the version marker through the levels of each
+/// flush group. Same grouping, same cross-level dependencies — the version
+/// chain just replaces the per-level state matrices.
+Var run_sweep_slab(Graph& g, const std::vector<LevelBatch>& levels,
+                   const Aggregator& agg, const nn::GruCell& gru,
+                   const Var& features, Var version) {
+  std::size_t i = 0;
+  while (i < levels.size()) {
+    nn::BatchScope group(g);
+    const std::size_t end =
+        std::min(levels.size(), i + static_cast<std::size_t>(kLevelsPerFlush));
+    for (; i < end; ++i)
+      version = run_level_slab(g, levels[i], agg, gru, features, version);
+  }
+  return version;
+}
+
 }  // namespace
 
 Var DeepSeqModel::propagate(Graph& g, const CircuitGraph& graph,
                             const Workload& w, std::uint64_t init_seed) const {
   const Var features = g.constant(graph.features);
-  const Var h0 =
-      g.constant(initial_states(graph, w, config_.hidden_dim, init_seed));
-
-  std::vector<RowRef> state(static_cast<std::size_t>(graph.num_nodes));
-  for (int v = 0; v < graph.num_nodes; ++v) state[v] = RowRef{h0, v};
+  Tensor h0_states = initial_states(graph, w, config_.hidden_dim, init_seed);
 
   const bool custom = config_.propagation == PropagationKind::kDeepSeqCustom;
   const auto& fwd = custom ? graph.comb_forward : graph.baseline_forward;
   const auto& rev = custom ? graph.comb_reverse : graph.baseline_reverse;
+
+  if (!g.grad_enabled() && nn::nn_slab_from_env()) {
+    // Slab path (inference): every node's state is a row of one slab
+    // tensor, updated in place through the consume-exactly-once version
+    // chain. Gathers read the slab directly (no per-level state matrices to
+    // escape into), so flush groups fuse into long chains and the final
+    // readout is a single N-row gather. Bit-identical to the matrix path:
+    // the same kernels run in the same order over the same rows.
+    Var version = g.slab(std::move(h0_states));
+    for (int t = 0; t < config_.iterations; ++t) {
+      version = run_sweep_slab(g, fwd, agg_fwd_, gru_fwd_, features, version);
+      version = run_sweep_slab(g, rev, agg_rev_, gru_rev_, features, version);
+      if (custom && !graph.ff_targets.empty()) {
+        // Step 4 (Fig. 2): FFs take their D predecessor's representation.
+        // The gather executes before the scatter overwrites, so FF->FF
+        // chains shift correctly (same two-phase rule as the matrix path).
+        std::vector<RowRef> src;
+        src.reserve(graph.ff_sources.size());
+        for (NodeId u : graph.ff_sources)
+          src.push_back(RowRef{version, static_cast<int>(u)});
+        const Var vals = g.gather(src);
+        std::vector<int> tgts;
+        tgts.reserve(graph.ff_targets.size());
+        for (NodeId v : graph.ff_targets) tgts.push_back(static_cast<int>(v));
+        version = g.scatter_rows(version, vals, tgts);
+      }
+    }
+    std::vector<RowRef> all;
+    all.reserve(static_cast<std::size_t>(graph.num_nodes));
+    for (int v = 0; v < graph.num_nodes; ++v)
+      all.push_back(RowRef{version, v});
+    return g.gather(all);
+  }
+
+  const Var h0 = g.constant(std::move(h0_states));
+  std::vector<RowRef> state(static_cast<std::size_t>(graph.num_nodes));
+  for (int v = 0; v < graph.num_nodes; ++v) state[v] = RowRef{h0, v};
 
   for (int t = 0; t < config_.iterations; ++t) {
     run_sweep(g, fwd, agg_fwd_, gru_fwd_, features, state);

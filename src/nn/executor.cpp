@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/env.hpp"
+#include "nn/kernels.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace deepseq::nn {
@@ -38,35 +39,29 @@ void fwd_elementwise(const Op& op, int b, int e) {
   float* o = out.data() + off;
   const float* x = op.inputs[0]->value.data() + off;
   switch (op.kind) {
-    case OpKind::kAdd: {
-      const float* y = op.inputs[1]->value.data() + off;
-      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] + y[i];
+    case OpKind::kAdd:
+      kernels::add(o, x, op.inputs[1]->value.data() + off, count);
       break;
-    }
-    case OpKind::kSub: {
-      const float* y = op.inputs[1]->value.data() + off;
-      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] - y[i];
+    case OpKind::kSub:
+      kernels::sub(o, x, op.inputs[1]->value.data() + off, count);
       break;
-    }
-    case OpKind::kMul: {
-      const float* y = op.inputs[1]->value.data() + off;
-      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] * y[i];
+    case OpKind::kMul:
+      kernels::mul(o, x, op.inputs[1]->value.data() + off, count);
       break;
-    }
     case OpKind::kScale:
-      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] * op.scalar;
+      kernels::scale(o, x, op.scalar, count);
       break;
-    case OpKind::kSigmoid:
+    case OpKind::kSigmoid:  // scalar libm by design: exp has no exact vector twin
       for (std::size_t i = 0; i < count; ++i) o[i] = 1.0f / (1.0f + std::exp(-x[i]));
       break;
     case OpKind::kTanh:
       for (std::size_t i = 0; i < count; ++i) o[i] = std::tanh(x[i]);
       break;
     case OpKind::kRelu:
-      for (std::size_t i = 0; i < count; ++i) o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+      kernels::relu(o, x, count);
       break;
     case OpKind::kOneMinus:
-      for (std::size_t i = 0; i < count; ++i) o[i] = 1.0f - x[i];
+      kernels::one_minus(o, x, count);
       break;
     default:
       break;
@@ -78,38 +73,24 @@ void fwd_add_row(const Op& op, int b, int e) {
   const Tensor& a = op.inputs[0]->value;
   const float* row = op.inputs[1]->value.row(0);
   const int cols = out.cols();
-  for (int r = b; r < e; ++r) {
-    const float* ar = a.row(r);
-    float* o = out.row(r);
-    for (int c = 0; c < cols; ++c) o[c] = ar[c] + row[c];
-  }
+  for (int r = b; r < e; ++r) kernels::add(out.row(r), a.row(r), row, cols);
 }
 
 void fwd_matmul(const Op& op, int b, int e) {
   Tensor& out = op.out->value;  // zero-initialized at record time
   const Tensor& a = op.inputs[0]->value;
   const Tensor& bm = op.inputs[1]->value;
-  const int k = a.cols(), n = bm.cols();
-  for (int i = b; i < e; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = bm.row(p);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::matmul_rows(a.data(), a.cols(), bm.data(), bm.cols(), out.data(),
+                       out.cols(), b, e, a.cols(), bm.cols());
 }
 
 void fwd_mul_col(const Op& op, int b, int e) {
   Tensor& out = op.out->value;
   const Tensor& v = op.inputs[0]->value;
   const Tensor& col = op.inputs[1]->value;
-  for (int r = b; r < e; ++r) {
-    const float a = col.at(r, 0);
-    for (int c = 0; c < out.cols(); ++c) out.at(r, c) = v.at(r, c) * a;
-  }
+  const int cols = out.cols();
+  for (int r = b; r < e; ++r)
+    kernels::scale(out.row(r), v.row(r), col.at(r, 0), cols);
 }
 
 void fwd_concat_cols(const Op& op, int b, int e) {
@@ -130,6 +111,22 @@ void fwd_gather(const Op& op, int b, int e) {
     const RowRef& r = op.refs[static_cast<std::size_t>(i)];
     std::copy(r.var->value.row(r.row), r.var->value.row(r.row) + cols, out.row(i));
   }
+}
+
+// Copy values rows [b, e) into their slab target rows. Targets are distinct
+// (checked at record), so row slices of one scatter write disjoint slab rows;
+// readers of the overwritten rows are ordered before the scatter by the
+// plan's dependency edges.
+void fwd_scatter_rows(const Op& op, int b, int e) {
+  const Tensor& values = op.inputs[0]->value;
+  const Var& version = op.inputs[1];
+  Tensor& base = (version->slab_base != nullptr ? version->slab_base.get()
+                                                : version.get())
+                     ->value;
+  const int cols = values.cols();
+  for (int i = b; i < e; ++i)
+    std::copy(values.row(i), values.row(i) + cols,
+              base.row(op.segment[static_cast<std::size_t>(i)]));
 }
 
 // Column range [b, e): output rows are scatter targets, columns independent.
@@ -237,6 +234,7 @@ void forward_kernel(const Chunk& chunk) {
     case OpKind::kMulCol: fwd_mul_col(op, chunk.begin, chunk.end); break;
     case OpKind::kConcatCols: fwd_concat_cols(op, chunk.begin, chunk.end); break;
     case OpKind::kGather: fwd_gather(op, chunk.begin, chunk.end); break;
+    case OpKind::kScatterRows: fwd_scatter_rows(op, chunk.begin, chunk.end); break;
     case OpKind::kSegmentSum: fwd_segment_sum(op, chunk.begin, chunk.end); break;
     case OpKind::kSegmentMax: fwd_segment_max(op, chunk.begin, chunk.end); break;
     case OpKind::kSegmentSoftmax: fwd_segment_softmax(op); break;
@@ -313,6 +311,9 @@ std::vector<BwPart> backward_parts(const Op& op) {
     case OpKind::kSegmentSoftmax:
       parts.push_back({0, 0, static_cast<std::uint64_t>(out.size())});
       break;
+    case OpKind::kScatterRows:
+      break;  // slabs are inference-only: no gradients ever flow
+
     case OpKind::kSegmentSum:
       if (grad_needed(0))
         parts.push_back({0, op.inputs[0]->value.rows(),
@@ -354,21 +355,20 @@ void run_backward_part(Op& op, int role, int b, int e) {
       const float* gp = g.data() + off;
       switch (op.kind) {
         case OpKind::kAdd:
-          for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i];
+          kernels::acc_add(dst, gp, count);
           break;
         case OpKind::kSub:
           if (role == 0)
-            for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i];
+            kernels::acc_add(dst, gp, count);
           else
-            for (std::size_t i = 0; i < count; ++i) dst[i] -= gp[i];
+            kernels::acc_sub(dst, gp, count);
           break;
-        case OpKind::kMul: {
-          const float* other = op.inputs[role == 0 ? 1 : 0]->value.data() + off;
-          for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i] * other[i];
+        case OpKind::kMul:
+          kernels::acc_mul(dst, gp, op.inputs[role == 0 ? 1 : 0]->value.data() + off,
+                           count);
           break;
-        }
         case OpKind::kScale:
-          for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i] * op.scalar;
+          kernels::acc_scale(dst, gp, op.scalar, count);
           break;
         case OpKind::kSigmoid: {
           const float* y = op.out->value.data() + off;
@@ -389,7 +389,7 @@ void run_backward_part(Op& op, int role, int b, int e) {
           break;
         }
         case OpKind::kOneMinus:
-          for (std::size_t i = 0; i < count; ++i) dst[i] -= gp[i];
+          kernels::acc_sub(dst, gp, count);
           break;
         default:
           break;
@@ -402,9 +402,7 @@ void run_backward_part(Op& op, int role, int b, int e) {
         const int cols = g.cols();
         const std::size_t off = static_cast<std::size_t>(b) * cols;
         const std::size_t count = static_cast<std::size_t>(e - b) * cols;
-        float* dst = tg.data() + off;
-        const float* gp = g.data() + off;
-        for (std::size_t i = 0; i < count; ++i) dst[i] += gp[i];
+        kernels::acc_add(tg.data() + off, g.data() + off, count);
       } else {
         Tensor& tg = op.inputs[1]->grad;  // ordered full-range accumulation
         for (int r = 0; r < g.rows(); ++r)
@@ -441,8 +439,7 @@ void run_backward_part(Op& op, int role, int b, int e) {
           for (int p = 0; p < m; ++p) {
             const float av = a.at(p, i);
             if (av == 0.0f) continue;
-            const float* grow = g.row(p);
-            for (int j = 0; j < n; ++j) orow[j] += av * grow[j];
+            kernels::acc_scale(orow, g.row(p), av, static_cast<std::size_t>(n));
           }
         }
       }
@@ -474,7 +471,7 @@ void run_backward_part(Op& op, int role, int b, int e) {
       Tensor& tg = op.inputs[role]->grad;
       const int bc = op.inputs[role]->value.cols();
       for (int r = b; r < e; ++r)
-        for (int c = 0; c < bc; ++c) tg.at(r, c) += g.at(r, off + c);
+        kernels::acc_add(tg.row(r), g.row(r) + off, static_cast<std::size_t>(bc));
       break;
     }
     case OpKind::kGather: {
@@ -482,9 +479,9 @@ void run_backward_part(Op& op, int role, int b, int e) {
       for (std::size_t i = 0; i < op.refs.size(); ++i) {
         const RowRef& r = op.refs[i];
         if (!r.var->requires_grad) continue;
-        const float* src = g.row(static_cast<int>(i));
-        float* dst = r.var->ensure_grad().row(r.row);
-        for (int c = 0; c < cols; ++c) dst[c] += src[c];
+        kernels::acc_add(r.var->ensure_grad().row(r.row),
+                         g.row(static_cast<int>(i)),
+                         static_cast<std::size_t>(cols));
       }
       break;
     }
@@ -504,11 +501,10 @@ void run_backward_part(Op& op, int role, int b, int e) {
     }
     case OpKind::kSegmentSum: {
       Tensor& tg = op.inputs[0]->grad;
-      for (int row = b; row < e; ++row) {
-        const float* src = g.row(op.segment[static_cast<std::size_t>(row)]);
-        float* dst = tg.row(row);
-        for (int c = 0; c < tg.cols(); ++c) dst[c] += src[c];
-      }
+      for (int row = b; row < e; ++row)
+        kernels::acc_add(tg.row(row),
+                         g.row(op.segment[static_cast<std::size_t>(row)]),
+                         static_cast<std::size_t>(tg.cols()));
       break;
     }
     case OpKind::kSegmentMax: {
@@ -613,6 +609,47 @@ inline void cpu_relax() { __builtin_ia32_pause(); }
 inline void cpu_relax() {}
 #endif
 
+/// Capped exponential backoff with park: a short doubling pause burst, then
+/// a few yields, then exponentially lengthening sleeps capped at 128us.
+/// Over-subscribed hosts (shards x nn threads) stop burning cycles between
+/// claims — a parked waiter costs scheduler wakeups instead of a core —
+/// while the common uncontended wait still resolves within the pause burst.
+class Backoff {
+ public:
+  void pause() {
+    ++waits_;
+    if (waits_ <= kSpinWaits) {
+      const int reps = 1 << (waits_ < 7 ? waits_ - 1 : 6);
+      for (int i = 0; i < reps; ++i) cpu_relax();
+    } else if (waits_ <= kSpinWaits + kYieldWaits) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(park_us_));
+      ++parks_;
+      if (park_us_ < kMaxParkUs) park_us_ *= 2;
+    }
+  }
+  /// Back to the fast path after useful work; cumulative parks survive so
+  /// callers can budget helper lifetime across waits.
+  void reset() {
+    waits_ = 0;
+    park_us_ = kMinParkUs;
+  }
+  int parks() const { return parks_; }
+
+ private:
+  static constexpr int kSpinWaits = 10;
+  static constexpr int kYieldWaits = 16;
+  static constexpr int kMinParkUs = 4;
+  static constexpr int kMaxParkUs = 128;
+  int waits_ = 0;
+  int parks_ = 0;
+  int park_us_ = kMinParkUs;
+};
+
+/// Parks a helper may accumulate before handing its core back to the pool.
+constexpr int kHelperParkBudget = 16;
+
 /// Shared state of one plan execution. The caller and up to threads-1 pool
 /// helpers all drive the same cursor: chain tasks of the current cut are
 /// claimed from an atomic index — each claimed chain runs its steps
@@ -671,14 +708,113 @@ struct ChainDriver {
         idle_cuts = claimed ? 0 : idle_cuts + 1;
         if (idle_cuts >= 32) return;
       }
-      int spins = 0;
-      while (done[w].load(std::memory_order_acquire) < n) {
-        if (++spins > 64) {
-          std::this_thread::yield();
-        } else {
-          cpu_relax();
-        }
+      Backoff backoff;
+      while (done[w].load(std::memory_order_acquire) < n) backoff.pause();
+    }
+  }
+};
+
+/// Shared state of one dependency-counted plan execution. One claim queue
+/// (`ready`) covers the whole flush: tasks are published into it the moment
+/// their producer countdown hits zero — root tasks up front, the rest
+/// released by whichever thread finishes the last producer task — and the
+/// caller plus up to threads-1 pool helpers claim slots in publication
+/// order. The only global synchronization left is the caller's final wait
+/// for `completed == task count`.
+///
+/// Correctness: a task is published only after every producer task
+/// finished (countdown release/acquire chain), so claiming in publication
+/// order respects the chain DAG; concurrent tasks write disjoint outputs
+/// exactly as under the barrier scheduler, so results stay bit-identical.
+///
+/// Liveness: slots are claimed in order, so a thread waiting on slot h has
+/// slots < h all claimed; published tasks are always claimed-and-run, every
+/// finished producer releases its consumers, and roots are pre-published —
+/// by induction on the contracted DAG some thread always makes progress,
+/// and a claim of slot >= task count (only possible once the plan drained)
+/// returns immediately. Helpers may bail only *before* claiming a slot; a
+/// claimed slot is always executed, so `completed` reaching the task count
+/// — the caller's exit condition — implies every task ran.
+///
+/// Heap-shared like ChainDriver: a helper dequeued late finds everything
+/// claimed, returns, and drops its reference; the caller returns only after
+/// every task completed, so ops may be recycled immediately after.
+struct DepDriver {
+  Plan plan;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> pending;  // per DepNode
+  std::unique_ptr<std::atomic<std::uint32_t>[]> ready;    // per slot: task id + 1
+  std::atomic<std::uint32_t> head{0};
+  std::atomic<std::uint32_t> tail{0};
+  std::atomic<std::uint32_t> completed{0};
+
+  explicit DepDriver(Plan p)
+      : plan(std::move(p)),
+        pending(new std::atomic<std::uint32_t>[plan.dep_nodes().size()]),
+        ready(new std::atomic<std::uint32_t>[plan.tasks().size()]) {
+    const std::vector<DepNode>& nodes = plan.dep_nodes();
+    for (std::size_t i = 0; i < plan.tasks().size(); ++i)
+      ready[i].store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      pending[i].store(nodes[i].in_tasks, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      if (nodes[i].in_tasks == 0) publish(static_cast<std::uint32_t>(i));
+  }
+
+  void publish(std::uint32_t node) {
+    const DepNode& nd = plan.dep_nodes()[node];
+    for (std::uint32_t t = 0; t < nd.task_count; ++t) {
+      const std::uint32_t slot = tail.fetch_add(1, std::memory_order_relaxed);
+      ready[slot].store(nd.first_task + t + 1, std::memory_order_release);
+    }
+  }
+
+  void finish(std::uint32_t task) {
+    const DepNode& nd = plan.dep_nodes()[plan.task_node()[task]];
+    const std::vector<std::uint32_t>& consumers = plan.dep_consumers();
+    for (std::uint32_t c = nd.consumers_begin; c < nd.consumers_end; ++c) {
+      const std::uint32_t peer = consumers[c];
+      // acq_rel: the zeroing decrement observes every producer task's
+      // writes through the release sequence, so the published tasks may
+      // read their inputs without further synchronization.
+      if (pending[peer].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        publish(peer);
+    }
+    completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  void drive(bool caller) {
+    const std::uint32_t n = static_cast<std::uint32_t>(plan.tasks().size());
+    const ChainTask* tasks = plan.tasks().data();
+    const Chunk* steps = plan.steps();
+    Backoff backoff;
+    for (;;) {
+      if (completed.load(std::memory_order_acquire) >= n) return;
+      std::uint32_t h = head.load(std::memory_order_relaxed);
+      if (h >= tail.load(std::memory_order_acquire)) {
+        // Nothing visibly claimable. Helpers with an exhausted park budget
+        // return their core to the pool (never after a claim); the caller
+        // waits out the flush.
+        if (!caller && backoff.parks() >= kHelperParkBudget) return;
+        backoff.pause();
+        continue;
       }
+      h = head.fetch_add(1, std::memory_order_relaxed);
+      if (h >= n) {
+        // Overshoot race on the last slots: no task will ever land here.
+        if (!caller) return;
+        backoff.pause();
+        continue;
+      }
+      // The slot is committed to this thread now: wait out the (rare) gap
+      // between the observed tail bump and the publisher's slot store, or
+      // between our claim and a racing publisher.
+      std::uint32_t enc;
+      while ((enc = ready[h].load(std::memory_order_acquire)) == 0)
+        backoff.pause();
+      backoff.reset();
+      const ChainTask& t = tasks[enc - 1];
+      for (std::uint32_t s = 0; s < t.count; ++s) run_chunk(steps[t.first + s]);
+      finish(enc - 1);
     }
   }
 };
@@ -691,6 +827,8 @@ int nn_threads_from_env(int fallback) {
   const int t = static_cast<int>(env_int("DEEPSEQ_NN_THREADS", fallback));
   return t >= 1 ? t : fallback;
 }
+
+bool nn_depsched_from_env() { return env_int("DEEPSEQ_NN_DEPSCHED", 1) != 0; }
 
 Executor::Executor() = default;
 
@@ -734,9 +872,18 @@ void Executor::run_plan(Plan plan) {
       for (std::uint32_t s = 0; s < t.count; ++s) run_chunk(steps[t.first + s]);
     return;
   }
-  auto driver = std::make_shared<ChainDriver>(std::move(plan));
   const int helpers =
       std::min(threads_ - 1, static_cast<int>(max_tasks) - 1);
+  if (nn_depsched_from_env() && plan.dep_linked()) {
+    auto driver = std::make_shared<DepDriver>(std::move(plan));
+    for (int h = 0; h < helpers; ++h)
+      pool_->submit([driver] { driver->drive(false); });
+    // The caller participates and returns only after every task completed —
+    // the flush's single global sync.
+    driver->drive(true);
+    return;
+  }
+  auto driver = std::make_shared<ChainDriver>(std::move(plan));
   for (int h = 0; h < helpers; ++h)
     pool_->submit([driver] { driver->drive(false); });
   // The caller participates and returns only after the last cut's barrier.
@@ -744,6 +891,7 @@ void Executor::run_plan(Plan plan) {
 }
 
 void Executor::run(Plan plan) {
+  kernels::refresh_from_env();
   if (g_trace == nullptr) {
     run_plan(std::move(plan));
     return;
@@ -754,6 +902,22 @@ void Executor::run(Plan plan) {
   g_trace->chains += static_cast<int>(plan.stats().chains);
   g_trace->fused_ops += static_cast<int>(plan.stats().fused_ops);
   g_trace->steps += static_cast<int>(plan.step_count());
+  g_trace->slab_gather_rows += static_cast<int>(plan.stats().slab_gather_rows);
+  g_trace->slab_scatter_rows +=
+      static_cast<int>(plan.stats().slab_scatter_rows);
+  g_trace->simd_lanes = kernels::lanes();
+  // Scheduler-structural counters: what the selected scheduler pays for
+  // this plan, regardless of core count (the inline path executes the same
+  // schedule degenerately).
+  if (nn_depsched_from_env() && plan.dep_linked()) {
+    g_trace->global_syncs += static_cast<int>(plan.global_syncs());
+    g_trace->released_chains += static_cast<int>(plan.released_task_count());
+  } else {
+    g_trace->global_syncs += static_cast<int>(plan.barrier_count());
+    if (!plan.cuts().empty())
+      g_trace->barriered_chains += static_cast<int>(
+          plan.tasks().size() - plan.cuts().front().task_count);
+  }
   for (int b = 0; b < kChainHistBuckets; ++b)
     g_trace->chain_len_hist[b] +=
         static_cast<int>(plan.stats().chain_len_hist[b]);
@@ -768,6 +932,7 @@ void Executor::run(Plan plan) {
 }
 
 void Executor::run_backward(const std::vector<Op*>& ops) {
+  kernels::refresh_from_env();
   const bool fuse = nn_fuse_from_env();
   Plan plan;
   plan.reserve(ops.size(), ops.size(), ops.size());
@@ -828,6 +993,10 @@ void Executor::run_backward(const std::vector<Op*>& ops) {
       }
     }
   }
+  // Backward cuts must stay ordered (scatter accumulation order); the
+  // sequential cut chain gives the dep scheduler that ordering with one
+  // end-of-run sync instead of a barrier per cut.
+  plan.link_cuts_sequential();
   run_plan(std::move(plan));
 }
 

@@ -19,17 +19,37 @@ namespace deepseq::nn {
 /// path; values < 1 fall back too.
 int nn_threads_from_env(int fallback);
 
+/// DEEPSEQ_NN_DEPSCHED knob (env_int): 0 falls back to the per-cut barrier
+/// scheduler (ChainDriver, the PR 5 behavior) for A/B benching and parity
+/// testing; any other value (and unset) selects dependency-counted
+/// scheduling with a single end-of-flush sync. Read per flush.
+bool nn_depsched_from_env();
+
 /// Per-flush execution counters, collected when an ExecTraceScope is active
 /// on the calling thread (benches and the structural CI gate use this).
-/// `barriers`/`chains`/`chain_len_hist` are structural properties of the
-/// built plans — independent of how many cores actually ran them.
+/// `barriers`/`chains`/`chain_len_hist`/`global_syncs`/`released_chains`/
+/// `barriered_chains` are structural properties of the built plans and the
+/// selected scheduler — independent of how many cores actually ran them.
 struct ExecStats {
   int flushes = 0;
-  int barriers = 0;       // cut waves: one synchronization point each
+  int barriers = 0;       // cut waves planned (what the barrier scheduler pays)
   int chains = 0;         // chain clusters planned (fused chains + singletons)
   int steps = 0;          // kernel steps executed
   int fused_ops = 0;      // ops that rode inside a multi-op chain
   int parallel_cuts = 0;  // cuts dispatched to the pool with > 1 task
+  /// Global synchronization points the active scheduler actually pays: one
+  /// end-of-flush completion wait per flush under dependency-counted
+  /// scheduling, one per cut under DEEPSEQ_NN_DEPSCHED=0.
+  int global_syncs = 0;
+  /// Chain tasks released straight to the claim queue by a finishing
+  /// producer (dependency-counted scheduling only).
+  int released_chains = 0;
+  /// Chain tasks that waited behind a cut barrier instead (barrier
+  /// scheduling only: every task beyond the first cut).
+  int barriered_chains = 0;
+  int slab_gather_rows = 0;   // gather rows served from a state slab
+  int slab_scatter_rows = 0;  // rows scattered into a state slab
+  int simd_lanes = 1;         // kernel lane width of the last flush (8 = AVX2)
   std::array<int, kChainHistBuckets> chain_len_hist{};  // chains by length
   std::vector<double> flush_ms;  // one entry per Graph::flush, in call order
 };
@@ -42,12 +62,15 @@ struct ExecStats {
 /// deadlocking.
 ///
 /// Results are bit-identical to sequential execution at any thread count
-/// and either DEEPSEQ_NN_FUSE setting: every output element is produced by
-/// exactly one step with the same inner-loop order as the single-chunk
-/// kernel, chain tasks of one cut write disjoint outputs (distinct ops, or
-/// disjoint row ranges of a row-split chain), and backward kernels are
-/// chunked only where gradient scatter targets are provably disjoint
-/// (aliased operands fall back to the sequential order).
+/// and any DEEPSEQ_NN_FUSE / DEEPSEQ_NN_DEPSCHED / DEEPSEQ_NN_SIMD setting:
+/// every output element is produced by exactly one step with the same
+/// per-element operation order as the single-chunk scalar kernel (the SIMD
+/// layer guarantees this per kernel), concurrent chain tasks write disjoint
+/// outputs (distinct ops, or disjoint row ranges of a row-split chain), the
+/// dependency-counted schedule releases a task only after every producer
+/// task finished, and backward kernels are chunked only where gradient
+/// scatter targets are provably disjoint (aliased operands fall back to the
+/// sequential order).
 class Executor {
  public:
   /// Sequential executor (the DEEPSEQ_NN_THREADS=1 path).
@@ -89,10 +112,12 @@ class Executor {
  private:
   friend class ExecutorScope;
 
-  /// The shared chain driver: run the plan's cuts in order, claiming chain
-  /// tasks from one atomic queue per cut with spin barriers between cuts.
-  /// The caller participates; up to threads-1 pool helpers are enlisted
-  /// once for the whole plan and stay hot across cuts.
+  /// Dispatch one plan: inline when small/sequential; otherwise the
+  /// dependency-counted DepDriver (tasks released to one claim queue as
+  /// their producers finish, a single end-of-flush completion wait) or,
+  /// under DEEPSEQ_NN_DEPSCHED=0, the per-cut barrier ChainDriver. The
+  /// caller participates; up to threads-1 pool helpers are enlisted once
+  /// for the whole plan and stay hot across releases.
   void run_plan(Plan plan);
 
   runtime::ThreadPool* pool_ = nullptr;

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+
+namespace deepseq::nn::kernels {
+
+/// Vectorized chain-step primitives with a bit-identical scalar fallback.
+///
+/// Every routine here computes exactly the same per-element operation
+/// sequence as the executor's original scalar loops: elementwise kernels
+/// apply one IEEE op per element, and the matmul microkernel accumulates
+/// each output element over the inner dimension in ascending order with the
+/// same zero-skip, using separate multiply and add (never FMA — the scalar
+/// baseline is compiled without FP contraction, so a fused multiply-add
+/// would change rounding). The AVX2 paths therefore produce byte-identical
+/// results to the scalar paths, which tests/nn/test_kernels.cpp pins per
+/// kernel; transcendental kernels (sigmoid, tanh, the softmax family) stay
+/// scalar libm by design.
+///
+/// Dispatch is runtime: the AVX2 path runs only when the host supports it
+/// AND DEEPSEQ_NN_SIMD (env_int, default 1) is nonzero. The executor
+/// refreshes the env gate once per flush (refresh_from_env), so a process
+/// can A/B simd on/off between runs exactly like DEEPSEQ_NN_FUSE.
+
+/// DEEPSEQ_NN_SIMD knob (env_int): 0 forces the scalar fallback;
+/// unset or any other value enables the vector path where supported.
+bool nn_simd_from_env();
+
+/// Re-read DEEPSEQ_NN_SIMD into the process-global gate. Called by the
+/// executor at each flush; cheap (one env read, one relaxed store).
+void refresh_from_env();
+
+/// True when the vector path is live: host supports AVX2 and the gate is
+/// open. Purely informational for callers — every kernel dispatches
+/// internally.
+bool simd_active();
+
+/// SIMD lane width the dispatcher will use: 8 when simd_active(), else 1.
+/// Surfaced through ExecStats so benches and traces record which path ran.
+int lanes();
+
+// ---- elementwise forward ----------------------------------------------------
+void add(float* o, const float* x, const float* y, std::size_t n);
+void sub(float* o, const float* x, const float* y, std::size_t n);
+void mul(float* o, const float* x, const float* y, std::size_t n);
+void scale(float* o, const float* x, float s, std::size_t n);
+void relu(float* o, const float* x, std::size_t n);
+void one_minus(float* o, const float* x, std::size_t n);
+
+// ---- elementwise backward accumulations ------------------------------------
+void acc_add(float* dst, const float* g, std::size_t n);                   // dst += g
+void acc_sub(float* dst, const float* g, std::size_t n);                   // dst -= g
+void acc_mul(float* dst, const float* g, const float* o, std::size_t n);   // dst += g * o
+void acc_scale(float* dst, const float* g, float s, std::size_t n);        // dst += g * s
+
+/// Register-blocked matmul microkernel over output rows [rb, re):
+///   out[i][j] += sum_p a[i][p] * b[p][j]
+/// accumulated per element in ascending p with the sequential kernel's
+/// zero-skip (a[i][p] == 0 contributes nothing, bit-for-bit). `lda`/`ldb`/
+/// `ldo` are row strides in floats. Accumulates into `out` (the planner
+/// zero-initializes matmul outputs at record time).
+void matmul_rows(const float* a, int lda, const float* b, int ldb, float* out,
+                 int ldo, int rb, int re, int k, int n);
+
+}  // namespace deepseq::nn::kernels

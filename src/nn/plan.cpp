@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "common/env.hpp"
 
@@ -21,6 +22,7 @@ const char* op_name(OpKind k) {
     case OpKind::kOneMinus: return "one_minus";
     case OpKind::kConcatCols: return "concat_cols";
     case OpKind::kGather: return "gather";
+    case OpKind::kScatterRows: return "scatter_rows";
     case OpKind::kSegmentSoftmax: return "segment_softmax";
     case OpKind::kMulCol: return "mul_col";
     case OpKind::kSegmentSum: return "segment_sum";
@@ -35,6 +37,10 @@ const char* op_name(OpKind k) {
 std::uint64_t op_work(const Op& op) {
   const Tensor& out = op.out->value;
   switch (op.kind) {
+    case OpKind::kScatterRows:
+      // The output Var is an empty version marker; the moved data is the
+      // values operand.
+      return static_cast<std::uint64_t>(op.inputs[0]->value.size());
     case OpKind::kMatmul:
       return 2ull * static_cast<std::uint64_t>(out.rows()) *
              static_cast<std::uint64_t>(op.inputs[0]->value.cols()) * out.cols();
@@ -57,6 +63,8 @@ std::uint64_t op_work(const Op& op) {
 
 int op_parallel_extent(const Op& op) {
   switch (op.kind) {
+    case OpKind::kScatterRows:
+      return op.inputs[0]->value.rows();  // out is an empty version marker
     case OpKind::kSegmentSum:
     case OpKind::kSegmentMax:
       return op.out->value.cols();
@@ -115,10 +123,22 @@ bool row_aligned_kind(OpKind k) {
     case OpKind::kConcatCols:
     case OpKind::kGather:
     case OpKind::kMulCol:
+    // Values row i goes to slab row segment[i]: rows of the values operand
+    // are read row-aligned and target rows are distinct, so a row slice of
+    // the scatter writes a private set of slab rows. (The version/reader
+    // operands must stay chain-external — enforced via the forbid list.)
+    case OpKind::kScatterRows:
       return true;
     default:
       return false;
   }
+}
+
+/// Rows of the op's row-parallel axis for chain alignment: the output rows,
+/// except scatter_rows whose axis is the values operand (its out is empty).
+int op_chain_rows(const Op& op) {
+  return op.kind == OpKind::kScatterRows ? op.inputs[0]->value.rows()
+                                         : op.out->value.rows();
 }
 
 /// Emit one unfused op as PR 3 did: its chunks become single-step tasks of
@@ -171,8 +191,12 @@ Plan Plan::build(const std::vector<Op*>& ops, int threads, bool fuse) {
     Op* op = ops[0];
     plan.stats_.chains = 1;
     plan.stats_.chain_len_hist[chain_len_bucket(1)] += 1;
+    if (op->kind == OpKind::kGather) plan.stats_.slab_gather_rows = op->slab_rows;
+    if (op->kind == OpKind::kScatterRows)
+      plan.stats_.slab_scatter_rows = op->slab_rows;
     plan.add_cut();
     emit_single_op(plan, op, op_work(*op), threads);
+    plan.link_cuts_sequential();
     return plan;
   }
 
@@ -206,6 +230,10 @@ Plan Plan::build(const std::vector<Op*>& ops, int threads, bool fuse) {
     op->out->plan_epoch = epoch;
     op->out->plan_wave = static_cast<int>(i);
     prod_off[i + 1] = static_cast<std::uint32_t>(prods.size());
+    if (op->kind == OpKind::kGather)
+      plan.stats_.slab_gather_rows += op->slab_rows;
+    else if (op->kind == OpKind::kScatterRows)
+      plan.stats_.slab_scatter_rows += op->slab_rows;
   }
 
   // ---- pass 2: union-find gather-cut fusion --------------------------------
@@ -245,7 +273,7 @@ Plan Plan::build(const std::vector<Op*>& ops, int threads, bool fuse) {
     const std::uint32_t ui = static_cast<std::uint32_t>(i);
     uf[ui] = ui;
     const std::uint64_t wi = op_work(*op);
-    const int rows_i = op->out->value.rows();
+    const int rows_i = op_chain_rows(*op);
     const bool kind_aligned = row_aligned_kind(op->kind);
 
     // Distinct producer clusters and the edge count from each into this op.
@@ -284,6 +312,16 @@ Plan Plan::build(const std::vector<Op*>& ops, int threads, bool fuse) {
         for (const Var& in : op->inputs)
           if (in->plan_epoch == epoch)
             forbid.push_back(find(static_cast<std::uint32_t>(in->plan_wave)));
+        break;
+      case OpKind::kScatterRows:
+        // Only the values operand (inputs[0]) is row-aligned with the
+        // scatter. The consumed version and its readers order whole-slab
+        // access — folding one into a row-split chain would let a slice
+        // overwrite slab rows another slice's reader hasn't gathered yet.
+        for (std::size_t j = 1; j < op->inputs.size(); ++j)
+          if (op->inputs[j]->plan_epoch == epoch)
+            forbid.push_back(
+                find(static_cast<std::uint32_t>(op->inputs[j]->plan_wave)));
         break;
       default:
         break;
@@ -411,17 +449,29 @@ Plan Plan::build(const std::vector<Op*>& ops, int threads, bool fuse) {
   }
 
   plan.reserve(max_level + 1, nc, n);
+  std::vector<std::uint32_t> emit_idx(nc);  // cluster -> DepNode id
+  plan.dep_nodes_.reserve(nc);
+  plan.task_node_.reserve(nc);
   for (std::uint32_t level = 0; level <= max_level; ++level) {
     plan.add_cut();
     for (std::uint32_t pos = lvl_off[level]; pos < lvl_off[level + 1]; ++pos) {
       const std::uint32_t c = order[pos];
       const std::uint32_t root = cluster_root[c];
       const std::uint32_t size = coff[c + 1] - coff[c];
+      emit_idx[c] = static_cast<std::uint32_t>(plan.dep_nodes_.size());
+      const std::uint32_t node_first_task =
+          static_cast<std::uint32_t>(plan.tasks_.size());
       plan.stats_.chains += 1;
       plan.stats_.chain_len_hist[chain_len_bucket(static_cast<int>(size))] += 1;
       if (size == 1) {
         Op* op = ops[members[coff[c]]];
         emit_single_op(plan, op, cwork[root], threads);
+        plan.dep_nodes_.push_back(DepNode{
+            node_first_task,
+            static_cast<std::uint32_t>(plan.tasks_.size()) - node_first_task, 0,
+            0, 0});
+        while (plan.task_node_.size() < plan.tasks_.size())
+          plan.task_node_.push_back(emit_idx[c]);
         continue;
       }
       plan.stats_.fused_ops += size;
@@ -454,9 +504,91 @@ Plan Plan::build(const std::vector<Op*>& ops, int threads, bool fuse) {
               Chunk{op, 0, extent > 0 ? extent : 0, kRoleForward});
         }
       }
+      plan.dep_nodes_.push_back(DepNode{
+          node_first_task,
+          static_cast<std::uint32_t>(plan.tasks_.size()) - node_first_task, 0,
+          0, 0});
+      while (plan.task_node_.size() < plan.tasks_.size())
+        plan.task_node_.push_back(emit_idx[c]);
     }
   }
+
+  // ---- pass 4: dependency edges over the contracted DAG --------------------
+  //
+  // For every cross-cluster producer edge, record producer-node ->
+  // consumer-node (deduplicated per consumer) and seed the consumer's
+  // countdown with the producer's task count. Nodes were emitted in cut
+  // order, so every producer's task_count is final by the time its
+  // consumers sum it.
+  {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(n);
+    std::vector<std::uint32_t> mark(nc, 0xFFFFFFFFu);
+    for (std::size_t c = 0; c < nc; ++c) {
+      const std::uint32_t ce = emit_idx[c];
+      const std::uint32_t root = cluster_root[c];
+      for (std::uint32_t m = coff[c]; m < coff[c + 1]; ++m) {
+        const std::uint32_t i = members[m];
+        for (std::uint32_t k = prod_off[i]; k < prod_off[i + 1]; ++k) {
+          const std::uint32_t rp = find(prods[k]);
+          if (rp == root) continue;
+          const std::uint32_t pe =
+              emit_idx[static_cast<std::size_t>(cid_of_root[rp])];
+          if (mark[pe] == ce) continue;
+          mark[pe] = ce;
+          edges.emplace_back(pe, ce);
+          plan.dep_nodes_[ce].in_tasks += plan.dep_nodes_[pe].task_count;
+        }
+      }
+    }
+    std::vector<std::uint32_t> ccount(nc, 0);
+    for (const auto& e : edges) ++ccount[e.first];
+    plan.consumers_.resize(edges.size());
+    std::uint32_t off = 0;
+    for (std::size_t p = 0; p < nc; ++p) {
+      plan.dep_nodes_[p].consumers_begin = off;
+      off += ccount[p];
+      plan.dep_nodes_[p].consumers_end = plan.dep_nodes_[p].consumers_begin;
+    }
+    for (const auto& e : edges)
+      plan.consumers_[plan.dep_nodes_[e.first].consumers_end++] = e.second;
+    plan.dep_linked_ = true;
+  }
   return plan;
+}
+
+std::uint32_t Plan::released_task_count() const {
+  std::uint32_t released = 0;
+  for (const DepNode& nd : dep_nodes_)
+    if (nd.in_tasks > 0) released += nd.task_count;
+  return released;
+}
+
+void Plan::link_cuts_sequential() {
+  dep_nodes_.clear();
+  consumers_.clear();
+  task_node_.assign(tasks_.size(), 0);
+  dep_nodes_.reserve(cuts_.size());
+  consumers_.reserve(cuts_.size());
+  std::uint32_t prev = 0xFFFFFFFFu;  // last non-empty node id
+  for (std::size_t w = 0; w < cuts_.size(); ++w) {
+    if (cuts_[w].task_count == 0) continue;
+    const std::uint32_t id = static_cast<std::uint32_t>(dep_nodes_.size());
+    DepNode nd{cuts_[w].first_task, cuts_[w].task_count, 0, 0, 0};
+    if (prev != 0xFFFFFFFFu) {
+      nd.in_tasks = dep_nodes_[prev].task_count;
+      dep_nodes_[prev].consumers_begin =
+          static_cast<std::uint32_t>(consumers_.size());
+      consumers_.push_back(id);
+      dep_nodes_[prev].consumers_end =
+          static_cast<std::uint32_t>(consumers_.size());
+    }
+    for (std::uint32_t t = 0; t < nd.task_count; ++t)
+      task_node_[nd.first_task + t] = id;
+    dep_nodes_.push_back(nd);
+    prev = id;
+  }
+  dep_linked_ = true;
 }
 
 }  // namespace deepseq::nn

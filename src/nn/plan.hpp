@@ -92,7 +92,27 @@ struct PlanStats {
   std::uint32_t ops = 0;        // ops planned
   std::uint32_t chains = 0;     // clusters (fused chains + singletons)
   std::uint32_t fused_ops = 0;  // ops riding inside a multi-op chain
+  std::uint32_t slab_gather_rows = 0;   // gather rows served from a state slab
+  std::uint32_t slab_scatter_rows = 0;  // rows scattered into a state slab
   std::array<std::uint32_t, kChainHistBuckets> chain_len_hist{};
+};
+
+/// One node of the contracted chain DAG — a planned cluster and its place in
+/// the dependency-counted schedule. A node's tasks (row-split slices of an
+/// aligned chain, or chunks of a lone op) are mutually independent and
+/// become runnable together: the executor seeds a node's countdown at
+/// `in_tasks` (the summed task_count of every producer node), decrements it
+/// once per finished producer task, and on zero publishes tasks
+/// [first_task, first_task + task_count) straight to the claim queue.
+/// `consumers_[consumers_begin, consumers_end)` lists the nodes this one
+/// feeds. Nodes are emitted producers-first (cut-level order), so ids of
+/// producers are always smaller.
+struct DepNode {
+  std::uint32_t first_task = 0;
+  std::uint32_t task_count = 0;
+  std::uint32_t consumers_begin = 0;
+  std::uint32_t consumers_end = 0;
+  std::uint32_t in_tasks = 0;
 };
 
 /// The plan layer: a cut-ordered chain-task schedule. build() runs a
@@ -117,6 +137,30 @@ class Plan {
   /// One barrier per cut wave: the structural quantity chain fusion shrinks.
   std::size_t barrier_count() const { return cuts_.size(); }
   const PlanStats& stats() const { return stats_; }
+
+  // ---- dependency-counted schedule ----------------------------------------
+  /// True once the dependency layer is populated (build() always links it;
+  /// hand-assembled plans opt in via link_cuts_sequential()).
+  bool dep_linked() const { return dep_linked_; }
+  const std::vector<DepNode>& dep_nodes() const { return dep_nodes_; }
+  const std::vector<std::uint32_t>& dep_consumers() const { return consumers_; }
+  /// Owning DepNode id per task (parallel to tasks()).
+  const std::vector<std::uint32_t>& task_node() const { return task_node_; }
+  /// Global synchronization points a dep-scheduled execution performs: the
+  /// single end-of-flush completion wait (0 for an empty plan). Contrast
+  /// with barrier_count(), which the per-cut barrier scheduler pays. Both
+  /// are structural — independent of how many cores actually run the plan.
+  std::size_t global_syncs() const { return steps_.empty() ? 0 : 1; }
+  /// Tasks released by a finishing producer (in_tasks > 0 nodes) under
+  /// dependency-counted scheduling; the remainder are runnable at flush
+  /// start.
+  std::uint32_t released_task_count() const;
+  /// Link consecutive cuts as a dependency chain (cut w feeds cut w+1):
+  /// exactly the barrier schedule's ordering, as one DepNode per cut. The
+  /// backward planner uses this — per-op scatter accumulation order must
+  /// survive — trading per-cut barriers for countdown releases with one
+  /// end-of-flush sync.
+  void link_cuts_sequential();
 
   std::uint64_t total_work() const;
   std::uint32_t max_cut_tasks() const;
@@ -150,6 +194,10 @@ class Plan {
   std::vector<Chunk> steps_;
   std::vector<ChainTask> tasks_;
   std::vector<CutWave> cuts_;
+  std::vector<DepNode> dep_nodes_;
+  std::vector<std::uint32_t> consumers_;  // flat consumer lists (CSR)
+  std::vector<std::uint32_t> task_node_;  // task index -> DepNode id
+  bool dep_linked_ = false;
   PlanStats stats_;
 };
 

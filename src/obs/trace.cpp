@@ -157,7 +157,7 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
       out += "\"structure\":";
       append_hex(out, e.structure);
     }
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < TraceEvent::kMaxArgs; ++i) {
       if (e.arg_name[i] == nullptr) continue;
       arg_sep();
       out += "\"";

@@ -48,9 +48,10 @@ struct TraceEvent {
   std::uint32_t tid = 0;  // filled by TraceSink::record
   TaskContext ctx;
   std::uint64_t structure = 0;  // structural-hash digest; 0 = none
-  // Up to four numeric args (null name = unused slot).
-  const char* arg_name[4] = {nullptr, nullptr, nullptr, nullptr};
-  std::int64_t arg[4] = {0, 0, 0, 0};
+  // Up to eight numeric args (null name = unused slot).
+  static constexpr int kMaxArgs = 8;
+  const char* arg_name[kMaxArgs] = {};
+  std::int64_t arg[kMaxArgs] = {};
 };
 
 /// Bounded MPMC ring-buffer sink: record() claims a slot by ticket

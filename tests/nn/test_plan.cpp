@@ -336,5 +336,223 @@ TEST(PlanStructure, PllShapedGraphCutsBarriersTenfold) {
   EXPECT_GT(fused.fused_ops, (kLevels * 13) / 2);
 }
 
+// ---- dependency-counted scheduling and state slabs --------------------------
+
+/// Save/restore one env knob (DEEPSEQ_NN_DEPSCHED / DEEPSEQ_NN_SLAB), so
+/// these tests compose with any ambient CI matrix leg.
+struct EnvVarGuard {
+  explicit EnvVarGuard(const char* n)
+      : name(n),
+        had(std::getenv(n) != nullptr),
+        value(had ? std::getenv(n) : "") {}
+  ~EnvVarGuard() {
+    if (had) {
+      ::setenv(name, value.c_str(), 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  const char* name;
+  bool had;
+  std::string value;
+};
+
+TEST(DepSchedParity, DepCountedMatchesBarrierForAllPresetsAndThreadCounts) {
+  // Embeddings and gradients bit-identical across DEEPSEQ_NN_DEPSCHED={1,0}
+  // x threads={1,2,4} for every ModelConfig preset; embeddings additionally
+  // across DEEPSEQ_NN_SLAB={1,0} (slabs are inference-only). The reference
+  // is the dep-scheduled, slab-enabled sequential run.
+  FuseGuard fuse_guard;
+  EnvVarGuard dep_guard("DEEPSEQ_NN_DEPSCHED");
+  EnvVarGuard slab_guard("DEEPSEQ_NN_SLAB");
+  set_fuse(true);
+  runtime::ThreadPool pool(4);
+  auto embed_with = [](const DeepSeqModel& model, nn::Executor& exec) {
+    nn::ExecutorScope scope(exec);
+    Graph g(/*grad_enabled=*/false);
+    return model.embed(g, parity_fixture().graph, parity_fixture().workload, 7)
+        ->value;
+  };
+  for (const ModelConfig& config : parity_presets()) {
+    const DeepSeqModel model(config);
+    ::setenv("DEEPSEQ_NN_DEPSCHED", "1", 1);
+    ::setenv("DEEPSEQ_NN_SLAB", "1", 1);
+    nn::Executor sequential;
+    const Tensor reference = embed_with(model, sequential);
+    const GradRun ref_grads = train_step_with(model, sequential);
+
+    for (const bool dep : {true, false}) {
+      ::setenv("DEEPSEQ_NN_DEPSCHED", dep ? "1" : "0", 1);
+      for (const int threads : {1, 2, 4}) {
+        nn::Executor exec(&pool, threads);
+        for (const bool slab : {true, false}) {
+          ::setenv("DEEPSEQ_NN_SLAB", slab ? "1" : "0", 1);
+          EXPECT_TRUE(bit_identical(reference, embed_with(model, exec)))
+              << config.description() << " embed diverges at " << threads
+              << " threads, depsched=" << dep << ", slab=" << slab;
+        }
+        const GradRun grads = train_step_with(model, exec);
+        EXPECT_EQ(ref_grads.loss, grads.loss)
+            << config.description() << " depsched=" << dep;
+        ASSERT_EQ(ref_grads.grads.size(), grads.grads.size());
+        for (std::size_t i = 0; i < ref_grads.grads.size(); ++i)
+          EXPECT_TRUE(bit_identical(ref_grads.grads[i], grads.grads[i]))
+              << config.description() << " grad " << i << " diverges at "
+              << threads << " threads, depsched=" << dep;
+      }
+    }
+  }
+}
+
+TEST(PlanStructure, DepNodesCoverTasksWithProducerFirstEdges) {
+  // The dependency layer of a built plan must be a consistent DAG covering
+  // every task: task_node maps each task into its node, a node's in_tasks
+  // equals the summed task_count of its distinct producers, and consumer
+  // ids always exceed producer ids (nodes are emitted producers-first).
+  OpFactory f;
+  const Var leaf = nn::make_constant(Tensor::full(64, 32, 1.0f));
+  const Var w = nn::make_constant(Tensor::full(32, 32, 0.1f));
+  Var a = f.emit(OpKind::kMatmul, {leaf, w}, 64, 32);
+  const Var b = f.emit(OpKind::kScale, {a}, 64, 32);
+  const Var c = f.emit(OpKind::kTanh, {a}, 64, 32);
+  const Var d = f.emit(OpKind::kAdd, {b, c}, 64, 32);
+  f.emit(OpKind::kSigmoid, {d}, 64, 32);
+
+  for (const bool fuse : {true, false}) {
+    const Plan plan = Plan::build(f.ops, 4, fuse);
+    ASSERT_TRUE(plan.dep_linked());
+    const auto& nodes = plan.dep_nodes();
+    ASSERT_EQ(plan.task_node().size(), plan.tasks().size());
+    std::vector<std::uint32_t> in_tasks(nodes.size(), 0);
+    std::uint32_t covered = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      covered += nodes[i].task_count;
+      for (std::uint32_t t = 0; t < nodes[i].task_count; ++t)
+        EXPECT_EQ(plan.task_node()[nodes[i].first_task + t], i);
+      for (std::uint32_t c2 = nodes[i].consumers_begin;
+           c2 < nodes[i].consumers_end; ++c2) {
+        const std::uint32_t peer = plan.dep_consumers()[c2];
+        EXPECT_GT(peer, i);  // producers-first emission
+        in_tasks[peer] += nodes[i].task_count;
+      }
+    }
+    EXPECT_EQ(covered, plan.tasks().size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      EXPECT_EQ(nodes[i].in_tasks, in_tasks[i]) << "node " << i;
+  }
+}
+
+TEST(PlanStructure, DepSchedulingCollapsesGlobalSyncsToOnePerFlush) {
+  // The same pll-shaped deep-narrow graph as the barrier gate above, traced
+  // under both schedulers. Dependency-counted scheduling must pay exactly
+  // one global sync per flush — independent of host core count, since the
+  // counter is structural — where the barrier scheduler pays one per cut
+  // (hundreds on this graph). This is the PR's structural CI gate.
+  FuseGuard fuse_guard;
+  EnvVarGuard dep_guard("DEEPSEQ_NN_DEPSCHED");
+  set_fuse(true);
+  runtime::ThreadPool pool(4);
+  constexpr int kLevels = 320;
+  constexpr int kRows = 16;
+  constexpr int kLevelsPerFlush = 32;
+
+  // Each level gathers the previous level AND adds a skip connection from
+  // two levels back: the two-consumer fan-out is a true cut chain fusion
+  // cannot contract (a purely linear recurrence would fuse whole flushes
+  // into single chains, hiding the scheduler difference).
+  auto trace = [&](bool dep) {
+    ::setenv("DEEPSEQ_NN_DEPSCHED", dep ? "1" : "0", 1);
+    nn::Executor exec(&pool, 4);
+    nn::ExecutorScope scope(exec);
+    nn::ExecStats stats;
+    nn::ExecTraceScope ts(stats);
+    Graph g(/*grad_enabled=*/false);
+    Var prev = g.constant(Tensor::full(kRows, 8, 0.3f));
+    Var skip = prev;
+    int level = 0;
+    while (level < kLevels) {
+      nn::BatchScope group(g);
+      for (int k = 0; k < kLevelsPerFlush && level < kLevels; ++k, ++level) {
+        std::vector<nn::RowRef> refs;
+        for (int r = 0; r < kRows; ++r)
+          refs.push_back(nn::RowRef{prev, kRows - 1 - r});
+        Var x = g.gather(refs);
+        for (int i = 0; i < 3; ++i) {
+          x = g.scale(x, 1.01f);
+          x = g.sigmoid(x);
+        }
+        x = g.add(x, skip);
+        skip = prev;
+        prev = x;
+      }
+    }
+    return std::pair<nn::ExecStats, Tensor>(std::move(stats), prev->value);
+  };
+
+  const auto [dep, dep_out] = trace(true);
+  const auto [barrier, barrier_out] = trace(false);
+  EXPECT_TRUE(bit_identical(dep_out, barrier_out));
+  // One end-of-flush sync per flush, nothing else — however many cuts the
+  // plans carry.
+  EXPECT_EQ(dep.global_syncs, dep.flushes);
+  EXPECT_EQ(dep.flushes, (kLevels + kLevelsPerFlush - 1) / kLevelsPerFlush);
+  // The barrier scheduler pays per cut: at least tenfold on this shape.
+  EXPECT_GE(barrier.global_syncs, dep.global_syncs * 10)
+      << "dep=" << dep.global_syncs << " barrier=" << barrier.global_syncs;
+  // Dep scheduling actually released chains downstream of the roots; the
+  // barrier scheduler held those same chains behind barriers instead.
+  EXPECT_GT(dep.released_chains, 0);
+  EXPECT_EQ(barrier.released_chains, 0);
+  EXPECT_GT(barrier.barriered_chains, 0);
+  EXPECT_EQ(dep.barriered_chains, 0);
+}
+
+TEST(PlanStructure, SlabChainsFuseAndCountInHistogram) {
+  // A slab-based deep-narrow recurrence: gather slab rows -> elementwise
+  // chain -> scatter back. The gathers read the base tensor (no per-level
+  // state matrices to escape into), so whole levels — scatter included —
+  // must fuse into multi-op chains, and the chain-length histogram must
+  // count those fused-slab chains in its >= 5-step buckets.
+  FuseGuard fuse_guard;
+  EnvVarGuard dep_guard("DEEPSEQ_NN_DEPSCHED");
+  set_fuse(true);
+  ::setenv("DEEPSEQ_NN_DEPSCHED", "1", 1);
+  nn::Executor exec;  // sequential: histogram is structural
+  nn::ExecutorScope scope(exec);
+  nn::ExecStats stats;
+  nn::ExecTraceScope ts(stats);
+  constexpr int kLevels = 24;
+  constexpr int kRows = 8;
+  Graph g(/*grad_enabled=*/false);
+  Var version = g.slab(Tensor::full(kRows, 8, 0.3f));
+  {
+    nn::BatchScope group(g);
+    std::vector<int> targets(kRows);
+    for (int r = 0; r < kRows; ++r) targets[r] = r;
+    for (int level = 0; level < kLevels; ++level) {
+      std::vector<nn::RowRef> refs;
+      for (int r = 0; r < kRows; ++r)
+        refs.push_back(nn::RowRef{version, kRows - 1 - r});
+      Var x = g.gather(refs);
+      for (int i = 0; i < 3; ++i) x = g.sigmoid(g.scale(x, 1.01f));
+      version = g.scatter_rows(version, x, targets);
+    }
+  }
+  EXPECT_EQ(stats.slab_gather_rows, kLevels * kRows);
+  EXPECT_EQ(stats.slab_scatter_rows, kLevels * kRows);
+  // Each level records 8 ops (gather + 6 elementwise + scatter). The
+  // gather and the elementwise run must fuse into one chain per level (the
+  // scatter stays its own cluster: its reader-ordering edges forbid joining
+  // a potentially row-split chain), so at most 2 chains per level — far
+  // fewer than the 8 waves the unfused planner would emit — and the
+  // histogram must count the fused-slab chains in its >= 5-step buckets.
+  ASSERT_GT(stats.chains, 0);
+  EXPECT_LE(stats.chains, kLevels * 2);
+  int long_chains = 0;
+  for (int b = nn::chain_len_bucket(5); b < nn::kChainHistBuckets; ++b)
+    long_chains += stats.chain_len_hist[b];
+  EXPECT_GT(long_chains, 0);
+}
+
 }  // namespace
 }  // namespace deepseq
