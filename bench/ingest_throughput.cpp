@@ -1,0 +1,168 @@
+// Streaming ingestion throughput: generate a deterministic multi-module
+// Verilog corpus on disk, then sweep DEEPSEQ_INGEST_THREADS x chunk size
+// through ingest::Corpus::scan and report MB/s, designs/s and per-module
+// parse-latency percentiles (the ingest.parse_ns histogram window around
+// each row, same obs::Histogram math as the serving benches).
+//
+// Emits a table and ingest_throughput.json (bench_util::JsonWriter); the
+// repo commits a snapshot as BENCH_ingest_throughput.json at the root.
+// Structural fields (designs, dup_dropped, bytes, no-slurp evidence) are
+// host-independent; only MB/s scales with cores.
+//
+// Knobs: DEEPSEQ_INGEST_BENCH_FILES/MODULES/GATES size the corpus
+// (defaults ~8 MB; DEEPSEQ_FULL=1 switches to ~64 MB), and
+// DEEPSEQ_INGEST_BENCH_THREADS caps the thread sweep (default 4).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "dataset/generator.hpp"
+#include "ingest/corpus.hpp"
+#include "netlist/verilog_io.hpp"
+#include "obs/metrics.hpp"
+
+using namespace deepseq;
+using namespace deepseq::bench;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+obs::HistogramSnapshot window(const obs::Snapshot& s, const std::string& name) {
+  const auto it = s.histograms.find(name);
+  return it == s.histograms.end() ? obs::HistogramSnapshot{} : it->second;
+}
+
+/// Deterministic corpus tree, same layout as examples/gen_corpus: every
+/// 10th module is a structural duplicate, every file ends with the
+/// behavioral DFF companion the frontend skips.
+std::uint64_t generate_corpus(const std::string& dir, std::int64_t files,
+                              std::int64_t modules, std::int64_t gates) {
+  fs::create_directories(dir);
+  std::uint64_t bytes = 0;
+  for (std::int64_t f = 0; f < files; ++f) {
+    char name[64];
+    std::snprintf(name, sizeof name, "bench_%03lld.v",
+                  static_cast<long long>(f));
+    const fs::path path = fs::path(dir) / name;
+    std::ofstream out(path);
+    for (std::int64_t m = 0; m < modules; ++m) {
+      const std::int64_t ordinal = f * modules + m;
+      const bool dup = ordinal > 0 && ordinal % 10 == 0;
+      const std::int64_t sf = dup ? 0 : f, sm = dup ? 0 : m;
+      Rng rng(99 ^ (static_cast<std::uint64_t>(sf) << 32) ^
+              static_cast<std::uint64_t>(sm) * 0x9E3779B97F4A7C15ULL);
+      GeneratorSpec spec;
+      spec.name = "b_" + std::to_string(f) + "_" + std::to_string(m);
+      spec.num_gates = static_cast<int>(gates * rng.uniform(0.5, 1.5));
+      spec.num_ffs = 1 + spec.num_gates / 10;
+      Circuit c = generate_circuit(spec, rng);
+      write_verilog_module(c, out);
+      out << "\n";
+    }
+    write_dff_companion(out);
+    out.close();
+    bytes += fs::file_size(path);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = env_int("DEEPSEQ_FULL", 0) != 0;
+  const std::int64_t files =
+      env_int("DEEPSEQ_INGEST_BENCH_FILES", full ? 16 : 6);
+  const std::int64_t modules =
+      env_int("DEEPSEQ_INGEST_BENCH_MODULES", full ? 12 : 6);
+  const std::int64_t gates =
+      env_int("DEEPSEQ_INGEST_BENCH_GATES", full ? 6000 : 2500);
+  const int max_threads =
+      static_cast<int>(env_int("DEEPSEQ_INGEST_BENCH_THREADS", 4));
+
+  const std::string dir =
+      (fs::temp_directory_path() / "deepseq_ingest_bench").string();
+  fs::remove_all(dir);
+  const std::uint64_t corpus_bytes = generate_corpus(dir, files, modules, gates);
+  std::printf("ingest_throughput: corpus %lld files x %lld modules, %.1f MB\n\n",
+              static_cast<long long>(files), static_cast<long long>(modules),
+              corpus_bytes / 1e6);
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("bench", "ingest_throughput");
+  json.field("full", full);
+  json.field("hardware_concurrency",
+             static_cast<int>(std::thread::hardware_concurrency()));
+  json.field("corpus_files", static_cast<std::int64_t>(files));
+  json.field("corpus_modules_per_file", static_cast<std::int64_t>(modules));
+  json.field("corpus_bytes", corpus_bytes);
+  json.begin_array("rows");
+
+  std::printf("threads | chunk KiB |     MB/s | designs/s | parse p50/p99 ms\n");
+  std::printf("--------|-----------|----------|-----------|-----------------\n");
+
+  double mbs_1thread = 0.0, mbs_best = 0.0;
+  std::vector<int> threads_sweep;
+  for (int t = 1; t <= max_threads; t *= 2) threads_sweep.push_back(t);
+  const std::size_t chunks[] = {std::size_t(64) << 10, std::size_t(1) << 20};
+  for (const int threads : threads_sweep) {
+    for (const std::size_t chunk : chunks) {
+      ingest::CorpusOptions options;
+      options.ingest.threads = threads;
+      options.ingest.chunk_bytes = chunk;
+      const obs::Snapshot base = obs::Registry::global().snapshot();
+      const ingest::Corpus corpus = ingest::Corpus::scan(dir, options);
+      const obs::Snapshot row =
+          obs::delta(obs::Registry::global().snapshot(), base);
+
+      const double secs = corpus.elapsed_ms() / 1e3;
+      const double mbs = corpus.total_bytes() / 1e6 / secs;
+      const double dps = corpus.size() / secs;
+      const obs::HistogramSnapshot parse = window(row, "ingest.parse_ns");
+      const obs::Summary lat = parse.summary(1e-6);  // ns -> ms
+      std::printf("%7d | %9zu | %8.1f | %9.1f | %.2f / %.2f\n", threads,
+                  chunk >> 10, mbs, dps, lat.p50, lat.p99);
+
+      if (threads == 1 && chunk == chunks[1]) mbs_1thread = mbs;
+      if (mbs > mbs_best) mbs_best = mbs;
+
+      json.begin_object();
+      json.field("threads", threads);
+      json.field("chunk_bytes", static_cast<std::uint64_t>(chunk));
+      json.field("mb_per_s", mbs);
+      json.field("designs_per_s", dps);
+      json.field("elapsed_ms", corpus.elapsed_ms());
+      json.field("designs", static_cast<std::uint64_t>(corpus.size()));
+      json.field("files", corpus.files_scanned());
+      json.field("bytes", corpus.total_bytes());
+      json.field("dup_dropped", corpus.dup_dropped());
+      json.field("modules_skipped", corpus.modules_skipped());
+      json.field("peak_carry_bytes",
+                 static_cast<std::uint64_t>(corpus.peak_carry_bytes()));
+      json.field("max_token_bytes",
+                 static_cast<std::uint64_t>(corpus.max_token_bytes()));
+      json_histogram(json, "parse_ms", parse, 1e-6);
+      json.end_object();
+      std::fflush(stdout);
+    }
+  }
+
+  json.end_array();
+  if (mbs_1thread > 0)
+    json.field("best_vs_1thread_speedup", mbs_best / mbs_1thread);
+  json.end_object();
+  write_json_file("ingest_throughput.json", json.str());
+  if (mbs_1thread > 0)
+    std::printf("\nbest vs 1-thread: %.2fx\n", mbs_best / mbs_1thread);
+
+  fs::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Synthetic corpus generator: emits a directory tree of multi-module
+// gate-level Verilog at configurable scale, so tests and CI can exercise
+// SoC-scale streaming ingestion without committing large files.
+//
+//   gen_corpus <dir> [files] [modules-per-file] [gates-per-module] [seed]
+//
+// Environment overrides (same order of precedence as other DEEPSEQ knobs):
+//   DEEPSEQ_GEN_FILES    number of .v files               (default 8)
+//   DEEPSEQ_GEN_MODULES  modules per file                 (default 8)
+//   DEEPSEQ_GEN_GATES    mean gates per module            (default 1500)
+//   DEEPSEQ_GEN_FF_RATIO FFs as a fraction of gates       (default 0.12)
+//   DEEPSEQ_GEN_DUP_EVERY every Nth module is a structural duplicate of
+//                        an earlier one under a fresh name (default 10;
+//                        0 disables) — exercises corpus dedup, and the
+//                        expected unique count is printed so CI can pin
+//                        the manifest against it.
+//   DEEPSEQ_GEN_SEED     generator seed                   (default 42)
+//
+// Output is deterministic for a given knob set: module K of file F is
+// generated from a seed derived only from (seed, F, K). Each file gets
+// one shared behavioral DFF companion module at the end (the streaming
+// frontend skips it). A gen_manifest.json with the expected file/module/
+// unique counts and total bytes is written into the corpus directory.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/verilog_io.hpp"
+
+using namespace deepseq;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: gen_corpus <dir> [files] [modules] [gates] [seed]\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const auto arg_or_env = [&](int idx, const char* env, std::int64_t dflt) {
+    if (argc > idx) return static_cast<std::int64_t>(std::atoll(argv[idx]));
+    return env_int(env, dflt);
+  };
+  const std::int64_t num_files = arg_or_env(2, "DEEPSEQ_GEN_FILES", 8);
+  const std::int64_t modules_per_file = arg_or_env(3, "DEEPSEQ_GEN_MODULES", 8);
+  const std::int64_t mean_gates = arg_or_env(4, "DEEPSEQ_GEN_GATES", 1500);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(arg_or_env(5, "DEEPSEQ_GEN_SEED", 42));
+  const double ff_ratio = env_double("DEEPSEQ_GEN_FF_RATIO", 0.12);
+  const std::int64_t dup_every = env_int("DEEPSEQ_GEN_DUP_EVERY", 10);
+  if (num_files < 1 || modules_per_file < 1 || mean_gates < 8) {
+    std::fprintf(stderr, "gen_corpus: files/modules >= 1, gates >= 8\n");
+    return 2;
+  }
+
+  std::filesystem::create_directories(dir);
+
+  // A duplicate module reuses the (file, module) coordinates of an earlier
+  // module for its generator seed — structurally identical circuit, fresh
+  // module name — so structural-hash dedup has real work to do.
+  std::uint64_t total_bytes = 0;
+  std::int64_t total_modules = 0, dup_modules = 0;
+  for (std::int64_t f = 0; f < num_files; ++f) {
+    char name[64];
+    std::snprintf(name, sizeof name, "corpus_%03lld.v",
+                  static_cast<long long>(f));
+    const std::filesystem::path path = std::filesystem::path(dir) / name;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "gen_corpus: cannot write %s\n",
+                   path.string().c_str());
+      return 1;
+    }
+    bool any_ffs = false;
+    for (std::int64_t m = 0; m < modules_per_file; ++m) {
+      const std::int64_t ordinal = f * modules_per_file + m;
+      std::int64_t src_f = f, src_m = m;
+      const bool dup =
+          dup_every > 0 && ordinal > 0 && ordinal % dup_every == 0;
+      if (dup) {
+        // Clone the very first module of the corpus (always a non-dup).
+        src_f = 0;
+        src_m = 0;
+        ++dup_modules;
+      }
+      Rng rng(seed ^ (static_cast<std::uint64_t>(src_f) << 32) ^
+              static_cast<std::uint64_t>(src_m) * 0x9E3779B97F4A7C15ULL);
+      GeneratorSpec spec;
+      spec.name = "m_" + std::to_string(f) + "_" + std::to_string(m);
+      // Sizes spread around the mean (x0.5 .. x1.5) for design diversity.
+      spec.num_gates = static_cast<int>(
+          static_cast<double>(mean_gates) * rng.uniform(0.5, 1.5));
+      spec.num_pis = 4 + static_cast<int>(rng.uniform_index(29));
+      spec.num_ffs =
+          1 + static_cast<int>(spec.num_gates * ff_ratio * rng.uniform(0.5, 1.5));
+      Circuit c = generate_circuit(spec, rng);
+      any_ffs = any_ffs || !c.ffs().empty();
+      write_verilog_module(c, out);
+      out << "\n";
+      ++total_modules;
+    }
+    if (any_ffs) write_dff_companion(out);
+    out.close();
+    total_bytes += std::filesystem::file_size(path);
+  }
+
+  const std::int64_t unique_modules = total_modules - dup_modules;
+  const std::string manifest =
+      "{\"files\":" + std::to_string(num_files) +
+      ",\"modules\":" + std::to_string(total_modules) +
+      ",\"unique_modules\":" + std::to_string(unique_modules) +
+      ",\"dup_modules\":" + std::to_string(dup_modules) +
+      ",\"bytes\":" + std::to_string(total_bytes) +
+      ",\"seed\":" + std::to_string(seed) + "}";
+  {
+    std::ofstream mf(std::filesystem::path(dir) / "gen_manifest.json");
+    mf << manifest << "\n";
+  }
+  std::printf("%s\n", manifest.c_str());
+  std::printf("gen_corpus: %lld modules (%lld unique) in %lld files, %.1f MB\n",
+              static_cast<long long>(total_modules),
+              static_cast<long long>(unique_modules),
+              static_cast<long long>(num_files), total_bytes / 1e6);
+  return 0;
+}

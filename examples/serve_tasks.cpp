@@ -23,6 +23,7 @@
 #include "netlist/aig.hpp"
 #include "netlist/aiger_io.hpp"
 #include "netlist/bench_io.hpp"
+#include "netlist/verilog_io.hpp"
 
 using namespace deepseq;
 
@@ -34,6 +35,8 @@ Circuit load_circuit(const std::string& path) {
     c = parse_aiger_file(path);
   else if (path.size() > 4 && path.substr(path.size() - 4) == ".aig")
     c = parse_aiger_binary_file(path);
+  else if (path.size() > 2 && path.substr(path.size() - 2) == ".v")
+    c = parse_verilog_file(path);  // streaming chunked frontend (src/ingest/)
   else
     c = parse_bench_file(path);
   c.validate();

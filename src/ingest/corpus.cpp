@@ -1,0 +1,190 @@
+#include "ingest/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <unordered_map>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "netlist/topology.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace deepseq::ingest {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct StructuralHashHasher {
+  std::size_t operator()(const StructuralHash& h) const {
+    std::uint64_t x = h.digest;
+    x = hash_mix(x, h.num_nodes | (std::uint64_t(h.num_pis) << 32));
+    x = hash_mix(x, h.num_pos | (std::uint64_t(h.num_ffs) << 32));
+    return static_cast<std::size_t>(x);
+  }
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+std::string fixed3(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+Corpus Corpus::scan(const std::string& dir, const CorpusOptions& options) {
+  WallTimer timer;
+  if (!fs::is_directory(dir))
+    throw Error("corpus root is not a directory: " + dir);
+
+  std::vector<std::string> files;  // relative paths, '/'-separated
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (std::find(options.extensions.begin(), options.extensions.end(), ext) ==
+        options.extensions.end())
+      continue;
+    files.push_back(fs::relative(entry.path(), dir).generic_string());
+  }
+  std::sort(files.begin(), files.end());
+
+  IngestOptions ingest = options.ingest;
+  std::unique_ptr<runtime::ThreadPool> owned_pool;
+  if (ingest.pool == nullptr) {
+    const int threads = ingest.resolved_threads();
+    if (threads != 1)
+      ingest.pool =
+          (owned_pool = std::make_unique<runtime::ThreadPool>(threads)).get();
+  }
+
+  auto& reg = obs::Registry::global();
+  obs::Counter& bytes_counter = reg.counter("ingest.bytes");
+  obs::Counter& files_counter = reg.counter("ingest.files");
+  obs::Counter& designs_counter = reg.counter("ingest.designs");
+  obs::Counter& skipped_counter = reg.counter("ingest.modules_skipped");
+  obs::Counter& dup_counter = reg.counter("ingest.dup_dropped");
+  obs::Histogram& parse_hist = reg.histogram("ingest.parse_ns");
+
+  Corpus corpus;
+  corpus.root_ = dir;
+  std::unordered_map<StructuralHash, std::size_t, StructuralHashHasher> seen;
+  std::unordered_map<std::string, int> name_counts;
+
+  for (const std::string& rel : files) {
+    StreamStats stats;
+    std::vector<ParsedModule> modules;
+    try {
+      modules = parse_verilog_modules_file((fs::path(dir) / rel).string(),
+                                           ingest, &stats);
+    } catch (const Error& e) {
+      throw ParseError(rel + ": " + e.what());
+    }
+    ++corpus.files_scanned_;
+    corpus.total_bytes_ += stats.file_bytes;
+    corpus.modules_skipped_ += stats.modules_skipped;
+    corpus.peak_carry_bytes_ =
+        std::max(corpus.peak_carry_bytes_, stats.peak_carry_bytes);
+    corpus.max_token_bytes_ =
+        std::max(corpus.max_token_bytes_, stats.max_token_bytes);
+    files_counter.inc();
+    bytes_counter.inc(stats.file_bytes);
+    skipped_counter.inc(stats.modules_skipped);
+
+    for (ParsedModule& m : modules) {
+      const StructuralHash h = structural_hash(m.circuit);
+      if (options.dedup && !seen.emplace(h, corpus.records_.size()).second) {
+        ++corpus.dup_dropped_;
+        dup_counter.inc();
+        continue;
+      }
+      DesignRecord r;
+      const int count = ++name_counts[m.circuit.name()];
+      r.name = count == 1 ? m.circuit.name()
+                          : m.circuit.name() + "~" + std::to_string(count);
+      r.file = rel;
+      r.src_bytes = m.src_bytes;
+      r.nodes = static_cast<std::uint32_t>(m.circuit.num_nodes());
+      r.pis = static_cast<std::uint32_t>(m.circuit.pis().size());
+      r.pos = static_cast<std::uint32_t>(m.circuit.pos().size());
+      r.ffs = static_cast<std::uint32_t>(m.circuit.ffs().size());
+      r.levels = comb_levelize(m.circuit).depth;
+      r.hash = h;
+      r.parse_ms = m.parse_ms;
+      parse_hist.record(m.parse_ms <= 0.0
+                            ? 0
+                            : static_cast<std::uint64_t>(m.parse_ms * 1e6));
+      designs_counter.inc();
+      corpus.records_.push_back(std::move(r));
+      corpus.circuits_.push_back(std::move(m.circuit));
+    }
+  }
+  corpus.elapsed_ms_ = timer.millis();
+  return corpus;
+}
+
+Corpus Corpus::scan_from_env() {
+  const std::string dir = env_string("DEEPSEQ_CORPUS_DIR", "");
+  if (dir.empty())
+    throw Error("DEEPSEQ_CORPUS_DIR is not set (point it at a corpus root)");
+  if (!fs::is_directory(dir))
+    throw Error("DEEPSEQ_CORPUS_DIR is not a directory: " + dir);
+  return scan(dir);
+}
+
+std::string Corpus::manifest_json() const {
+  std::string out = "{\"root\":\"";
+  append_escaped(out, root_);
+  out += "\",\"files\":" + std::to_string(files_scanned_);
+  out += ",\"bytes\":" + std::to_string(total_bytes_);
+  out += ",\"num_designs\":" + std::to_string(records_.size());
+  out += ",\"modules_skipped\":" + std::to_string(modules_skipped_);
+  out += ",\"dup_dropped\":" + std::to_string(dup_dropped_);
+  out += ",\"peak_carry_bytes\":" + std::to_string(peak_carry_bytes_);
+  out += ",\"max_token_bytes\":" + std::to_string(max_token_bytes_);
+  out += ",\"elapsed_ms\":" + fixed3(elapsed_ms_);
+  out += ",\"designs\":[";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const DesignRecord& r = records_[i];
+    out += i == 0 ? "\n{\"name\":\"" : ",\n{\"name\":\"";
+    append_escaped(out, r.name);
+    out += "\",\"file\":\"";
+    append_escaped(out, r.file);
+    out += "\",\"bytes\":" + std::to_string(r.src_bytes);
+    out += ",\"nodes\":" + std::to_string(r.nodes);
+    out += ",\"pis\":" + std::to_string(r.pis);
+    out += ",\"pos\":" + std::to_string(r.pos);
+    out += ",\"ffs\":" + std::to_string(r.ffs);
+    out += ",\"levels\":" + std::to_string(r.levels);
+    out += ",\"hash\":\"";
+    append_escaped(out, r.hash.to_string());
+    out += "\",\"parse_ms\":" + fixed3(r.parse_ms);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace deepseq::ingest

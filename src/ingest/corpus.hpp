@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ingest/stream_parser.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/structural_hash.hpp"
+
+namespace deepseq::ingest {
+
+/// Manifest row of one ingested design. `name` is the module name,
+/// uniquified with a ~N suffix when distinct designs collide; `file` is
+/// the path relative to the corpus root.
+struct DesignRecord {
+  std::string name;
+  std::string file;
+  std::uint64_t src_bytes = 0;  // module source span in the file
+  std::uint32_t nodes = 0;
+  std::uint32_t pis = 0;
+  std::uint32_t pos = 0;
+  std::uint32_t ffs = 0;
+  int levels = 0;  // combinational depth (comb_levelize)
+  StructuralHash hash;
+  double parse_ms = 0.0;
+};
+
+struct CorpusOptions {
+  IngestOptions ingest;
+  /// Drop designs whose StructuralHash matches an earlier design (the
+  /// first occurrence in scan order wins) — isomorphic duplicates would
+  /// only warm the same cache shard again.
+  bool dedup = true;
+  /// File extensions scanned (case-sensitive match on the path suffix).
+  std::vector<std::string> extensions = {".v"};
+};
+
+/// A directory tree of Verilog netlists, ingested through the streaming
+/// parallel frontend into an in-memory set of Circuits plus a manifest.
+/// Scan order (and therefore record order, dedup winners and the manifest
+/// JSON) is deterministic: files sort by relative path, modules keep
+/// source order, regardless of thread count. Instrumented process-wide
+/// via obs: ingest.bytes / ingest.files / ingest.designs /
+/// ingest.modules_skipped / ingest.dup_dropped counters and the
+/// ingest.parse_ns histogram.
+class Corpus {
+ public:
+  /// Ingest every matching file under `dir` (recursively). Throws Error
+  /// when `dir` is not a directory; parse failures are rethrown with the
+  /// offending file prepended.
+  static Corpus scan(const std::string& dir, const CorpusOptions& options = {});
+
+  /// scan(DEEPSEQ_CORPUS_DIR) — fails fast, naming the variable, when it
+  /// is unset or not a directory (no silent fallback).
+  static Corpus scan_from_env();
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::vector<DesignRecord>& records() const { return records_; }
+  const DesignRecord& record(std::size_t i) const { return records_[i]; }
+  const Circuit& circuit(std::size_t i) const { return circuits_[i]; }
+
+  /// Iteration for range-for over (record, circuit) pairs — the draw
+  /// surface bench/ and the serving tier feed from.
+  struct Entry {
+    const DesignRecord& record;
+    const Circuit& circuit;
+  };
+  class Iterator {
+   public:
+    Iterator(const Corpus* c, std::size_t i) : corpus_(c), i_(i) {}
+    Entry operator*() const { return {corpus_->record(i_), corpus_->circuit(i_)}; }
+    Iterator& operator++() { ++i_; return *this; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+   private:
+    const Corpus* corpus_;
+    std::size_t i_;
+  };
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, records_.size()); }
+
+  const std::string& root() const { return root_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t files_scanned() const { return files_scanned_; }
+  std::uint64_t modules_skipped() const { return modules_skipped_; }
+  std::uint64_t dup_dropped() const { return dup_dropped_; }
+  double elapsed_ms() const { return elapsed_ms_; }
+  /// Aggregate no-slurp evidence: the largest lexer carry-over and token
+  /// seen across every scanned file (peak_carry <= max_token by contract).
+  std::size_t peak_carry_bytes() const { return peak_carry_bytes_; }
+  std::size_t max_token_bytes() const { return max_token_bytes_; }
+
+  /// One JSON document: scan totals plus one manifest row per design
+  /// (name, file, bytes, nodes/pis/pos/ffs/levels, structural hash,
+  /// parse_ms). Deterministic given the same corpus and options.
+  std::string manifest_json() const;
+
+ private:
+  std::string root_;
+  std::vector<DesignRecord> records_;
+  std::vector<Circuit> circuits_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t files_scanned_ = 0;
+  std::uint64_t modules_skipped_ = 0;
+  std::uint64_t dup_dropped_ = 0;
+  std::size_t peak_carry_bytes_ = 0;
+  std::size_t max_token_bytes_ = 0;
+  double elapsed_ms_ = 0.0;
+};
+
+}  // namespace deepseq::ingest

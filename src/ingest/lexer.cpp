@@ -1,0 +1,155 @@
+#include "ingest/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace deepseq::ingest {
+
+// The grammar below is a char-at-a-time restatement of the legacy
+// tokenize_verilog loop; every branch mirrors one of its cases so the two
+// produce identical streams on identical bytes. One deliberate
+// bug-compat detail: the legacy block-comment scan never examines the
+// final character of the text (its loop condition is i + 1 < size), so a
+// newline in last position of an unterminated comment is not counted in
+// the error's line number — block_nl_last_ reproduces that.
+
+void StreamLexer::feed(std::string_view chunk) {
+  for (const char ch : chunk) {
+    process(ch);
+    ++offset_;
+  }
+  // Only the partial token crosses the feed boundary; record the carry.
+  if (tok_.size() > peak_carry_) peak_carry_ = tok_.size();
+}
+
+void StreamLexer::process(char ch) {
+  for (;;) {
+    switch (state_) {
+      case State::kDefault:
+        if (ch == '\n') {
+          ++line_;
+          return;
+        }
+        if (std::isspace(static_cast<unsigned char>(ch))) return;
+        if (ch == '/') {
+          state_ = State::kSlash;
+          slash_line_ = line_;
+          slash_offset_ = offset_;
+          return;
+        }
+        if (verilog_ident_start(ch)) {
+          state_ = State::kIdent;
+          tok_.assign(1, ch);
+          tok_line_ = line_;
+          tok_offset_ = offset_;
+          return;
+        }
+        if (ch >= '0' && ch <= '9') {
+          state_ = State::kNumber;
+          tok_.assign(1, ch);
+          tok_line_ = line_;
+          tok_offset_ = offset_;
+          return;
+        }
+        if (ch == '\\')
+          throw ParseError("escaped identifiers are not supported", line_);
+        if (ch == '[')
+          throw ParseError("vector/bus ports are not supported", line_);
+        emit(std::string(1, ch), line_, offset_);
+        return;
+      case State::kSlash:
+        if (ch == '/') {
+          state_ = State::kLineComment;
+          return;
+        }
+        if (ch == '*') {
+          state_ = State::kBlock;
+          block_nl_last_ = false;
+          return;
+        }
+        state_ = State::kDefault;
+        emit("/", slash_line_, slash_offset_);
+        continue;  // reprocess ch as the start of something new
+      case State::kLineComment:
+        if (ch == '\n') {
+          ++line_;
+          state_ = State::kDefault;
+        }
+        return;
+      case State::kBlock:
+        if (ch == '*') {
+          state_ = State::kBlockStar;
+          block_nl_last_ = false;
+        } else if (ch == '\n') {
+          ++line_;
+          block_nl_last_ = true;
+        } else {
+          block_nl_last_ = false;
+        }
+        return;
+      case State::kBlockStar:
+        if (ch == '/') {
+          state_ = State::kDefault;
+        } else if (ch == '*') {
+          block_nl_last_ = false;
+        } else if (ch == '\n') {
+          ++line_;
+          block_nl_last_ = true;
+          state_ = State::kBlock;
+        } else {
+          block_nl_last_ = false;
+          state_ = State::kBlock;
+        }
+        return;
+      case State::kIdent:
+        if (verilog_ident_char(ch)) {
+          tok_.push_back(ch);
+          return;
+        }
+        emit_pending();
+        continue;  // reprocess ch
+      case State::kNumber:
+        if (verilog_ident_char(ch) || ch == '\'') {
+          tok_.push_back(ch);
+          return;
+        }
+        emit_pending();
+        continue;  // reprocess ch
+    }
+  }
+}
+
+void StreamLexer::finish() {
+  switch (state_) {
+    case State::kSlash:
+      emit("/", slash_line_, slash_offset_);
+      break;
+    case State::kIdent:
+    case State::kNumber:
+      emit_pending();
+      break;
+    case State::kBlock:
+    case State::kBlockStar:
+      throw ParseError("unterminated comment",
+                       line_ - (block_nl_last_ ? 1 : 0));
+    case State::kDefault:
+    case State::kLineComment:
+      break;
+  }
+  state_ = State::kDefault;
+}
+
+void StreamLexer::emit(std::string text, int line, std::uint64_t offset) {
+  if (text.size() > max_token_) max_token_ = text.size();
+  tokens_.push_back({std::move(text), line});
+  offsets_.push_back(offset);
+}
+
+void StreamLexer::emit_pending() {
+  state_ = State::kDefault;
+  emit(std::move(tok_), tok_line_, tok_offset_);
+  tok_.clear();
+}
+
+}  // namespace deepseq::ingest

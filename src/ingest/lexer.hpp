@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/verilog_io.hpp"
+
+namespace deepseq::ingest {
+
+/// Push-style chunked Verilog lexer: feed() the source in fixed-size
+/// windows in order, finish() at EOF, drain tokens between feeds. Emits a
+/// token stream identical — text, order and line numbers, including the
+/// line reported by the unterminated-comment error — to the legacy
+/// whole-text `tokenize_verilog`, for ANY chunking of the same bytes
+/// (pinned against it in tests/ingest). A token or comment spanning a
+/// chunk boundary is carried in a small state machine whose only byte
+/// buffer is the partial token itself, so the peak carry-over is bounded
+/// by the longest single token in the file — never by the file size.
+class StreamLexer {
+ public:
+  /// Lex one more window of the source. Throws ParseError exactly where
+  /// the legacy tokenizer does (escaped identifier, vector/bus bracket).
+  void feed(std::string_view chunk);
+
+  /// Signal EOF: completes a pending token, emits a pending '/', throws
+  /// ParseError("unterminated comment") if EOF lands inside /* */.
+  void finish();
+
+  /// Tokens lexed so far and their byte offsets (offset of each token's
+  /// first character in the overall stream, parallel to tokens). The
+  /// consumer takes/clears them between feeds; the lexer only appends.
+  std::vector<VerilogToken>& tokens() { return tokens_; }
+  std::vector<std::uint64_t>& offsets() { return offsets_; }
+
+  std::uint64_t bytes_fed() const { return offset_; }
+  /// Largest partial-token carry ever held across a feed() boundary.
+  std::size_t peak_carry_bytes() const { return peak_carry_; }
+  /// Longest completed token seen (the bound peak_carry_bytes obeys).
+  std::size_t max_token_bytes() const { return max_token_; }
+
+ private:
+  enum class State {
+    kDefault,
+    kSlash,      // '/' seen, comment kind undecided
+    kLineComment,
+    kBlock,      // inside /* */
+    kBlockStar,  // inside /* */, previous char was '*'
+    kIdent,
+    kNumber,     // sized constant: digits then ident chars / '\''
+  };
+
+  void process(char ch);
+  void emit(std::string text, int line, std::uint64_t offset);
+  void emit_pending();
+
+  State state_ = State::kDefault;
+  int line_ = 1;
+  std::uint64_t offset_ = 0;
+  std::string tok_;           // partial ident/number being accumulated
+  int tok_line_ = 0;
+  std::uint64_t tok_offset_ = 0;
+  int slash_line_ = 0;        // line of a pending undecided '/'
+  std::uint64_t slash_offset_ = 0;
+  bool block_nl_last_ = false;  // last comment char was a counted newline
+  std::size_t peak_carry_ = 0;
+  std::size_t max_token_ = 0;
+  std::vector<VerilogToken> tokens_;
+  std::vector<std::uint64_t> offsets_;
+};
+
+}  // namespace deepseq::ingest

@@ -1,0 +1,63 @@
+#include "ingest/source.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace deepseq::ingest {
+
+FileChunkReader::FileChunkReader(const std::string& path,
+                                 std::size_t chunk_bytes)
+    : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 1)) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) throw ParseError("cannot open file: " + path);
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw ParseError("cannot open file: " + path);
+  }
+  file_bytes_ = static_cast<std::uint64_t>(st.st_size);
+  if (file_bytes_ > 0) {
+    void* m = ::mmap(nullptr, file_bytes_, PROT_READ, MAP_PRIVATE, fd_, 0);
+    if (m != MAP_FAILED) {
+      map_ = static_cast<const char*>(m);
+      ::madvise(m, file_bytes_, MADV_SEQUENTIAL);
+    }
+  }
+  if (map_ == nullptr && file_bytes_ > 0) buffer_.resize(chunk_bytes_);
+}
+
+FileChunkReader::~FileChunkReader() {
+  if (map_ != nullptr)
+    ::munmap(const_cast<char*>(map_), static_cast<std::size_t>(file_bytes_));
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string_view FileChunkReader::next_chunk() {
+  if (pos_ >= file_bytes_) return {};
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(chunk_bytes_, file_bytes_ - pos_));
+  if (map_ != nullptr) {
+    std::string_view view(map_ + pos_, want);
+    pos_ += want;
+    return view;
+  }
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n = ::read(fd_, buffer_.data() + got, want - got);
+    if (n < 0) throw ParseError("read error (file truncated mid-stream?)");
+    if (n == 0) break;  // file shrank underneath us: serve what we have
+    got += static_cast<std::size_t>(n);
+  }
+  pos_ += got;
+  if (got == 0) pos_ = file_bytes_;  // force EOF
+  return {buffer_.data(), got};
+}
+
+}  // namespace deepseq::ingest

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepseq::ingest {
+
+/// Sequential fixed-size-chunk view over a file that never materializes the
+/// whole text in an owned buffer. The file is mmap'ed read-only when
+/// possible (chunks are zero-copy views into the mapping, advised
+/// MADV_SEQUENTIAL so the kernel pages the window in and out behind the
+/// cursor); when mmap is unavailable (pipes, platforms without it, empty
+/// files) it falls back to read(2) into one reused chunk-sized buffer.
+/// Either way the peak owned allocation is bounded by the chunk size, not
+/// the file size — the structural half of the ingest no-slurp contract
+/// (the other half is the lexer's bounded token carry-over).
+class FileChunkReader {
+ public:
+  /// Throws ParseError("cannot open file: <path>") like the legacy parser.
+  FileChunkReader(const std::string& path, std::size_t chunk_bytes);
+  ~FileChunkReader();
+
+  FileChunkReader(const FileChunkReader&) = delete;
+  FileChunkReader& operator=(const FileChunkReader&) = delete;
+
+  /// The next at-most-chunk_bytes window; empty at EOF. The view is
+  /// invalidated by the next call (read fallback reuses its buffer).
+  std::string_view next_chunk();
+
+  std::uint64_t file_bytes() const { return file_bytes_; }
+  std::size_t chunk_bytes() const { return chunk_bytes_; }
+  bool mmap_backed() const { return map_ != nullptr; }
+
+  /// Bytes of owned heap buffer this reader allocated: 0 when mmap-backed,
+  /// the chunk size for the read fallback. Never proportional to the file.
+  std::size_t buffer_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::uint64_t file_bytes_ = 0;
+  std::uint64_t pos_ = 0;
+  int fd_ = -1;
+  const char* map_ = nullptr;
+  std::vector<char> buffer_;  // read-fallback scratch, chunk-sized
+};
+
+}  // namespace deepseq::ingest

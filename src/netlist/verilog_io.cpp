@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "ingest/stream_parser.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/expand.hpp"
 
@@ -19,24 +20,17 @@ namespace {
 
 // ---- tokenizer -------------------------------------------------------------
 
-struct Token {
-  std::string text;
-  int line = 0;
-};
+using Token = VerilogToken;
 
-bool is_ident_start(char ch) {
-  return std::isalpha(static_cast<unsigned char>(ch)) || ch == '_';
-}
-bool is_ident_char(char ch) {
-  return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' || ch == '$';
-}
+bool is_ident_start(char ch) { return verilog_ident_start(ch); }
+bool is_ident_char(char ch) { return verilog_ident_char(ch); }
 
-/// Splits the stream into identifiers, sized constants (1'b0 style) and
+}  // namespace
+
+/// Splits the text into identifiers, sized constants (1'b0 style) and
 /// single-character punctuation; strips // and /* */ comments.
-std::vector<Token> tokenize(std::istream& in) {
-  std::vector<Token> out;
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
+std::vector<VerilogToken> tokenize_verilog(const std::string& text) {
+  std::vector<VerilogToken> out;
   int line = 1;
   std::size_t i = 0;
   while (i < text.size()) {
@@ -90,6 +84,8 @@ std::vector<Token> tokenize(std::istream& in) {
   }
   return out;
 }
+
+namespace {
 
 // ---- parser ----------------------------------------------------------------
 
@@ -510,26 +506,30 @@ const char* primitive_name(GateType t) {
 }  // namespace
 
 Circuit parse_verilog(std::istream& in, std::string fallback_name) {
-  return Parser(tokenize(in), std::move(fallback_name)).run();
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return Parser(tokenize_verilog(text), std::move(fallback_name)).run();
 }
 
 Circuit parse_verilog_string(const std::string& text,
                              std::string fallback_name) {
-  std::istringstream in(text);
-  return parse_verilog(in, std::move(fallback_name));
+  return Parser(tokenize_verilog(text), std::move(fallback_name)).run();
+}
+
+Circuit parse_verilog_tokens(std::vector<VerilogToken> tokens,
+                             std::string fallback_name) {
+  return Parser(std::move(tokens), std::move(fallback_name)).run();
 }
 
 Circuit parse_verilog_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw ParseError("cannot open file: " + path);
   const auto slash = path.find_last_of('/');
   std::string base = (slash == std::string::npos) ? path : path.substr(slash + 1);
   const auto dot = base.find_last_of('.');
   if (dot != std::string::npos) base = base.substr(0, dot);
-  return parse_verilog(in, std::move(base));
+  return ingest::parse_verilog_file_first_module(path, std::move(base));
 }
 
-void write_verilog(const Circuit& c, std::ostream& out) {
+void write_verilog_module(const Circuit& c, std::ostream& out) {
   const std::vector<std::string> names = verilog_names(c);
   const bool has_ffs = !c.ffs().empty();
   // The added clock port must not collide with a net name.
@@ -606,15 +606,20 @@ void write_verilog(const Circuit& c, std::ostream& out) {
   for (std::size_t k = 0; k < c.pos().size(); ++k)
     out << "  assign " << po_ports[k] << " = " << names[c.pos()[k]] << ";\n";
   out << "endmodule\n";
+}
 
-  if (has_ffs) {
-    out << "\nmodule DFF (Q, D, CK);\n"
-           "  output reg Q;\n"
-           "  input D, CK;\n"
-           "  initial Q = 1'b0;\n"
-           "  always @(posedge CK) Q <= D;\n"
-           "endmodule\n";
-  }
+void write_dff_companion(std::ostream& out) {
+  out << "\nmodule DFF (Q, D, CK);\n"
+         "  output reg Q;\n"
+         "  input D, CK;\n"
+         "  initial Q = 1'b0;\n"
+         "  always @(posedge CK) Q <= D;\n"
+         "endmodule\n";
+}
+
+void write_verilog(const Circuit& c, std::ostream& out) {
+  write_verilog_module(c, out);
+  if (!c.ffs().empty()) write_dff_companion(out);
 }
 
 std::string write_verilog_string(const Circuit& c) {

@@ -2,10 +2,31 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "netlist/circuit.hpp"
 
 namespace deepseq {
+
+/// One lexical token of the supported Verilog netlist subset: an
+/// identifier, a sized constant (1'b0 style) or a single punctuation
+/// character, with the 1-based source line it started on. Produced by the
+/// legacy whole-text tokenizer below and by the chunked streaming lexer in
+/// ingest/ — both feed the same token-level parser, so the two frontends
+/// are bit-identical by construction.
+struct VerilogToken {
+  std::string text;
+  int line = 0;
+};
+
+/// Character classes of the token grammar, shared verbatim by the legacy
+/// tokenizer and the chunked ingest lexer so the two can never drift.
+inline bool verilog_ident_start(char ch) {
+  return (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch == '_';
+}
+inline bool verilog_ident_char(char ch) {
+  return verilog_ident_start(ch) || (ch >= '0' && ch <= '9') || ch == '$';
+}
 
 /// Parse a gate-level structural Verilog module (the netlist subset emitted
 /// by synthesis tools and by write_verilog below):
@@ -28,7 +49,24 @@ namespace deepseq {
 Circuit parse_verilog(std::istream& in, std::string fallback_name = "top");
 Circuit parse_verilog_string(const std::string& text,
                              std::string fallback_name = "top");
+
+/// Parse a file. Routed through the chunked streaming reader in ingest/ —
+/// the file is never slurped into one string — but parses exactly the
+/// first module, like the istream entry point, and node ids / names /
+/// errors are identical to it. The istream/string entry points above
+/// remain as in-memory compatibility shims.
 Circuit parse_verilog_file(const std::string& path);
+
+/// Token-level parse entry point shared by the legacy tokenizer and the
+/// streaming ingest frontend: run the parser over an already-lexed token
+/// stream covering exactly one `module ... endmodule`.
+Circuit parse_verilog_tokens(std::vector<VerilogToken> tokens,
+                             std::string fallback_name = "top");
+
+/// Tokenize a whole in-memory text (the legacy single-shot lexer). Kept as
+/// the reference implementation the chunked ingest lexer is pinned against
+/// in tests.
+std::vector<VerilogToken> tokenize_verilog(const std::string& text);
 
 /// Serialize any Circuit (all 12 gate types) as a structural Verilog module
 /// named after the circuit. FFs become instances of an appended behavioral
@@ -37,5 +75,12 @@ Circuit parse_verilog_file(const std::string& path);
 void write_verilog(const Circuit& c, std::ostream& out);
 std::string write_verilog_string(const Circuit& c);
 void write_verilog_file(const Circuit& c, const std::string& path);
+
+/// Just the structural module for `c`, without the behavioral `DFF`
+/// companion module write_verilog appends for sequential circuits. Corpus
+/// files concatenate many modules and want a single shared companion —
+/// write_dff_companion emits it (verbatim what write_verilog appends).
+void write_verilog_module(const Circuit& c, std::ostream& out);
+void write_dff_companion(std::ostream& out);
 
 }  // namespace deepseq

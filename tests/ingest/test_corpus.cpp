@@ -1,0 +1,204 @@
+// Corpus harness: directory scan determinism, structural-hash dedup,
+// manifest shape, strict env resolution and obs instrumentation.
+
+#include "ingest/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dataset/generator.hpp"
+#include "netlist/verilog_io.hpp"
+#include "obs/metrics.hpp"
+#include "support/json_check.hpp"
+
+namespace deepseq::ingest {
+namespace {
+
+namespace fs = std::filesystem;
+
+Circuit make_design(const std::string& name, std::uint64_t seed,
+                    int gates = 120) {
+  Rng rng(seed);
+  GeneratorSpec spec;
+  spec.name = name;
+  spec.num_gates = gates;
+  return generate_circuit(spec, rng);
+}
+
+void write_file(const fs::path& path, const std::string& content) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path);
+  out << content;
+}
+
+/// A small corpus tree: three files (one in a subdirectory), five
+/// modules, of which two are structural duplicates of earlier ones and
+/// one is a non-.v file that must be ignored.
+fs::path build_tree(const std::string& tag) {
+  const fs::path root = fs::path(::testing::TempDir()) / ("corpus_" + tag);
+  fs::remove_all(root);
+  const Circuit a = make_design("alpha", 1);
+  const Circuit b = make_design("beta", 2, 200);
+  const Circuit c = make_design("gamma", 3, 90);
+  Circuit a_clone = make_design("alpha_clone", 1);  // same structure as a
+
+  write_file(root / "one.v",
+             write_verilog_string(a) + "\n" + write_verilog_string(b));
+  write_file(root / "two.v", write_verilog_string(a_clone));
+  write_file(root / "sub" / "three.v",
+             write_verilog_string(c) + "\n" + write_verilog_string(a));
+  write_file(root / "notes.txt", "not verilog");
+  return root;
+}
+
+TEST(Corpus, ScanDedupsAndOrdersDeterministically) {
+  const fs::path root = build_tree("dedup");
+  const Corpus corpus = Corpus::scan(root.string());
+
+  // 5 gate-level modules (+1 DFF companion per file with FFs, skipped),
+  // minus the alpha_clone and the repeated alpha.
+  EXPECT_EQ(corpus.files_scanned(), 3u);
+  ASSERT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus.dup_dropped(), 2u);
+  EXPECT_GE(corpus.modules_skipped(), 1u);
+
+  // Files scanned in sorted relative-path order; modules in source order.
+  EXPECT_EQ(corpus.record(0).name, "alpha");
+  EXPECT_EQ(corpus.record(0).file, "one.v");
+  EXPECT_EQ(corpus.record(1).name, "beta");
+  EXPECT_EQ(corpus.record(2).name, "gamma");
+  EXPECT_EQ(corpus.record(2).file, "sub/three.v");
+
+  for (const auto& entry : corpus) {
+    EXPECT_EQ(entry.record.nodes, entry.circuit.num_nodes());
+    EXPECT_GT(entry.record.levels, 0);
+    EXPECT_GT(entry.record.src_bytes, 0u);
+    EXPECT_EQ(entry.record.hash.to_string(),
+              structural_hash(entry.circuit).to_string());
+  }
+  EXPECT_LE(corpus.peak_carry_bytes(), corpus.max_token_bytes());
+
+  // Same tree again: identical manifest modulo timings.
+  const Corpus again = Corpus::scan(root.string());
+  ASSERT_EQ(again.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(corpus.record(i).name, again.record(i).name);
+    EXPECT_EQ(corpus.record(i).hash.to_string(),
+              again.record(i).hash.to_string());
+  }
+}
+
+TEST(Corpus, DedupOffKeepsIsomorphsAndUniquifiesNames) {
+  const fs::path root = build_tree("nodedup");
+  CorpusOptions options;
+  options.dedup = false;
+  const Corpus corpus = Corpus::scan(root.string(), options);
+  ASSERT_EQ(corpus.size(), 5u);
+  EXPECT_EQ(corpus.dup_dropped(), 0u);
+  // Scan order is one.v, sub/three.v, two.v; "alpha" appears in the
+  // first two, so its second occurrence gets the ~2 suffix.
+  EXPECT_EQ(corpus.record(0).name, "alpha");
+  EXPECT_EQ(corpus.record(3).name, "alpha~2");
+  EXPECT_EQ(corpus.record(4).name, "alpha_clone");
+}
+
+TEST(Corpus, ThreadCountDoesNotChangeTheManifest) {
+  const fs::path root = build_tree("threads");
+  std::string manifests[3];
+  int i = 0;
+  for (const int threads : {1, 2, 4}) {
+    CorpusOptions options;
+    options.ingest.threads = threads;
+    options.ingest.chunk_bytes = 256;
+    const Corpus corpus = Corpus::scan(root.string(), options);
+    std::string m = corpus.manifest_json();
+    // Blank out the timing fields, which legitimately vary run to run.
+    for (const char* key : {"\"elapsed_ms\":", "\"parse_ms\":"}) {
+      std::size_t pos = 0;
+      while ((pos = m.find(key, pos)) != std::string::npos) {
+        pos += std::string(key).size();
+        const std::size_t end = m.find_first_of(",}", pos);
+        m.replace(pos, end - pos, "0");
+      }
+    }
+    manifests[i++] = std::move(m);
+  }
+  EXPECT_EQ(manifests[0], manifests[1]);
+  EXPECT_EQ(manifests[0], manifests[2]);
+}
+
+TEST(Corpus, ManifestIsValidJsonWithExpectedFields) {
+  const fs::path root = build_tree("manifest");
+  const Corpus corpus = Corpus::scan(root.string());
+  const std::string json = corpus.manifest_json();
+  EXPECT_TRUE(deepseq::testing::valid_json(json)) << json;
+  for (const char* key :
+       {"\"root\":", "\"files\":3", "\"num_designs\":3", "\"dup_dropped\":2",
+        "\"peak_carry_bytes\":", "\"max_token_bytes\":", "\"designs\":[",
+        "\"name\":\"alpha\"", "\"file\":\"sub/three.v\"", "\"levels\":",
+        "\"hash\":\"", "\"parse_ms\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Corpus, ScanFailsFastOnBadInputs) {
+  EXPECT_THROW(Corpus::scan("/nonexistent/corpus/root"), Error);
+
+  // A malformed file surfaces with its relative path prepended.
+  const fs::path root = fs::path(::testing::TempDir()) / "corpus_bad";
+  fs::remove_all(root);
+  write_file(root / "broken.v", "module oops (a;\n");
+  try {
+    Corpus::scan(root.string());
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.v: "), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Corpus, ScanFromEnvIsStrict) {
+  ::unsetenv("DEEPSEQ_CORPUS_DIR");
+  try {
+    Corpus::scan_from_env();
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("DEEPSEQ_CORPUS_DIR"),
+              std::string::npos);
+  }
+  ::setenv("DEEPSEQ_CORPUS_DIR", "/nonexistent/corpus/root", 1);
+  EXPECT_THROW(Corpus::scan_from_env(), Error);
+
+  const fs::path root = build_tree("env");
+  ::setenv("DEEPSEQ_CORPUS_DIR", root.string().c_str(), 1);
+  EXPECT_EQ(Corpus::scan_from_env().size(), 3u);
+  ::unsetenv("DEEPSEQ_CORPUS_DIR");
+}
+
+TEST(Corpus, ScansAreCountedInTheGlobalRegistry) {
+  auto& reg = obs::Registry::global();
+  const std::uint64_t files0 = reg.counter("ingest.files").value();
+  const std::uint64_t designs0 = reg.counter("ingest.designs").value();
+  const std::uint64_t dups0 = reg.counter("ingest.dup_dropped").value();
+  const std::uint64_t hist0 = reg.histogram("ingest.parse_ns").snapshot().count;
+
+  const fs::path root = build_tree("obs");
+  const Corpus corpus = Corpus::scan(root.string());
+
+  EXPECT_EQ(reg.counter("ingest.files").value() - files0,
+            corpus.files_scanned());
+  EXPECT_EQ(reg.counter("ingest.designs").value() - designs0, corpus.size());
+  EXPECT_EQ(reg.counter("ingest.dup_dropped").value() - dups0,
+            corpus.dup_dropped());
+  EXPECT_EQ(reg.histogram("ingest.parse_ns").snapshot().count - hist0,
+            corpus.size());
+}
+
+}  // namespace
+}  // namespace deepseq::ingest
